@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"github.com/datamarket/shield/internal/auth"
+	"github.com/datamarket/shield/internal/market"
+	"github.com/datamarket/shield/internal/render"
+)
+
+// client talks to a marketd server.
+type client struct {
+	base       string
+	credential string
+	nonce      uint64
+	// httpClient is swappable in tests; nil selects http.DefaultClient.
+	httpClient *http.Client
+}
+
+func (c *client) http() *http.Client {
+	if c.httpClient != nil {
+		return c.httpClient
+	}
+	return http.DefaultClient
+}
+
+// call performs one JSON round-trip; a non-2xx status becomes an error
+// carrying the server's error message.
+func (c *client) call(method, path string, body, dst any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	}
+	if dst == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(dst)
+}
+
+// run dispatches one marketctl command.
+func run(c *client, args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("no command (see marketctl -h)")
+	}
+	cmd, rest := args[0], args[1:]
+	need := func(n int, usage string) error {
+		if len(rest) != n {
+			return fmt.Errorf("usage: marketctl %s", usage)
+		}
+		return nil
+	}
+	switch cmd {
+	case "register-seller":
+		if err := need(1, "register-seller <id>"); err != nil {
+			return err
+		}
+		if err := c.call("POST", "/v1/sellers", map[string]string{"id": rest[0]}, nil); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "seller %s registered\n", rest[0])
+		return nil
+
+	case "register-buyer":
+		if err := need(1, "register-buyer <id>"); err != nil {
+			return err
+		}
+		var resp map[string]string
+		if err := c.call("POST", "/v1/buyers", map[string]string{"id": rest[0]}, &resp); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "buyer %s registered\n", rest[0])
+		if cred := resp["credential"]; cred != "" {
+			fmt.Fprintf(out, "credential (store securely, shown once): %s\n", cred)
+		}
+		return nil
+
+	case "upload":
+		if err := need(2, "upload <seller> <dataset>"); err != nil {
+			return err
+		}
+		if err := c.call("POST", "/v1/datasets", map[string]string{"seller": rest[0], "id": rest[1]}, nil); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "dataset %s uploaded by %s\n", rest[1], rest[0])
+		return nil
+
+	case "withdraw":
+		if err := need(2, "withdraw <seller> <dataset>"); err != nil {
+			return err
+		}
+		if err := c.call("DELETE", "/v1/datasets/"+rest[1]+"?seller="+rest[0], nil, nil); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "dataset %s withdrawn by %s\n", rest[1], rest[0])
+		return nil
+
+	case "compose":
+		if len(rest) < 2 {
+			return errors.New("usage: marketctl compose <dataset> <part> [<part>...]")
+		}
+		body := map[string]any{"id": rest[0], "constituents": rest[1:]}
+		if err := c.call("POST", "/v1/datasets/compose", body, nil); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "dataset %s composed from %v\n", rest[0], rest[1:])
+		return nil
+
+	case "bid":
+		if err := need(3, "bid <buyer> <dataset> <amount>"); err != nil {
+			return err
+		}
+		amount, err := strconv.ParseFloat(rest[2], 64)
+		if err != nil || amount <= 0 {
+			return fmt.Errorf("bad amount %q", rest[2])
+		}
+		body := map[string]any{"buyer": rest[0], "dataset": rest[1], "amount": amount}
+		if c.credential != "" {
+			micros := int64(market.FromFloat(amount))
+			signed, err := auth.Sign(auth.Credential{BuyerID: rest[0], Secret: c.credential}, rest[1], micros, c.nonce)
+			if err != nil {
+				return err
+			}
+			body = map[string]any{
+				"buyer": rest[0], "dataset": rest[1],
+				"amount_micros": signed.AmountMicros,
+				"nonce":         signed.Nonce,
+				"mac":           signed.MAC,
+			}
+		}
+		var resp struct {
+			Allocated   bool    `json:"allocated"`
+			PricePaid   float64 `json:"price_paid"`
+			WaitPeriods int     `json:"wait_periods"`
+		}
+		if err := c.call("POST", "/v1/bids", body, &resp); err != nil {
+			return err
+		}
+		if resp.Allocated {
+			fmt.Fprintf(out, "won: %s acquired %s for %.6f\n", rest[0], rest[1], resp.PricePaid)
+		} else {
+			fmt.Fprintf(out, "lost: %s must wait %d period(s) before bidding on %s again\n",
+				rest[0], resp.WaitPeriods, rest[1])
+		}
+		return nil
+
+	case "tick":
+		if err := need(0, "tick"); err != nil {
+			return err
+		}
+		var resp map[string]int
+		if err := c.call("POST", "/v1/tick", map[string]any{}, &resp); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "period %d\n", resp["period"])
+		return nil
+
+	case "datasets":
+		if err := need(0, "datasets"); err != nil {
+			return err
+		}
+		var ds []string
+		if err := c.call("GET", "/v1/datasets", nil, &ds); err != nil {
+			return err
+		}
+		for _, d := range ds {
+			fmt.Fprintln(out, d)
+		}
+		return nil
+
+	case "stats":
+		if err := need(1, "stats <dataset>"); err != nil {
+			return err
+		}
+		var stats market.DatasetStats
+		if err := c.call("GET", "/v1/datasets/"+rest[0]+"/stats", nil, &stats); err != nil {
+			return err
+		}
+		t := render.NewTable("metric", "value")
+		t.AddRowf("bids", stats.Bids)
+		t.AddRowf("allocations", stats.Allocations)
+		t.AddRowf("epochs", stats.Epochs)
+		t.AddRowf("revenue", stats.Revenue)
+		t.AddRowf("posting price", stats.PostingPrice)
+		t.AddRowf("most likely price", stats.MostLikelyPrice)
+		return t.Render(out)
+
+	case "balance":
+		if err := need(1, "balance <seller>"); err != nil {
+			return err
+		}
+		var resp map[string]float64
+		if err := c.call("GET", "/v1/sellers/"+rest[0]+"/balance", nil, &resp); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%.6f\n", resp["balance"])
+		return nil
+
+	case "wait":
+		if err := need(2, "wait <buyer> <dataset>"); err != nil {
+			return err
+		}
+		var resp map[string]int
+		if err := c.call("GET", "/v1/buyers/"+rest[0]+"/wait?dataset="+rest[1], nil, &resp); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%d\n", resp["wait_periods"])
+		return nil
+
+	case "metrics":
+		if err := need(0, "metrics"); err != nil {
+			return err
+		}
+		resp, err := c.http().Get(c.base + "/metrics")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 400 {
+			return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+		}
+		_, err = io.Copy(out, resp.Body)
+		return err
+
+	case "transactions":
+		if err := need(0, "transactions"); err != nil {
+			return err
+		}
+		var txs []market.Transaction
+		if err := c.call("GET", "/v1/transactions", nil, &txs); err != nil {
+			return err
+		}
+		t := render.NewTable("seq", "buyer", "dataset", "price", "period")
+		for _, tx := range txs {
+			t.AddRowf(tx.Seq, string(tx.Buyer), string(tx.Dataset), tx.Price.Float(), tx.Period)
+		}
+		return t.Render(out)
+
+	default:
+		return fmt.Errorf("unknown command %q (see marketctl -h)", cmd)
+	}
+}

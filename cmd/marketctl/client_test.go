@@ -1,0 +1,173 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/datamarket/shield/internal/auction"
+	"github.com/datamarket/shield/internal/auth"
+	"github.com/datamarket/shield/internal/core"
+	"github.com/datamarket/shield/internal/httpapi"
+	"github.com/datamarket/shield/internal/market"
+)
+
+func testClient(t *testing.T, withAuth bool) *client {
+	t.Helper()
+	m := market.MustNew(market.Config{
+		Engine: core.Config{
+			Candidates: auction.LinearGrid(10, 100, 10),
+			EpochSize:  4,
+			MinBid:     1,
+		},
+		Seed: 8,
+	})
+	srv := httpapi.NewServer(m)
+	if withAuth {
+		srv = srv.WithAuth(auth.NewVerifier(nil))
+	}
+	ts := httptest.NewServer(srv.Routes())
+	t.Cleanup(ts.Close)
+	return &client{base: ts.URL}
+}
+
+func runCmd(t *testing.T, c *client, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(c, args, &sb); err != nil {
+		t.Fatalf("%v: %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestFullLifecycleViaCLI(t *testing.T) {
+	c := testClient(t, false)
+	if out := runCmd(t, c, "register-seller", "acme"); !strings.Contains(out, "registered") {
+		t.Fatalf("register-seller: %q", out)
+	}
+	runCmd(t, c, "upload", "acme", "sales")
+	runCmd(t, c, "upload", "acme", "ads")
+	if out := runCmd(t, c, "compose", "combo", "sales", "ads"); !strings.Contains(out, "combo") {
+		t.Fatalf("compose: %q", out)
+	}
+	runCmd(t, c, "register-buyer", "bob")
+	if out := runCmd(t, c, "bid", "bob", "sales", "500"); !strings.Contains(out, "won") {
+		t.Fatalf("bid: %q", out)
+	}
+	if out := runCmd(t, c, "bid", "bob", "combo", "2"); !strings.Contains(out, "lost") || !strings.Contains(out, "wait") {
+		t.Fatalf("losing bid: %q", out)
+	}
+	if out := runCmd(t, c, "wait", "bob", "combo"); strings.TrimSpace(out) == "0" {
+		t.Fatalf("wait: %q", out)
+	}
+	if out := runCmd(t, c, "tick"); !strings.Contains(out, "period 1") {
+		t.Fatalf("tick: %q", out)
+	}
+	if out := runCmd(t, c, "datasets"); !strings.Contains(out, "sales") || !strings.Contains(out, "combo") {
+		t.Fatalf("datasets: %q", out)
+	}
+	if out := runCmd(t, c, "stats", "sales"); !strings.Contains(out, "allocations") {
+		t.Fatalf("stats: %q", out)
+	}
+	if out := runCmd(t, c, "balance", "acme"); strings.TrimSpace(out) == "0.000000" {
+		t.Fatalf("balance: %q", out)
+	}
+	if out := runCmd(t, c, "transactions"); !strings.Contains(out, "bob") {
+		t.Fatalf("transactions: %q", out)
+	}
+}
+
+func TestSignedBidViaCLI(t *testing.T) {
+	c := testClient(t, true)
+	runCmd(t, c, "register-seller", "s")
+	runCmd(t, c, "upload", "s", "d")
+	out := runCmd(t, c, "register-buyer", "bob")
+	if !strings.Contains(out, "credential") {
+		t.Fatalf("no credential in %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	fields := strings.Fields(lines[len(lines)-1])
+	secret := fields[len(fields)-1]
+
+	// Unsigned bid fails against an auth server.
+	var sb strings.Builder
+	if err := run(c, []string{"bid", "bob", "d", "500"}, &sb); err == nil {
+		t.Fatal("unsigned bid accepted")
+	}
+
+	// Signed bid succeeds.
+	signed := &client{base: c.base, credential: secret, nonce: 1}
+	if out := runCmd(t, signed, "bid", "bob", "d", "500"); !strings.Contains(out, "won") {
+		t.Fatalf("signed bid: %q", out)
+	}
+	// Reusing the nonce fails.
+	var sb2 strings.Builder
+	if err := run(signed, []string{"bid", "bob", "d", "400"}, &sb2); err == nil || !strings.Contains(err.Error(), "auth") {
+		t.Fatalf("nonce reuse: %v", err)
+	}
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	c := testClient(t, false)
+	cases := [][]string{
+		{},
+		{"register-seller"},
+		{"register-buyer"},
+		{"upload", "only-one"},
+		{"compose", "x"},
+		{"bid", "b", "d"},
+		{"bid", "b", "d", "not-a-number"},
+		{"bid", "b", "d", "-5"},
+		{"stats"},
+		{"balance"},
+		{"wait", "b"},
+		{"warp-speed"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(c, args, &sb); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}
+
+func TestServerErrorsSurface(t *testing.T) {
+	c := testClient(t, false)
+	var sb strings.Builder
+	err := run(c, []string{"balance", "ghost"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "unknown seller") {
+		t.Fatalf("server error not surfaced: %v", err)
+	}
+	err = run(c, []string{"bid", "nobody", "nothing", "5"}, &sb)
+	if err == nil {
+		t.Fatal("bid by unknown buyer accepted")
+	}
+}
+
+func TestWithdrawViaCLI(t *testing.T) {
+	c := testClient(t, false)
+	runCmd(t, c, "register-seller", "s")
+	runCmd(t, c, "upload", "s", "d")
+	if out := runCmd(t, c, "withdraw", "s", "d"); !strings.Contains(out, "withdrawn") {
+		t.Fatalf("withdraw: %q", out)
+	}
+	var sb strings.Builder
+	if err := run(c, []string{"withdraw", "s", "d"}, &sb); err == nil {
+		t.Fatal("double withdraw accepted")
+	}
+	if err := run(c, []string{"withdraw", "s"}, &sb); err == nil {
+		t.Fatal("usage error accepted")
+	}
+}
+
+func TestMetricsViaCLI(t *testing.T) {
+	c := testClient(t, false)
+	out := runCmd(t, c, "metrics")
+	if !strings.Contains(out, "shield_market_revenue_units") {
+		t.Fatalf("metrics output: %q", out)
+	}
+	var sb strings.Builder
+	if err := run(c, []string{"metrics", "extra"}, &sb); err == nil {
+		t.Fatal("usage error accepted")
+	}
+}

@@ -1,0 +1,51 @@
+// Command marketctl is the command-line client for marketd.
+//
+// Usage:
+//
+//	marketctl [-server http://localhost:8080] <command> [args]
+//
+// Commands:
+//
+//	register-seller <id>
+//	register-buyer  <id>                   prints the signing credential when
+//	                                       the server requires signed bids
+//	upload   <seller> <dataset>
+//	withdraw <seller> <dataset>
+//	compose  <dataset> <part> [<part>...]
+//	bid      <buyer> <dataset> <amount>    sign with -credential and -nonce
+//	tick
+//	datasets
+//	stats    <dataset>
+//	balance  <seller>
+//	wait     <buyer> <dataset>
+//	transactions
+//	metrics
+//
+// Examples:
+//
+//	marketctl register-seller acme
+//	marketctl upload acme sales-2025
+//	marketctl register-buyer bob
+//	marketctl bid bob sales-2025 120.5
+//	marketctl -credential deadbeef... -nonce 3 bid bob sales-2025 120.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		server     = flag.String("server", "http://localhost:8080", "marketd base URL")
+		credential = flag.String("credential", "", "hex signing secret for signed bids")
+		nonce      = flag.Uint64("nonce", 0, "bid nonce (must strictly increase per buyer)")
+	)
+	flag.Parse()
+	c := &client{base: *server, credential: *credential, nonce: *nonce}
+	if err := run(c, flag.Args(), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "marketctl:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,125 @@
+// Command marketd serves a protected data market over a JSON HTTP API:
+// sellers upload datasets, the arbiter prices them with the
+// shielded multiplicative-weights algorithm, buyers bid and receive
+// immediate allocation decisions or Time-Shield waits.
+//
+// Usage:
+//
+//	marketd [-addr :8080] [-epoch 8] [-candidates 40] [-min 1] [-max 200]
+//	        [-seed 2022] [-journal market.log] [-auth]
+//
+// With -journal, every successful operation is appended to an event log
+// and the full market state is rebuilt from it on restart. With -auth,
+// buyer registration returns an HMAC credential and every bid must be
+// signed with it (false-name bidding deterrence; see internal/auth).
+//
+// See internal/httpapi for the endpoint list.
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/datamarket/shield/internal/auction"
+	"github.com/datamarket/shield/internal/auth"
+	"github.com/datamarket/shield/internal/core"
+	"github.com/datamarket/shield/internal/httpapi"
+	"github.com/datamarket/shield/internal/journal"
+	"github.com/datamarket/shield/internal/market"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		epoch       = flag.Int("epoch", 8, "Epoch-Shield size E (bids per price update)")
+		candidates  = flag.Int("candidates", 40, "number of posting-price candidates")
+		minPrice    = flag.Float64("min", 1, "lowest candidate price (also the bid floor)")
+		maxPrice    = flag.Float64("max", 200, "highest candidate price")
+		bpp         = flag.Int("bpp", 1, "expected bids per market period (Time-Shield conversion)")
+		seed        = flag.Uint64("seed", 2022, "pricing randomness seed")
+		journalPath = flag.String("journal", "", "event-journal file (created, or replayed if present)")
+		compact     = flag.Bool("compact", false, "compact the journal (snapshot head) before serving")
+		useAuth     = flag.Bool("auth", false, "require HMAC-signed bids")
+	)
+	flag.Parse()
+
+	cfg := market.Config{
+		Engine: core.Config{
+			Candidates:    auction.LinearGrid(*minPrice, *maxPrice, *candidates),
+			EpochSize:     *epoch,
+			BidsPerPeriod: *bpp,
+			MinBid:        *minPrice,
+		},
+		Seed: *seed,
+	}
+
+	var srvHandler *httpapi.Server
+	switch {
+	case *journalPath == "":
+		m, err := market.New(cfg)
+		if err != nil {
+			log.Fatalf("marketd: %v", err)
+		}
+		srvHandler = httpapi.NewServer(m)
+	default:
+		if *compact {
+			if err := journal.CompactFile(*journalPath); err != nil {
+				log.Fatalf("marketd: compacting %s: %v", *journalPath, err)
+			}
+			log.Printf("marketd: compacted %s", *journalPath)
+		}
+		jm, replayed, err := journal.OpenFile(cfg, *journalPath)
+		if err != nil {
+			log.Fatalf("marketd: %v", err)
+		}
+		defer jm.Close()
+		if replayed > 0 {
+			log.Printf("marketd: replayed %d events from %s", replayed, *journalPath)
+		}
+		srvHandler = httpapi.NewJournaled(jm)
+	}
+
+	if *useAuth {
+		srvHandler = srvHandler.WithAuth(auth.NewVerifier(func() ([]byte, error) {
+			key := make([]byte, 32)
+			_, err := rand.Read(key)
+			return key, err
+		}))
+		log.Printf("marketd: HMAC bid signing required")
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           srvHandler.Routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	// Graceful shutdown: stop accepting requests, drain in-flight ones,
+	// then let the deferred journal Close flush the event log.
+	done := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("marketd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("marketd: shutdown: %v", err)
+		}
+		close(done)
+	}()
+
+	log.Printf("marketd: listening on %s (E=%d, %d candidates in [%g, %g])",
+		*addr, *epoch, *candidates, *minPrice, *maxPrice)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done
+}

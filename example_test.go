@@ -1,0 +1,180 @@
+package shield_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	shield "github.com/datamarket/shield"
+)
+
+// ExampleNewEngine prices one dataset with the protected engine: epochs
+// shield against low bids, losing buyers receive Time-Shield waits, and
+// the price itself is sampled (Uncertainty-Shield).
+func ExampleNewEngine() {
+	engine, err := shield.NewEngine(shield.EngineConfig{
+		Candidates: shield.LinearGrid(10, 100, 10),
+		EpochSize:  4,
+		MinBid:     1,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := engine.SubmitBid(500) // far above every candidate: wins
+	fmt.Println("allocated:", d.Allocated)
+	d = engine.SubmitBid(0.5) // below the floor: loses and waits
+	fmt.Println("allocated:", d.Allocated, "waits:", d.Wait > 0)
+	// Output:
+	// allocated: true
+	// allocated: false waits: true
+}
+
+// ExampleOptimalPrice computes the paper's Equation 2: the revenue
+// optimal single posting price for a known bid vector.
+func ExampleOptimalPrice() {
+	price, revenue := shield.OptimalPrice([]float64{10, 20, 30})
+	fmt.Println(price, revenue)
+	// Output: 20 40
+}
+
+// ExampleNewMarket walks the full Figure 1 flow: a seller shares a
+// dataset, a buyer bids, the winner pays the posting price and the
+// seller is compensated.
+func ExampleNewMarket() {
+	m, err := shield.NewMarket(shield.MarketConfig{
+		Engine: shield.EngineConfig{
+			Candidates: shield.LinearGrid(10, 100, 10),
+			EpochSize:  4,
+			MinBid:     1,
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = m.RegisterSeller("acme")
+	_ = m.UploadDataset("acme", "sales")
+	_ = m.RegisterBuyer("bob")
+	d, err := m.SubmitBid("bob", "sales", 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bal, _ := m.SellerBalance("acme")
+	fmt.Println("allocated:", d.Allocated, "seller paid:", bal == d.PricePaid)
+	// Output: allocated: true seller paid: true
+}
+
+// ExampleUtility evaluates Equation 1: utility is the valuation-price
+// gap, but only for winners within their deadline.
+func ExampleUtility() {
+	fmt.Println(shield.Utility(100, 60, true, 3, 5))  // won in time
+	fmt.Println(shield.Utility(100, 60, true, 9, 5))  // too late
+	fmt.Println(shield.Utility(100, 60, false, 3, 5)) // lost
+	// Output:
+	// 40
+	// 0
+	// 0
+}
+
+// ExampleSignBid binds a bid to a buyer identity so false-name bidding
+// fails verification.
+func ExampleSignBid() {
+	v := shield.NewBidVerifier(nil) // deterministic keys: tests only
+	cred, err := v.Enroll("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bid, err := shield.SignBid(cred, "weather", 120_000_000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("own name verifies:", v.Verify(bid) == nil)
+	forged := bid
+	forged.BuyerID = "mallory"
+	fmt.Println("false name verifies:", v.Verify(forged) == nil)
+	// Output:
+	// own name verifies: true
+	// false name verifies: false
+}
+
+// ExampleGenerateValuations builds the paper's AR(1) workload and
+// applies the strategic-buyer transform <PCT, beta, H>.
+func ExampleGenerateValuations() {
+	r := shield.NewRNG(7)
+	vals, err := shield.GenerateValuations(shield.ARConfig{
+		AR: 0.1, Sigma: 0.01, Mean: 100, Floor: 1, N: 10,
+	}, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream, err := shield.TransformStrategic(vals, shield.StrategicConfig{
+		PCT: 1, Beta: 0.25, Horizon: 3, Floor: 1,
+	}, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("buyers:", len(vals), "bids:", len(stream))
+	// Output: buyers: 10 bids: 30
+}
+
+// ExampleRunSession drives adaptive buyer strategies through the full
+// market loop: strategic low-ballers face Time-Shield waits while
+// truthful buyers trade normally.
+func ExampleRunSession() {
+	m, err := shield.NewMarket(shield.MarketConfig{
+		Engine: shield.EngineConfig{
+			Candidates:    shield.LinearGrid(10, 100, 10),
+			EpochSize:     4,
+			BidsPerPeriod: 2,
+			MinBid:        1,
+		},
+		Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = m.RegisterSeller("s")
+	_ = m.UploadDataset("s", "d")
+	_ = m.RegisterBuyer("honest")
+	_ = m.RegisterBuyer("schemer")
+	res, err := shield.RunSession(m, "d", []shield.Participant{
+		{ID: "honest", Strategy: shield.NewTruthfulBuyer(95), Deadline: 9},
+		{ID: "schemer", Strategy: shield.NewStrategicBuyer(95, 0.2, 1, true), Deadline: 9},
+	}, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("revenue raised:", res.Revenue > 0)
+	// Output: revenue raised: true
+}
+
+// ExampleNewJournaledMarket persists every market operation to an event
+// log and rebuilds the exact state from it.
+func ExampleNewJournaledMarket() {
+	cfg := shield.MarketConfig{
+		Engine: shield.EngineConfig{
+			Candidates: shield.LinearGrid(10, 100, 10),
+			EpochSize:  4,
+			MinBid:     1,
+		},
+		Seed: 4,
+	}
+	var logBuf bytes.Buffer
+	jm, err := shield.NewJournaledMarket(cfg, &logBuf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = jm.RegisterSeller("s")
+	_ = jm.UploadDataset("s", "d")
+	_ = jm.RegisterBuyer("b")
+	d, _ := jm.SubmitBid("b", "d", 500)
+	_ = jm.Close()
+
+	restored, err := shield.RestoreMarket(bytes.NewReader(logBuf.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("replay matches:", restored.Revenue() == d.PricePaid)
+	// Output: replay matches: true
+}

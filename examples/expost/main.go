@@ -1,0 +1,115 @@
+// Ex-post trading: buying data you cannot value in advance.
+//
+// An exploratory data-science team doesn't know what a dataset is worth
+// until after using it — data is an experience good (Section 8 of the
+// paper). The ex-post arbiter grants the dataset first and accepts
+// payment after use. Honest payments at or above the recorded posting
+// price settle cleanly; under-payments are collected as-is but cost the
+// buyer a Time-Shield wait on its *next* request, and chronic
+// under-payers lose the ex-post option until surcharges on later ex-ante
+// wins repay their balance.
+//
+// Run with: go run ./examples/expost
+package main
+
+import (
+	"fmt"
+	"log"
+
+	shield "github.com/datamarket/shield"
+)
+
+func main() {
+	a, err := shield.NewExPostArbiter(shield.ExPostConfig{
+		Engine: shield.EngineConfig{
+			Candidates:    shield.LinearGrid(10, 150, 15),
+			EpochSize:     4,
+			BidsPerPeriod: 1,
+			MinBid:        1,
+			MaxWaitEpochs: 6,
+		},
+		Seed:             21,
+		DeactivateBelow:  -80 * shield.Micro,
+		RecoveryFraction: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := a.AddDataset("satellite-imagery"); err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range []string{"honest-lab", "stingy-lab"} {
+		if err := a.RegisterBuyer(b); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Warm the posting price with regular ex-ante demand so grants are
+	// recorded against a learned price rather than the initial draw.
+	if err := a.RegisterBuyer("warmup"); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := a.Bid("warmup", "satellite-imagery", 90+float64(i%4)*10); err == nil {
+			a.Tick()
+		} else {
+			waitOut(a, "warmup")
+		}
+	}
+
+	// The honest lab explores five datasets' worth of imagery, learning a
+	// different valuation each time, and always reports it truthfully.
+	fmt.Println("honest-lab:")
+	for _, learned := range []float64{90, 120, 75, 110, 95} {
+		waitOut(a, "honest-lab")
+		g, err := a.Request("honest-lab", "satellite-imagery")
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := a.Pay(g, learned)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  used data, learned value %5.0f -> charged %s, wait %d\n",
+			learned, res.Charged, res.WaitPeriods)
+		a.Tick()
+	}
+	bal, _ := a.Balance("honest-lab")
+	fmt.Printf("  balance: %s\n\n", bal)
+
+	// The stingy lab always reports a token payment.
+	fmt.Println("stingy-lab:")
+	for i := 0; i < 5; i++ {
+		g, err := a.Request("stingy-lab", "satellite-imagery")
+		if err != nil {
+			fmt.Printf("  request refused: %v\n", err)
+			a.Tick()
+			continue
+		}
+		res, err := a.Pay(g, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  paid 5 -> wait %d period(s), deactivated=%v\n",
+			res.WaitPeriods, res.Deactivated)
+		a.Tick()
+	}
+	bal, _ = a.Balance("stingy-lab")
+	dis, _ := a.Disabled("stingy-lab")
+	fmt.Printf("  balance: %s, ex-post disabled: %v\n\n", bal, dis)
+
+	fmt.Printf("arbiter revenue: %s\n", a.Revenue())
+	fmt.Println("under-payment is self-defeating: waits starve access and")
+	fmt.Println("the ex-post option disappears until the debt is repaid.")
+}
+
+// waitOut advances the clock until the buyer's Time-Shield wait expires.
+func waitOut(a *shield.ExPostArbiter, buyer string) {
+	for {
+		w, err := a.WaitRemaining(buyer)
+		if err != nil || w == 0 {
+			return
+		}
+		a.Tick()
+	}
+}

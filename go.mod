@@ -1,0 +1,3 @@
+module github.com/datamarket/shield
+
+go 1.23

@@ -1,0 +1,292 @@
+// Package auction implements digital-goods auction primitives from the
+// paper's Section 2.3: the offline optimal posting price (Equation 2), the
+// posting-price revenue function, candidate price grids, and the simple
+// baseline update algorithms (average, median, random) the evaluation
+// compares the multiplicative-weights engine against (Figures 4a, 5a).
+//
+// Data is nonrival: a posting price p allocates to every bid >= p and each
+// winner pays exactly p, so revenue at price p is p times the number of
+// winning bids.
+package auction
+
+import (
+	"math"
+	"sort"
+
+	"github.com/datamarket/shield/internal/rng"
+)
+
+// Revenue returns the revenue a posting price p extracts from bids: p for
+// every bid >= p (winners pay the posting price, Section 2.3). A
+// non-positive price yields zero revenue: the paper's market never raises
+// money from free allocation.
+func Revenue(bids []float64, p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	var winners int
+	for _, b := range bids {
+		if b >= p {
+			winners++
+		}
+	}
+	return p * float64(winners)
+}
+
+// OptimalPrice implements Equation 2: it returns the posting price b_k that
+// maximizes k*b_k over the k-th largest bids, together with the optimal
+// revenue M(b̄). Ties in revenue break toward the larger b_k, as the paper
+// specifies. Empty input or all-non-positive bids yield (0, 0).
+func OptimalPrice(bids []float64) (price, revenue float64) {
+	if len(bids) == 0 {
+		return 0, 0
+	}
+	sorted := make([]float64, len(bids))
+	copy(sorted, bids)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	for k, b := range sorted {
+		if b <= 0 {
+			break // descending order: no further bid can contribute
+		}
+		r := float64(k+1) * b
+		// Strict > also implements the tie-break: equal revenue at a
+		// larger b_k is seen first in the descending scan.
+		if r > revenue {
+			revenue = r
+			price = b
+		}
+	}
+	return price, revenue
+}
+
+// OptimalRevenue returns only M(b̄) from Equation 2.
+func OptimalRevenue(bids []float64) float64 {
+	_, r := OptimalPrice(bids)
+	return r
+}
+
+// BestCandidate returns the candidate price with maximum revenue on bids
+// and that revenue (the best expert in hindsight for an MW engine whose
+// experts are candidates). Ties break toward the larger price. An empty
+// candidate set yields (0, 0).
+func BestCandidate(bids, candidates []float64) (price, revenue float64) {
+	for _, c := range candidates {
+		r := Revenue(bids, c)
+		if r > revenue || (r == revenue && c > price) {
+			revenue = r
+			price = c
+		}
+	}
+	return price, revenue
+}
+
+// LinearGrid returns n evenly spaced candidate prices spanning [lo, hi]
+// inclusive. It panics if n < 2 or hi <= lo. Posting-price candidates for
+// the MW engine are typically built with this.
+func LinearGrid(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("auction: LinearGrid needs n >= 2")
+	}
+	if hi <= lo {
+		panic("auction: LinearGrid needs hi > lo")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi // avoid accumulation error on the top candidate
+	return out
+}
+
+// GeometricGrid returns n geometrically spaced candidates spanning
+// [lo, hi] inclusive, for markets whose valuations span orders of
+// magnitude. It panics if n < 2, lo <= 0 or hi <= lo.
+func GeometricGrid(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("auction: GeometricGrid needs n >= 2")
+	}
+	if lo <= 0 || hi <= lo {
+		panic("auction: GeometricGrid needs 0 < lo < hi")
+	}
+	out := make([]float64, n)
+	ratio := hi / lo
+	for i := range out {
+		out[i] = lo * math.Pow(ratio, float64(i)/float64(n-1))
+	}
+	out[n-1] = hi
+	return out
+}
+
+// StreamPricer is an online posting-price algorithm: the arbiter reads the
+// current posting price before each allocation decision and feeds every
+// incoming bid to ObserveBid afterwards (prices must be chosen before bids
+// arrive, Section 2.3).
+type StreamPricer interface {
+	// PostingPrice returns the price in force for the next bid.
+	PostingPrice() float64
+	// ObserveBid records an incoming bid, possibly updating the price.
+	ObserveBid(b float64)
+	// Reset restores the pricer to its initial state.
+	Reset()
+}
+
+// SummaryFunc reduces an epoch of bids to a posting price.
+type SummaryFunc func(bids []float64) float64
+
+// EpochPricer updates its posting price once per epoch of E bids by
+// applying a summary function to the epoch's bids. With Avg or Median
+// summaries it is the strawman update algorithm of Section 3.2/7.3.1; with
+// the OptimalSummary it is the Epoch-Shield update rule (price = b_k of the
+// last epoch) without multiplicative weights.
+type EpochPricer struct {
+	epochSize int
+	summarize SummaryFunc
+	initial   float64
+
+	price float64
+	epoch []float64
+}
+
+// NewEpochPricer returns an EpochPricer with the given epoch size E >= 1,
+// summary function, and initial posting price (in force until the first
+// epoch completes).
+func NewEpochPricer(epochSize int, summarize SummaryFunc, initial float64) *EpochPricer {
+	if epochSize < 1 {
+		panic("auction: epoch size must be >= 1")
+	}
+	if summarize == nil {
+		panic("auction: nil summary function")
+	}
+	return &EpochPricer{
+		epochSize: epochSize,
+		summarize: summarize,
+		initial:   initial,
+		price:     initial,
+		epoch:     make([]float64, 0, epochSize),
+	}
+}
+
+// PostingPrice implements StreamPricer.
+func (e *EpochPricer) PostingPrice() float64 { return e.price }
+
+// ObserveBid implements StreamPricer.
+func (e *EpochPricer) ObserveBid(b float64) {
+	e.epoch = append(e.epoch, b)
+	if len(e.epoch) < e.epochSize {
+		return
+	}
+	e.price = e.summarize(e.epoch)
+	e.epoch = e.epoch[:0]
+}
+
+// Reset implements StreamPricer.
+func (e *EpochPricer) Reset() {
+	e.price = e.initial
+	e.epoch = e.epoch[:0]
+}
+
+// AvgSummary prices the next epoch at the mean of the current epoch's bids
+// (the "avg" baseline of Section 7.3.1).
+func AvgSummary(bids []float64) float64 {
+	if len(bids) == 0 {
+		return 0
+	}
+	var s float64
+	for _, b := range bids {
+		s += b
+	}
+	return s / float64(len(bids))
+}
+
+// MedianSummary prices the next epoch at the median bid (the "p50"
+// baseline of Section 7.3.1).
+func MedianSummary(bids []float64) float64 {
+	n := len(bids)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, bids)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// OptimalSummary prices the next epoch at the revenue-optimal price of the
+// current epoch (Equation 2 applied per epoch — the Epoch-Shield update
+// algorithm of Section 3.2 without multiplicative weights).
+func OptimalSummary(bids []float64) float64 {
+	p, _ := OptimalPrice(bids)
+	return p
+}
+
+// RandomPricer draws a fresh uniformly random candidate price after every
+// epoch, ignoring bids entirely (the "Random" baseline of Figure 4a: full
+// protection, no learning).
+type RandomPricer struct {
+	candidates []float64
+	epochSize  int
+	rng        *rng.RNG
+	seed       uint64
+
+	price float64
+	seen  int
+}
+
+// NewRandomPricer returns a RandomPricer drawing from candidates every
+// epochSize bids, seeded deterministically.
+func NewRandomPricer(candidates []float64, epochSize int, seed uint64) *RandomPricer {
+	if len(candidates) == 0 {
+		panic("auction: RandomPricer needs candidates")
+	}
+	if epochSize < 1 {
+		panic("auction: epoch size must be >= 1")
+	}
+	cp := make([]float64, len(candidates))
+	copy(cp, candidates)
+	p := &RandomPricer{candidates: cp, epochSize: epochSize, seed: seed}
+	p.Reset()
+	return p
+}
+
+// PostingPrice implements StreamPricer.
+func (p *RandomPricer) PostingPrice() float64 { return p.price }
+
+// ObserveBid implements StreamPricer.
+func (p *RandomPricer) ObserveBid(float64) {
+	p.seen++
+	if p.seen%p.epochSize == 0 {
+		p.price = p.candidates[p.rng.Intn(len(p.candidates))]
+	}
+}
+
+// Reset implements StreamPricer.
+func (p *RandomPricer) Reset() {
+	p.rng = rng.New(p.seed)
+	p.seen = 0
+	p.price = p.candidates[p.rng.Intn(len(p.candidates))]
+}
+
+// FixedPricer posts a constant price forever; OfflineOptimalPricer built
+// from a full bid trace is the paper's "Opt" baseline.
+type FixedPricer struct{ P float64 }
+
+// PostingPrice implements StreamPricer.
+func (f FixedPricer) PostingPrice() float64 { return f.P }
+
+// ObserveBid implements StreamPricer.
+func (FixedPricer) ObserveBid(float64) {}
+
+// Reset implements StreamPricer.
+func (FixedPricer) Reset() {}
+
+// OfflineOptimalPricer returns the Opt baseline: the fixed posting price
+// that is revenue-optimal in hindsight for the whole bid trace
+// (Equation 2 applied to all bids at once).
+func OfflineOptimalPricer(allBids []float64) FixedPricer {
+	p, _ := OptimalPrice(allBids)
+	return FixedPricer{P: p}
+}

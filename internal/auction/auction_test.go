@@ -1,0 +1,353 @@
+package auction
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/datamarket/shield/internal/rng"
+)
+
+func TestRevenue(t *testing.T) {
+	bids := []float64{10, 20, 30}
+	cases := []struct{ p, want float64 }{
+		{5, 15},  // all three win
+		{10, 30}, // all three win (>=)
+		{15, 30}, // two win
+		{30, 30}, // one wins
+		{31, 0},  // none win
+		{0, 0},   // free allocation raises nothing
+		{-5, 0},  // negative price raises nothing
+	}
+	for _, c := range cases {
+		if got := Revenue(bids, c.p); got != c.want {
+			t.Errorf("Revenue(p=%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestOptimalPriceBasic(t *testing.T) {
+	// bids 10,20,30: k*b_k over descending = 30, 40, 30 -> price 20, rev 40.
+	p, r := OptimalPrice([]float64{10, 20, 30})
+	if p != 20 || r != 40 {
+		t.Errorf("OptimalPrice = (%v, %v), want (20, 40)", p, r)
+	}
+}
+
+func TestOptimalPriceTieBreaksHigh(t *testing.T) {
+	// bids 4, 2, 2: candidates 1*4=4, 2*2=4 (b=2), 3*2=6? sorted desc:
+	// 4,2,2 -> k*b = 4, 4, 6 -> unique max 6 at price 2. Build a real tie:
+	// bids 4, 2: 1*4=4, 2*2=4 -> tie; paper says choose larger b_k = 4.
+	p, r := OptimalPrice([]float64{4, 2})
+	if p != 4 || r != 4 {
+		t.Errorf("tie-break: OptimalPrice = (%v, %v), want (4, 4)", p, r)
+	}
+}
+
+func TestOptimalPriceEdgeCases(t *testing.T) {
+	if p, r := OptimalPrice(nil); p != 0 || r != 0 {
+		t.Errorf("empty: (%v, %v)", p, r)
+	}
+	if p, r := OptimalPrice([]float64{0, -3}); p != 0 || r != 0 {
+		t.Errorf("non-positive: (%v, %v)", p, r)
+	}
+	if p, r := OptimalPrice([]float64{7}); p != 7 || r != 7 {
+		t.Errorf("singleton: (%v, %v)", p, r)
+	}
+}
+
+func TestOptimalPriceIsActuallyOptimal(t *testing.T) {
+	// Property: for random bid vectors, no bid value extracts more revenue
+	// than the optimum (a posting price not equal to any bid is dominated
+	// by the next bid up, so checking bid values suffices).
+	r := rng.New(7)
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		n := 1 + rr.Intn(40)
+		bids := make([]float64, n)
+		for i := range bids {
+			bids[i] = r.Uniform(0, 100)
+		}
+		_, opt := OptimalPrice(bids)
+		for _, b := range bids {
+			if Revenue(bids, b) > opt+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClaim1PartitionSuperadditivity(t *testing.T) {
+	// Claim 1 (Protection-Revenue Tradeoff): partitioning a bid vector
+	// never decreases summed optimal revenue: r(b) <= r(b1) + r(b2).
+	r := rng.New(11)
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		n := 2 + rr.Intn(60)
+		bids := make([]float64, n)
+		for i := range bids {
+			bids[i] = r.Uniform(0.01, 100)
+		}
+		cut := 1 + rr.Intn(n-1)
+		whole := OptimalRevenue(bids)
+		left := OptimalRevenue(bids[:cut])
+		right := OptimalRevenue(bids[cut:])
+		return whole <= left+right+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestCandidate(t *testing.T) {
+	bids := []float64{10, 20, 30}
+	p, r := BestCandidate(bids, []float64{5, 18, 25})
+	// 5 -> 15, 18 -> 36, 25 -> 25.
+	if p != 18 || r != 36 {
+		t.Errorf("BestCandidate = (%v, %v), want (18, 36)", p, r)
+	}
+	if p, r := BestCandidate(bids, nil); p != 0 || r != 0 {
+		t.Errorf("no candidates: (%v, %v)", p, r)
+	}
+}
+
+func TestBestCandidateNeverBeatenByMembers(t *testing.T) {
+	r := rng.New(13)
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		bids := make([]float64, 1+rr.Intn(30))
+		for i := range bids {
+			bids[i] = r.Uniform(0, 50)
+		}
+		cands := make([]float64, 1+rr.Intn(10))
+		for i := range cands {
+			cands[i] = r.Uniform(0, 50)
+		}
+		_, best := BestCandidate(bids, cands)
+		for _, c := range cands {
+			if Revenue(bids, c) > best+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearGrid(t *testing.T) {
+	g := LinearGrid(0, 10, 5)
+	want := []float64{0, 2.5, 5, 7.5, 10}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-12 {
+			t.Errorf("LinearGrid[%d] = %v, want %v", i, g[i], want[i])
+		}
+	}
+}
+
+func TestGeometricGrid(t *testing.T) {
+	g := GeometricGrid(1, 100, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-9 {
+			t.Errorf("GeometricGrid[%d] = %v, want %v", i, g[i], want[i])
+		}
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"linear n<2":    func() { LinearGrid(0, 1, 1) },
+		"linear hi<=lo": func() { LinearGrid(1, 1, 3) },
+		"geom lo<=0":    func() { GeometricGrid(0, 1, 3) },
+		"geom hi<=lo":   func() { GeometricGrid(2, 2, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEpochPricerUpdatesOncePerEpoch(t *testing.T) {
+	p := NewEpochPricer(3, AvgSummary, 100)
+	if p.PostingPrice() != 100 {
+		t.Fatalf("initial price = %v", p.PostingPrice())
+	}
+	p.ObserveBid(10)
+	p.ObserveBid(20)
+	if p.PostingPrice() != 100 {
+		t.Fatal("price changed mid-epoch")
+	}
+	p.ObserveBid(30)
+	if p.PostingPrice() != 20 {
+		t.Fatalf("price after epoch = %v, want 20", p.PostingPrice())
+	}
+	// Next epoch runs on fresh bids only.
+	p.ObserveBid(60)
+	p.ObserveBid(60)
+	p.ObserveBid(60)
+	if p.PostingPrice() != 60 {
+		t.Fatalf("second epoch price = %v, want 60", p.PostingPrice())
+	}
+}
+
+func TestEpochPricerReset(t *testing.T) {
+	p := NewEpochPricer(2, MedianSummary, 50)
+	p.ObserveBid(1)
+	p.ObserveBid(2)
+	if p.PostingPrice() == 50 {
+		t.Fatal("price did not move")
+	}
+	p.Reset()
+	if p.PostingPrice() != 50 {
+		t.Fatalf("reset price = %v", p.PostingPrice())
+	}
+	// Epoch buffer must be cleared: one more bid must not trigger an update
+	// computed from stale bids.
+	p.ObserveBid(10)
+	if p.PostingPrice() != 50 {
+		t.Fatal("stale epoch bids survived Reset")
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	bids := []float64{1, 2, 3, 10}
+	if got := AvgSummary(bids); got != 4 {
+		t.Errorf("AvgSummary = %v", got)
+	}
+	if got := MedianSummary(bids); got != 2.5 {
+		t.Errorf("MedianSummary = %v", got)
+	}
+	if got := MedianSummary([]float64{5, 1, 9}); got != 5 {
+		t.Errorf("odd MedianSummary = %v", got)
+	}
+	if got := OptimalSummary(bids); got != 10 {
+		// k*b_k: 10, 6, 6, 4 -> price 10.
+		t.Errorf("OptimalSummary = %v", got)
+	}
+	if AvgSummary(nil) != 0 || MedianSummary(nil) != 0 {
+		t.Error("empty summaries not zero")
+	}
+}
+
+func TestEpochPricerPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bad epoch":   func() { NewEpochPricer(0, AvgSummary, 1) },
+		"nil summary": func() { NewEpochPricer(1, nil, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRandomPricerDrawsFromCandidates(t *testing.T) {
+	cands := []float64{1, 2, 3}
+	p := NewRandomPricer(cands, 2, 42)
+	seen := map[float64]bool{}
+	for i := 0; i < 200; i++ {
+		price := p.PostingPrice()
+		if price != 1 && price != 2 && price != 3 {
+			t.Fatalf("price %v not a candidate", price)
+		}
+		seen[price] = true
+		p.ObserveBid(10)
+	}
+	if len(seen) != 3 {
+		t.Errorf("only saw candidates %v", seen)
+	}
+}
+
+func TestRandomPricerDeterministicAcrossReset(t *testing.T) {
+	p := NewRandomPricer([]float64{1, 2, 3, 4}, 1, 7)
+	var first []float64
+	for i := 0; i < 20; i++ {
+		first = append(first, p.PostingPrice())
+		p.ObserveBid(0)
+	}
+	p.Reset()
+	for i := 0; i < 20; i++ {
+		if got := p.PostingPrice(); got != first[i] {
+			t.Fatalf("after Reset, draw %d = %v, want %v", i, got, first[i])
+		}
+		p.ObserveBid(0)
+	}
+}
+
+func TestRandomPricerPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"no candidates": func() { NewRandomPricer(nil, 1, 1) },
+		"bad epoch":     func() { NewRandomPricer([]float64{1}, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestOfflineOptimalPricer(t *testing.T) {
+	bids := []float64{10, 20, 30}
+	p := OfflineOptimalPricer(bids)
+	if p.PostingPrice() != 20 {
+		t.Fatalf("Opt price = %v, want 20", p.PostingPrice())
+	}
+	p.ObserveBid(1000) // fixed pricers ignore bids
+	if p.PostingPrice() != 20 {
+		t.Fatal("FixedPricer moved")
+	}
+	p.Reset()
+	if p.PostingPrice() != 20 {
+		t.Fatal("FixedPricer reset changed price")
+	}
+}
+
+func TestOptBeatsOnlineBaselinesInHindsight(t *testing.T) {
+	// Sanity: on any trace, the offline optimal single price collects at
+	// least as much as any single candidate price; spot-check against the
+	// avg-pricer's final price too.
+	r := rng.New(99)
+	bids := make([]float64, 300)
+	for i := range bids {
+		bids[i] = r.Uniform(1, 10)
+	}
+	optP, optR := OptimalPrice(bids)
+	if Revenue(bids, optP) != optR {
+		t.Fatalf("Revenue(optP) = %v != optR %v", Revenue(bids, optP), optR)
+	}
+	avg := AvgSummary(bids)
+	if Revenue(bids, avg) > optR {
+		t.Fatalf("avg price beat Opt: %v > %v", Revenue(bids, avg), optR)
+	}
+}
+
+func BenchmarkOptimalPrice(b *testing.B) {
+	r := rng.New(1)
+	bids := make([]float64, 1000)
+	for i := range bids {
+		bids[i] = r.Uniform(0, 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OptimalPrice(bids)
+	}
+}

@@ -1,0 +1,203 @@
+package auth
+
+import (
+	"crypto/rand"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func enroll(t *testing.T, v *Verifier, id string) Credential {
+	t.Helper()
+	cred, err := v.Enroll(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cred
+}
+
+func TestSignAndVerify(t *testing.T) {
+	v := NewVerifier(nil)
+	cred := enroll(t, v, "alice")
+	bid, err := Sign(cred, "weather", 120_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(bid); err != nil {
+		t.Fatalf("valid bid rejected: %v", err)
+	}
+}
+
+func TestCryptoRandKeySource(t *testing.T) {
+	v := NewVerifier(func() ([]byte, error) {
+		key := make([]byte, 32)
+		_, err := rand.Read(key)
+		return key, err
+	})
+	cred := enroll(t, v, "alice")
+	bid, err := Sign(cred, "d", 5_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(bid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnrollmentRules(t *testing.T) {
+	v := NewVerifier(nil)
+	if _, err := v.Enroll(""); !errors.Is(err, ErrEmptyID) {
+		t.Errorf("empty id: %v", err)
+	}
+	enroll(t, v, "alice")
+	if !v.Enrolled("alice") || v.Enrolled("bob") {
+		t.Error("Enrolled broken")
+	}
+	if _, err := v.Enroll("alice"); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate enroll: %v", err)
+	}
+}
+
+func TestDistinctBuyersGetDistinctKeys(t *testing.T) {
+	v := NewVerifier(nil)
+	a := enroll(t, v, "alice")
+	b := enroll(t, v, "bob")
+	if a.Secret == b.Secret {
+		t.Fatal("two buyers share a secret")
+	}
+}
+
+func TestForgeryRejected(t *testing.T) {
+	v := NewVerifier(nil)
+	alice := enroll(t, v, "alice")
+	enroll(t, v, "bob")
+
+	// Alice signs; mallory swaps the buyer name (false-name bidding).
+	bid, err := Sign(alice, "weather", 100_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := bid
+	forged.BuyerID = "bob"
+	if err := v.Verify(forged); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("false-name bid accepted: %v", err)
+	}
+
+	// Tampering with any signed field breaks the MAC.
+	for name, mutate := range map[string]func(*SignedBid){
+		"dataset": func(b *SignedBid) { b.Dataset = "other" },
+		"amount":  func(b *SignedBid) { b.AmountMicros += 1 },
+		"nonce":   func(b *SignedBid) { b.Nonce += 1 },
+	} {
+		tampered := bid
+		mutate(&tampered)
+		if err := v.Verify(tampered); !errors.Is(err, ErrBadSignature) {
+			t.Errorf("%s tampering accepted: %v", name, err)
+		}
+	}
+
+	// Garbage MAC strings are rejected, not crashed on.
+	bad := bid
+	bad.MAC = "zz-not-hex"
+	if err := v.Verify(bad); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("garbage MAC: %v", err)
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	v := NewVerifier(nil)
+	cred := enroll(t, v, "alice")
+	bid, err := Sign(cred, "d", 10_000_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(bid); err != nil {
+		t.Fatal(err)
+	}
+	// Same nonce again: replay.
+	if err := v.Verify(bid); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replay accepted: %v", err)
+	}
+	// Older nonce: replay.
+	old, err := Sign(cred, "d", 10_000_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(old); !errors.Is(err, ErrReplay) {
+		t.Fatalf("stale nonce accepted: %v", err)
+	}
+	// Strictly newer nonce: fine.
+	next, err := Sign(cred, "d", 10_000_000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(next); err != nil {
+		t.Fatalf("fresh nonce rejected: %v", err)
+	}
+}
+
+func TestUnknownBuyer(t *testing.T) {
+	v := NewVerifier(nil)
+	bid := SignedBid{BuyerID: "ghost", Dataset: "d", AmountMicros: 1, Nonce: 1, MAC: strings.Repeat("0", 64)}
+	if err := v.Verify(bid); !errors.Is(err, ErrUnknownBuyer) {
+		t.Fatalf("unknown buyer: %v", err)
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	v := NewVerifier(nil)
+	cred := enroll(t, v, "alice")
+	bid, err := Sign(cred, "d", 1_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Revoke("alice")
+	if err := v.Verify(bid); !errors.Is(err, ErrUnknownBuyer) {
+		t.Fatalf("revoked credential still verifies: %v", err)
+	}
+	v.Revoke("never-enrolled") // no-op must not panic
+	// Re-enrollment after revocation issues a fresh credential.
+	again := enroll(t, v, "alice")
+	if again.Secret == cred.Secret {
+		t.Fatal("re-enrollment reused the revoked secret")
+	}
+}
+
+func TestBadCredentialSecret(t *testing.T) {
+	if _, err := Sign(Credential{BuyerID: "x", Secret: "not-hex"}, "d", 1, 1); err == nil {
+		t.Fatal("undecodable secret accepted")
+	}
+}
+
+func TestPayloadUnambiguous(t *testing.T) {
+	// Field boundaries are length-prefixed: moving bytes between buyer
+	// and dataset must change the payload.
+	a := payload("ab", "c", 1, 1)
+	b := payload("a", "bc", 1, 1)
+	if string(a) == string(b) {
+		t.Fatal("payload ambiguous under field-boundary shifts")
+	}
+}
+
+func TestConcurrentVerify(t *testing.T) {
+	v := NewVerifier(nil)
+	cred := enroll(t, v, "alice")
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func(n uint64) {
+			bid, err := Sign(cred, "d", 1_000_000, n)
+			if err == nil {
+				err = v.Verify(bid)
+				if errors.Is(err, ErrReplay) {
+					err = nil // concurrent nonce races are expected
+				}
+			}
+			done <- err
+		}(uint64(i + 1))
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

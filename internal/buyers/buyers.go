@@ -1,0 +1,310 @@
+// Package buyers implements adaptive buyer strategies for market-level
+// simulations: truthful bidders, the strategic low-ball-then-truthful
+// buyers of Section 4.1, and the boundedly-rational leak-reactive bidders
+// Uncertainty-Shield targets (Section 5).
+//
+// Strategies are pure decision rules: each period the driver asks for the
+// next bid and reports the outcome back. The static stream transform in
+// internal/timeseries reproduces the paper's simulations; these adaptive
+// agents exercise the full market loop (wait enforcement, reactions to
+// Time-Shield) in integration tests, examples, and ablations.
+package buyers
+
+import (
+	"fmt"
+
+	"github.com/datamarket/shield/internal/rng"
+)
+
+// Outcome reports what happened to a strategy's previous bid.
+type Outcome struct {
+	// Period is the market period the bid was submitted in.
+	Period int
+	// Bid reports whether a bid was actually submitted.
+	Bid bool
+	// Won reports whether the bid was allocated.
+	Won bool
+	// PricePaid is the posting price paid if Won.
+	PricePaid float64
+	// Wait is the Time-Shield wait-period assigned if the bid lost.
+	Wait int
+}
+
+// Context is what a strategy may observe when choosing its next bid.
+type Context struct {
+	// Period is the current market period.
+	Period int
+	// Deadline is the buyer's private deadline tau_i; after it the
+	// dataset is worthless (Equation 1).
+	Deadline int
+	// LeakedPrice, when >= 0, is a recently observed sale price for the
+	// dataset (the leak of RQ2/RQ3). Negative means no leak observed.
+	LeakedPrice float64
+}
+
+// Strategy decides one buyer's bidding for one dataset.
+type Strategy interface {
+	// NextBid returns the bid amount for this period; ok=false passes
+	// the period (e.g. the buyer is done or deliberately waiting).
+	NextBid(ctx Context) (amount float64, ok bool)
+	// Observe reports the outcome of the buyer's last action; drivers
+	// call it exactly once per NextBid that returned ok=true.
+	Observe(o Outcome)
+	// Valuation returns the buyer's private valuation v_i.
+	Valuation() float64
+}
+
+// Truthful bids the private valuation at every opportunity until it wins:
+// the paper's baseline rational behavior under a posting-price mechanism.
+type Truthful struct {
+	v   float64
+	won bool
+}
+
+// NewTruthful returns a truthful bidder with valuation v.
+func NewTruthful(v float64) *Truthful {
+	if !(v > 0) {
+		panic(fmt.Sprintf("buyers: valuation %v must be > 0", v))
+	}
+	return &Truthful{v: v}
+}
+
+// NextBid implements Strategy.
+func (t *Truthful) NextBid(ctx Context) (float64, bool) {
+	if t.won || ctx.Period > ctx.Deadline {
+		return 0, false
+	}
+	return t.v, true
+}
+
+// Observe implements Strategy.
+func (t *Truthful) Observe(o Outcome) {
+	if o.Won {
+		t.won = true
+	}
+}
+
+// Valuation implements Strategy.
+func (t *Truthful) Valuation() float64 { return t.v }
+
+// Strategic is the Section 4.1 buyer: it bids Beta*v to drive prices down
+// while it still has spare opportunities, switching to the truthful bid at
+// its last chance. When Cautious, a Time-Shield wait makes it turn
+// truthful for all remaining opportunities — the behavioral shift the
+// user study documents in RQ5 ("buyers know they may lose the opportunity
+// to acquire the dataset").
+type Strategic struct {
+	v        float64
+	beta     float64
+	floor    float64
+	cautious bool
+
+	won bool
+	// blockedUntil is the first period the buyer may bid again after a
+	// Time-Shield wait.
+	blockedUntil int
+	// scared is set when a cautious buyer has been made to wait.
+	scared bool
+}
+
+// NewStrategic returns a strategic bidder with valuation v, strategic
+// multiplier beta in [0, 1], and bid floor. A cautious buyer abandons
+// strategizing after its first Time-Shield wait.
+func NewStrategic(v, beta, floor float64, cautious bool) *Strategic {
+	if !(v > 0) {
+		panic(fmt.Sprintf("buyers: valuation %v must be > 0", v))
+	}
+	if beta < 0 || beta > 1 {
+		panic(fmt.Sprintf("buyers: beta %v outside [0, 1]", beta))
+	}
+	if floor < 0 {
+		panic(fmt.Sprintf("buyers: floor %v must be >= 0", floor))
+	}
+	return &Strategic{v: v, beta: beta, floor: floor, cautious: cautious}
+}
+
+// NextBid implements Strategy.
+func (s *Strategic) NextBid(ctx Context) (float64, bool) {
+	if s.won || ctx.Period > ctx.Deadline {
+		return 0, false
+	}
+	if ctx.Period < s.blockedUntil {
+		return 0, false // Time-Shield wait still active
+	}
+	// Opportunities left if bidding every remaining period.
+	left := ctx.Deadline - ctx.Period + 1
+	if left <= 1 || (s.cautious && s.scared) {
+		return s.v, true // last chance (or scared straight): truthful bid
+	}
+	low := s.beta * s.v
+	if low < s.floor {
+		low = s.floor
+	}
+	return low, true
+}
+
+// Observe implements Strategy.
+func (s *Strategic) Observe(o Outcome) {
+	if o.Won {
+		s.won = true
+		return
+	}
+	if o.Bid && o.Wait > 0 {
+		s.blockedUntil = o.Period + o.Wait
+		s.scared = true
+	}
+}
+
+// Valuation implements Strategy.
+func (s *Strategic) Valuation() float64 { return s.v }
+
+// LeakReactive is the boundedly-rational bidder of Section 5: it intends
+// to bid truthfully, but when it observes a leaked price and knows prices
+// follow past bids, it anchors its bid near the leak instead — the
+// behavior that harms future posting prices even though it cannot improve
+// the buyer's own utility. Sensitivity in [0, 1] interpolates between
+// fully truthful (0) and fully anchored (1).
+type LeakReactive struct {
+	v           float64
+	sensitivity float64
+	margin      float64
+	won         bool
+}
+
+// NewLeakReactive returns a leak-reactive bidder. margin is the small
+// headroom the buyer adds above the leaked price (e.g. 0.05 for 5%).
+func NewLeakReactive(v, sensitivity, margin float64) *LeakReactive {
+	if !(v > 0) {
+		panic(fmt.Sprintf("buyers: valuation %v must be > 0", v))
+	}
+	if sensitivity < 0 || sensitivity > 1 {
+		panic(fmt.Sprintf("buyers: sensitivity %v outside [0, 1]", sensitivity))
+	}
+	if margin < 0 {
+		panic(fmt.Sprintf("buyers: margin %v must be >= 0", margin))
+	}
+	return &LeakReactive{v: v, sensitivity: sensitivity, margin: margin}
+}
+
+// NextBid implements Strategy.
+func (l *LeakReactive) NextBid(ctx Context) (float64, bool) {
+	if l.won || ctx.Period > ctx.Deadline {
+		return 0, false
+	}
+	if ctx.LeakedPrice < 0 {
+		return l.v, true
+	}
+	anchor := ctx.LeakedPrice * (1 + l.margin)
+	if anchor > l.v {
+		// Anchoring never pushes a bid above the truthful value.
+		anchor = l.v
+	}
+	return (1-l.sensitivity)*l.v + l.sensitivity*anchor, true
+}
+
+// Observe implements Strategy.
+func (l *LeakReactive) Observe(o Outcome) {
+	if o.Won {
+		l.won = true
+	}
+}
+
+// Valuation implements Strategy.
+func (l *LeakReactive) Valuation() float64 { return l.v }
+
+// Sniper stays out of the market entirely until just before its
+// deadline, then bids truthfully: a timing strategy that avoids leaking
+// demand information early (and, against Time-Shield, avoids ever
+// incurring a wait from a strategic low bid). Lead is how many periods
+// before the deadline it starts bidding (>= 0; 0 bids only at the
+// deadline itself).
+type Sniper struct {
+	v    float64
+	lead int
+	won  bool
+}
+
+// NewSniper returns a sniping bidder with valuation v that starts
+// bidding lead periods before the deadline.
+func NewSniper(v float64, lead int) *Sniper {
+	if !(v > 0) {
+		panic(fmt.Sprintf("buyers: valuation %v must be > 0", v))
+	}
+	if lead < 0 {
+		panic(fmt.Sprintf("buyers: lead %d must be >= 0", lead))
+	}
+	return &Sniper{v: v, lead: lead}
+}
+
+// NextBid implements Strategy.
+func (s *Sniper) NextBid(ctx Context) (float64, bool) {
+	if s.won || ctx.Period > ctx.Deadline {
+		return 0, false
+	}
+	if ctx.Period < ctx.Deadline-s.lead {
+		return 0, false // lurking
+	}
+	return s.v, true
+}
+
+// Observe implements Strategy.
+func (s *Sniper) Observe(o Outcome) {
+	if o.Won {
+		s.won = true
+	}
+}
+
+// Valuation implements Strategy.
+func (s *Sniper) Valuation() float64 { return s.v }
+
+// Noisy is a near-truthful bidder: valuation plus zero-mean noise,
+// clamped to the valid range [floor, 2v] the user study allows. It models
+// the RQ1 finding that real participants bid near, but not exactly at,
+// their valuation.
+type Noisy struct {
+	v     float64
+	sd    float64
+	floor float64
+	rand  *rng.RNG
+	won   bool
+}
+
+// NewNoisy returns a near-truthful bidder whose bids are
+// N(v, sd) clamped to [floor, 2v].
+func NewNoisy(v, sd, floor float64, r *rng.RNG) *Noisy {
+	if !(v > 0) {
+		panic(fmt.Sprintf("buyers: valuation %v must be > 0", v))
+	}
+	if sd < 0 || floor < 0 {
+		panic("buyers: sd and floor must be >= 0")
+	}
+	if r == nil {
+		panic("buyers: nil RNG")
+	}
+	return &Noisy{v: v, sd: sd, floor: floor, rand: r}
+}
+
+// NextBid implements Strategy.
+func (n *Noisy) NextBid(ctx Context) (float64, bool) {
+	if n.won || ctx.Period > ctx.Deadline {
+		return 0, false
+	}
+	b := n.rand.Normal(n.v, n.sd)
+	if b < n.floor {
+		b = n.floor
+	}
+	if b > 2*n.v {
+		b = 2 * n.v
+	}
+	return b, true
+}
+
+// Observe implements Strategy.
+func (n *Noisy) Observe(o Outcome) {
+	if o.Won {
+		n.won = true
+	}
+}
+
+// Valuation implements Strategy.
+func (n *Noisy) Valuation() float64 { return n.v }

@@ -1,0 +1,317 @@
+package buyers
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/datamarket/shield/internal/auction"
+	"github.com/datamarket/shield/internal/core"
+	"github.com/datamarket/shield/internal/market"
+	"github.com/datamarket/shield/internal/rng"
+)
+
+func TestTruthfulBidsValuationUntilWin(t *testing.T) {
+	s := NewTruthful(100)
+	ctx := Context{Period: 0, Deadline: 5, LeakedPrice: -1}
+	b, ok := s.NextBid(ctx)
+	if !ok || b != 100 {
+		t.Fatalf("NextBid = %v, %v", b, ok)
+	}
+	s.Observe(Outcome{Period: 0, Bid: true, Won: false, Wait: 2})
+	if b, ok := s.NextBid(Context{Period: 3, Deadline: 5, LeakedPrice: -1}); !ok || b != 100 {
+		t.Fatalf("after loss: %v, %v", b, ok)
+	}
+	s.Observe(Outcome{Period: 3, Bid: true, Won: true, PricePaid: 80})
+	if _, ok := s.NextBid(Context{Period: 4, Deadline: 5}); ok {
+		t.Fatal("winner kept bidding")
+	}
+}
+
+func TestTruthfulStopsAfterDeadline(t *testing.T) {
+	s := NewTruthful(100)
+	if _, ok := s.NextBid(Context{Period: 6, Deadline: 5}); ok {
+		t.Fatal("bid after deadline")
+	}
+	if s.Valuation() != 100 {
+		t.Fatal("valuation")
+	}
+}
+
+func TestStrategicLowballsThenTruthful(t *testing.T) {
+	s := NewStrategic(100, 0.2, 1, false)
+	// Plenty of opportunities left: low bid.
+	if b, ok := s.NextBid(Context{Period: 0, Deadline: 4, LeakedPrice: -1}); !ok || b != 20 {
+		t.Fatalf("early bid = %v, %v", b, ok)
+	}
+	// Last chance: truthful.
+	if b, ok := s.NextBid(Context{Period: 4, Deadline: 4, LeakedPrice: -1}); !ok || b != 100 {
+		t.Fatalf("final bid = %v, %v", b, ok)
+	}
+}
+
+func TestStrategicFloorsItsLowBid(t *testing.T) {
+	s := NewStrategic(100, 0, 3, false)
+	if b, _ := s.NextBid(Context{Period: 0, Deadline: 9}); b != 3 {
+		t.Fatalf("floored bid = %v", b)
+	}
+}
+
+func TestStrategicRespectsWait(t *testing.T) {
+	s := NewStrategic(100, 0.2, 1, false)
+	s.Observe(Outcome{Period: 2, Bid: true, Won: false, Wait: 3})
+	if _, ok := s.NextBid(Context{Period: 3, Deadline: 20}); ok {
+		t.Fatal("bid during wait")
+	}
+	if _, ok := s.NextBid(Context{Period: 4, Deadline: 20}); ok {
+		t.Fatal("bid during wait")
+	}
+	if b, ok := s.NextBid(Context{Period: 5, Deadline: 20}); !ok || b != 20 {
+		t.Fatalf("bid after wait = %v, %v", b, ok)
+	}
+}
+
+func TestCautiousStrategicTurnsTruthfulAfterWait(t *testing.T) {
+	s := NewStrategic(100, 0.2, 1, true)
+	if b, _ := s.NextBid(Context{Period: 0, Deadline: 20}); b != 20 {
+		t.Fatalf("pre-wait bid = %v", b)
+	}
+	s.Observe(Outcome{Period: 0, Bid: true, Won: false, Wait: 2})
+	if b, ok := s.NextBid(Context{Period: 2, Deadline: 20}); !ok || b != 100 {
+		t.Fatalf("post-wait bid = %v, %v (want truthful 100)", b, ok)
+	}
+}
+
+func TestStrategicStopsAfterWin(t *testing.T) {
+	s := NewStrategic(100, 0.2, 1, false)
+	s.Observe(Outcome{Period: 0, Bid: true, Won: true, PricePaid: 15})
+	if _, ok := s.NextBid(Context{Period: 1, Deadline: 9}); ok {
+		t.Fatal("winner kept bidding")
+	}
+}
+
+func TestLeakReactiveAnchorsToLeak(t *testing.T) {
+	l := NewLeakReactive(100, 1, 0.05)
+	// Full sensitivity: bid = leak * 1.05.
+	if b, _ := l.NextBid(Context{Period: 0, Deadline: 5, LeakedPrice: 60}); b != 63 {
+		t.Fatalf("anchored bid = %v, want 63", b)
+	}
+	// No leak: truthful.
+	if b, _ := l.NextBid(Context{Period: 0, Deadline: 5, LeakedPrice: -1}); b != 100 {
+		t.Fatalf("no-leak bid = %v", b)
+	}
+	// Anchor never exceeds valuation.
+	if b, _ := l.NextBid(Context{Period: 0, Deadline: 5, LeakedPrice: 200}); b != 100 {
+		t.Fatalf("high-leak bid = %v", b)
+	}
+	// Half sensitivity interpolates.
+	h := NewLeakReactive(100, 0.5, 0)
+	if b, _ := h.NextBid(Context{Period: 0, Deadline: 5, LeakedPrice: 60}); b != 80 {
+		t.Fatalf("half-sensitive bid = %v, want 80", b)
+	}
+	h.Observe(Outcome{Won: true})
+	if _, ok := h.NextBid(Context{Period: 1, Deadline: 5}); ok {
+		t.Fatal("winner kept bidding")
+	}
+	if h.Valuation() != 100 {
+		t.Fatal("valuation")
+	}
+}
+
+func TestNoisyStaysInValidRange(t *testing.T) {
+	r := rng.New(11)
+	n := NewNoisy(100, 40, 1, r)
+	for i := 0; i < 2000; i++ {
+		b, ok := n.NextBid(Context{Period: 0, Deadline: 5, LeakedPrice: -1})
+		if !ok {
+			t.Fatal("refused to bid")
+		}
+		if b < 1 || b > 200 {
+			t.Fatalf("bid %v outside [1, 200]", b)
+		}
+	}
+	n.Observe(Outcome{Won: true})
+	if _, ok := n.NextBid(Context{Period: 1, Deadline: 5}); ok {
+		t.Fatal("winner kept bidding")
+	}
+	if n.Valuation() != 100 {
+		t.Fatal("valuation")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"truthful v=0":    func() { NewTruthful(0) },
+		"strategic v=0":   func() { NewStrategic(0, 0.5, 0, false) },
+		"strategic beta":  func() { NewStrategic(10, 2, 0, false) },
+		"strategic floor": func() { NewStrategic(10, 0.5, -1, false) },
+		"leak v=0":        func() { NewLeakReactive(0, 0.5, 0) },
+		"leak sens":       func() { NewLeakReactive(10, 2, 0) },
+		"leak margin":     func() { NewLeakReactive(10, 0.5, -1) },
+		"noisy v=0":       func() { NewNoisy(0, 1, 0, rng.New(1)) },
+		"noisy sd":        func() { NewNoisy(10, -1, 0, rng.New(1)) },
+		"noisy nil rng":   func() { NewNoisy(10, 1, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func sessionMarket(t *testing.T) *market.Market {
+	t.Helper()
+	m := market.MustNew(market.Config{
+		Engine: core.Config{
+			Candidates:    auction.LinearGrid(10, 100, 10),
+			EpochSize:     4,
+			BidsPerPeriod: 4, // several buyers bid each period
+			MinBid:        1,
+		},
+		Seed: 3,
+	})
+	if err := m.RegisterSeller("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UploadDataset("s", "d"); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunSessionTruthfulBuyersMostlyWin(t *testing.T) {
+	m := sessionMarket(t)
+	var parts []Participant
+	for i := 0; i < 12; i++ {
+		id := market.BuyerID(fmt.Sprintf("b%d", i))
+		if err := m.RegisterBuyer(id); err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, Participant{
+			ID:       id,
+			Strategy: NewTruthful(95), // above nearly every candidate
+			Deadline: 19,
+		})
+	}
+	res, err := RunSession(m, "d", parts, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winners < 10 {
+		t.Fatalf("only %d/12 truthful high-value buyers won", res.Winners)
+	}
+	if res.Revenue <= 0 {
+		t.Fatal("no revenue")
+	}
+	for id, u := range res.Utility {
+		if u < 0 {
+			t.Fatalf("%s has negative utility %v", id, u)
+		}
+	}
+}
+
+func TestRunSessionValidation(t *testing.T) {
+	m := sessionMarket(t)
+	if _, err := RunSession(m, "d", nil, 0); err == nil {
+		t.Fatal("periods=0 accepted")
+	}
+	if _, err := RunSession(m, "d", []Participant{{ID: "x"}}, 1); err == nil {
+		t.Fatal("nil strategy accepted")
+	}
+	if err := m.RegisterBuyer("b"); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown dataset surfaces the market error.
+	if _, err := RunSession(m, "nope", []Participant{{ID: "b", Strategy: NewTruthful(50), Deadline: 3}}, 2); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRunSessionStrategicVsTruthfulRevenue(t *testing.T) {
+	// A market of strategic low-ballers should raise less revenue than
+	// the same market with truthful buyers.
+	run := func(strategic bool) market.Money {
+		m := sessionMarket(t)
+		var parts []Participant
+		for i := 0; i < 10; i++ {
+			id := market.BuyerID(fmt.Sprintf("b%d", i))
+			if err := m.RegisterBuyer(id); err != nil {
+				t.Fatal(err)
+			}
+			var s Strategy
+			if strategic {
+				s = NewStrategic(95, 0.1, 1, false)
+			} else {
+				s = NewTruthful(95)
+			}
+			parts = append(parts, Participant{ID: id, Strategy: s, Deadline: 29})
+		}
+		res, err := RunSession(m, "d", parts, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Revenue
+	}
+	truthful := run(false)
+	strategic := run(true)
+	if strategic >= truthful {
+		t.Fatalf("strategic revenue %v >= truthful %v", strategic, truthful)
+	}
+}
+
+func TestSniperLurksThenStrikes(t *testing.T) {
+	s := NewSniper(100, 2)
+	// Far from the deadline: no bid.
+	if _, ok := s.NextBid(Context{Period: 0, Deadline: 10}); ok {
+		t.Fatal("sniper bid early")
+	}
+	if _, ok := s.NextBid(Context{Period: 7, Deadline: 10}); ok {
+		t.Fatal("sniper bid before its lead window")
+	}
+	// Within lead periods of the deadline: truthful bid.
+	for _, p := range []int{8, 9, 10} {
+		if b, ok := s.NextBid(Context{Period: p, Deadline: 10}); !ok || b != 100 {
+			t.Fatalf("period %d: bid %v, %v", p, b, ok)
+		}
+	}
+	// After deadline or after a win: silent.
+	if _, ok := s.NextBid(Context{Period: 11, Deadline: 10}); ok {
+		t.Fatal("sniper bid after deadline")
+	}
+	s.Observe(Outcome{Won: true})
+	if _, ok := s.NextBid(Context{Period: 9, Deadline: 10}); ok {
+		t.Fatal("winner kept bidding")
+	}
+	if s.Valuation() != 100 {
+		t.Fatal("valuation")
+	}
+}
+
+func TestSniperZeroLeadBidsOnlyAtDeadline(t *testing.T) {
+	s := NewSniper(50, 0)
+	if _, ok := s.NextBid(Context{Period: 4, Deadline: 5}); ok {
+		t.Fatal("lead-0 sniper bid before deadline")
+	}
+	if b, ok := s.NextBid(Context{Period: 5, Deadline: 5}); !ok || b != 50 {
+		t.Fatalf("deadline bid: %v, %v", b, ok)
+	}
+}
+
+func TestSniperConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"v=0":      func() { NewSniper(0, 1) },
+		"negative": func() { NewSniper(10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,87 @@
+package buyers
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/datamarket/shield/internal/market"
+)
+
+// Participant pairs a registered buyer with its strategy and private
+// deadline for one dataset.
+type Participant struct {
+	ID       market.BuyerID
+	Strategy Strategy
+	Deadline int
+}
+
+// SessionResult summarizes a bidding session on one dataset.
+type SessionResult struct {
+	// Utility is each participant's realized Equation-1 utility.
+	Utility map[market.BuyerID]float64
+	// Revenue is the revenue the dataset raised during the session.
+	Revenue market.Money
+	// Winners counts participants who acquired the dataset.
+	Winners int
+	// Periods is the number of periods simulated.
+	Periods int
+}
+
+// RunSession drives the participants against one dataset for the given
+// number of periods, advancing the market clock once per period. Each
+// period every participant still in the game is offered one bid. The
+// participants must already be registered with the market.
+func RunSession(m *market.Market, dataset market.DatasetID, parts []Participant, periods int) (SessionResult, error) {
+	if periods < 1 {
+		return SessionResult{}, errors.New("buyers: periods must be >= 1")
+	}
+	res := SessionResult{
+		Utility: make(map[market.BuyerID]float64, len(parts)),
+		Periods: periods,
+	}
+	for _, p := range parts {
+		if p.Strategy == nil {
+			return SessionResult{}, fmt.Errorf("buyers: participant %s has nil strategy", p.ID)
+		}
+		res.Utility[p.ID] = 0
+	}
+	startRevenue := m.Revenue()
+
+	for t := 0; t < periods; t++ {
+		period := m.Period()
+		for _, p := range parts {
+			ctx := Context{Period: period, Deadline: p.Deadline, LeakedPrice: -1}
+			amount, ok := p.Strategy.NextBid(ctx)
+			if !ok {
+				continue
+			}
+			d, err := m.SubmitBid(p.ID, dataset, amount)
+			switch {
+			case err == nil:
+				p.Strategy.Observe(Outcome{
+					Period:    period,
+					Bid:       true,
+					Won:       d.Allocated,
+					PricePaid: d.PricePaid.Float(),
+					Wait:      d.WaitPeriods,
+				})
+				if d.Allocated {
+					res.Winners++
+					res.Utility[p.ID] = market.Utility(
+						p.Strategy.Valuation(), d.PricePaid.Float(), true, period, p.Deadline)
+				}
+			case errors.Is(err, market.ErrWaitActive),
+				errors.Is(err, market.ErrBidTooSoon),
+				errors.Is(err, market.ErrAlreadyAcquired):
+				// The market blocked the bid; tell the strategy nothing
+				// happened this period.
+				p.Strategy.Observe(Outcome{Period: period})
+			default:
+				return SessionResult{}, fmt.Errorf("buyers: bid by %s: %w", p.ID, err)
+			}
+		}
+		m.Tick()
+	}
+	res.Revenue = m.Revenue() - startRevenue
+	return res, nil
+}

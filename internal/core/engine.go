@@ -1,0 +1,599 @@
+// Package core implements the paper's primary contribution: the data
+// market pricing algorithm (Algorithm 1) that combines the three
+// protection techniques.
+//
+//   - Epoch-Shield (Section 3): the posting price is recomputed only once
+//     per epoch of E bids, from revenue comparisons over the whole epoch,
+//     so no single strategic low bid reliably moves the price, and buyers
+//     cannot observe epoch boundaries.
+//   - Time-Shield (Section 4): losing buyers receive a wait-period w_i
+//     computed by replaying hypothetical futures against a fork of the
+//     learner state (Section 6.2.2, Bound and Stable strategies), chosen
+//     so a truthful losing bid could not have won any earlier.
+//   - Uncertainty-Shield (Section 5): the next posting price is sampled
+//     from the multiplicative-weights distribution rather than chosen
+//     deterministically, which both tames boundedly-rational reactions to
+//     price leaks and preserves the MW revenue guarantee.
+//
+// The engine prices a single dataset; the market substrate
+// (internal/market) runs one engine per dataset and enforces wait-periods
+// and bid cadence.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/datamarket/shield/internal/auction"
+	"github.com/datamarket/shield/internal/mw"
+	"github.com/datamarket/shield/internal/rng"
+)
+
+// DrawRule selects how the engine turns MW weights into the next posting
+// price (the Figure 4a comparison).
+type DrawRule int
+
+const (
+	// DrawMW samples the price proportionally to the expert weights:
+	// the paper's choice, implementing Uncertainty-Shield with the MW
+	// performance guarantee.
+	DrawMW DrawRule = iota
+	// DrawMWMax deterministically posts the highest-weight price. Highest
+	// revenue in simulation but no Uncertainty-Shield protection.
+	DrawMWMax
+	// DrawAdHoc samples uniformly from a neighborhood of the
+	// highest-weight price: randomized, but ignores the actual weights and
+	// so carries no performance guarantee.
+	DrawAdHoc
+	// DrawRandom samples uniformly from all candidates, severing any link
+	// between bids and prices: full protection, no learning.
+	DrawRandom
+)
+
+// String implements fmt.Stringer.
+func (d DrawRule) String() string {
+	switch d {
+	case DrawMW:
+		return "MW"
+	case DrawMWMax:
+		return "MW-Max"
+	case DrawAdHoc:
+		return "AdHoc"
+	case DrawRandom:
+		return "Random"
+	default:
+		return "unknown"
+	}
+}
+
+// WaitStrategy selects how compute_wait_period replays hypothetical future
+// bids (Section 6.2.2).
+type WaitStrategy int
+
+const (
+	// WaitBound assumes all future bids arrive at the market's bid floor,
+	// the fastest possible route for the losing bid to become competitive;
+	// the resulting w_i is the earliest time the bid could win anywhere.
+	WaitBound WaitStrategy = iota
+	// WaitStable assumes all future bids equal the losing bid itself.
+	// For low bids this is the paper's "more conservative" estimate:
+	// weights drift toward candidates at or below the bid no faster than
+	// the Bound replay drives them to the floor.
+	WaitStable
+)
+
+// String implements fmt.Stringer.
+func (w WaitStrategy) String() string {
+	switch w {
+	case WaitBound:
+		return "Bound"
+	case WaitStable:
+		return "Stable"
+	default:
+		return "unknown"
+	}
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Candidates is the set P of posting-price candidates; each one is an
+	// MW expert. Required, at least two strictly positive values.
+	Candidates []float64
+	// EpochSize is E, the number of bids per epoch. Required, >= 1.
+	EpochSize int
+	// Eta is the MW learning rate in (0, 0.5]; 0 selects mw.DefaultEta.
+	Eta float64
+	// Rule selects the price draw rule; the zero value is the paper's MW
+	// sampling.
+	Rule DrawRule
+	// Wait selects the wait-period replay strategy; the zero value is
+	// Bound.
+	Wait WaitStrategy
+	// BidsPerPeriod converts simulated future bids into buyer time
+	// periods for wait-period computation (buyers bid at most once per
+	// period, Section 4.1). 0 selects 1.
+	BidsPerPeriod int
+	// MaxWaitEpochs caps the wait-period simulation: a bid that has not
+	// become competitive after this many simulated epochs is assigned the
+	// cap (it may simply never become competitive). 0 selects 64.
+	MaxWaitEpochs int
+	// MinBid is the market's bid floor used by the Bound strategy.
+	MinBid float64
+	// AdHocNeighborhood is the +-k candidate window for DrawAdHoc;
+	// 0 selects 1.
+	AdHocNeighborhood int
+	// DisableWaitPeriods turns off Time-Shield wait computation: losing
+	// decisions carry Wait = 0. Used by simulation replays that feed
+	// pre-transformed bid streams (the static strategic transform already
+	// encodes buyer timing), where per-loser replay simulation would only
+	// cost time. Live markets leave this false.
+	DisableWaitPeriods bool
+	// RegridEvery, when > 0, re-centers the candidate grid on the
+	// current weight mass every RegridEvery epochs: the paper fixes the
+	// candidate set P "for the sake of presentation" (Section 6.2); an
+	// adaptive grid keeps the same number of experts but concentrates
+	// them where demand actually is, improving price resolution on
+	// drifting valuation processes. Learned mass transfers to the new
+	// grid by nearest-candidate weight; the grid never leaves the
+	// original [min, max] candidate range.
+	RegridEvery int
+	// ShareFraction, when > 0, enables fixed-share weight mixing
+	// (Herbster-Warmuth): after every epoch update this fraction of the
+	// total weight is redistributed uniformly, so the learner can track
+	// a drifting revenue-optimal price instead of committing forever to
+	// a stale one. Must lie in [0, 1); typical values are 0.01-0.05.
+	ShareFraction float64
+	// Seed seeds the engine's private randomness.
+	Seed uint64
+}
+
+// Decision is the engine's immediate answer to one bid: posting-price
+// mechanisms answer before the next price update, so buyer latency (and
+// hence deadline utility) is unaffected (Section 6.2.1).
+type Decision struct {
+	// Allocated reports whether the bid won (bid >= posting price).
+	Allocated bool
+	// Price is the posting price the bid was evaluated against; winners
+	// pay exactly this.
+	Price float64
+	// Wait is the Time-Shield wait-period in buyer time periods for
+	// losing bids (0 for winners): the buyer may not bid again for Wait
+	// periods.
+	Wait int
+}
+
+// Engine prices one dataset online per Algorithm 1. It is not safe for
+// concurrent use; the market arbiter serializes access per dataset.
+type Engine struct {
+	cfg          Config
+	learner      *mw.Learner
+	rand         *rng.RNG
+	minCandidate float64
+	// origCandidates and the original grid bounds anchor adaptive
+	// regridding and Reset.
+	origCandidates []float64
+	origLo, origHi float64
+
+	price float64
+	epoch []float64
+
+	// running statistics
+	revenue     float64
+	bids        int
+	allocations int
+	epochs      int
+}
+
+// Validate checks a Config, returning a descriptive error for the first
+// problem found.
+func (c Config) Validate() error {
+	if len(c.Candidates) < 2 {
+		return errors.New("core: need at least two posting-price candidates")
+	}
+	for i, p := range c.Candidates {
+		if !(p > 0) || math.IsInf(p, 1) || math.IsNaN(p) {
+			return fmt.Errorf("core: candidate %d (%v) must be a positive finite price", i, p)
+		}
+	}
+	if c.EpochSize < 1 {
+		return errors.New("core: epoch size must be >= 1")
+	}
+	if c.Eta < 0 || c.Eta > 0.5 {
+		return fmt.Errorf("core: eta %v outside [0, 0.5]", c.Eta)
+	}
+	if c.BidsPerPeriod < 0 {
+		return errors.New("core: BidsPerPeriod must be >= 0")
+	}
+	if c.MaxWaitEpochs < 0 {
+		return errors.New("core: MaxWaitEpochs must be >= 0")
+	}
+	if c.MinBid < 0 {
+		return errors.New("core: MinBid must be >= 0")
+	}
+	if c.RegridEvery < 0 {
+		return errors.New("core: RegridEvery must be >= 0")
+	}
+	if c.ShareFraction < 0 || c.ShareFraction >= 1 {
+		return fmt.Errorf("core: ShareFraction %v outside [0, 1)", c.ShareFraction)
+	}
+	switch c.Rule {
+	case DrawMW, DrawMWMax, DrawAdHoc, DrawRandom:
+	default:
+		return fmt.Errorf("core: unknown draw rule %d", c.Rule)
+	}
+	switch c.Wait {
+	case WaitBound, WaitStable:
+	default:
+		return fmt.Errorf("core: unknown wait strategy %d", c.Wait)
+	}
+	return nil
+}
+
+func (c *Config) applyDefaults() {
+	if c.Eta == 0 {
+		c.Eta = mw.DefaultEta
+	}
+	if c.BidsPerPeriod == 0 {
+		c.BidsPerPeriod = 1
+	}
+	if c.MaxWaitEpochs == 0 {
+		c.MaxWaitEpochs = 64
+	}
+	if c.AdHocNeighborhood == 0 {
+		c.AdHocNeighborhood = 1
+	}
+}
+
+// New builds an Engine from cfg.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.applyDefaults()
+	cands := make([]float64, len(cfg.Candidates))
+	copy(cands, cfg.Candidates)
+	cfg.Candidates = cands
+	minCand, maxCand := cands[0], cands[0]
+	for _, c := range cands[1:] {
+		if c < minCand {
+			minCand = c
+		}
+		if c > maxCand {
+			maxCand = c
+		}
+	}
+	orig := make([]float64, len(cands))
+	copy(orig, cands)
+	e := &Engine{
+		cfg:            cfg,
+		learner:        mw.NewLearner(cfg.Candidates, cfg.Eta),
+		rand:           rng.New(cfg.Seed),
+		minCandidate:   minCand,
+		origCandidates: orig,
+		origLo:         minCand,
+		origHi:         maxCand,
+		epoch:          make([]float64, 0, cfg.EpochSize),
+	}
+	if cfg.ShareFraction > 0 {
+		e.learner.SetShare(cfg.ShareFraction)
+	}
+	e.price = e.drawPrice()
+	return e, nil
+}
+
+// MustNew is New for static configurations; it panics on config errors.
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// PostingPrice returns the price in force for the next bid. The epoch
+// boundary itself remains private: callers cannot tell from the price when
+// the last update happened.
+func (e *Engine) PostingPrice() float64 { return e.price }
+
+// Revenue returns the revenue collected so far.
+func (e *Engine) Revenue() float64 { return e.revenue }
+
+// Bids returns the number of bids processed.
+func (e *Engine) Bids() int { return e.bids }
+
+// Allocations returns the number of winning bids so far.
+func (e *Engine) Allocations() int { return e.allocations }
+
+// Epochs returns the number of completed epochs.
+func (e *Engine) Epochs() int { return e.epochs }
+
+// Config returns the engine's configuration (with defaults applied).
+func (e *Engine) Config() Config { return e.cfg }
+
+// SubmitBid runs Algorithm 1 lines 4-12 for one incoming bid: the bid is
+// evaluated against the current posting price, payment is collected from
+// winners, losers receive a Time-Shield wait-period, and the price is
+// updated if the bid completed an epoch.
+func (e *Engine) SubmitBid(b float64) Decision {
+	e.bids++
+	e.epoch = append(e.epoch, b)
+
+	d := Decision{Price: e.price}
+	if b >= e.price && e.price > 0 {
+		d.Allocated = true
+		e.allocations++
+		e.revenue += e.price
+	} else if !e.cfg.DisableWaitPeriods {
+		d.Wait = e.computeWaitPeriod(b)
+	}
+	e.maybeUpdatePrice()
+	return d
+}
+
+// Observe feeds a demand signal into the engine's current epoch without an
+// allocation decision: when a bid targets a derived dataset, the market
+// propagates it to the engines of the constituent datasets (Figure 1,
+// step 2), so their prices reflect the indirect demand.
+func (e *Engine) Observe(b float64) {
+	e.epoch = append(e.epoch, b)
+	e.maybeUpdatePrice()
+}
+
+// maybeUpdatePrice implements update_price (Algorithm 1 lines 13-26):
+// when the epoch is complete, score every expert by its relative revenue
+// difference on the epoch, apply the MW rule, and draw the next price.
+func (e *Engine) maybeUpdatePrice() {
+	if len(e.epoch) != e.cfg.EpochSize {
+		return
+	}
+	e.epochs++
+	optR := auction.OptimalRevenue(e.epoch)
+	if optR > 0 {
+		revenue := auction.Revenue(e.epoch, e.price)
+		costs := make([]float64, e.learner.Len())
+		for i, p := range e.learner.Values() {
+			altR := auction.Revenue(e.epoch, p)
+			costs[i] = (revenue - altR) / optR
+		}
+		// The played expert's cost is 0 by construction in this relative
+		// formulation, so the incurred-cost argument is 0.
+		e.learner.Update(costs, 0)
+	}
+	e.epoch = e.epoch[:0]
+	if e.cfg.RegridEvery > 0 && e.epochs%e.cfg.RegridEvery == 0 {
+		e.regrid()
+	}
+	e.price = e.drawPrice()
+}
+
+// regrid re-centers the candidate grid on the current weight mass: the
+// new grid spans the weighted mean +- 2 weighted standard deviations of
+// the price distribution (clamped to the original range, never narrower
+// than one original grid step) using the same number of candidates. Each
+// new candidate's weight blends its nearest old candidate's probability
+// with a uniform floor, so the learner keeps enough exploration mass to
+// correct any transfer error within a few epochs — a pure
+// nearest-neighbor transfer would zero out all but the argmax's
+// neighbors and let discretization noise compound into price drift.
+func (e *Engine) regrid() {
+	cands := e.cfg.Candidates
+	probs := e.learner.Probabilities()
+
+	var mean float64
+	for i, c := range cands {
+		mean += probs[i] * c
+	}
+	var variance float64
+	for i, c := range cands {
+		d := c - mean
+		variance += probs[i] * d * d
+	}
+	sd := math.Sqrt(variance)
+
+	// Keep a minimum span so the grid cannot collapse to a point, and
+	// symmetric margins so the optimum is not pinned to a grid edge.
+	minSpan := (e.origHi - e.origLo) / float64(len(cands))
+	span := 4 * sd
+	if span < minSpan {
+		span = minSpan
+	}
+	lo := mean - span/2
+	hi := mean + span/2
+	if lo < e.origLo {
+		lo = e.origLo
+	}
+	if hi > e.origHi {
+		hi = e.origHi
+	}
+	if hi-lo < minSpan {
+		hi = lo + minSpan
+		if hi > e.origHi {
+			hi = e.origHi
+			lo = hi - minSpan
+		}
+	}
+
+	newCands := auction.LinearGrid(lo, hi, len(cands))
+	newWeights := make([]float64, len(newCands))
+	uniform := 1 / float64(len(newCands))
+	for i, nc := range newCands {
+		nearest := 0
+		best := math.Inf(1)
+		for j, oc := range cands {
+			if d := math.Abs(oc - nc); d < best {
+				best = d
+				nearest = j
+			}
+		}
+		newWeights[i] = 0.8*probs[nearest] + 0.2*uniform
+	}
+	e.cfg.Candidates = newCands
+	e.minCandidate = lo
+	e.learner = mw.NewLearnerWithWeights(newCands, newWeights, e.cfg.Eta)
+	if e.cfg.ShareFraction > 0 {
+		e.learner.SetShare(e.cfg.ShareFraction)
+	}
+}
+
+// drawPrice picks the next posting price according to the configured rule.
+func (e *Engine) drawPrice() float64 {
+	switch e.cfg.Rule {
+	case DrawMWMax:
+		return e.cfg.Candidates[e.learner.ArgMax()]
+	case DrawAdHoc:
+		k := e.cfg.AdHocNeighborhood
+		center := e.learner.ArgMax()
+		lo, hi := center-k, center+k
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(e.cfg.Candidates)-1 {
+			hi = len(e.cfg.Candidates) - 1
+		}
+		return e.cfg.Candidates[lo+e.rand.Intn(hi-lo+1)]
+	case DrawRandom:
+		return e.cfg.Candidates[e.rand.Intn(len(e.cfg.Candidates))]
+	default: // DrawMW
+		return e.learner.DrawValue(e.rand)
+	}
+}
+
+// ComputeWaitPeriod returns the Time-Shield wait-period (in buyer time
+// periods) that would be assigned to a losing bid b right now, without
+// recording the bid. Exposed for the wait-period ablation and for the
+// ex-post algorithm, which penalizes under-payments on the *next* bid.
+func (e *Engine) ComputeWaitPeriod(b float64) int {
+	return e.computeWaitPeriod(b)
+}
+
+// computeWaitPeriod implements compute_wait_period (Section 6.2.2). It
+// forks the learner, completes the current epoch and then replays whole
+// synthetic epochs of hypothetical future bids (Bound: all at the bid
+// floor; Stable: all equal to b), counting the bids consumed until b
+// becomes competitive — at least the most likely posting price (the
+// highest-weight expert). The bid count converts to buyer periods at the
+// configured arrival rate. Both strategies are optimistic for the buyer,
+// so a truthful losing buyer cannot have won before the wait expires
+// (Claim 3).
+func (e *Engine) computeWaitPeriod(b float64) int {
+	sim := e.learner.Clone()
+	synthetic := e.cfg.MinBid
+	if e.cfg.Wait == WaitStable {
+		synthetic = b
+	} else if synthetic < e.minCandidate {
+		// A synthetic bid below every candidate price earns zero revenue
+		// for every expert, so no weights would move and the bid would
+		// never become competitive — clamping to the cheapest candidate
+		// keeps Bound the fastest-convergence strategy the paper defines.
+		synthetic = e.minCandidate
+	}
+
+	likely := e.cfg.Candidates[sim.ArgMax()]
+	if b >= likely {
+		// The bid already matches the most likely price; it lost only to
+		// draw randomness. The earliest new opportunity is the next
+		// price draw, i.e. the end of the current epoch.
+		remaining := e.cfg.EpochSize - len(e.epoch)
+		return ceilDiv(remaining, e.cfg.BidsPerPeriod)
+	}
+	if b < e.minCandidate {
+		// No candidate price can ever fall to b: the bid can never become
+		// competitive, so waiting cannot cost the buyer an opportunity
+		// (Section 4.2) and the wait is the full simulation cap.
+		remaining := e.cfg.EpochSize - len(e.epoch)
+		return ceilDiv(remaining+e.cfg.MaxWaitEpochs*e.cfg.EpochSize, e.cfg.BidsPerPeriod)
+	}
+
+	// Complete the current epoch with synthetic bids, then replay whole
+	// synthetic epochs.
+	epochBids := make([]float64, len(e.epoch), e.cfg.EpochSize)
+	copy(epochBids, e.epoch)
+	simulated := 0
+	for len(epochBids) < e.cfg.EpochSize {
+		epochBids = append(epochBids, synthetic)
+		simulated++
+	}
+
+	chosen := e.price
+	for round := 0; round < e.cfg.MaxWaitEpochs; round++ {
+		applyEpoch(sim, epochBids, chosen)
+		likely = e.cfg.Candidates[sim.ArgMax()]
+		if b >= likely {
+			return ceilDiv(simulated, e.cfg.BidsPerPeriod)
+		}
+		// Subsequent epochs are all-synthetic; the replay plays the most
+		// likely price each round (the buyer's best bet, Section 6.2.2).
+		if len(epochBids) != e.cfg.EpochSize || epochBids[0] != synthetic {
+			epochBids = epochBids[:0]
+			for i := 0; i < e.cfg.EpochSize; i++ {
+				epochBids = append(epochBids, synthetic)
+			}
+		}
+		chosen = likely
+		simulated += e.cfg.EpochSize
+	}
+	// Never became competitive within the cap: per Section 4.2, waiting
+	// cannot harm a buyer whose bid would never have won; return the cap.
+	return ceilDiv(simulated, e.cfg.BidsPerPeriod)
+}
+
+// applyEpoch applies one MW update round for an epoch of bids priced at
+// chosen, mirroring maybeUpdatePrice.
+func applyEpoch(l *mw.Learner, epoch []float64, chosen float64) {
+	optR := auction.OptimalRevenue(epoch)
+	if optR <= 0 {
+		// An epoch with no positive bid moves no weights (cost undefined);
+		// mirror the live engine and leave the learner unchanged.
+		return
+	}
+	revenue := auction.Revenue(epoch, chosen)
+	costs := make([]float64, l.Len())
+	for i, p := range l.Values() {
+		costs[i] = (revenue - auction.Revenue(epoch, p)) / optR
+	}
+	l.Update(costs, 0)
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// Weights exposes a copy of the current expert weights (diagnostics only;
+// a deployment must not leak these to buyers).
+func (e *Engine) Weights() []float64 { return e.learner.Weights() }
+
+// Probabilities exposes the current price distribution (diagnostics only).
+func (e *Engine) Probabilities() []float64 { return e.learner.Probabilities() }
+
+// MostLikelyPrice returns the highest-weight candidate price.
+func (e *Engine) MostLikelyPrice() float64 {
+	return e.cfg.Candidates[e.learner.ArgMax()]
+}
+
+// Reset restores the engine to its initial state (including the original
+// candidate grid), replaying the same random stream from the configured
+// seed.
+func (e *Engine) Reset() {
+	if e.cfg.RegridEvery > 0 {
+		cands := make([]float64, len(e.origCandidates))
+		copy(cands, e.origCandidates)
+		e.cfg.Candidates = cands
+		e.minCandidate = e.origLo
+		e.learner = mw.NewLearner(cands, e.cfg.Eta)
+		if e.cfg.ShareFraction > 0 {
+			e.learner.SetShare(e.cfg.ShareFraction)
+		}
+	}
+	e.learner.Reset()
+	e.rand = rng.New(e.cfg.Seed)
+	e.epoch = e.epoch[:0]
+	e.revenue = 0
+	e.bids = 0
+	e.allocations = 0
+	e.epochs = 0
+	e.price = e.drawPrice()
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/datamarket/shield/internal/mw"
+	"github.com/datamarket/shield/internal/rng"
+)
+
+// Snapshot is the engine's full serializable state: restoring it yields
+// an engine that makes bit-identical decisions from that point on
+// (learner weights, randomness stream, epoch buffer and statistics all
+// carry over).
+type Snapshot struct {
+	// Config holds the engine configuration with the CURRENT candidate
+	// grid (which may have moved under RegridEvery).
+	Config Config `json:"config"`
+	// OrigCandidates anchors adaptive regridding and Reset.
+	OrigCandidates []float64    `json:"orig_candidates"`
+	Learner        mw.Snapshot  `json:"learner"`
+	Rand           rng.Snapshot `json:"rand"`
+	Price          float64      `json:"price"`
+	Epoch          []float64    `json:"epoch"`
+	Revenue        float64      `json:"revenue"`
+	Bids           int          `json:"bids"`
+	Allocations    int          `json:"allocations"`
+	Epochs         int          `json:"epochs"`
+}
+
+// Snapshot captures the engine state.
+func (e *Engine) Snapshot() Snapshot {
+	s := Snapshot{
+		Config:         e.cfg,
+		OrigCandidates: make([]float64, len(e.origCandidates)),
+		Learner:        e.learner.Snapshot(),
+		Rand:           e.rand.Snapshot(),
+		Price:          e.price,
+		Epoch:          make([]float64, len(e.epoch)),
+		Revenue:        e.revenue,
+		Bids:           e.bids,
+		Allocations:    e.allocations,
+		Epochs:         e.epochs,
+	}
+	// Config.Candidates is shared internal state; deep-copy it so the
+	// snapshot is immune to further regrids.
+	cands := make([]float64, len(e.cfg.Candidates))
+	copy(cands, e.cfg.Candidates)
+	s.Config.Candidates = cands
+	copy(s.OrigCandidates, e.origCandidates)
+	copy(s.Epoch, e.epoch)
+	return s
+}
+
+// RestoreSnapshot reconstructs an engine from a snapshot.
+func RestoreSnapshot(s Snapshot) (*Engine, error) {
+	if err := s.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("core: snapshot config: %w", err)
+	}
+	if len(s.OrigCandidates) < 2 {
+		return nil, fmt.Errorf("core: snapshot has %d original candidates", len(s.OrigCandidates))
+	}
+	if s.Bids < 0 || s.Allocations < 0 || s.Epochs < 0 || s.Revenue < 0 {
+		return nil, fmt.Errorf("core: snapshot statistics negative")
+	}
+	if len(s.Epoch) >= s.Config.EpochSize && s.Config.EpochSize > 0 {
+		return nil, fmt.Errorf("core: snapshot epoch buffer holds %d bids for epoch size %d",
+			len(s.Epoch), s.Config.EpochSize)
+	}
+	learner, err := mw.Restore(s.Learner)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot learner: %w", err)
+	}
+	if learner.Len() != len(s.Config.Candidates) {
+		return nil, fmt.Errorf("core: snapshot learner has %d experts for %d candidates",
+			learner.Len(), len(s.Config.Candidates))
+	}
+
+	cfg := s.Config
+	cfg.applyDefaults()
+	cands := make([]float64, len(cfg.Candidates))
+	copy(cands, cfg.Candidates)
+	cfg.Candidates = cands
+
+	minCand := cands[0]
+	for _, c := range cands[1:] {
+		if c < minCand {
+			minCand = c
+		}
+	}
+	orig := make([]float64, len(s.OrigCandidates))
+	copy(orig, s.OrigCandidates)
+	origLo, origHi := orig[0], orig[0]
+	for _, c := range orig[1:] {
+		if c < origLo {
+			origLo = c
+		}
+		if c > origHi {
+			origHi = c
+		}
+	}
+	e := &Engine{
+		cfg:            cfg,
+		learner:        learner,
+		rand:           rng.Restore(s.Rand),
+		minCandidate:   minCand,
+		origCandidates: orig,
+		origLo:         origLo,
+		origHi:         origHi,
+		price:          s.Price,
+		epoch:          append(make([]float64, 0, cfg.EpochSize), s.Epoch...),
+		revenue:        s.Revenue,
+		bids:           s.Bids,
+		allocations:    s.Allocations,
+		epochs:         s.Epochs,
+	}
+	return e, nil
+}

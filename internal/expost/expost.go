@@ -1,0 +1,363 @@
+// Package expost implements the ex-post algorithm of Section 8: trading
+// data as an experience good, where buyers learn their valuation only
+// after using a dataset and pay afterwards.
+//
+// The arbiter grants a dataset to an eligible returning buyer, privately
+// recording the posting price p_a in force at allocation time. The buyer
+// later reports a payment P:
+//
+//   - P >= p_a: the arbiter charges exactly p_a — the buyer caused no
+//     revenue loss (and never overpays the posted price);
+//   - P <  p_a: the arbiter collects P, books the shortfall against the
+//     buyer's revenue balance, and computes a Time-Shield wait from how
+//     long a bid of P would need to become competitive; the wait applies
+//     the next time the buyer requests any dataset.
+//
+// Buyers whose balance falls below a threshold lose the ex-post option
+// (Section 8.3) and recover it by paying a hidden surcharge fraction on
+// subsequent ex-ante wins until the balance reaches zero. Requesting a
+// dataset while a wait is active extends the wait — the deterrent against
+// the risk-seeking pattern Section 8.2 describes.
+package expost
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"github.com/datamarket/shield/internal/core"
+	"github.com/datamarket/shield/internal/market"
+)
+
+// Sentinel errors.
+var (
+	ErrUnknownBuyer   = errors.New("expost: unknown buyer")
+	ErrUnknownDataset = errors.New("expost: unknown dataset")
+	ErrUnknownGrant   = errors.New("expost: unknown or settled grant")
+	ErrDuplicateID    = errors.New("expost: identifier already registered")
+	ErrWaitActive     = errors.New("expost: wait period active")
+	ErrDisabled       = errors.New("expost: ex-post option disabled for buyer")
+	ErrBadPayment     = errors.New("expost: payment must be >= 0")
+	ErrBadBid         = errors.New("expost: bid must be > 0")
+	ErrEmptyID        = errors.New("expost: empty identifier")
+)
+
+// Config configures the ex-post arbiter.
+type Config struct {
+	// Engine is the pricing-engine template per dataset.
+	Engine core.Config
+	// Seed derives per-dataset engine seeds.
+	Seed uint64
+	// DeactivateBelow is the (negative) balance at which the ex-post
+	// option switches off; 0 selects -100 currency units.
+	DeactivateBelow market.Money
+	// RecoveryFraction of the outstanding debt is surcharged on each
+	// subsequent ex-ante win; 0 selects 0.25. Must stay in (0, 1].
+	RecoveryFraction float64
+}
+
+// GrantID identifies an outstanding ex-post grant.
+type GrantID int
+
+type grant struct {
+	buyer   string
+	dataset string
+	pa      market.Money // posting price at allocation time (private)
+	settled bool
+}
+
+type buyerState struct {
+	balance      market.Money
+	blockedUntil int
+	disabled     bool
+	grants       int
+	settled      int
+}
+
+// PayResult reports the settlement of a grant.
+type PayResult struct {
+	// Charged is what the arbiter actually collected.
+	Charged market.Money
+	// WaitPeriods is the Time-Shield penalty applied to the buyer's next
+	// request (0 when the payment covered the posting price).
+	WaitPeriods int
+	// Deactivated reports that this settlement pushed the buyer's
+	// balance below the threshold, disabling the ex-post option.
+	Deactivated bool
+}
+
+// BidResult reports an ex-ante bid through the ex-post arbiter.
+type BidResult struct {
+	Allocated bool
+	// Charged includes any recovery surcharge on top of the posting
+	// price.
+	Charged market.Money
+	// Surcharge is the recovery portion of Charged.
+	Surcharge market.Money
+	// Reactivated reports that the surcharge brought the balance back to
+	// zero or above, re-enabling the ex-post option.
+	Reactivated bool
+	// WaitPeriods is the Time-Shield wait for losing bids.
+	WaitPeriods int
+}
+
+// Arbiter runs the ex-post market. Safe for concurrent use.
+type Arbiter struct {
+	mu sync.Mutex
+
+	cfg     Config
+	clock   int
+	engines map[string]*core.Engine
+	buyers  map[string]*buyerState
+	grants  map[GrantID]*grant
+	nextID  GrantID
+	revenue market.Money
+}
+
+// New builds an Arbiter.
+func New(cfg Config) (*Arbiter, error) {
+	if err := cfg.Engine.Validate(); err != nil {
+		return nil, fmt.Errorf("expost: engine template: %w", err)
+	}
+	if cfg.DeactivateBelow == 0 {
+		cfg.DeactivateBelow = -100 * market.Micro
+	}
+	if cfg.DeactivateBelow > 0 {
+		return nil, errors.New("expost: DeactivateBelow must be negative")
+	}
+	if cfg.RecoveryFraction == 0 {
+		cfg.RecoveryFraction = 0.25
+	}
+	if cfg.RecoveryFraction < 0 || cfg.RecoveryFraction > 1 {
+		return nil, errors.New("expost: RecoveryFraction outside (0, 1]")
+	}
+	return &Arbiter{
+		cfg:     cfg,
+		engines: make(map[string]*core.Engine),
+		buyers:  make(map[string]*buyerState),
+		grants:  make(map[GrantID]*grant),
+		nextID:  1,
+	}, nil
+}
+
+// MustNew is New for static configurations; it panics on config errors.
+func MustNew(cfg Config) *Arbiter {
+	a, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// AddDataset starts pricing a dataset.
+func (a *Arbiter) AddDataset(id string) error {
+	if id == "" {
+		return ErrEmptyID
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.engines[id]; ok {
+		return fmt.Errorf("%w: dataset %s", ErrDuplicateID, id)
+	}
+	cfg := a.cfg.Engine
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	cfg.Seed = a.cfg.Seed ^ h.Sum64()
+	a.engines[id] = core.MustNew(cfg)
+	return nil
+}
+
+// RegisterBuyer adds a returning buyer eligible for ex-post trading.
+func (a *Arbiter) RegisterBuyer(id string) error {
+	if id == "" {
+		return ErrEmptyID
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.buyers[id]; ok {
+		return fmt.Errorf("%w: buyer %s", ErrDuplicateID, id)
+	}
+	a.buyers[id] = &buyerState{}
+	return nil
+}
+
+// Tick advances the period clock.
+func (a *Arbiter) Tick() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.clock++
+	return a.clock
+}
+
+// Request grants dataset to buyer under the ex-post option. The posting
+// price at grant time is recorded privately; the buyer pays after use via
+// Pay. Requesting during an active wait extends the wait (the
+// risk-seeking deterrent) and fails.
+func (a *Arbiter) Request(buyer, dataset string) (GrantID, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	bs, ok := a.buyers[buyer]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownBuyer, buyer)
+	}
+	eng, ok := a.engines[dataset]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownDataset, dataset)
+	}
+	if a.clock < bs.blockedUntil {
+		// Deterrent: trying to consume the penalty on a throwaway
+		// request extends it.
+		remaining := bs.blockedUntil - a.clock
+		bs.blockedUntil += remaining
+		return 0, fmt.Errorf("%w: %d periods remain (extended)", ErrWaitActive, 2*remaining)
+	}
+	if bs.disabled {
+		return 0, fmt.Errorf("%w: %s", ErrDisabled, buyer)
+	}
+	id := a.nextID
+	a.nextID++
+	a.grants[id] = &grant{
+		buyer:   buyer,
+		dataset: dataset,
+		pa:      market.FromFloat(eng.PostingPrice()),
+	}
+	bs.grants++
+	return id, nil
+}
+
+// Pay settles a grant with the buyer's reported payment (their learned
+// valuation of the data).
+func (a *Arbiter) Pay(id GrantID, payment float64) (PayResult, error) {
+	if payment < 0 {
+		return PayResult{}, ErrBadPayment
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	g, ok := a.grants[id]
+	if !ok || g.settled {
+		return PayResult{}, ErrUnknownGrant
+	}
+	bs := a.buyers[g.buyer]
+	eng := a.engines[g.dataset]
+	g.settled = true
+	bs.settled++
+
+	pay := market.FromFloat(payment)
+	var res PayResult
+	if pay >= g.pa {
+		// No revenue loss: collect exactly the posting price (buyers
+		// never pay above the posted price, as in the ex-ante market).
+		res.Charged = g.pa
+		a.revenue += g.pa
+		eng.Observe(g.pa.Float())
+		return res, nil
+	}
+
+	res.Charged = pay
+	a.revenue += pay
+	bs.balance += pay - g.pa
+	// The wait is computed "as usual": the time a bid equal to the
+	// payment would need to become competitive (Section 8.2).
+	res.WaitPeriods = eng.ComputeWaitPeriod(payment)
+	bs.blockedUntil = a.clock + res.WaitPeriods
+	eng.Observe(payment)
+	if bs.balance < a.cfg.DeactivateBelow {
+		bs.disabled = true
+		res.Deactivated = true
+	}
+	return res, nil
+}
+
+// Bid places a standard ex-ante bid through the ex-post arbiter. Winning
+// buyers with outstanding debt pay a hidden surcharge that amortizes the
+// balance (Section 8.3); reaching zero re-enables the ex-post option.
+func (a *Arbiter) Bid(buyer, dataset string, amount float64) (BidResult, error) {
+	if !(amount > 0) {
+		return BidResult{}, ErrBadBid
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	bs, ok := a.buyers[buyer]
+	if !ok {
+		return BidResult{}, fmt.Errorf("%w: %s", ErrUnknownBuyer, buyer)
+	}
+	eng, ok := a.engines[dataset]
+	if !ok {
+		return BidResult{}, fmt.Errorf("%w: %s", ErrUnknownDataset, dataset)
+	}
+	if a.clock < bs.blockedUntil {
+		remaining := bs.blockedUntil - a.clock
+		bs.blockedUntil += remaining
+		return BidResult{}, fmt.Errorf("%w: %d periods remain (extended)", ErrWaitActive, 2*remaining)
+	}
+	d := eng.SubmitBid(amount)
+	if !d.Allocated {
+		bs.blockedUntil = a.clock + d.Wait
+		return BidResult{WaitPeriods: d.Wait}, nil
+	}
+	price := market.FromFloat(d.Price)
+	var res BidResult
+	res.Allocated = true
+	res.Charged = price
+	a.revenue += price
+	if bs.balance < 0 {
+		debt := -bs.balance
+		surcharge := market.FromFloat(a.cfg.RecoveryFraction * debt.Float())
+		if surcharge > debt {
+			surcharge = debt
+		}
+		res.Surcharge = surcharge
+		res.Charged += surcharge
+		a.revenue += surcharge
+		bs.balance += surcharge
+		if bs.disabled && bs.balance >= 0 {
+			bs.disabled = false
+			res.Reactivated = true
+		}
+	}
+	return res, nil
+}
+
+// Balance returns a buyer's revenue balance (<= 0; debts are negative).
+func (a *Arbiter) Balance(buyer string) (market.Money, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	bs, ok := a.buyers[buyer]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownBuyer, buyer)
+	}
+	return bs.balance, nil
+}
+
+// Disabled reports whether the buyer's ex-post option is currently off.
+func (a *Arbiter) Disabled(buyer string) (bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	bs, ok := a.buyers[buyer]
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrUnknownBuyer, buyer)
+	}
+	return bs.disabled, nil
+}
+
+// WaitRemaining returns the periods left on the buyer's global wait.
+func (a *Arbiter) WaitRemaining(buyer string) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	bs, ok := a.buyers[buyer]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownBuyer, buyer)
+	}
+	if a.clock < bs.blockedUntil {
+		return bs.blockedUntil - a.clock, nil
+	}
+	return 0, nil
+}
+
+// Revenue returns the total collected so far.
+func (a *Arbiter) Revenue() market.Money {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.revenue
+}

@@ -1,0 +1,328 @@
+// Package httpapi exposes a market.Market over a JSON HTTP API — the
+// implementation behind cmd/marketd, importable so embedders and tests
+// can serve the market in-process. Writes can be routed through the
+// event journal (NewJournaled) and bids can be required to carry HMAC
+// signatures (WithAuth).
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/datamarket/shield/internal/auth"
+	"github.com/datamarket/shield/internal/journal"
+	"github.com/datamarket/shield/internal/market"
+)
+
+// mutator is the write interface shared by market.Market and the
+// journaling wrapper journal.Market.
+type mutator interface {
+	RegisterBuyer(market.BuyerID) error
+	RegisterSeller(market.SellerID) error
+	UploadDataset(market.SellerID, market.DatasetID) error
+	WithdrawDataset(market.SellerID, market.DatasetID) error
+	ComposeDataset(market.DatasetID, ...market.DatasetID) error
+	SubmitBid(market.BuyerID, market.DatasetID, float64) (market.Decision, error)
+}
+
+// Server exposes a market.Market over a JSON HTTP API.
+//
+//	POST   /v1/sellers            {"id": "acme"}
+//	POST   /v1/buyers             {"id": "bob"}
+//	POST   /v1/datasets           {"seller": "acme", "id": "sales"}
+//	POST   /v1/datasets/compose   {"id": "combo", "constituents": ["a","b"]}
+//	DELETE /v1/datasets/{id}?seller=acme
+//	POST   /v1/bids               {"buyer": "bob", "dataset": "sales", "amount": 120.5}
+//	POST   /v1/tick               {}
+//	GET    /v1/datasets
+//	GET    /v1/datasets/{id}/stats
+//	GET    /v1/sellers/{id}/balance
+//	GET    /v1/buyers/{id}/wait?dataset=sales
+//	GET    /v1/transactions
+//	GET    /metrics
+//	GET    /healthz
+//
+// Losing bidders receive only their wait-period: the posting price is
+// never disclosed to them (that is the leak Uncertainty-Shield guards
+// against). The stats and metrics endpoints are operator-facing and
+// should not be reachable by buyers in a real deployment.
+type Server struct {
+	m    *market.Market // reads
+	mut  mutator        // writes (possibly journaled)
+	tick func() (int, error)
+	// verifier, when set, requires every bid to carry a valid HMAC
+	// binding it to an enrolled buyer (false-name bidding deterrence,
+	// Section 2.1 of the paper). Buyer registration then returns the
+	// credential secret.
+	verifier *auth.Verifier
+}
+
+func NewServer(m *market.Market) *Server {
+	return &Server{m: m, mut: m, tick: func() (int, error) { return m.Tick(), nil }}
+}
+
+// NewJournaled routes writes through the journaling wrapper.
+func NewJournaled(jm *journal.Market) *Server {
+	return &Server{m: jm.Market, mut: jm, tick: jm.Tick}
+}
+
+// WithAuth enables bid signing.
+func (s *Server) WithAuth(v *auth.Verifier) *Server {
+	s.verifier = v
+	return s
+}
+
+func (s *Server) Routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/sellers", s.handleRegisterSeller)
+	mux.HandleFunc("POST /v1/buyers", s.handleRegisterBuyer)
+	mux.HandleFunc("POST /v1/datasets", s.handleUploadDataset)
+	mux.HandleFunc("POST /v1/datasets/compose", s.handleComposeDataset)
+	mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleWithdrawDataset)
+	mux.HandleFunc("POST /v1/bids", s.handleBid)
+	mux.HandleFunc("POST /v1/tick", s.handleTick)
+	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	mux.HandleFunc("GET /v1/datasets/{id}/stats", s.handleDatasetStats)
+	mux.HandleFunc("GET /v1/sellers/{id}/balance", s.handleSellerBalance)
+	mux.HandleFunc("GET /v1/buyers/{id}/wait", s.handleBuyerWait)
+	mux.HandleFunc("GET /v1/transactions", s.handleTransactions)
+	return mux
+}
+
+type idRequest struct {
+	ID string `json:"id"`
+}
+
+func (s *Server) handleRegisterSeller(w http.ResponseWriter, r *http.Request) {
+	var req idRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.mut.RegisterSeller(market.SellerID(req.ID)); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": req.ID})
+}
+
+func (s *Server) handleRegisterBuyer(w http.ResponseWriter, r *http.Request) {
+	var req idRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.mut.RegisterBuyer(market.BuyerID(req.ID)); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := map[string]string{"id": req.ID}
+	if s.verifier != nil {
+		cred, err := s.verifier.Enroll(req.ID)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		// The credential secret is issued exactly once, at enrollment.
+		resp["credential"] = cred.Secret
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Seller string `json:"seller"`
+		ID     string `json:"id"`
+	}
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.mut.UploadDataset(market.SellerID(req.Seller), market.DatasetID(req.ID)); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": req.ID})
+}
+
+// handleWithdrawDataset removes a base dataset; the owning seller must
+// be passed as ?seller= and withdrawal fails while derived products
+// still build on the dataset.
+func (s *Server) handleWithdrawDataset(w http.ResponseWriter, r *http.Request) {
+	seller := r.URL.Query().Get("seller")
+	if seller == "" {
+		http.Error(w, `{"error":"missing seller query parameter"}`, http.StatusBadRequest)
+		return
+	}
+	if err := s.mut.WithdrawDataset(market.SellerID(seller), market.DatasetID(r.PathValue("id"))); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"withdrawn": r.PathValue("id")})
+}
+
+func (s *Server) handleComposeDataset(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID           string   `json:"id"`
+		Constituents []string `json:"constituents"`
+	}
+	if !decode(w, r, &req) {
+		return
+	}
+	parts := make([]market.DatasetID, len(req.Constituents))
+	for i, c := range req.Constituents {
+		parts[i] = market.DatasetID(c)
+	}
+	if err := s.mut.ComposeDataset(market.DatasetID(req.ID), parts...); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": req.ID})
+}
+
+type bidResponse struct {
+	Allocated   bool    `json:"allocated"`
+	PricePaid   float64 `json:"price_paid,omitempty"`
+	WaitPeriods int     `json:"wait_periods,omitempty"`
+}
+
+func (s *Server) handleBid(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Buyer   string  `json:"buyer"`
+		Dataset string  `json:"dataset"`
+		Amount  float64 `json:"amount"`
+		// Signature fields, required when the Server runs with -auth:
+		// the amount is then taken from AmountMicros (MACs cover a
+		// canonical integer encoding).
+		AmountMicros int64  `json:"amount_micros,omitempty"`
+		Nonce        uint64 `json:"nonce,omitempty"`
+		MAC          string `json:"mac,omitempty"`
+	}
+	if !decode(w, r, &req) {
+		return
+	}
+	amount := req.Amount
+	if s.verifier != nil {
+		if req.MAC == "" {
+			writeJSON(w, http.StatusUnauthorized, map[string]string{
+				"error": "auth: bid must be signed (amount_micros, nonce, mac)",
+			})
+			return
+		}
+		err := s.verifier.Verify(auth.SignedBid{
+			BuyerID:      req.Buyer,
+			Dataset:      req.Dataset,
+			AmountMicros: req.AmountMicros,
+			Nonce:        req.Nonce,
+			MAC:          req.MAC,
+		})
+		if err != nil {
+			writeJSON(w, http.StatusUnauthorized, map[string]string{"error": err.Error()})
+			return
+		}
+		amount = market.Money(req.AmountMicros).Float()
+	}
+	d, err := s.mut.SubmitBid(market.BuyerID(req.Buyer), market.DatasetID(req.Dataset), amount)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, bidResponse{
+		Allocated:   d.Allocated,
+		PricePaid:   d.PricePaid.Float(),
+		WaitPeriods: d.WaitPeriods,
+	})
+}
+
+func (s *Server) handleTick(w http.ResponseWriter, _ *http.Request) {
+	period, err := s.tick()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"period": period})
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Datasets())
+}
+
+func (s *Server) handleDatasetStats(w http.ResponseWriter, r *http.Request) {
+	stats, err := s.m.Stats(market.DatasetID(r.PathValue("id")))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (s *Server) handleSellerBalance(w http.ResponseWriter, r *http.Request) {
+	bal, err := s.m.SellerBalance(market.SellerID(r.PathValue("id")))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"balance": bal.Float()})
+}
+
+func (s *Server) handleBuyerWait(w http.ResponseWriter, r *http.Request) {
+	dataset := r.URL.Query().Get("dataset")
+	if dataset == "" {
+		http.Error(w, `{"error":"missing dataset query parameter"}`, http.StatusBadRequest)
+		return
+	}
+	wait, err := s.m.WaitRemaining(market.BuyerID(r.PathValue("id")), market.DatasetID(dataset))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"wait_periods": wait})
+}
+
+func (s *Server) handleTransactions(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Transactions())
+}
+
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, "bad request: "+err.Error()), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps market errors to HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, market.ErrUnknownBuyer),
+		errors.Is(err, market.ErrUnknownSeller),
+		errors.Is(err, market.ErrUnknownDataset):
+		status = http.StatusNotFound
+	case errors.Is(err, market.ErrDuplicateID),
+		errors.Is(err, market.ErrAlreadyAcquired),
+		errors.Is(err, market.ErrDatasetInUse):
+		status = http.StatusConflict
+	case errors.Is(err, market.ErrBadBid),
+		errors.Is(err, market.ErrEmptyID),
+		errors.Is(err, auth.ErrEmptyID):
+		status = http.StatusBadRequest
+	case errors.Is(err, auth.ErrDuplicate):
+		status = http.StatusConflict
+	case errors.Is(err, market.ErrBidTooSoon),
+		errors.Is(err, market.ErrWaitActive):
+		status = http.StatusTooManyRequests
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

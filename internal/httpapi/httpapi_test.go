@@ -1,0 +1,330 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/datamarket/shield/internal/auction"
+	"github.com/datamarket/shield/internal/core"
+	"github.com/datamarket/shield/internal/market"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	m := market.MustNew(market.Config{
+		Engine: core.Config{
+			Candidates: auction.LinearGrid(10, 100, 10),
+			EpochSize:  4,
+			MinBid:     1,
+		},
+		Seed: 9,
+	})
+	ts := httptest.NewServer(NewServer(m).Routes())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding %s response: %v", path, err)
+	}
+	return resp, out
+}
+
+func get(t *testing.T, ts *httptest.Server, path string, dst any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if dst != nil {
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			t.Fatalf("decoding %s: %v", path, err)
+		}
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	var out map[string]string
+	resp := get(t, ts, "/healthz", &out)
+	if resp.StatusCode != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", resp.StatusCode, out)
+	}
+}
+
+func TestFullMarketLifecycle(t *testing.T) {
+	ts := testServer(t)
+
+	if resp, _ := post(t, ts, "/v1/sellers", map[string]string{"id": "acme"}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register seller: %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts, "/v1/buyers", map[string]string{"id": "bob"}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register buyer: %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts, "/v1/datasets", map[string]string{"seller": "acme", "id": "sales"}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts, "/v1/datasets", map[string]string{"seller": "acme", "id": "ads"}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload 2: %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts, "/v1/datasets/compose", map[string]any{
+		"id": "combo", "constituents": []string{"sales", "ads"},
+	}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("compose: %d", resp.StatusCode)
+	}
+
+	// Winning bid.
+	resp, out := post(t, ts, "/v1/bids", map[string]any{"buyer": "bob", "dataset": "sales", "amount": 500.0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bid: %d %v", resp.StatusCode, out)
+	}
+	if out["allocated"] != true {
+		t.Fatalf("high bid not allocated: %v", out)
+	}
+	price := out["price_paid"].(float64)
+	if price <= 0 {
+		t.Fatalf("price_paid = %v", price)
+	}
+
+	// Seller got paid.
+	var bal map[string]float64
+	get(t, ts, "/v1/sellers/acme/balance", &bal)
+	if bal["balance"] != price {
+		t.Fatalf("seller balance %v != price %v", bal["balance"], price)
+	}
+
+	// Losing bid on the derived dataset: no price leak, wait assigned.
+	resp, out = post(t, ts, "/v1/bids", map[string]any{"buyer": "bob", "dataset": "combo", "amount": 2.0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("losing bid: %d %v", resp.StatusCode, out)
+	}
+	if out["allocated"] != false {
+		t.Fatalf("low bid allocated: %v", out)
+	}
+	if _, leaked := out["price_paid"]; leaked {
+		t.Fatalf("loser response leaked price: %v", out)
+	}
+	wait := int(out["wait_periods"].(float64))
+	if wait <= 0 {
+		t.Fatalf("wait_periods = %v", wait)
+	}
+
+	// Wait is queryable and enforced.
+	var wr map[string]int
+	get(t, ts, "/v1/buyers/bob/wait?dataset=combo", &wr)
+	if wr["wait_periods"] != wait {
+		t.Fatalf("wait remaining %d != %d", wr["wait_periods"], wait)
+	}
+	post(t, ts, "/v1/tick", map[string]any{})
+	resp, _ = post(t, ts, "/v1/bids", map[string]any{"buyer": "bob", "dataset": "combo", "amount": 2.0})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("bid during wait: %d", resp.StatusCode)
+	}
+
+	// Transactions listed.
+	var txs []market.Transaction
+	get(t, ts, "/v1/transactions", &txs)
+	if len(txs) != 1 || txs[0].Dataset != "sales" {
+		t.Fatalf("transactions: %+v", txs)
+	}
+
+	// Datasets listed sorted.
+	var ds []string
+	get(t, ts, "/v1/datasets", &ds)
+	if len(ds) != 3 {
+		t.Fatalf("datasets: %v", ds)
+	}
+
+	// Stats endpoint.
+	var stats market.DatasetStats
+	get(t, ts, "/v1/datasets/sales/stats", &stats)
+	if stats.Bids != 1 || stats.Allocations != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		path   string
+		body   any
+		status int
+	}{
+		{"/v1/bids", map[string]any{"buyer": "ghost", "dataset": "d", "amount": 5.0}, http.StatusNotFound},
+		{"/v1/bids", map[string]any{"buyer": "ghost", "dataset": "d", "amount": -5.0}, http.StatusBadRequest},
+		{"/v1/sellers", map[string]string{"id": ""}, http.StatusBadRequest},
+		{"/v1/datasets", map[string]string{"seller": "ghost", "id": "d"}, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		resp, out := post(t, ts, c.path, c.body)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s %v: status %d, want %d (%v)", c.path, c.body, resp.StatusCode, c.status, out)
+		}
+	}
+	// Duplicate registration -> conflict.
+	post(t, ts, "/v1/sellers", map[string]string{"id": "a"})
+	resp, _ := post(t, ts, "/v1/sellers", map[string]string{"id": "a"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate seller: %d", resp.StatusCode)
+	}
+	// Unknown fields rejected.
+	resp, _ = post(t, ts, "/v1/buyers", map[string]string{"id": "b", "bogus": "x"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: %d", resp.StatusCode)
+	}
+	// Missing dataset param on wait query.
+	post(t, ts, "/v1/buyers", map[string]string{"id": "bb"})
+	if resp := get(t, ts, "/v1/buyers/bb/wait", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("wait without dataset: %d", resp.StatusCode)
+	}
+}
+
+func TestRepeatBuyRejected(t *testing.T) {
+	ts := testServer(t)
+	post(t, ts, "/v1/sellers", map[string]string{"id": "s"})
+	post(t, ts, "/v1/buyers", map[string]string{"id": "b"})
+	post(t, ts, "/v1/datasets", map[string]string{"seller": "s", "id": "d"})
+	if resp, _ := post(t, ts, "/v1/bids", map[string]any{"buyer": "b", "dataset": "d", "amount": 500.0}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first buy: %d", resp.StatusCode)
+	}
+	post(t, ts, "/v1/tick", map[string]any{})
+	resp, _ := post(t, ts, "/v1/bids", map[string]any{"buyer": "b", "dataset": "d", "amount": 500.0})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("rebuy: %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentHTTPBids(t *testing.T) {
+	ts := testServer(t)
+	post(t, ts, "/v1/sellers", map[string]string{"id": "s"})
+	post(t, ts, "/v1/datasets", map[string]string{"seller": "s", "id": "d"})
+	const n = 8
+	for i := 0; i < n; i++ {
+		post(t, ts, "/v1/buyers", map[string]string{"id": fmt.Sprintf("b%d", i)})
+	}
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			buf, _ := json.Marshal(map[string]any{
+				"buyer": fmt.Sprintf("b%d", i), "dataset": "d", "amount": 500.0,
+			})
+			resp, err := http.Post(ts.URL+"/v1/bids", "application/json", bytes.NewReader(buf))
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}
+			done <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	var txs []market.Transaction
+	get(t, ts, "/v1/transactions", &txs)
+	if len(txs) != n {
+		t.Fatalf("transactions = %d, want %d", len(txs), n)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	post(t, ts, "/v1/sellers", map[string]string{"id": "s"})
+	post(t, ts, "/v1/datasets", map[string]string{"seller": "s", "id": "d"})
+	post(t, ts, "/v1/buyers", map[string]string{"id": "b"})
+	post(t, ts, "/v1/bids", map[string]any{"buyer": "b", "dataset": "d", "amount": 500.0})
+	post(t, ts, "/v1/tick", map[string]any{})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"shield_market_transactions_total 1",
+		"shield_market_period 1",
+		`shield_dataset_bids_total{dataset="d"} 1`,
+		`shield_dataset_allocations_total{dataset="d"} 1`,
+		"shield_market_revenue_units ",
+		"# TYPE shield_dataset_posting_price gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWithdrawDatasetEndpoint(t *testing.T) {
+	ts := testServer(t)
+	post(t, ts, "/v1/sellers", map[string]string{"id": "s"})
+	post(t, ts, "/v1/datasets", map[string]string{"seller": "s", "id": "a"})
+	post(t, ts, "/v1/datasets", map[string]string{"seller": "s", "id": "b"})
+	post(t, ts, "/v1/datasets/compose", map[string]any{"id": "ab", "constituents": []string{"a", "b"}})
+
+	del := func(path string) int {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	// In use by the derived product: conflict.
+	if code := del("/v1/datasets/a?seller=s"); code != http.StatusConflict {
+		t.Fatalf("withdraw in-use: %d", code)
+	}
+	// Missing seller param.
+	if code := del("/v1/datasets/a"); code != http.StatusBadRequest {
+		t.Fatalf("withdraw without seller: %d", code)
+	}
+	// Standalone dataset withdraws.
+	post(t, ts, "/v1/datasets", map[string]string{"seller": "s", "id": "solo"})
+	if code := del("/v1/datasets/solo?seller=s"); code != http.StatusOK {
+		t.Fatalf("withdraw solo: %d", code)
+	}
+	var ds []string
+	get(t, ts, "/v1/datasets", &ds)
+	for _, d := range ds {
+		if d == "solo" {
+			t.Fatal("withdrawn dataset still listed")
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// handleMetrics exposes operator metrics in the Prometheus text
+// exposition format (no client library needed — the format is plain
+// text). Like the stats endpoint, this is operator-facing: posting
+// prices per dataset must not be reachable by buyers.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	fmt.Fprintf(w, "# HELP shield_market_revenue_units Total revenue raised across all datasets.\n")
+	fmt.Fprintf(w, "# TYPE shield_market_revenue_units counter\n")
+	fmt.Fprintf(w, "shield_market_revenue_units %g\n", s.m.Revenue().Float())
+
+	fmt.Fprintf(w, "# HELP shield_market_transactions_total Completed sales.\n")
+	fmt.Fprintf(w, "# TYPE shield_market_transactions_total counter\n")
+	fmt.Fprintf(w, "shield_market_transactions_total %d\n", len(s.m.Transactions()))
+
+	fmt.Fprintf(w, "# HELP shield_market_period Current market period.\n")
+	fmt.Fprintf(w, "# TYPE shield_market_period gauge\n")
+	fmt.Fprintf(w, "shield_market_period %d\n", s.m.Period())
+
+	fmt.Fprintf(w, "# HELP shield_dataset_bids_total Bids evaluated per dataset.\n")
+	fmt.Fprintf(w, "# TYPE shield_dataset_bids_total counter\n")
+	fmt.Fprintf(w, "# HELP shield_dataset_allocations_total Winning bids per dataset.\n")
+	fmt.Fprintf(w, "# TYPE shield_dataset_allocations_total counter\n")
+	fmt.Fprintf(w, "# HELP shield_dataset_epochs_total Completed pricing epochs per dataset.\n")
+	fmt.Fprintf(w, "# TYPE shield_dataset_epochs_total counter\n")
+	fmt.Fprintf(w, "# HELP shield_dataset_revenue_units Revenue per dataset.\n")
+	fmt.Fprintf(w, "# TYPE shield_dataset_revenue_units counter\n")
+	fmt.Fprintf(w, "# HELP shield_dataset_posting_price Current posting price per dataset (operator only).\n")
+	fmt.Fprintf(w, "# TYPE shield_dataset_posting_price gauge\n")
+	for _, id := range s.m.Datasets() {
+		stats, err := s.m.Stats(id)
+		if err != nil {
+			continue
+		}
+		label := promLabel(string(id))
+		fmt.Fprintf(w, "shield_dataset_bids_total{dataset=%q} %d\n", label, stats.Bids)
+		fmt.Fprintf(w, "shield_dataset_allocations_total{dataset=%q} %d\n", label, stats.Allocations)
+		fmt.Fprintf(w, "shield_dataset_epochs_total{dataset=%q} %d\n", label, stats.Epochs)
+		fmt.Fprintf(w, "shield_dataset_revenue_units{dataset=%q} %g\n", label, stats.Revenue)
+		fmt.Fprintf(w, "shield_dataset_posting_price{dataset=%q} %g\n", label, stats.PostingPrice)
+	}
+}
+
+// promLabel sanitizes a label value for the exposition format (the %q
+// above handles quoting; newlines are the remaining hazard).
+func promLabel(v string) string {
+	v = strings.ReplaceAll(v, "\n", " ")
+	return v
+}

@@ -1,0 +1,431 @@
+// Package journal provides durable, replayable persistence for the
+// market arbiter via event sourcing: every successful mutating operation
+// (registrations, uploads, compositions, bids, clock ticks) is appended
+// to a JSON-lines log, and replaying the log into a fresh market rebuilds
+// the exact state — engines are deterministic in their seeds, so the same
+// operation sequence yields the same prices, allocations, waits and
+// ledgers.
+//
+// The first record is a genesis event carrying the market configuration,
+// so a log is self-contained: Restore reads a log and returns a running
+// market.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/datamarket/shield/internal/market"
+)
+
+// Op enumerates journaled operations.
+type Op string
+
+// Journaled operations.
+const (
+	OpGenesis        Op = "genesis"
+	OpRegisterBuyer  Op = "register_buyer"
+	OpRegisterSeller Op = "register_seller"
+	OpUpload         Op = "upload"
+	OpCompose        Op = "compose"
+	OpBid            Op = "bid"
+	OpTick           Op = "tick"
+	OpWithdraw       Op = "withdraw"
+	// OpSnapshot heads a compacted log: it embeds the full market state
+	// at the moment of compaction, and the remaining events replay on
+	// top of it.
+	OpSnapshot Op = "snapshot"
+)
+
+// Event is one journal record. Field presence depends on Op.
+type Event struct {
+	Seq          int64            `json:"seq"`
+	Op           Op               `json:"op"`
+	Buyer        string           `json:"buyer,omitempty"`
+	Seller       string           `json:"seller,omitempty"`
+	Dataset      string           `json:"dataset,omitempty"`
+	Constituents []string         `json:"constituents,omitempty"`
+	Amount       float64          `json:"amount,omitempty"`
+	Config       *market.Config   `json:"config,omitempty"`
+	Snapshot     *market.Snapshot `json:"snapshot,omitempty"`
+}
+
+// Sentinel errors.
+var (
+	ErrNoGenesis   = errors.New("journal: log does not start with a genesis event")
+	ErrSeqGap      = errors.New("journal: sequence gap or reorder")
+	ErrBadEvent    = errors.New("journal: malformed event")
+	ErrReplay      = errors.New("journal: replay diverged")
+	ErrClosed      = errors.New("journal: writer closed")
+	ErrDoubleStart = errors.New("journal: genesis already written")
+)
+
+// Writer appends events to a log. Safe for concurrent use.
+type Writer struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	enc     *json.Encoder
+	seq     int64
+	started bool
+	closed  bool
+}
+
+// NewWriter wraps w. Call Genesis before any other append.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Genesis writes the configuration header. Must be called exactly once,
+// first.
+func (w *Writer) Genesis(cfg market.Config) error {
+	return w.head(Event{Op: OpGenesis, Config: &cfg})
+}
+
+// Snapshot writes a full-state header (a compacted log's first record).
+// Must be called exactly once, first.
+func (w *Writer) Snapshot(s market.Snapshot) error {
+	return w.head(Event{Op: OpSnapshot, Snapshot: &s})
+}
+
+func (w *Writer) head(e Event) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.started {
+		return ErrDoubleStart
+	}
+	w.started = true
+	return w.append(e)
+}
+
+// Append journals one event (Seq is assigned by the writer).
+func (w *Writer) Append(e Event) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if !w.started {
+		return ErrNoGenesis
+	}
+	if e.Op == OpGenesis || e.Op == OpSnapshot {
+		return ErrDoubleStart
+	}
+	return w.append(e)
+}
+
+func (w *Writer) append(e Event) error {
+	w.seq++
+	e.Seq = w.seq
+	if err := w.enc.Encode(e); err != nil {
+		return fmt.Errorf("journal: encoding event %d: %w", e.Seq, err)
+	}
+	return w.w.Flush()
+}
+
+// Close flushes and marks the writer closed; further appends fail.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed = true
+	return w.w.Flush()
+}
+
+// Read parses a log, validating sequence continuity and the header: the
+// first event must be a genesis (fresh log) or a snapshot (compacted
+// log). It returns every event, header included.
+func Read(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var events []Event
+	var seq int64
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadEvent, err)
+		}
+		seq++
+		if e.Seq != seq {
+			return nil, fmt.Errorf("%w: got %d, want %d", ErrSeqGap, e.Seq, seq)
+		}
+		events = append(events, e)
+	}
+	if len(events) == 0 {
+		return nil, ErrNoGenesis
+	}
+	switch head := events[0]; {
+	case head.Op == OpGenesis && head.Config != nil:
+	case head.Op == OpSnapshot && head.Snapshot != nil:
+	default:
+		return nil, ErrNoGenesis
+	}
+	return events, nil
+}
+
+// Bootstrap builds a market from a validated event slice: the head
+// (genesis or snapshot) seeds the market and the tail replays onto it.
+func Bootstrap(events []Event) (*market.Market, error) {
+	if len(events) == 0 {
+		return nil, ErrNoGenesis
+	}
+	var m *market.Market
+	var err error
+	switch head := events[0]; head.Op {
+	case OpGenesis:
+		if head.Config == nil {
+			return nil, ErrNoGenesis
+		}
+		m, err = market.New(*head.Config)
+		if err != nil {
+			return nil, fmt.Errorf("journal: genesis config: %w", err)
+		}
+	case OpSnapshot:
+		if head.Snapshot == nil {
+			return nil, ErrNoGenesis
+		}
+		m, err = market.RestoreSnapshot(*head.Snapshot)
+		if err != nil {
+			return nil, fmt.Errorf("journal: snapshot head: %w", err)
+		}
+	default:
+		return nil, ErrNoGenesis
+	}
+	if err := Replay(m, events[1:]); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Replay applies events to m in order. Every event must succeed: the
+// journal only contains operations that succeeded when recorded, and
+// engines are deterministic, so any failure means the log does not match
+// the market configuration.
+func Replay(m *market.Market, events []Event) error {
+	for _, e := range events {
+		var err error
+		switch e.Op {
+		case OpRegisterBuyer:
+			err = m.RegisterBuyer(market.BuyerID(e.Buyer))
+		case OpRegisterSeller:
+			err = m.RegisterSeller(market.SellerID(e.Seller))
+		case OpUpload:
+			err = m.UploadDataset(market.SellerID(e.Seller), market.DatasetID(e.Dataset))
+		case OpCompose:
+			parts := make([]market.DatasetID, len(e.Constituents))
+			for i, c := range e.Constituents {
+				parts[i] = market.DatasetID(c)
+			}
+			err = m.ComposeDataset(market.DatasetID(e.Dataset), parts...)
+		case OpBid:
+			_, err = m.SubmitBid(market.BuyerID(e.Buyer), market.DatasetID(e.Dataset), e.Amount)
+		case OpWithdraw:
+			err = m.WithdrawDataset(market.SellerID(e.Seller), market.DatasetID(e.Dataset))
+		case OpTick:
+			m.Tick()
+		case OpGenesis, OpSnapshot:
+			err = ErrDoubleStart
+		default:
+			err = fmt.Errorf("%w: unknown op %q", ErrBadEvent, e.Op)
+		}
+		if err != nil {
+			return fmt.Errorf("%w: event %d (%s): %v", ErrReplay, e.Seq, e.Op, err)
+		}
+	}
+	return nil
+}
+
+// Restore reads a log and rebuilds the market it describes.
+func Restore(r io.Reader) (*market.Market, error) {
+	events, err := Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return Bootstrap(events)
+}
+
+// Compact reads a log from r and writes an equivalent single-snapshot
+// log to w: the rebuilt market's full state becomes the new head, so
+// restart cost no longer grows with history.
+func Compact(r io.Reader, w io.Writer) error {
+	m, err := Restore(r)
+	if err != nil {
+		return err
+	}
+	nw := NewWriter(w)
+	if err := nw.Snapshot(m.Snapshot()); err != nil {
+		return err
+	}
+	return nw.Close()
+}
+
+// CompactFile compacts a journal file in place (atomically via a
+// temporary sibling file and rename).
+func CompactFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".compact-*")
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := Compact(f, tmp); err != nil {
+		f.Close()
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	f.Close()
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Market wraps a market.Market, journaling every successful mutating
+// operation. Reads pass through to the embedded market.
+type Market struct {
+	*market.Market
+	w *Writer
+}
+
+// NewMarket builds a market from cfg and a journal writing to sink,
+// writing the genesis record immediately.
+func NewMarket(cfg market.Config, sink io.Writer) (*Market, error) {
+	m, err := market.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := NewWriter(sink)
+	if err := w.Genesis(cfg); err != nil {
+		return nil, err
+	}
+	return &Market{Market: m, w: w}, nil
+}
+
+// OpenFile creates a fresh journaled market logging to path, or — when
+// path already holds a journal — rebuilds the market from it and resumes
+// appending. The log's genesis configuration wins over cfg on restore:
+// mixing configurations would silently diverge the replay. It returns
+// the number of replayed events.
+func OpenFile(cfg market.Config, path string) (*Market, int, error) {
+	if info, err := os.Stat(path); err == nil && info.Size() > 0 {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		events, err := Read(f)
+		f.Close()
+		if err != nil {
+			return nil, 0, err
+		}
+		m, err := Bootstrap(events)
+		if err != nil {
+			return nil, 0, err
+		}
+		sink, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, 0, err
+		}
+		return Resume(m, sink, int64(len(events))), len(events) - 1, nil
+	}
+	sink, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	jm, err := NewMarket(cfg, sink)
+	if err != nil {
+		sink.Close()
+		return nil, 0, err
+	}
+	return jm, 0, nil
+}
+
+// Resume wraps an already-restored market with a writer that continues
+// an existing log: sink should append to the same file the market was
+// restored from, and lastSeq is the sequence number of the log's final
+// record (1 + the event count returned by Read, counting genesis).
+func Resume(m *market.Market, sink io.Writer, lastSeq int64) *Market {
+	w := NewWriter(sink)
+	w.started = true
+	w.seq = lastSeq
+	return &Market{Market: m, w: w}
+}
+
+// RegisterBuyer journals on success.
+func (m *Market) RegisterBuyer(id market.BuyerID) error {
+	if err := m.Market.RegisterBuyer(id); err != nil {
+		return err
+	}
+	return m.w.Append(Event{Op: OpRegisterBuyer, Buyer: string(id)})
+}
+
+// RegisterSeller journals on success.
+func (m *Market) RegisterSeller(id market.SellerID) error {
+	if err := m.Market.RegisterSeller(id); err != nil {
+		return err
+	}
+	return m.w.Append(Event{Op: OpRegisterSeller, Seller: string(id)})
+}
+
+// UploadDataset journals on success.
+func (m *Market) UploadDataset(seller market.SellerID, id market.DatasetID) error {
+	if err := m.Market.UploadDataset(seller, id); err != nil {
+		return err
+	}
+	return m.w.Append(Event{Op: OpUpload, Seller: string(seller), Dataset: string(id)})
+}
+
+// ComposeDataset journals on success.
+func (m *Market) ComposeDataset(id market.DatasetID, constituents ...market.DatasetID) error {
+	if err := m.Market.ComposeDataset(id, constituents...); err != nil {
+		return err
+	}
+	parts := make([]string, len(constituents))
+	for i, c := range constituents {
+		parts[i] = string(c)
+	}
+	return m.w.Append(Event{Op: OpCompose, Dataset: string(id), Constituents: parts})
+}
+
+// SubmitBid journals on success (including losing bids: they move
+// engine and wait state).
+func (m *Market) SubmitBid(buyer market.BuyerID, dataset market.DatasetID, amount float64) (market.Decision, error) {
+	d, err := m.Market.SubmitBid(buyer, dataset, amount)
+	if err != nil {
+		return d, err
+	}
+	if err := m.w.Append(Event{Op: OpBid, Buyer: string(buyer), Dataset: string(dataset), Amount: amount}); err != nil {
+		return d, err
+	}
+	return d, nil
+}
+
+// WithdrawDataset journals on success.
+func (m *Market) WithdrawDataset(seller market.SellerID, id market.DatasetID) error {
+	if err := m.Market.WithdrawDataset(seller, id); err != nil {
+		return err
+	}
+	return m.w.Append(Event{Op: OpWithdraw, Seller: string(seller), Dataset: string(id)})
+}
+
+// Tick journals the clock advance.
+func (m *Market) Tick() (int, error) {
+	p := m.Market.Tick()
+	return p, m.w.Append(Event{Op: OpTick})
+}
+
+// Close flushes the journal.
+func (m *Market) Close() error { return m.w.Close() }

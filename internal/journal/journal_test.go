@@ -1,0 +1,480 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/datamarket/shield/internal/auction"
+	"github.com/datamarket/shield/internal/core"
+	"github.com/datamarket/shield/internal/market"
+	"github.com/datamarket/shield/internal/rng"
+)
+
+func testConfig() market.Config {
+	return market.Config{
+		Engine: core.Config{
+			Candidates:    auction.LinearGrid(10, 100, 10),
+			EpochSize:     4,
+			BidsPerPeriod: 1,
+			MinBid:        1,
+		},
+		Seed: 7,
+	}
+}
+
+// driveMarket runs a deterministic mixed workload through a journaling
+// market and returns the journal bytes.
+func driveMarket(t *testing.T) (*Market, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	m, err := NewMarket(testConfig(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterSeller("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterSeller("s2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UploadDataset("s1", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UploadDataset("s2", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ComposeDataset("ab", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for i := 0; i < 40; i++ {
+		buyer := market.BuyerID(fmt.Sprintf("buyer-%d", i))
+		if err := m.RegisterBuyer(buyer); err != nil {
+			t.Fatal(err)
+		}
+		for _, ds := range []market.DatasetID{"a", "b", "ab"} {
+			if _, err := m.SubmitBid(buyer, ds, r.Uniform(1, 150)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := m.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return m, &buf
+}
+
+func TestRestoreRebuildsExactState(t *testing.T) {
+	live, buf := driveMarket(t)
+
+	restored, err := Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Revenue() != live.Revenue() {
+		t.Fatalf("revenue: restored %v, live %v", restored.Revenue(), live.Revenue())
+	}
+	if restored.Period() != live.Period() {
+		t.Fatalf("period: restored %d, live %d", restored.Period(), live.Period())
+	}
+	lt, rt := live.Transactions(), restored.Transactions()
+	if len(lt) != len(rt) {
+		t.Fatalf("transactions: %d vs %d", len(lt), len(rt))
+	}
+	for i := range lt {
+		if lt[i] != rt[i] {
+			t.Fatalf("transaction %d: %+v vs %+v", i, lt[i], rt[i])
+		}
+	}
+	for _, s := range []market.SellerID{"s1", "s2"} {
+		lb, _ := live.SellerBalance(s)
+		rb, _ := restored.SellerBalance(s)
+		if lb != rb {
+			t.Fatalf("balance %s: %v vs %v", s, lb, rb)
+		}
+	}
+	// Engines continue identically after restore: next decision matches.
+	ld, lerr := live.SubmitBid("buyer-0", "nonexistent", 50)
+	rd, rerr := restored.SubmitBid("buyer-0", "nonexistent", 50)
+	if (lerr == nil) != (rerr == nil) || ld != rd {
+		t.Fatalf("post-restore divergence: %+v/%v vs %+v/%v", ld, lerr, rd, rerr)
+	}
+	for _, ds := range []market.DatasetID{"a", "b", "ab"} {
+		ls, _ := live.Stats(ds)
+		rs, _ := restored.Stats(ds)
+		if ls != rs {
+			t.Fatalf("stats %s: %+v vs %+v", ds, ls, rs)
+		}
+	}
+}
+
+func TestFailedOpsAreNotJournaled(t *testing.T) {
+	var buf bytes.Buffer
+	m, err := NewMarket(testConfig(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterBuyer("b"); err != nil {
+		t.Fatal(err)
+	}
+	linesBefore := strings.Count(buf.String(), "\n")
+	// Failing operations must leave the journal untouched.
+	if err := m.RegisterBuyer("b"); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := m.SubmitBid("b", "missing", 10); err == nil {
+		t.Fatal("bid on missing dataset accepted")
+	}
+	if got := strings.Count(buf.String(), "\n"); got != linesBefore {
+		t.Fatalf("journal grew on failed ops: %d -> %d", linesBefore, got)
+	}
+	// And the journal still restores.
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadValidation(t *testing.T) {
+	_, buf := driveMarket(t)
+	good := buf.String()
+
+	// Empty log.
+	if _, err := Read(strings.NewReader("")); !errors.Is(err, ErrNoGenesis) {
+		t.Errorf("empty log: %v", err)
+	}
+	// Missing genesis: drop the first line.
+	rest := good[strings.Index(good, "\n")+1:]
+	if _, err := Read(strings.NewReader(rest)); err == nil {
+		t.Error("headless log accepted")
+	}
+	// Sequence gap: drop a middle line.
+	lines := strings.Split(strings.TrimRight(good, "\n"), "\n")
+	gapped := strings.Join(append(append([]string{}, lines[:5]...), lines[6:]...), "\n")
+	if _, err := Read(strings.NewReader(gapped)); !errors.Is(err, ErrSeqGap) {
+		t.Errorf("gapped log: %v", err)
+	}
+	// Corrupt JSON.
+	corrupt := good + "{not json\n"
+	if _, err := Read(strings.NewReader(corrupt)); !errors.Is(err, ErrBadEvent) {
+		t.Errorf("corrupt log: %v", err)
+	}
+	// Intact log round-trips.
+	events, err := Read(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 2 || events[0].Op != OpGenesis || events[0].Config.Seed != testConfig().Seed {
+		t.Fatalf("read: %d events, head %+v", len(events), events[0])
+	}
+}
+
+func TestWriterRules(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Append(Event{Op: OpTick}); !errors.Is(err, ErrNoGenesis) {
+		t.Errorf("append before genesis: %v", err)
+	}
+	if err := w.Genesis(testConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Genesis(testConfig()); !errors.Is(err, ErrDoubleStart) {
+		t.Errorf("double genesis: %v", err)
+	}
+	if err := w.Append(Event{Op: OpGenesis}); !errors.Is(err, ErrDoubleStart) {
+		t.Errorf("appended genesis: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Event{Op: OpTick}); !errors.Is(err, ErrClosed) {
+		t.Errorf("append after close: %v", err)
+	}
+}
+
+func TestReplayDivergenceDetected(t *testing.T) {
+	// A log whose bid references an unregistered buyer must fail replay.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Genesis(testConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Event{Op: OpBid, Buyer: "ghost", Dataset: "d", Amount: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrReplay) {
+		t.Fatalf("diverging log: %v", err)
+	}
+	// Unknown op.
+	m := market.MustNew(testConfig())
+	err := Replay(m, []Event{{Seq: 1, Op: "warp"}})
+	if !errors.Is(err, ErrReplay) {
+		t.Fatalf("unknown op: %v", err)
+	}
+}
+
+func TestRestoreRejectsBadGenesisConfig(t *testing.T) {
+	log := `{"seq":1,"op":"genesis","config":{"Engine":{"EpochSize":0},"Seed":1}}` + "\n"
+	if _, err := Restore(strings.NewReader(log)); err == nil {
+		t.Fatal("invalid genesis config accepted")
+	}
+}
+
+func TestCompactPreservesState(t *testing.T) {
+	live, buf := driveMarket(t)
+
+	var compacted bytes.Buffer
+	if err := Compact(bytes.NewReader(buf.Bytes()), &compacted); err != nil {
+		t.Fatal(err)
+	}
+	// The compacted log is a single snapshot record.
+	events, err := Read(bytes.NewReader(compacted.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Op != OpSnapshot {
+		t.Fatalf("compacted log has %d events, head %v", len(events), events[0].Op)
+	}
+	restored, err := Restore(bytes.NewReader(compacted.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Revenue() != live.Revenue() {
+		t.Fatalf("revenue %v vs %v", restored.Revenue(), live.Revenue())
+	}
+	if len(restored.Transactions()) != len(live.Transactions()) {
+		t.Fatal("transactions differ after compaction")
+	}
+	// Future decisions stay identical across the original replay and the
+	// compacted snapshot.
+	fromLog, err := Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		amount := 1 + float64(i%140)
+		d1, e1 := fromLog.SubmitBid("buyer-0", "b", amount)
+		d2, e2 := restored.SubmitBid("buyer-0", "b", amount)
+		if d1 != d2 || (e1 == nil) != (e2 == nil) {
+			t.Fatalf("bid %d diverged after compaction: %+v/%v vs %+v/%v", i, d1, e1, d2, e2)
+		}
+		fromLog.Tick()
+		restored.Tick()
+	}
+}
+
+func TestCompactFileAndResume(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/m.log"
+	jm, _, err := OpenFile(testConfig(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jm.RegisterSeller("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := jm.UploadDataset("s", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := jm.RegisterBuyer("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jm.SubmitBid("b", "d", 500); err != nil {
+		t.Fatal(err)
+	}
+	revenue := jm.Revenue()
+	if err := jm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := CompactFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen the compacted journal and keep trading.
+	jm2, replayed, err := OpenFile(testConfig(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 0 {
+		t.Fatalf("compacted journal replayed %d tail events", replayed)
+	}
+	if jm2.Revenue() != revenue {
+		t.Fatalf("revenue after compaction: %v vs %v", jm2.Revenue(), revenue)
+	}
+	if err := jm2.RegisterBuyer("b2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jm2.SubmitBid("b2", "d", 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := jm2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third life: snapshot head plus appended tail replays cleanly.
+	m3, err := Restore(mustOpen(t, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m3.Transactions()) != 2 {
+		t.Fatalf("transactions after compact+resume: %d", len(m3.Transactions()))
+	}
+}
+
+func mustOpen(t *testing.T, path string) *bytes.Reader {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(data)
+}
+
+func TestSnapshotHeadWriterRules(t *testing.T) {
+	live, _ := driveMarket(t)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Snapshot(live.Market.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Snapshot(live.Market.Snapshot()); !errors.Is(err, ErrDoubleStart) {
+		t.Fatalf("double snapshot head: %v", err)
+	}
+	if err := w.Append(Event{Op: OpSnapshot}); !errors.Is(err, ErrDoubleStart) {
+		t.Fatalf("appended snapshot: %v", err)
+	}
+	if err := w.Append(Event{Op: OpTick}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithdrawIsJournaled(t *testing.T) {
+	var buf bytes.Buffer
+	m, err := NewMarket(testConfig(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterSeller("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UploadDataset("s", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WithdrawDataset("s", "d"); err != nil {
+		t.Fatal(err)
+	}
+	// Failed withdrawals are not journaled.
+	lines := strings.Count(buf.String(), "\n")
+	if err := m.WithdrawDataset("s", "d"); err == nil {
+		t.Fatal("double withdraw accepted")
+	}
+	if strings.Count(buf.String(), "\n") != lines {
+		t.Fatal("failed withdraw journaled")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range restored.Datasets() {
+		if d == "d" {
+			t.Fatal("withdrawn dataset survived replay")
+		}
+	}
+}
+
+func TestRandomOpSequencesReplayExactly(t *testing.T) {
+	// Property: any sequence of successful market operations, journaled
+	// and replayed, reconstructs identical books.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		var buf bytes.Buffer
+		m, err := NewMarket(testConfig(), &buf)
+		if err != nil {
+			return false
+		}
+		sellers := []market.SellerID{"s1", "s2"}
+		for _, s := range sellers {
+			if err := m.RegisterSeller(s); err != nil {
+				return false
+			}
+		}
+		var datasets []market.DatasetID
+		var buyersList []market.BuyerID
+		for op := 0; op < 80; op++ {
+			switch r.Intn(6) {
+			case 0:
+				id := market.DatasetID(fmt.Sprintf("d%d", len(datasets)))
+				if err := m.UploadDataset(sellers[r.Intn(2)], id); err == nil {
+					datasets = append(datasets, id)
+				}
+			case 1:
+				if len(datasets) >= 2 {
+					id := market.DatasetID(fmt.Sprintf("c%d", op))
+					a := datasets[r.Intn(len(datasets))]
+					b := datasets[r.Intn(len(datasets))]
+					if a != b {
+						if err := m.ComposeDataset(id, a, b); err == nil {
+							datasets = append(datasets, id)
+						}
+					}
+				}
+			case 2:
+				id := market.BuyerID(fmt.Sprintf("b%d", len(buyersList)))
+				if err := m.RegisterBuyer(id); err == nil {
+					buyersList = append(buyersList, id)
+				}
+			case 3, 4:
+				if len(buyersList) > 0 && len(datasets) > 0 {
+					// Errors (waits, rebuys, cadence) are expected and
+					// must not be journaled.
+					m.SubmitBid(buyersList[r.Intn(len(buyersList))],
+						datasets[r.Intn(len(datasets))], r.Uniform(1, 150))
+				}
+			case 5:
+				if _, err := m.Tick(); err != nil {
+					return false
+				}
+			}
+		}
+		if err := m.Close(); err != nil {
+			return false
+		}
+		restored, err := Restore(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		if restored.Revenue() != m.Revenue() || restored.Period() != m.Period() {
+			return false
+		}
+		lt, rt := m.Transactions(), restored.Transactions()
+		if len(lt) != len(rt) {
+			return false
+		}
+		for i := range lt {
+			if lt[i] != rt[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,482 @@
+// Package market implements the paper's market model (Section 2): buyers,
+// sellers, and an arbiter that prices seller-provided datasets with the
+// protected pricing algorithm, allocates them to bidding buyers, enforces
+// the bid cadence (at most one bid per buyer per period per dataset) and
+// the Time-Shield wait-periods, and distributes sale revenue to the
+// sellers whose datasets back each product via the provenance graph.
+//
+// One core.Engine prices each dataset. Derived datasets are combinations
+// of base datasets (Figure 1, step 3); a bid on a derived dataset
+// propagates as a demand signal to its constituents' engines (step 2).
+package market
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"github.com/datamarket/shield/internal/core"
+	"github.com/datamarket/shield/internal/provenance"
+)
+
+// Sentinel errors returned by Market operations.
+var (
+	ErrUnknownBuyer    = errors.New("market: unknown buyer")
+	ErrUnknownSeller   = errors.New("market: unknown seller")
+	ErrUnknownDataset  = errors.New("market: unknown dataset")
+	ErrDuplicateID     = errors.New("market: identifier already registered")
+	ErrBadBid          = errors.New("market: bid must be a positive amount")
+	ErrBidTooSoon      = errors.New("market: buyer already bid this period")
+	ErrWaitActive      = errors.New("market: buyer is in a Time-Shield wait period")
+	ErrAlreadyAcquired = errors.New("market: buyer already owns this dataset")
+	ErrEmptyID         = errors.New("market: empty identifier")
+	ErrDatasetInUse    = errors.New("market: dataset backs derived products")
+)
+
+// BuyerID identifies a registered buyer.
+type BuyerID string
+
+// SellerID identifies a registered seller.
+type SellerID string
+
+// DatasetID identifies a dataset (base or derived).
+type DatasetID string
+
+// Transaction records one completed sale.
+type Transaction struct {
+	Seq     int
+	Buyer   BuyerID
+	Dataset DatasetID
+	Price   Money
+	Period  int
+}
+
+// Decision is the market's answer to a bid. Unlike core.Decision it hides
+// the posting price from losers: a losing buyer learns only its wait.
+type Decision struct {
+	// Allocated reports whether the buyer won the dataset.
+	Allocated bool
+	// PricePaid is the posting price charged to a winner (zero for
+	// losers).
+	PricePaid Money
+	// WaitPeriods is the number of periods the buyer must wait before
+	// bidding on this dataset again (zero for winners).
+	WaitPeriods int
+}
+
+// Config configures a Market.
+type Config struct {
+	// Engine is the pricing-engine template applied to every dataset;
+	// each dataset's engine gets a seed derived from Seed and the dataset
+	// ID.
+	Engine core.Config
+	// Seed is the market-level seed.
+	Seed uint64
+}
+
+type buyerAccount struct {
+	lastBid      map[DatasetID]int // last period with a bid per dataset
+	blockedUntil map[DatasetID]int // first period allowed to bid again
+	acquired     map[DatasetID]bool
+	spent        Money
+}
+
+type sellerAccount struct {
+	balance  Money
+	datasets []DatasetID
+}
+
+// Market is the arbiter plus its books. All methods are safe for
+// concurrent use.
+type Market struct {
+	mu sync.Mutex
+
+	cfg     Config
+	clock   int
+	graph   *provenance.Graph
+	engines map[DatasetID]*core.Engine
+	owners  map[DatasetID]SellerID // base datasets only
+	buyers  map[BuyerID]*buyerAccount
+	sellers map[SellerID]*sellerAccount
+	txs     []Transaction
+	revenue Money
+}
+
+// New builds a Market; the engine template must validate.
+func New(cfg Config) (*Market, error) {
+	if err := cfg.Engine.Validate(); err != nil {
+		return nil, fmt.Errorf("market: engine template: %w", err)
+	}
+	return &Market{
+		cfg:     cfg,
+		graph:   provenance.NewGraph(),
+		engines: make(map[DatasetID]*core.Engine),
+		owners:  make(map[DatasetID]SellerID),
+		buyers:  make(map[BuyerID]*buyerAccount),
+		sellers: make(map[SellerID]*sellerAccount),
+	}, nil
+}
+
+// MustNew is New for static configurations; it panics on config errors.
+func MustNew(cfg Config) *Market {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// RegisterBuyer adds a buyer.
+func (m *Market) RegisterBuyer(id BuyerID) error {
+	if id == "" {
+		return ErrEmptyID
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.buyers[id]; ok {
+		return fmt.Errorf("%w: buyer %s", ErrDuplicateID, id)
+	}
+	m.buyers[id] = &buyerAccount{
+		lastBid:      make(map[DatasetID]int),
+		blockedUntil: make(map[DatasetID]int),
+		acquired:     make(map[DatasetID]bool),
+	}
+	return nil
+}
+
+// RegisterSeller adds a seller.
+func (m *Market) RegisterSeller(id SellerID) error {
+	if id == "" {
+		return ErrEmptyID
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.sellers[id]; ok {
+		return fmt.Errorf("%w: seller %s", ErrDuplicateID, id)
+	}
+	m.sellers[id] = &sellerAccount{}
+	return nil
+}
+
+// UploadDataset registers a base dataset shared by seller (Figure 1,
+// step 1) and starts pricing it.
+func (m *Market) UploadDataset(seller SellerID, id DatasetID) error {
+	if id == "" {
+		return ErrEmptyID
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	acct, ok := m.sellers[seller]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownSeller, seller)
+	}
+	if err := m.graph.AddBase(string(id)); err != nil {
+		return fmt.Errorf("%w: dataset %s", ErrDuplicateID, id)
+	}
+	m.engines[id] = m.newEngine(id)
+	m.owners[id] = seller
+	acct.datasets = append(acct.datasets, id)
+	return nil
+}
+
+// ComposeDataset registers a derived dataset the arbiter assembled from
+// existing datasets (Figure 1, step 3) and starts pricing it. Sale
+// revenue will flow to the sellers of the base datasets backing it.
+func (m *Market) ComposeDataset(id DatasetID, constituents ...DatasetID) error {
+	if id == "" {
+		return ErrEmptyID
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	parts := make([]string, len(constituents))
+	for i, c := range constituents {
+		parts[i] = string(c)
+	}
+	if err := m.graph.AddDerived(string(id), parts...); err != nil {
+		switch {
+		case errors.Is(err, provenance.ErrExists):
+			return fmt.Errorf("%w: dataset %s", ErrDuplicateID, id)
+		case errors.Is(err, provenance.ErrUnknown):
+			return fmt.Errorf("%w: %v", ErrUnknownDataset, err)
+		default:
+			return err
+		}
+	}
+	m.engines[id] = m.newEngine(id)
+	return nil
+}
+
+func (m *Market) newEngine(id DatasetID) *core.Engine {
+	cfg := m.cfg.Engine
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	cfg.Seed = m.cfg.Seed ^ h.Sum64()
+	return core.MustNew(cfg)
+}
+
+// Tick advances the market clock by one period and returns the new
+// period. Buyers may bid once per period per dataset.
+func (m *Market) Tick() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clock++
+	return m.clock
+}
+
+// Period returns the current period.
+func (m *Market) Period() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clock
+}
+
+// SubmitBid places buyer's bid on dataset at the current period. Winners
+// pay the posting price immediately; the payment is split across the
+// sellers whose base datasets back the product. Losers receive a
+// Time-Shield wait and may not bid on this dataset again until it passes.
+func (m *Market) SubmitBid(buyer BuyerID, dataset DatasetID, amount float64) (Decision, error) {
+	if !(amount > 0) {
+		return Decision{}, ErrBadBid
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	acct, ok := m.buyers[buyer]
+	if !ok {
+		return Decision{}, fmt.Errorf("%w: %s", ErrUnknownBuyer, buyer)
+	}
+	eng, ok := m.engines[dataset]
+	if !ok {
+		return Decision{}, fmt.Errorf("%w: %s", ErrUnknownDataset, dataset)
+	}
+	if acct.acquired[dataset] {
+		return Decision{}, fmt.Errorf("%w: %s", ErrAlreadyAcquired, dataset)
+	}
+	if last, ok := acct.lastBid[dataset]; ok && last == m.clock {
+		return Decision{}, fmt.Errorf("%w: period %d", ErrBidTooSoon, m.clock)
+	}
+	if until := acct.blockedUntil[dataset]; m.clock < until {
+		return Decision{}, fmt.Errorf("%w: %d periods remain", ErrWaitActive, until-m.clock)
+	}
+
+	acct.lastBid[dataset] = m.clock
+	d := eng.SubmitBid(amount)
+
+	// Propagate the demand signal to the constituents of a derived
+	// dataset (Figure 1, step 2).
+	if parts, ok := m.graph.Constituents(string(dataset)); ok && len(parts) > 0 {
+		leaves, err := m.graph.Leaves(string(dataset))
+		if err == nil {
+			for _, leaf := range leaves {
+				if le, ok := m.engines[DatasetID(leaf)]; ok {
+					le.Observe(amount)
+				}
+			}
+		}
+	}
+
+	if !d.Allocated {
+		acct.blockedUntil[dataset] = m.clock + d.Wait
+		return Decision{WaitPeriods: d.Wait}, nil
+	}
+
+	price := FromFloat(d.Price)
+	acct.acquired[dataset] = true
+	acct.spent += price
+	m.revenue += price
+	m.paySellers(dataset, price)
+	m.txs = append(m.txs, Transaction{
+		Seq:     len(m.txs) + 1,
+		Buyer:   buyer,
+		Dataset: dataset,
+		Price:   price,
+		Period:  m.clock,
+	})
+	return Decision{Allocated: true, PricePaid: price}, nil
+}
+
+// paySellers splits price across the owners of the base datasets backing
+// dataset, exactly (no micro lost), deterministically (leaves are sorted).
+func (m *Market) paySellers(dataset DatasetID, price Money) {
+	leaves, err := m.graph.Leaves(string(dataset))
+	if err != nil || len(leaves) == 0 {
+		return
+	}
+	parts := price.Split(len(leaves))
+	for i, leaf := range leaves {
+		owner, ok := m.owners[DatasetID(leaf)]
+		if !ok {
+			continue
+		}
+		if acct, ok := m.sellers[owner]; ok {
+			acct.balance += parts[i]
+		}
+	}
+}
+
+// Revenue returns the total revenue raised so far.
+func (m *Market) Revenue() Money {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.revenue
+}
+
+// SellerBalance returns a seller's accumulated compensation.
+func (m *Market) SellerBalance(id SellerID) (Money, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	acct, ok := m.sellers[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownSeller, id)
+	}
+	return acct.balance, nil
+}
+
+// BuyerSpend returns the total a buyer has paid.
+func (m *Market) BuyerSpend(id BuyerID) (Money, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	acct, ok := m.buyers[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownBuyer, id)
+	}
+	return acct.spent, nil
+}
+
+// Owns reports whether the buyer has acquired the dataset.
+func (m *Market) Owns(buyer BuyerID, dataset DatasetID) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	acct, ok := m.buyers[buyer]
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrUnknownBuyer, buyer)
+	}
+	return acct.acquired[dataset], nil
+}
+
+// WaitRemaining returns how many periods remain before the buyer may bid
+// on the dataset again (0 when unblocked).
+func (m *Market) WaitRemaining(buyer BuyerID, dataset DatasetID) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	acct, ok := m.buyers[buyer]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownBuyer, buyer)
+	}
+	if until := acct.blockedUntil[dataset]; m.clock < until {
+		return until - m.clock, nil
+	}
+	return 0, nil
+}
+
+// Transactions returns a copy of the transaction log.
+func (m *Market) Transactions() []Transaction {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Transaction, len(m.txs))
+	copy(out, m.txs)
+	return out
+}
+
+// Datasets returns the registered dataset IDs, sorted.
+func (m *Market) Datasets() []DatasetID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]DatasetID, 0, len(m.engines))
+	for id := range m.engines {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DatasetStats is a diagnostic snapshot of one dataset's pricing engine.
+// It is operator-facing: a deployment must not expose PostingPrice or
+// MostLikelyPrice to buyers (that is the leak Uncertainty-Shield guards
+// against).
+type DatasetStats struct {
+	Dataset     DatasetID
+	Bids        int
+	Allocations int
+	Epochs      int
+	Revenue     float64
+	PostingPrice,
+	MostLikelyPrice float64
+}
+
+// Stats returns the diagnostic snapshot for a dataset.
+func (m *Market) Stats(dataset DatasetID) (DatasetStats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	eng, ok := m.engines[dataset]
+	if !ok {
+		return DatasetStats{}, fmt.Errorf("%w: %s", ErrUnknownDataset, dataset)
+	}
+	return DatasetStats{
+		Dataset:         dataset,
+		Bids:            eng.Bids(),
+		Allocations:     eng.Allocations(),
+		Epochs:          eng.Epochs(),
+		Revenue:         eng.Revenue(),
+		PostingPrice:    eng.PostingPrice(),
+		MostLikelyPrice: eng.MostLikelyPrice(),
+	}, nil
+}
+
+// WithdrawDataset removes a base dataset a seller no longer wants to
+// share. Withdrawal is refused while any derived dataset still builds on
+// it (those products would silently lose a constituent — the seller must
+// wait for the arbiter to retire them) and does not touch money already
+// earned. Buyers who purchased the dataset keep it: data is nonrival and
+// already delivered.
+func (m *Market) WithdrawDataset(seller SellerID, id DatasetID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	acct, ok := m.sellers[seller]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownSeller, seller)
+	}
+	owner, ok := m.owners[id]
+	if !ok {
+		return fmt.Errorf("%w: %s is not a base dataset", ErrUnknownDataset, id)
+	}
+	if owner != seller {
+		return fmt.Errorf("%w: %s does not own %s", ErrUnknownSeller, seller, id)
+	}
+	deps, err := m.graph.Dependents(string(id))
+	if err != nil {
+		return err
+	}
+	for _, d := range deps {
+		if d != string(id) {
+			return fmt.Errorf("%w: %s is still part of %s", ErrDatasetInUse, id, d)
+		}
+	}
+	if err := m.graph.Remove(string(id)); err != nil {
+		return err
+	}
+	delete(m.engines, id)
+	delete(m.owners, id)
+	for i, d := range acct.datasets {
+		if d == id {
+			acct.datasets = append(acct.datasets[:i], acct.datasets[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// SellerDatasets returns the base datasets a seller has uploaded.
+func (m *Market) SellerDatasets(id SellerID) ([]DatasetID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	acct, ok := m.sellers[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSeller, id)
+	}
+	out := make([]DatasetID, len(acct.datasets))
+	copy(out, acct.datasets)
+	return out, nil
+}

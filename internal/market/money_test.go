@@ -1,0 +1,190 @@
+package market
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFromFloatRounding(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want Money
+	}{
+		{0, 0},
+		{1, 1_000_000},
+		{1.5, 1_500_000},
+		{0.0000005, 1}, // rounds half away from zero
+		{-1.25, -1_250_000},
+		{-0.0000005, -1},
+	}
+	for _, c := range cases {
+		if got := FromFloat(c.in); got != c.want {
+			t.Errorf("FromFloat(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	f := func(units int32, micros int32) bool {
+		m := Money(units)*Micro + Money(micros%1_000_000)
+		return FromFloat(m.Float()) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoneyString(t *testing.T) {
+	cases := []struct {
+		in   Money
+		want string
+	}{
+		{0, "0.000000"},
+		{1_500_000, "1.500000"},
+		{-1_250_000, "-1.250000"},
+		{42, "0.000042"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplitExact(t *testing.T) {
+	f := func(raw uint32, nRaw uint8) bool {
+		m := Money(raw)
+		n := 1 + int(nRaw%10)
+		parts := m.Split(n)
+		if len(parts) != n {
+			return false
+		}
+		var sum Money
+		for _, p := range parts {
+			if p < 0 {
+				return false
+			}
+			sum += p
+		}
+		// Parts differ by at most one micro.
+		min, max := parts[0], parts[0]
+		for _, p := range parts {
+			if p < min {
+				min = p
+			}
+			if p > max {
+				max = p
+			}
+		}
+		return sum == m && max-min <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"n=0":      func() { Money(10).Split(0) },
+		"negative": func() { Money(-1).Split(2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestUtilityEquation1(t *testing.T) {
+	// Winner before deadline: v - p.
+	if u := Utility(100, 60, true, 3, 5); u != 40 {
+		t.Errorf("utility = %v", u)
+	}
+	// Winner after deadline: 0.
+	if u := Utility(100, 60, true, 6, 5); u != 0 {
+		t.Errorf("post-deadline utility = %v", u)
+	}
+	// Loser: 0.
+	if u := Utility(100, 60, false, 3, 5); u != 0 {
+		t.Errorf("loser utility = %v", u)
+	}
+	// Deadline boundary is inclusive (delta = 1 when t <= tau).
+	if u := Utility(100, 60, true, 5, 5); u != 40 {
+		t.Errorf("boundary utility = %v", u)
+	}
+	// Winning above valuation yields negative utility (overpaying).
+	if u := Utility(50, 60, true, 0, 5); u != -10 {
+		t.Errorf("overpay utility = %v", u)
+	}
+}
+
+func TestSurplus(t *testing.T) {
+	if s := Surplus(100, 60, true); s != 40 {
+		t.Errorf("surplus = %v", s)
+	}
+	if s := Surplus(100, 60, false); s != 0 {
+		t.Errorf("loser surplus = %v", s)
+	}
+}
+
+func TestPatienceFunctions(t *testing.T) {
+	// Deadline step: 1 through the deadline, 0 after.
+	if DeadlinePatience(5, 5) != 1 || DeadlinePatience(6, 5) != 0 {
+		t.Error("DeadlinePatience step broken")
+	}
+	// Linear decay: full at t=0, decreasing, 0 past deadline.
+	if LinearDecayPatience(0, 9) != 1 {
+		t.Errorf("linear at 0 = %v", LinearDecayPatience(0, 9))
+	}
+	prev := 1.1
+	for tt := 0; tt <= 9; tt++ {
+		p := LinearDecayPatience(tt, 9)
+		if p <= 0 || p >= prev {
+			t.Fatalf("linear not strictly decreasing positive at t=%d: %v", tt, p)
+		}
+		prev = p
+	}
+	if LinearDecayPatience(10, 9) != 0 || LinearDecayPatience(-1, 9) != 0 {
+		t.Error("linear outside range not 0")
+	}
+	// Exponential decay: halves every halfLife.
+	exp := ExpDecayPatience(2)
+	if exp(0, 100) != 1 {
+		t.Errorf("exp at 0 = %v", exp(0, 100))
+	}
+	if got := exp(2, 100); got < 0.499 || got > 0.501 {
+		t.Errorf("exp at halfLife = %v, want 0.5", got)
+	}
+	if exp(101, 100) != 0 {
+		t.Error("exp past deadline not 0")
+	}
+}
+
+func TestExpDecayPatiencePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("halfLife 0 accepted")
+		}
+	}()
+	ExpDecayPatience(0)
+}
+
+func TestUtilityWith(t *testing.T) {
+	// Generalized Equation 1 with linear decay at mid-horizon.
+	u := UtilityWith(LinearDecayPatience, 100, 60, true, 5, 9)
+	want := (1 - 5.0/10) * 40
+	if u != want {
+		t.Errorf("UtilityWith = %v, want %v", u, want)
+	}
+	if UtilityWith(LinearDecayPatience, 100, 60, false, 5, 9) != 0 {
+		t.Error("loser utility not 0")
+	}
+	// With the deadline step it reduces to Utility.
+	if UtilityWith(DeadlinePatience, 100, 60, true, 3, 5) != Utility(100, 60, true, 3, 5) {
+		t.Error("UtilityWith(DeadlinePatience) != Utility")
+	}
+}

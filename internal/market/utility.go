@@ -1,0 +1,79 @@
+package market
+
+import "math"
+
+// Utility implements the buyer utility of Equation 1:
+//
+//	u_i(v_i, b_i, t, d, tau_i) = delta(tau_i, t) * X(b_i, p_t(d)) * (v_i - p_t(d))
+//
+// where the deadline-patience function delta is 1 while t <= tau and 0
+// after, and the allocation decision X is 1 only if the buyer won. A buyer
+// who loses, or wins after its private deadline, derives zero utility.
+func Utility(valuation, price float64, allocated bool, t, deadline int) float64 {
+	if !allocated || t > deadline {
+		return 0
+	}
+	return valuation - price
+}
+
+// Surplus is the social-surplus contribution of a single allocation: the
+// winner's valuation minus the price paid (Section 3.3 defines buyer
+// social surplus as the total utility across buyers). Losing buyers
+// contribute zero.
+func Surplus(valuation, price float64, allocated bool) float64 {
+	if !allocated {
+		return 0
+	}
+	return valuation - price
+}
+
+// PatienceFunc maps allocation time and private deadline to a utility
+// multiplier in [0, 1]. The paper analyses the deadline step function
+// but notes the approach "supports other patience functions, such as
+// those that would progressively decrease the utility for the buyer"
+// (Section 2.2); these implementations make that concrete.
+type PatienceFunc func(t, deadline int) float64
+
+// DeadlinePatience is the paper's delta(tau, t): full utility up to and
+// including the deadline, zero after.
+func DeadlinePatience(t, deadline int) float64 {
+	if t > deadline {
+		return 0
+	}
+	return 1
+}
+
+// LinearDecayPatience decays utility linearly from 1 at t=0 to 0 just
+// past the deadline: a buyer who sources the dataset late has already
+// spent part of the manual-integration effort the market was supposed
+// to save.
+func LinearDecayPatience(t, deadline int) float64 {
+	if t > deadline || t < 0 {
+		return 0
+	}
+	return 1 - float64(t)/float64(deadline+1)
+}
+
+// ExpDecayPatience returns a patience function that halves the utility
+// every halfLife periods, cut off at the deadline. It panics if
+// halfLife < 1.
+func ExpDecayPatience(halfLife int) PatienceFunc {
+	if halfLife < 1 {
+		panic("market: ExpDecayPatience needs halfLife >= 1")
+	}
+	return func(t, deadline int) float64 {
+		if t > deadline || t < 0 {
+			return 0
+		}
+		return math.Pow(0.5, float64(t)/float64(halfLife))
+	}
+}
+
+// UtilityWith generalizes Equation 1 to an arbitrary patience function:
+// u = patience(t, tau) * X * (v - p).
+func UtilityWith(patience PatienceFunc, valuation, price float64, allocated bool, t, deadline int) float64 {
+	if !allocated {
+		return 0
+	}
+	return patience(t, deadline) * (valuation - price)
+}

@@ -1,0 +1,377 @@
+// Package mw implements the multiplicative weights update method
+// (Arora, Hazan, Kale 2012) used by the paper's pricing algorithm: a set of
+// experts with weights, costs in [-1, 1], the multiplicative update rule of
+// Algorithm 1 lines 21-24, and sampling of an expert proportionally to its
+// weight (the randomization Uncertainty-Shield requires).
+//
+// The regret guarantee the paper appeals to — expected cost not much worse
+// than the best expert in hindsight — holds for learning rates eta in
+// (0, 1/2]; see RegretBound.
+package mw
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/datamarket/shield/internal/rng"
+)
+
+// Expert is one option the learner can play; Value is its payload (for the
+// pricing algorithm, a candidate posting price) and Weight its current
+// multiplicative weight.
+type Expert struct {
+	Value  float64
+	Weight float64
+}
+
+// Learner runs the multiplicative weights method over a fixed expert set.
+// It is not safe for concurrent use.
+type Learner struct {
+	experts []Expert
+	eta     float64
+	share   float64
+	rounds  int
+
+	// cumulative per-expert cost, for regret accounting.
+	cumCost []float64
+	// cumulative cost actually incurred (expected under draws).
+	cumIncurred float64
+}
+
+// SetShare enables fixed-share mixing (Herbster-Warmuth): after every
+// update a fraction share of the total weight is redistributed uniformly,
+// which bounds how concentrated the distribution can get and lets the
+// learner track a drifting best expert instead of committing forever to
+// a stale one. share must lie in [0, 1); 0 disables mixing (plain MW).
+func (l *Learner) SetShare(share float64) {
+	if share < 0 || share >= 1 {
+		panic(fmt.Sprintf("mw: share %v outside [0, 1)", share))
+	}
+	l.share = share
+}
+
+// Share returns the fixed-share mixing fraction.
+func (l *Learner) Share() float64 { return l.share }
+
+// DefaultEta is a conservative default learning rate; the AHK analysis
+// requires eta <= 1/2.
+const DefaultEta = 0.5
+
+// NewLearner builds a learner with one expert per value, all weights 1
+// (Algorithm 1 line 1). It panics on an empty value set or eta outside
+// (0, 0.5].
+func NewLearner(values []float64, eta float64) *Learner {
+	weights := make([]float64, len(values))
+	for i := range weights {
+		weights[i] = 1
+	}
+	return NewLearnerWithWeights(values, weights, eta)
+}
+
+// NewLearnerWithWeights builds a learner with explicit initial weights —
+// used when an adaptive candidate grid transfers learned mass onto a new
+// expert set. Weights must be positive and finite; regret accounting
+// starts fresh. It panics on invalid input.
+func NewLearnerWithWeights(values, weights []float64, eta float64) *Learner {
+	if len(values) == 0 {
+		panic("mw: NewLearner with no experts")
+	}
+	if len(weights) != len(values) {
+		panic(fmt.Sprintf("mw: %d weights for %d experts", len(weights), len(values)))
+	}
+	if eta <= 0 || eta > 0.5 {
+		panic(fmt.Sprintf("mw: eta %v outside (0, 0.5]", eta))
+	}
+	l := &Learner{
+		experts: make([]Expert, len(values)),
+		eta:     eta,
+		cumCost: make([]float64, len(values)),
+	}
+	for i, v := range values {
+		w := weights[i]
+		if !(w > 0) || math.IsInf(w, 1) {
+			panic(fmt.Sprintf("mw: weight[%d] = %v must be positive and finite", i, w))
+		}
+		l.experts[i] = Expert{Value: v, Weight: w}
+	}
+	l.renormalize()
+	return l
+}
+
+// Len returns the number of experts.
+func (l *Learner) Len() int { return len(l.experts) }
+
+// Eta returns the learning rate.
+func (l *Learner) Eta() float64 { return l.eta }
+
+// Rounds returns how many Update calls have been applied.
+func (l *Learner) Rounds() int { return l.rounds }
+
+// Experts returns a copy of the expert set (values and current weights).
+func (l *Learner) Experts() []Expert {
+	out := make([]Expert, len(l.experts))
+	copy(out, l.experts)
+	return out
+}
+
+// Values returns the expert values in order.
+func (l *Learner) Values() []float64 {
+	out := make([]float64, len(l.experts))
+	for i, e := range l.experts {
+		out[i] = e.Value
+	}
+	return out
+}
+
+// Weights returns a copy of the current weights.
+func (l *Learner) Weights() []float64 {
+	out := make([]float64, len(l.experts))
+	for i, e := range l.experts {
+		out[i] = e.Weight
+	}
+	return out
+}
+
+// Probabilities returns the current weight distribution normalized to sum
+// to one.
+func (l *Learner) Probabilities() []float64 {
+	out := make([]float64, len(l.experts))
+	var total float64
+	for _, e := range l.experts {
+		total += e.Weight
+	}
+	if total <= 0 {
+		// Degenerate (should not happen with costs in [-1,1]); fall back
+		// to uniform so sampling remains well defined.
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i, e := range l.experts {
+		out[i] = e.Weight / total
+	}
+	return out
+}
+
+// Draw samples an expert index proportionally to the weights — the
+// randomized selection rule that implements Uncertainty-Shield while
+// preserving the MW guarantee (Algorithm 1 line 25).
+func (l *Learner) Draw(r *rng.RNG) int {
+	return r.WeightedIndex(l.Weights())
+}
+
+// DrawValue samples an expert and returns its value.
+func (l *Learner) DrawValue(r *rng.RNG) float64 {
+	return l.experts[l.Draw(r)].Value
+}
+
+// ArgMax returns the index of the highest-weight expert (ties break toward
+// the lower index). This is the deterministic MW-Max selection rule of
+// Figure 4a, which forgoes Uncertainty-Shield.
+func (l *Learner) ArgMax() int {
+	best := 0
+	for i, e := range l.experts {
+		if e.Weight > l.experts[best].Weight {
+			best = i
+		}
+	}
+	return best
+}
+
+// Update applies one round of the multiplicative weights rule. costs[i]
+// must lie in [-1, 1]: positive costs shrink weights by (1-eta)^cost,
+// negative costs (gains) grow them by (1+eta)^(-cost), exactly the
+// two-branch rule of Algorithm 1 lines 21-24. incurred is the cost of the
+// expert actually played this round (used only for regret accounting; pass
+// 0 if not tracking regret). Update panics if the cost vector length
+// mismatches or any cost falls outside [-1, 1].
+func (l *Learner) Update(costs []float64, incurred float64) {
+	if len(costs) != len(l.experts) {
+		panic(fmt.Sprintf("mw: %d costs for %d experts", len(costs), len(l.experts)))
+	}
+	for i, c := range costs {
+		if math.IsNaN(c) || c < -1-1e-9 || c > 1+1e-9 {
+			panic(fmt.Sprintf("mw: cost[%d] = %v outside [-1, 1]", i, c))
+		}
+		if c > 1 {
+			c = 1
+		}
+		if c < -1 {
+			c = -1
+		}
+		if c >= 0 {
+			l.experts[i].Weight *= math.Pow(1-l.eta, c)
+		} else {
+			l.experts[i].Weight *= math.Pow(1+l.eta, -c)
+		}
+		l.cumCost[i] += c
+	}
+	l.cumIncurred += incurred
+	l.rounds++
+	if l.share > 0 {
+		var total float64
+		for _, e := range l.experts {
+			total += e.Weight
+		}
+		mix := l.share * total / float64(len(l.experts))
+		for i := range l.experts {
+			l.experts[i].Weight = (1-l.share)*l.experts[i].Weight + mix
+		}
+	}
+	l.renormalize()
+}
+
+// renormalize rescales weights so the maximum is 1, preventing underflow
+// or overflow over long runs. Rescaling all weights by a constant does not
+// change the induced probability distribution, so the algorithm's behavior
+// is unaffected.
+func (l *Learner) renormalize() {
+	maxW := 0.0
+	for _, e := range l.experts {
+		if e.Weight > maxW {
+			maxW = e.Weight
+		}
+	}
+	switch {
+	case maxW <= 0 || math.IsInf(maxW, 1):
+		// Degenerate: reset to uniform as a last resort.
+		for i := range l.experts {
+			l.experts[i].Weight = 1
+		}
+	case maxW > 1e-6 && maxW < 1e6:
+		// Comfortably in range; skip the division.
+	default:
+		for i := range l.experts {
+			l.experts[i].Weight /= maxW
+		}
+	}
+}
+
+// BestExpertCumCost returns the minimum cumulative cost across experts —
+// the best expert in hindsight.
+func (l *Learner) BestExpertCumCost() float64 {
+	if len(l.cumCost) == 0 {
+		return 0
+	}
+	best := l.cumCost[0]
+	for _, c := range l.cumCost[1:] {
+		if c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Regret returns the cumulative incurred cost minus the best expert's
+// cumulative cost.
+func (l *Learner) Regret() float64 {
+	return l.cumIncurred - l.BestExpertCumCost()
+}
+
+// RegretBound returns the Arora-Hazan-Kale bound on expected regret after
+// the learner's rounds: eta*T + ln(n)/eta, valid for costs in [-1, 1].
+func (l *Learner) RegretBound() float64 {
+	return l.eta*float64(l.rounds) + math.Log(float64(len(l.experts)))/l.eta
+}
+
+// OptimalEta returns the learning rate minimizing the regret bound for a
+// horizon of T rounds over n experts: sqrt(ln n / T), clamped to (0, 0.5].
+func OptimalEta(n, T int) float64 {
+	if n < 2 || T < 1 {
+		return DefaultEta
+	}
+	eta := math.Sqrt(math.Log(float64(n)) / float64(T))
+	if eta > 0.5 {
+		return 0.5
+	}
+	if eta <= 0 {
+		return DefaultEta
+	}
+	return eta
+}
+
+// Clone returns a deep copy of the learner, used by the wait-period
+// simulation to replay hypothetical futures without disturbing live state.
+func (l *Learner) Clone() *Learner {
+	c := &Learner{
+		experts:     make([]Expert, len(l.experts)),
+		eta:         l.eta,
+		share:       l.share,
+		rounds:      l.rounds,
+		cumCost:     make([]float64, len(l.cumCost)),
+		cumIncurred: l.cumIncurred,
+	}
+	copy(c.experts, l.experts)
+	copy(c.cumCost, l.cumCost)
+	return c
+}
+
+// Snapshot is the learner's full serializable state.
+type Snapshot struct {
+	Values      []float64 `json:"values"`
+	Weights     []float64 `json:"weights"`
+	Eta         float64   `json:"eta"`
+	Share       float64   `json:"share,omitempty"`
+	Rounds      int       `json:"rounds"`
+	CumCost     []float64 `json:"cum_cost"`
+	CumIncurred float64   `json:"cum_incurred"`
+}
+
+// Snapshot captures the learner state for serialization.
+func (l *Learner) Snapshot() Snapshot {
+	s := Snapshot{
+		Values:      l.Values(),
+		Weights:     l.Weights(),
+		Eta:         l.eta,
+		Share:       l.share,
+		Rounds:      l.rounds,
+		CumCost:     make([]float64, len(l.cumCost)),
+		CumIncurred: l.cumIncurred,
+	}
+	copy(s.CumCost, l.cumCost)
+	return s
+}
+
+// Restore reconstructs a learner from a snapshot, validating the same
+// invariants the constructors enforce.
+func Restore(s Snapshot) (*Learner, error) {
+	if len(s.Values) == 0 || len(s.Weights) != len(s.Values) {
+		return nil, fmt.Errorf("mw: snapshot has %d values, %d weights", len(s.Values), len(s.Weights))
+	}
+	if s.Eta <= 0 || s.Eta > 0.5 {
+		return nil, fmt.Errorf("mw: snapshot eta %v outside (0, 0.5]", s.Eta)
+	}
+	if s.Share < 0 || s.Share >= 1 {
+		return nil, fmt.Errorf("mw: snapshot share %v outside [0, 1)", s.Share)
+	}
+	if s.Rounds < 0 {
+		return nil, fmt.Errorf("mw: snapshot rounds %d negative", s.Rounds)
+	}
+	if len(s.CumCost) != len(s.Values) {
+		return nil, fmt.Errorf("mw: snapshot has %d cum costs for %d experts", len(s.CumCost), len(s.Values))
+	}
+	for i, w := range s.Weights {
+		if !(w > 0) || math.IsInf(w, 1) || math.IsNaN(w) {
+			return nil, fmt.Errorf("mw: snapshot weight[%d] = %v invalid", i, w)
+		}
+	}
+	l := NewLearnerWithWeights(s.Values, s.Weights, s.Eta)
+	l.share = s.Share
+	l.rounds = s.Rounds
+	copy(l.cumCost, s.CumCost)
+	l.cumIncurred = s.CumIncurred
+	return l, nil
+}
+
+// Reset restores all weights to 1 and clears regret accounting.
+func (l *Learner) Reset() {
+	for i := range l.experts {
+		l.experts[i].Weight = 1
+	}
+	for i := range l.cumCost {
+		l.cumCost[i] = 0
+	}
+	l.cumIncurred = 0
+	l.rounds = 0
+}

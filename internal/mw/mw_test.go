@@ -1,0 +1,488 @@
+package mw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/datamarket/shield/internal/rng"
+)
+
+func newTestLearner(t *testing.T, n int) *Learner {
+	t.Helper()
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i + 1)
+	}
+	return NewLearner(values, 0.3)
+}
+
+func TestNewLearnerInitialState(t *testing.T) {
+	l := newTestLearner(t, 4)
+	if l.Len() != 4 || l.Rounds() != 0 {
+		t.Fatalf("Len/Rounds = %d/%d", l.Len(), l.Rounds())
+	}
+	for i, w := range l.Weights() {
+		if w != 1 {
+			t.Errorf("weight[%d] = %v, want 1", i, w)
+		}
+	}
+	probs := l.Probabilities()
+	for _, p := range probs {
+		if math.Abs(p-0.25) > 1e-12 {
+			t.Errorf("initial probabilities not uniform: %v", probs)
+		}
+	}
+}
+
+func TestNewLearnerPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":   func() { NewLearner(nil, 0.3) },
+		"eta=0":   func() { NewLearner([]float64{1}, 0) },
+		"eta>0.5": func() { NewLearner([]float64{1}, 0.6) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestUpdateDirection(t *testing.T) {
+	l := newTestLearner(t, 2)
+	// Expert 0 incurs cost, expert 1 gains.
+	l.Update([]float64{1, -1}, 0)
+	w := l.Weights()
+	if !(w[0] < w[1]) {
+		t.Fatalf("cost did not shrink weight: %v", w)
+	}
+	// Exact factors: (1-0.3)^1 = 0.7 and (1+0.3)^1 = 1.3, then
+	// renormalized so max = 1 only if out of range; 1.3 is in range.
+	if math.Abs(w[0]-0.7) > 1e-12 || math.Abs(w[1]-1.3) > 1e-12 {
+		t.Errorf("weights = %v, want [0.7, 1.3]", w)
+	}
+}
+
+func TestUpdateZeroCostKeepsWeight(t *testing.T) {
+	l := newTestLearner(t, 3)
+	l.Update([]float64{0, 0, 0}, 0)
+	for i, w := range l.Weights() {
+		if w != 1 {
+			t.Errorf("weight[%d] = %v after zero-cost round", i, w)
+		}
+	}
+}
+
+func TestUpdatePanics(t *testing.T) {
+	l := newTestLearner(t, 2)
+	for name, costs := range map[string][]float64{
+		"len mismatch": {1},
+		"cost>1":       {2, 0},
+		"cost<-1":      {0, -2},
+		"NaN":          {math.NaN(), 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			l.Update(costs, 0)
+		}()
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	r := rng.New(5)
+	l := newTestLearner(t, 7)
+	f := func(seed uint64) bool {
+		costs := make([]float64, 7)
+		for i := range costs {
+			costs[i] = r.Uniform(-1, 1)
+		}
+		l.Update(costs, 0)
+		var sum float64
+		for _, p := range l.Probabilities() {
+			if p < 0 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoUnderflowOverLongRuns(t *testing.T) {
+	l := newTestLearner(t, 3)
+	// Punish expert 0 relentlessly for many rounds; weights must stay
+	// finite and positive, probabilities valid.
+	for i := 0; i < 100000; i++ {
+		l.Update([]float64{1, 0, -1}, 0)
+	}
+	for i, w := range l.Weights() {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatalf("weight[%d] = %v after long run", i, w)
+		}
+	}
+	probs := l.Probabilities()
+	if probs[0] > 1e-12 {
+		t.Errorf("punished expert kept probability %v", probs[0])
+	}
+	if math.Abs(probs[2]-1) > 1e-6 {
+		t.Errorf("rewarded expert probability %v, want ~1", probs[2])
+	}
+}
+
+func TestDrawFollowsWeights(t *testing.T) {
+	l := newTestLearner(t, 2)
+	// Push expert 1 to dominate.
+	for i := 0; i < 20; i++ {
+		l.Update([]float64{1, -1}, 0)
+	}
+	r := rng.New(9)
+	counts := [2]int{}
+	for i := 0; i < 10000; i++ {
+		counts[l.Draw(r)]++
+	}
+	if counts[1] < 9900 {
+		t.Errorf("dominant expert drawn %d/10000", counts[1])
+	}
+}
+
+func TestDrawValueReturnsExpertValue(t *testing.T) {
+	l := NewLearner([]float64{3.5, 7.25}, 0.3)
+	r := rng.New(4)
+	for i := 0; i < 100; i++ {
+		v := l.DrawValue(r)
+		if v != 3.5 && v != 7.25 {
+			t.Fatalf("DrawValue = %v", v)
+		}
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	l := newTestLearner(t, 3)
+	l.Update([]float64{0.5, -1, 0}, 0)
+	if got := l.ArgMax(); got != 1 {
+		t.Errorf("ArgMax = %d, want 1", got)
+	}
+	// Ties break toward lower index.
+	l2 := newTestLearner(t, 3)
+	if got := l2.ArgMax(); got != 0 {
+		t.Errorf("ArgMax on uniform = %d, want 0", got)
+	}
+}
+
+func TestRegretBoundHolds(t *testing.T) {
+	// Adversarial-ish random costs: expected regret of the sampled play
+	// must stay within the AHK bound. We use the expected incurred cost
+	// (sum p_i c_i) to avoid sampling noise in the test.
+	r := rng.New(17)
+	const n, T = 10, 2000
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	l := NewLearner(values, OptimalEta(n, T))
+	for round := 0; round < T; round++ {
+		costs := make([]float64, n)
+		for i := range costs {
+			costs[i] = r.Uniform(-1, 1)
+		}
+		probs := l.Probabilities()
+		var expected float64
+		for i := range costs {
+			expected += probs[i] * costs[i]
+		}
+		l.Update(costs, expected)
+	}
+	if reg, bound := l.Regret(), l.RegretBound(); reg > bound {
+		t.Errorf("regret %v exceeds bound %v", reg, bound)
+	}
+}
+
+func TestRegretConvergesToBestExpert(t *testing.T) {
+	// One expert is strictly better; MW must concentrate on it.
+	r := rng.New(23)
+	l := NewLearner([]float64{0, 1, 2, 3}, 0.2)
+	for round := 0; round < 3000; round++ {
+		costs := make([]float64, 4)
+		for i := range costs {
+			if i == 2 {
+				costs[i] = r.Uniform(-1, -0.5) // expert 2 always gains
+			} else {
+				costs[i] = r.Uniform(0, 1)
+			}
+		}
+		probs := l.Probabilities()
+		var expected float64
+		for i := range costs {
+			expected += probs[i] * costs[i]
+		}
+		l.Update(costs, expected)
+	}
+	if p := l.Probabilities()[2]; p < 0.999 {
+		t.Errorf("best expert probability %v, want ~1", p)
+	}
+}
+
+func TestOptimalEta(t *testing.T) {
+	if eta := OptimalEta(10, 100); eta <= 0 || eta > 0.5 {
+		t.Errorf("OptimalEta = %v", eta)
+	}
+	// Tiny horizon clamps at 0.5.
+	if eta := OptimalEta(100, 2); eta != 0.5 {
+		t.Errorf("OptimalEta clamp = %v", eta)
+	}
+	// Degenerate inputs fall back to the default.
+	if eta := OptimalEta(1, 100); eta != DefaultEta {
+		t.Errorf("OptimalEta(1, _) = %v", eta)
+	}
+	if eta := OptimalEta(10, 0); eta != DefaultEta {
+		t.Errorf("OptimalEta(_, 0) = %v", eta)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	l := newTestLearner(t, 3)
+	l.Update([]float64{0.5, 0, -0.5}, 0)
+	c := l.Clone()
+	c.Update([]float64{1, 1, 1}, 0)
+	if l.Rounds() != 1 || c.Rounds() != 2 {
+		t.Fatalf("rounds: live %d, clone %d", l.Rounds(), c.Rounds())
+	}
+	lw, cw := l.Weights(), c.Weights()
+	for i := range lw {
+		if lw[i] == cw[i] {
+			t.Fatalf("clone shares weight state at %d", i)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := newTestLearner(t, 3)
+	l.Update([]float64{1, 0, -1}, 0.5)
+	l.Reset()
+	if l.Rounds() != 0 || l.Regret() != 0 {
+		t.Fatalf("Reset left rounds=%d regret=%v", l.Rounds(), l.Regret())
+	}
+	for _, w := range l.Weights() {
+		if w != 1 {
+			t.Fatalf("Reset weights = %v", l.Weights())
+		}
+	}
+}
+
+func TestExpertsCopySemantics(t *testing.T) {
+	l := newTestLearner(t, 2)
+	ex := l.Experts()
+	ex[0].Weight = 999
+	if l.Weights()[0] == 999 {
+		t.Fatal("Experts() leaked internal state")
+	}
+	ws := l.Weights()
+	ws[0] = 999
+	if l.Weights()[0] == 999 {
+		t.Fatal("Weights() leaked internal state")
+	}
+}
+
+func TestValues(t *testing.T) {
+	l := NewLearner([]float64{5, 10, 20}, 0.25)
+	vs := l.Values()
+	if len(vs) != 3 || vs[0] != 5 || vs[2] != 20 {
+		t.Fatalf("Values = %v", vs)
+	}
+	if l.Eta() != 0.25 {
+		t.Fatalf("Eta = %v", l.Eta())
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	values := make([]float64, 50)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	l := NewLearner(values, 0.3)
+	costs := make([]float64, 50)
+	for i := range costs {
+		costs[i] = float64(i%3-1) * 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Update(costs, 0)
+	}
+}
+
+func BenchmarkDraw(b *testing.B) {
+	values := make([]float64, 50)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	l := NewLearner(values, 0.3)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Draw(r)
+	}
+}
+
+func TestFixedShareKeepsExplorationMass(t *testing.T) {
+	plain := newTestLearner(t, 4)
+	shared := newTestLearner(t, 4)
+	shared.SetShare(0.05)
+	if shared.Share() != 0.05 {
+		t.Fatal("Share not recorded")
+	}
+	// Punish everyone but expert 0 for many rounds.
+	costs := []float64{-1, 1, 1, 1}
+	for i := 0; i < 200; i++ {
+		plain.Update(costs, 0)
+		shared.Update(costs, 0)
+	}
+	pPlain := plain.Probabilities()
+	pShared := shared.Probabilities()
+	// Plain MW starves the losers to ~0; fixed-share keeps a floor.
+	for i := 1; i < 4; i++ {
+		if pPlain[i] > 1e-9 {
+			t.Fatalf("plain MW kept mass %v on loser %d", pPlain[i], i)
+		}
+		if pShared[i] < 0.005 {
+			t.Fatalf("fixed-share starved loser %d to %v", i, pShared[i])
+		}
+	}
+	if pShared[0] < 0.5 {
+		t.Fatalf("fixed-share lost the winner: %v", pShared[0])
+	}
+}
+
+func TestFixedShareTracksDrift(t *testing.T) {
+	// The best expert switches halfway; fixed-share must recover much
+	// faster than plain MW.
+	recover := func(share float64) int {
+		l := newTestLearner(t, 4)
+		if share > 0 {
+			l.SetShare(share)
+		}
+		reward := func(best int) {
+			costs := make([]float64, 4)
+			for i := range costs {
+				if i == best {
+					costs[i] = -1
+				} else {
+					costs[i] = 1
+				}
+			}
+			l.Update(costs, 0)
+		}
+		for i := 0; i < 300; i++ {
+			reward(0)
+		}
+		for i := 0; i < 300; i++ {
+			reward(3)
+			if l.ArgMax() == 3 {
+				return i + 1
+			}
+		}
+		return 301
+	}
+	plain := recover(0)
+	shared := recover(0.05)
+	if shared >= plain {
+		t.Fatalf("fixed-share recovery %d not faster than plain %d", shared, plain)
+	}
+	if shared > 10 {
+		t.Fatalf("fixed-share took %d rounds to switch", shared)
+	}
+}
+
+func TestSetSharePanics(t *testing.T) {
+	l := newTestLearner(t, 2)
+	for _, s := range []float64{-0.1, 1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetShare(%v) did not panic", s)
+				}
+			}()
+			l.SetShare(s)
+		}()
+	}
+}
+
+func TestCloneCopiesShare(t *testing.T) {
+	l := newTestLearner(t, 3)
+	l.SetShare(0.1)
+	if c := l.Clone(); c.Share() != 0.1 {
+		t.Fatalf("clone share = %v", c.Share())
+	}
+}
+
+func TestLearnerSnapshotRoundTrip(t *testing.T) {
+	l := newTestLearner(t, 5)
+	l.SetShare(0.03)
+	r := rng.New(31)
+	for i := 0; i < 50; i++ {
+		costs := make([]float64, 5)
+		for j := range costs {
+			costs[j] = r.Uniform(-1, 1)
+		}
+		l.Update(costs, 0.1)
+	}
+	snap := l.Snapshot()
+	restored, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Rounds() != l.Rounds() || restored.Share() != l.Share() ||
+		restored.Eta() != l.Eta() || restored.Regret() != l.Regret() {
+		t.Fatalf("metadata differs")
+	}
+	lp, rp := l.Probabilities(), restored.Probabilities()
+	for i := range lp {
+		if math.Abs(lp[i]-rp[i]) > 1e-12 {
+			t.Fatalf("probability %d differs: %v vs %v", i, lp[i], rp[i])
+		}
+	}
+	// Identical behavior afterwards.
+	costs := []float64{1, -1, 0.5, -0.5, 0}
+	l.Update(costs, 0)
+	restored.Update(costs, 0)
+	if l.ArgMax() != restored.ArgMax() {
+		t.Fatal("post-restore update diverged")
+	}
+}
+
+func TestLearnerRestoreValidation(t *testing.T) {
+	good := newTestLearner(t, 3).Snapshot()
+	cases := map[string]func(*Snapshot){
+		"no values":    func(s *Snapshot) { s.Values = nil; s.Weights = nil; s.CumCost = nil },
+		"len mismatch": func(s *Snapshot) { s.Weights = s.Weights[:1] },
+		"bad eta":      func(s *Snapshot) { s.Eta = 0 },
+		"bad share":    func(s *Snapshot) { s.Share = 1 },
+		"neg rounds":   func(s *Snapshot) { s.Rounds = -1 },
+		"cum mismatch": func(s *Snapshot) { s.CumCost = s.CumCost[:1] },
+		"bad weight":   func(s *Snapshot) { s.Weights[0] = math.NaN() },
+		"zero weight":  func(s *Snapshot) { s.Weights[0] = 0 },
+	}
+	for name, mutate := range cases {
+		s := good
+		s.Values = append([]float64{}, good.Values...)
+		s.Weights = append([]float64{}, good.Weights...)
+		s.CumCost = append([]float64{}, good.CumCost...)
+		mutate(&s)
+		if _, err := Restore(s); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := Restore(good); err != nil {
+		t.Fatalf("good snapshot rejected: %v", err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package render presents experiment results as ASCII tables, box-plot
+// strips, and heat maps, and exports CSV for external replotting. The
+// paper's figures are matplotlib plots; the claims they carry (who wins,
+// where revenue collapses, where crossovers sit) survive in these text
+// renderings, and the CSV emitters preserve the raw numbers.
+package render
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"github.com/datamarket/shield/internal/stats"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: strings pass through,
+// float64 render with %.4g, ints with %d, anything else with %v.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, fmt.Sprintf("%.4g", v))
+		case int:
+			row = append(row, fmt.Sprintf("%d", v))
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+		return err
+	}
+	if err := line(t.header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Render(&sb)
+	return sb.String()
+}
+
+// BoxStrip renders a stats.Summary as a one-line box plot over [lo, hi]
+// using width characters: '|' whiskers at P1/P99, '[' and ']' at P25/P75,
+// and 'M' at the median.
+func BoxStrip(s stats.Summary, lo, hi float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	cells := []byte(strings.Repeat(" ", width))
+	pos := func(v float64) int {
+		if math.IsNaN(v) || hi <= lo {
+			return 0
+		}
+		p := int(float64(width-1) * (v - lo) / (hi - lo))
+		if p < 0 {
+			p = 0
+		}
+		if p > width-1 {
+			p = width - 1
+		}
+		return p
+	}
+	p1, p25, med, p75, p99 := pos(s.P1), pos(s.P25), pos(s.Median), pos(s.P75), pos(s.P99)
+	for i := p1; i <= p99 && i < width; i++ {
+		cells[i] = '-'
+	}
+	cells[p1] = '|'
+	cells[p99] = '|'
+	for i := p25; i <= p75 && i < width; i++ {
+		cells[i] = '='
+	}
+	cells[p25] = '['
+	cells[p75] = ']'
+	cells[med] = 'M'
+	return string(cells)
+}
+
+// Heatmap renders a matrix of values in [0, 1] as shaded cells plus the
+// numeric value, with row and column labels — the Figure 5b/5c format.
+type Heatmap struct {
+	RowLabel, ColLabel string
+	Rows, Cols         []string
+	// Values[r][c] in [0, 1]; NaN renders as blanks.
+	Values [][]float64
+}
+
+var shades = []rune(" .:-=+*#%@")
+
+// Render writes the heat map to w.
+func (h *Heatmap) Render(w io.Writer) error {
+	if len(h.Values) != len(h.Rows) {
+		return fmt.Errorf("render: %d value rows for %d labels", len(h.Values), len(h.Rows))
+	}
+	t := NewTable(append([]string{h.RowLabel + "\\" + h.ColLabel}, h.Cols...)...)
+	for r, label := range h.Rows {
+		if len(h.Values[r]) != len(h.Cols) {
+			return fmt.Errorf("render: row %d has %d values for %d columns", r, len(h.Values[r]), len(h.Cols))
+		}
+		cells := []string{label}
+		for _, v := range h.Values[r] {
+			if math.IsNaN(v) {
+				cells = append(cells, "  -")
+				continue
+			}
+			clamped := v
+			if clamped < 0 {
+				clamped = 0
+			}
+			if clamped > 1 {
+				clamped = 1
+			}
+			idx := int(clamped * float64(len(shades)-1))
+			cells = append(cells, fmt.Sprintf("%c %.2f", shades[idx], v))
+		}
+		t.AddRow(cells...)
+	}
+	return t.Render(w)
+}
+
+// WriteCSV writes a header and numeric rows as CSV.
+func WriteCSV(w io.Writer, header []string, rows [][]float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, 0, len(header))
+	for _, row := range rows {
+		rec = rec[:0]
+		for _, v := range row {
+			rec = append(rec, fmt.Sprintf("%g", v))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

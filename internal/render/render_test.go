@@ -1,0 +1,120 @@
+package render
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/datamarket/shield/internal/stats"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("a", "1")
+	tab.AddRow("longer-name", "2.5")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "longer-name") || !strings.Contains(lines[3], "2.5") {
+		t.Fatalf("row = %q", lines[3])
+	}
+}
+
+func TestTablePadsShortRows(t *testing.T) {
+	tab := NewTable("a", "b", "c")
+	tab.AddRow("x")
+	out := tab.String()
+	if !strings.Contains(out, "x") {
+		t.Fatal("short row lost")
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tab := NewTable("s", "f", "i", "other")
+	tab.AddRowf("str", 1.23456, 42, true)
+	out := tab.String()
+	for _, want := range []string{"str", "1.235", "42", "true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBoxStrip(t *testing.T) {
+	s := stats.Summary{P1: 0.1, P25: 0.25, Median: 0.5, P75: 0.75, P99: 0.9}
+	strip := BoxStrip(s, 0, 1, 40)
+	if len(strip) != 40 {
+		t.Fatalf("strip length = %d", len(strip))
+	}
+	for _, ch := range []string{"|", "[", "]", "M"} {
+		if !strings.Contains(strip, ch) {
+			t.Errorf("strip missing %q: %q", ch, strip)
+		}
+	}
+	// Median position roughly in the middle.
+	mi := strings.Index(strip, "M")
+	if mi < 15 || mi > 25 {
+		t.Errorf("median at %d: %q", mi, strip)
+	}
+	// Degenerate inputs must not panic.
+	_ = BoxStrip(stats.Summary{}, 0, 0, 5)
+	_ = BoxStrip(stats.Summary{Median: math.NaN()}, 0, 1, 12)
+}
+
+func TestHeatmapRender(t *testing.T) {
+	h := &Heatmap{
+		RowLabel: "H",
+		ColLabel: "beta",
+		Rows:     []string{"1", "2"},
+		Cols:     []string{"min", "0.5"},
+		Values:   [][]float64{{0.1, 0.9}, {math.NaN(), 1.0}},
+	}
+	var sb strings.Builder
+	if err := h.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "H\\beta") {
+		t.Errorf("missing corner label:\n%s", out)
+	}
+	if !strings.Contains(out, "0.10") || !strings.Contains(out, "0.90") {
+		t.Errorf("missing values:\n%s", out)
+	}
+	if !strings.Contains(out, "@ 1.00") {
+		t.Errorf("max shade missing:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("NaN cell missing:\n%s", out)
+	}
+}
+
+func TestHeatmapShapeErrors(t *testing.T) {
+	h := &Heatmap{Rows: []string{"a"}, Cols: []string{"x"}, Values: nil}
+	if err := h.Render(&strings.Builder{}); err == nil {
+		t.Fatal("row mismatch accepted")
+	}
+	h = &Heatmap{Rows: []string{"a"}, Cols: []string{"x", "y"}, Values: [][]float64{{1}}}
+	if err := h.Render(&strings.Builder{}); err == nil {
+		t.Fatal("column mismatch accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	err := WriteCSV(&sb, []string{"a", "b"}, [][]float64{{1, 2.5}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2.5\n3,4\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}

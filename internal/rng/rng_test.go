@@ -1,0 +1,261 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 10)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Seed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("after reseed, output %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(99)
+	c1 := r.Split()
+	c2 := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split children produced %d/100 identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d too far from %v", i, c, want)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.Normal(5, 2)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("normal mean = %v, want ~5", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.Laplace(1, 3)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-1) > 0.1 {
+		t.Errorf("laplace mean = %v, want ~1", mean)
+	}
+	// Var(Laplace(mu, b)) = 2 b^2 = 18.
+	if math.Abs(variance-18) > 1.5 {
+		t.Errorf("laplace variance = %v, want ~18", variance)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(19)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := r.Exponential(2)
+		if x < 0 {
+			t.Fatalf("negative exponential draw %v", x)
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("exponential mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid or duplicate element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestWeightedIndexRespectsWeights(t *testing.T) {
+	r := New(29)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[r.WeightedIndex(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index sampled %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.8 || ratio > 3.2 {
+		t.Errorf("weight-3 / weight-1 draw ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestWeightedIndexNegativeTreatedAsZero(t *testing.T) {
+	r := New(31)
+	weights := []float64{-5, 2, -1}
+	for i := 0; i < 1000; i++ {
+		if got := r.WeightedIndex(weights); got != 1 {
+			t.Fatalf("WeightedIndex selected %d with negative weights", got)
+		}
+	}
+}
+
+func TestWeightedIndexPanics(t *testing.T) {
+	for _, weights := range [][]float64{nil, {}, {0, 0}, {-1, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("WeightedIndex(%v) did not panic", weights)
+				}
+			}()
+			New(1).WeightedIndex(weights)
+		}()
+	}
+}
+
+func TestUniformRangeProperty(t *testing.T) {
+	r := New(37)
+	f := func(lo, span float64) bool {
+		lo = math.Mod(lo, 1e6)
+		span = math.Abs(math.Mod(span, 1e6)) + 1e-9
+		v := r.Uniform(lo, lo+span)
+		return v >= lo && v < lo+span
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := New(41)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+	trues := 0
+	for i := 0; i < 100000; i++ {
+		if r.Bool(0.25) {
+			trues++
+		}
+	}
+	if trues < 24000 || trues > 26000 {
+		t.Errorf("Bool(0.25) true rate %d/100000, want ~25000", trues)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormal(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Normal(0, 1)
+	}
+}

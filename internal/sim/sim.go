@@ -1,0 +1,226 @@
+// Package sim is the simulation harness for the paper's evaluation
+// (Sections 7.2-7.3): it replays transformed bid streams through pricing
+// engines and baselines behind one interface, measures revenue and buyer
+// social surplus, and aggregates across the paper's 100 random series per
+// configuration into the percentile boxes the figures report.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/datamarket/shield/internal/auction"
+	"github.com/datamarket/shield/internal/core"
+	"github.com/datamarket/shield/internal/market"
+	"github.com/datamarket/shield/internal/rng"
+	"github.com/datamarket/shield/internal/stats"
+	"github.com/datamarket/shield/internal/timeseries"
+)
+
+// Pricer is the uniform interface the harness sweeps over: the paper's
+// MW engine, the avg/p50/Random/AdHoc baselines, the DP mechanism, and
+// the offline Opt all fit it.
+type Pricer interface {
+	// Decide evaluates one bid, returning the allocation decision and the
+	// posting price it was evaluated against, and updates internal state.
+	Decide(bid float64) (allocated bool, price float64)
+	// Reset restores the initial state (same randomness).
+	Reset()
+}
+
+// EnginePricer adapts a core.Engine to Pricer.
+type EnginePricer struct{ E *core.Engine }
+
+// Decide implements Pricer.
+func (p EnginePricer) Decide(bid float64) (bool, float64) {
+	d := p.E.SubmitBid(bid)
+	return d.Allocated, d.Price
+}
+
+// Reset implements Pricer.
+func (p EnginePricer) Reset() { p.E.Reset() }
+
+// StreamPricerAdapter adapts an auction.StreamPricer (avg, p50, Random,
+// Opt, the DP mechanism) to Pricer using posting-price semantics: bids at
+// or above the current positive price win and pay it; every bid is then
+// observed.
+type StreamPricerAdapter struct{ P auction.StreamPricer }
+
+// Decide implements Pricer.
+func (a StreamPricerAdapter) Decide(bid float64) (bool, float64) {
+	price := a.P.PostingPrice()
+	allocated := price > 0 && bid >= price
+	a.P.ObserveBid(bid)
+	return allocated, price
+}
+
+// Reset implements Pricer.
+func (a StreamPricerAdapter) Reset() { a.P.Reset() }
+
+// Result measures one replay.
+type Result struct {
+	// Revenue is the total raised from winning bids.
+	Revenue float64
+	// Surplus is the buyer social surplus: sum of (valuation - price)
+	// over allocations (Section 3.3).
+	Surplus float64
+	// Allocations counts winning bids; Bids counts submitted bids.
+	Allocations, Bids int
+}
+
+// Replay runs stream through p. When skipWon is true (the realistic
+// setting), a buyer who has already won stops bidding: its remaining
+// stream entries are dropped, since a buyer needs the dataset only once.
+func Replay(p Pricer, stream []timeseries.Bid, skipWon bool) Result {
+	var res Result
+	var won map[int]bool
+	if skipWon {
+		won = make(map[int]bool)
+	}
+	for _, b := range stream {
+		if skipWon && won[b.Buyer] {
+			continue
+		}
+		allocated, price := p.Decide(b.Amount)
+		res.Bids++
+		if allocated {
+			res.Allocations++
+			res.Revenue += price
+			res.Surplus += market.Surplus(b.Valuation, price, true)
+			if skipWon {
+				won[b.Buyer] = true
+			}
+		}
+	}
+	return res
+}
+
+// Spec describes one simulated market configuration: the valuation
+// process, the strategic transform, and how many independent series to
+// aggregate. The paper uses 100 series of 250 points.
+type Spec struct {
+	AR        timeseries.ARConfig
+	Strategic timeseries.StrategicConfig
+	// Series is the number of random series (0 selects 100).
+	Series int
+	// BaseSeed derives the per-series generator and transform seeds.
+	BaseSeed uint64
+	// SkipWon controls Replay's skip-after-win behavior (default true via
+	// Run; set KeepWonBids to replay every bid).
+	KeepWonBids bool
+	// Window truncates each transformed stream to at most this many bids
+	// (0 keeps the whole stream). The paper measures fixed-length
+	// observation windows of an ongoing market: strategic buyers fill
+	// the window with low bids and many of their truthful final bids fall
+	// beyond it — that displacement, not the low bids' sale value, is
+	// how strategizing starves revenue.
+	Window int
+}
+
+// PricerFactory builds a fresh pricer for one series. seed is unique per
+// (factory, series) pair; hindsight is the full bid stream the pricer
+// will face, supplied so the Opt baseline can compute the optimal fixed
+// posting price in hindsight — online pricers must ignore it.
+type PricerFactory func(seed uint64, hindsight []float64) Pricer
+
+// Run generates Spec.Series random series, replays each through every
+// factory's pricer, and returns per-factory sample slices of Results in
+// series order. Every factory faces the identical stream for a given
+// series index.
+func Run(spec Spec, factories map[string]PricerFactory) (map[string][]Result, error) {
+	if len(factories) == 0 {
+		return nil, errors.New("sim: no pricer factories")
+	}
+	series := spec.Series
+	if series == 0 {
+		series = 100
+	}
+	if series < 1 {
+		return nil, errors.New("sim: Series must be >= 1")
+	}
+	out := make(map[string][]Result, len(factories))
+	for name := range factories {
+		out[name] = make([]Result, 0, series)
+	}
+	for s := 0; s < series; s++ {
+		seed := spec.BaseSeed + uint64(s)*2654435761
+		genR := rng.New(seed)
+		vals, err := timeseries.GenerateValuations(spec.AR, genR)
+		if err != nil {
+			return nil, fmt.Errorf("sim: series %d: %w", s, err)
+		}
+		stream, err := timeseries.Transform(vals, spec.Strategic, genR.Split())
+		if err != nil {
+			return nil, fmt.Errorf("sim: series %d: %w", s, err)
+		}
+		if spec.Window > 0 && len(stream) > spec.Window {
+			// A window is a stationary snapshot of an ongoing market:
+			// the buyers observed mid-window are at arbitrary phases of
+			// their bidding plans (some started before the window, some
+			// finish after it). Shuffle fully before truncating so the
+			// window composition matches the steady-state bid mix rather
+			// than the transient where every buyer has just arrived.
+			shuf := rng.New(seed ^ 0x9e3779b97f4a7c15)
+			shuffleBids(stream, shuf)
+			stream = stream[:spec.Window]
+		}
+		hindsight := timeseries.Amounts(stream)
+		for name, mk := range factories {
+			p := mk(seed, hindsight)
+			out[name] = append(out[name], Replay(p, stream, !spec.KeepWonBids))
+		}
+	}
+	return out, nil
+}
+
+// shuffleBids is a Fisher-Yates shuffle over a bid stream.
+func shuffleBids(s []timeseries.Bid, r *rng.RNG) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Revenues projects the revenue samples out of results.
+func Revenues(rs []Result) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Revenue
+	}
+	return out
+}
+
+// Surpluses projects the surplus samples out of results.
+func Surpluses(rs []Result) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Surplus
+	}
+	return out
+}
+
+// NormalizeAcross rescales every sample in the map by the single largest
+// sample across all keys, mirroring the paper's "normalized to the
+// maximum value" presentation. It returns a new map.
+func NormalizeAcross(samples map[string][]float64) map[string][]float64 {
+	var max float64
+	for _, xs := range samples {
+		if m := stats.Max(xs); m > max {
+			max = m
+		}
+	}
+	out := make(map[string][]float64, len(samples))
+	for k, xs := range samples {
+		out[k] = stats.NormalizeBy(xs, max)
+	}
+	return out
+}
+
+// SummarizeAll computes the box-plot summary per key.
+func SummarizeAll(samples map[string][]float64) map[string]stats.Summary {
+	out := make(map[string]stats.Summary, len(samples))
+	for k, xs := range samples {
+		out[k] = stats.Summarize(xs)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func decodeSample(data []byte) []float64 {
+	xs := make([]float64, 0, len(data))
+	for i, b := range data {
+		xs = append(xs, float64(int(b)-128)*(1+float64(i%5))/3)
+	}
+	return xs
+}
+
+func FuzzDescriptiveNeverNonsense(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte("statistics"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		xs := decodeSample(data)
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return
+		}
+		// Percentile ordering must hold on any input.
+		if !(s.P1 <= s.P25+1e-9 && s.P25 <= s.Median+1e-9 &&
+			s.Median <= s.P75+1e-9 && s.P75 <= s.P99+1e-9) {
+			t.Fatalf("percentile ordering broken: %+v", s)
+		}
+		if s.Mean < Min(xs)-1e-9 || s.Mean > Max(xs)+1e-9 {
+			t.Fatalf("mean %v outside [min, max]", s.Mean)
+		}
+		if len(xs) >= 2 && (math.IsNaN(s.Std) || s.Std < 0) {
+			t.Fatalf("bad std %v", s.Std)
+		}
+	})
+}
+
+func FuzzWilcoxonBounds(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		xs := decodeSample(data)
+		for _, alt := range []Alternative{TwoSided, Less, Greater} {
+			res, err := WilcoxonOneSample(xs, 0, alt)
+			if err != nil {
+				continue // degenerate samples must error, not panic
+			}
+			if math.IsNaN(res.P) || res.P < 0 || res.P > 1 {
+				t.Fatalf("p-value %v out of [0, 1]", res.P)
+			}
+		}
+		if res, err := ShapiroFrancia(xs); err == nil {
+			if math.IsNaN(res.P) || res.P < 0 || res.P > 1 {
+				t.Fatalf("Shapiro-Francia p %v out of [0, 1]", res.P)
+			}
+		}
+		if res, err := DAgostinoPearson(xs); err == nil {
+			if math.IsNaN(res.P) || res.P < 0 || res.P > 1 {
+				t.Fatalf("K2 p %v out of [0, 1]", res.P)
+			}
+		}
+	})
+}

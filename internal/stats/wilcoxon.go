@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Alternative selects the alternative hypothesis of a test.
+type Alternative int
+
+const (
+	// TwoSided tests for any difference in location.
+	TwoSided Alternative = iota
+	// Less tests whether the first sample (or the sample median) is below
+	// the second sample (or the hypothesized median).
+	Less
+	// Greater tests whether the first sample is above the second.
+	Greater
+)
+
+// String implements fmt.Stringer.
+func (a Alternative) String() string {
+	switch a {
+	case TwoSided:
+		return "two-sided"
+	case Less:
+		return "less"
+	case Greater:
+		return "greater"
+	default:
+		return "unknown"
+	}
+}
+
+// TestResult is the outcome of a hypothesis test.
+type TestResult struct {
+	// Statistic is the test statistic (W+, the sum of positive ranks, for
+	// the Wilcoxon tests; K² for D'Agostino-Pearson; W' for
+	// Shapiro-Francia).
+	Statistic float64
+	// Z is the standardized statistic when the p-value comes from a normal
+	// approximation, zero otherwise.
+	Z float64
+	// P is the p-value under the selected alternative.
+	P float64
+	// N is the effective sample size after discarding zero differences.
+	N int
+}
+
+// ErrAllZero reports that every paired difference was zero, so the Wilcoxon
+// statistic is undefined.
+var ErrAllZero = errors.New("stats: all differences are zero")
+
+// ErrTooFew reports an insufficient sample for the requested test.
+var ErrTooFew = errors.New("stats: sample too small")
+
+// WilcoxonSignedRank performs the paired Wilcoxon signed-rank test on xs
+// and ys, the test the paper uses for its within-subjects comparisons.
+// Zero differences are discarded (Wilcoxon's original treatment, matching
+// scipy's default "wilcox" mode) and tied absolute differences receive
+// average ranks with the usual variance correction. The p-value uses the
+// normal approximation with continuity correction, accurate for the
+// paper's n = 50 panels.
+func WilcoxonSignedRank(xs, ys []float64, alt Alternative) (TestResult, error) {
+	if len(xs) != len(ys) {
+		return TestResult{}, errors.New("stats: paired samples differ in length")
+	}
+	diffs := make([]float64, 0, len(xs))
+	for i := range xs {
+		if d := xs[i] - ys[i]; d != 0 {
+			diffs = append(diffs, d)
+		}
+	}
+	return wilcoxonFromDiffs(diffs, alt)
+}
+
+// WilcoxonOneSample tests whether the median of xs equals m (the 1-sample
+// Wilcoxon test used for RQ1): it ranks the non-zero deviations xs[i]-m.
+func WilcoxonOneSample(xs []float64, m float64, alt Alternative) (TestResult, error) {
+	diffs := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if d := x - m; d != 0 {
+			diffs = append(diffs, d)
+		}
+	}
+	return wilcoxonFromDiffs(diffs, alt)
+}
+
+func wilcoxonFromDiffs(diffs []float64, alt Alternative) (TestResult, error) {
+	n := len(diffs)
+	if n == 0 {
+		return TestResult{}, ErrAllZero
+	}
+	if n < 5 {
+		return TestResult{}, ErrTooFew
+	}
+
+	type absDiff struct {
+		abs float64
+		pos bool
+	}
+	ad := make([]absDiff, n)
+	for i, d := range diffs {
+		ad[i] = absDiff{math.Abs(d), d > 0}
+	}
+	sort.Slice(ad, func(i, j int) bool { return ad[i].abs < ad[j].abs })
+
+	// Average ranks over ties; accumulate the tie correction term.
+	ranks := make([]float64, n)
+	var tieCorrection float64
+	for i := 0; i < n; {
+		j := i
+		for j < n && ad[j].abs == ad[i].abs {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // ranks are 1-based: positions i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		t := float64(j - i)
+		if t > 1 {
+			tieCorrection += t*t*t - t
+		}
+		i = j
+	}
+
+	var wPlus float64
+	for i, r := range ranks {
+		if ad[i].pos {
+			wPlus += r
+		}
+	}
+
+	nf := float64(n)
+	mean := nf * (nf + 1) / 4
+	variance := nf*(nf+1)*(2*nf+1)/24 - tieCorrection/48
+	if variance <= 0 {
+		return TestResult{}, ErrAllZero
+	}
+	sd := math.Sqrt(variance)
+
+	// Continuity correction toward the mean.
+	z := func(corr float64) float64 { return (wPlus - mean + corr) / sd }
+	res := TestResult{Statistic: wPlus, N: n}
+	switch alt {
+	case TwoSided:
+		var zz float64
+		if wPlus > mean {
+			zz = z(-0.5)
+		} else {
+			zz = z(+0.5)
+		}
+		res.Z = zz
+		res.P = math.Min(1, 2*NormalSF(math.Abs(zz)))
+	case Greater:
+		res.Z = z(-0.5)
+		res.P = NormalSF(res.Z)
+	case Less:
+		res.Z = z(+0.5)
+		res.P = NormalCDF(res.Z)
+	}
+	return res, nil
+}

@@ -1,0 +1,245 @@
+package userstudy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/datamarket/shield/internal/stats"
+)
+
+func panel(t *testing.T) *Panel {
+	t.Helper()
+	return NewPanel(DefaultPanelSize, 2022)
+}
+
+func TestPanelSizeAndDeterminism(t *testing.T) {
+	p := NewPanel(0, 1)
+	if p.Size() != DefaultPanelSize {
+		t.Fatalf("default size = %d", p.Size())
+	}
+	a, err := NewPanel(50, 9).RQ1(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPanel(50, 9).RQ1(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed panels diverged at %d", i)
+		}
+	}
+}
+
+func TestRQ1NearTruthfulShape(t *testing.T) {
+	// Table 1 shape: mean ~0.9v, median ~0.9v, std meaningfully nonzero,
+	// all bids in [0, 2v].
+	p := panel(t)
+	for _, v := range []float64{500, 1500} {
+		bids, err := p.RQ1(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bids) != 50 {
+			t.Fatalf("n = %d", len(bids))
+		}
+		for _, b := range bids {
+			if b < 0 || b > 2*v {
+				t.Fatalf("bid %v outside slider range [0, %v]", b, 2*v)
+			}
+		}
+		mean := stats.Mean(bids)
+		if mean < 0.82*v || mean > 0.98*v {
+			t.Errorf("v=%v: mean %v not near-truthful", v, mean)
+		}
+		med := stats.Median(bids)
+		if med < 0.85*v || med > 1.0*v {
+			t.Errorf("v=%v: median %v not near-truthful", v, med)
+		}
+		sd := stats.StdDev(bids)
+		if sd < 0.05*v || sd > 0.3*v {
+			t.Errorf("v=%v: std %v out of Table 1 ballpark", v, sd)
+		}
+		// Some spread in both directions, as in Figures 2a/2b.
+		if stats.Max(bids) <= v {
+			t.Errorf("v=%v: nobody over-bid", v)
+		}
+		if stats.Min(bids) >= 0.9*v {
+			t.Errorf("v=%v: nobody discounted", v)
+		}
+	}
+}
+
+func TestRQ1RejectsBadValuation(t *testing.T) {
+	p := panel(t)
+	if _, err := p.RQ1(0); err == nil {
+		t.Fatal("v=0 accepted")
+	}
+	if _, err := p.RQ2(-5); err == nil {
+		t.Fatal("negative v accepted")
+	}
+	if _, err := p.RQ3(0); err == nil {
+		t.Fatal("v=0 accepted for RQ3")
+	}
+	if _, err := p.RQ4(0, 4); err == nil {
+		t.Fatal("v=0 accepted for RQ4")
+	}
+	if _, err := p.RQ4(100, 1); err == nil {
+		t.Fatal("hours=1 accepted")
+	}
+	if _, err := p.RQ5(0, 4); err == nil {
+		t.Fatal("v=0 accepted for RQ5")
+	}
+	if _, err := p.RQ5(100, 1); err == nil {
+		t.Fatal("hours=1 accepted for RQ5")
+	}
+}
+
+func TestTable1MatchesPaperShape(t *testing.T) {
+	rows, err := panel(t).Table1(500, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Paper: 500 -> mean 456, std 81.66, median 450, p 0.35.
+	// We require the same qualitative shape, not the exact numbers.
+	r := rows[0]
+	if r.Mean < 410 || r.Mean > 490 {
+		t.Errorf("mean = %v, paper 456", r.Mean)
+	}
+	if r.Median < 425 || r.Median > 500 {
+		t.Errorf("median = %v, paper 450", r.Median)
+	}
+	if r.Std < 25 || r.Std > 150 {
+		t.Errorf("std = %v, paper 81.66", r.Std)
+	}
+	// The one-sample test must NOT reject near-truthfulness.
+	if r.P < 0.05 {
+		t.Errorf("p = %v, paper reports p >= 0.3 (no rejection)", r.P)
+	}
+	// The 1500 row scales: mean/median proportional.
+	r2 := rows[1]
+	if math.Abs(r2.Mean/r.Mean-3) > 0.25 {
+		t.Errorf("1500 mean %v not ~3x the 500 mean %v", r2.Mean, r.Mean)
+	}
+}
+
+func TestLeakStudyReproducesRQ2RQ3(t *testing.T) {
+	for _, v := range []float64{500, 1500} {
+		s, err := panel(t).RunLeakStudy(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Normality is rejected (the basis for using Wilcoxon).
+		if s.NormalityK2.P > 0.05 && s.NormalitySF.P > 0.05 {
+			t.Errorf("v=%v: neither normality test rejected (K2 p=%v, SF p=%v)",
+				v, s.NormalityK2.P, s.NormalitySF.P)
+		}
+		// RQ2: the leak drops bids significantly.
+		if s.PastVsNoLeak.P > 0.01 {
+			t.Errorf("v=%v: leak drop not significant, p=%v", v, s.PastVsNoLeak.P)
+		}
+		if s.MeanDropPast <= 0 {
+			t.Errorf("v=%v: mean drop under leak = %v", v, s.MeanDropPast)
+		}
+		// RQ3: randomization does not remove the drop entirely...
+		if s.RandomVsNoLeak.P > 0.05 {
+			t.Errorf("v=%v: random arm shows no residual drop, p=%v", v, s.RandomVsNoLeak.P)
+		}
+		// ...but it significantly recovers bids relative to the leak arm.
+		if s.RandomVsPast.P > 0.01 {
+			t.Errorf("v=%v: randomization recovery not significant, p=%v", v, s.RandomVsPast.P)
+		}
+		if !(s.MeanDropRandom < s.MeanDropPast) {
+			t.Errorf("v=%v: random drop %v not smaller than past drop %v",
+				v, s.MeanDropRandom, s.MeanDropPast)
+		}
+	}
+}
+
+func TestTimeShieldStudyReproducesRQ4RQ5(t *testing.T) {
+	s, err := panel(t).RunTimeShieldStudy(2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.NWp50) != 4 || len(s.Wp50) != 4 || len(s.HourlyP) != 4 {
+		t.Fatalf("curve lengths: %d/%d/%d", len(s.NWp50), len(s.Wp50), len(s.HourlyP))
+	}
+	// RQ4: plans ascend without Time-Shield.
+	for h := 1; h < 4; h++ {
+		if s.NWp50[h] < s.NWp50[h-1]-1e-9 {
+			t.Errorf("NW median not ascending at hour %d: %v", h, s.NWp50)
+		}
+	}
+	// Early NW bids are clearly strategic (well below valuation).
+	if s.NWp50[0] > 0.75*2000 {
+		t.Errorf("NW opening median %v too close to truthful", s.NWp50[0])
+	}
+	// RQ5: Time-Shield lifts early bids...
+	for h := 0; h < 3; h++ {
+		if s.Wp50[h] <= s.NWp50[h] {
+			t.Errorf("hour %d: W median %v not above NW %v", h, s.Wp50[h], s.NWp50[h])
+		}
+		if s.HourlyP[h] > 0.01 {
+			t.Errorf("hour %d: lift not significant, p=%v", h, s.HourlyP[h])
+		}
+	}
+	// ...but the final hour is near-truthful in both arms and not
+	// significantly different.
+	if s.HourlyP[3] < 0.05 {
+		t.Errorf("final hour significantly different, p=%v", s.HourlyP[3])
+	}
+	if s.Wp50[3] < 0.8*2000 || s.NWp50[3] < 0.8*2000 {
+		t.Errorf("final medians not near-truthful: W %v, NW %v", s.Wp50[3], s.NWp50[3])
+	}
+}
+
+func TestHourPercentilesShape(t *testing.T) {
+	plans := [][]float64{
+		{10, 20, 30},
+		{20, 30, 40},
+		{30, 40, 50},
+		{40, 50, 60},
+	}
+	p25, p50, p75 := HourPercentiles(plans)
+	if len(p25) != 3 || len(p50) != 3 || len(p75) != 3 {
+		t.Fatal("lengths")
+	}
+	if p50[0] != 25 || p50[2] != 45 {
+		t.Fatalf("medians = %v", p50)
+	}
+	for h := 0; h < 3; h++ {
+		if !(p25[h] <= p50[h] && p50[h] <= p75[h]) {
+			t.Fatalf("percentile ordering broken at hour %d", h)
+		}
+	}
+	a, b, c := HourPercentiles(nil)
+	if a != nil || b != nil || c != nil {
+		t.Fatal("empty plans should return nils")
+	}
+}
+
+func TestLeakStudyDistributionsStayInRange(t *testing.T) {
+	s, err := panel(t).RunLeakStudy(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arm := range [][]float64{s.NoLeak, s.Past, s.Random} {
+		if len(arm) != 50 {
+			t.Fatalf("arm size %d", len(arm))
+		}
+		for _, b := range arm {
+			if b < 0 || b > 1000 {
+				t.Fatalf("bid %v outside [0, 1000]", b)
+			}
+		}
+	}
+	// Mean ordering: NoLeak > Random > Past.
+	mNo, mPast, mRand := stats.Mean(s.NoLeak), stats.Mean(s.Past), stats.Mean(s.Random)
+	if !(mNo > mRand && mRand > mPast) {
+		t.Fatalf("mean ordering broken: NoLeak %v, Random %v, Past %v", mNo, mRand, mPast)
+	}
+}
