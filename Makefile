@@ -1,0 +1,24 @@
+# Development targets. `make ci` is the full gate a change must pass.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build race test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# The concurrency-sensitive packages run under the race detector: the
+# sharded market arbiter and the HTTP layer that fans batches into it.
+race:
+	$(GO) test -race ./internal/market/... ./internal/httpapi/...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .

@@ -11,8 +11,12 @@
 package shield_test
 
 import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
+	shield "github.com/datamarket/shield"
 	"github.com/datamarket/shield/internal/experiments"
 )
 
@@ -294,4 +298,111 @@ func BenchmarkX7_BestResponse(b *testing.B) {
 		advGap = res.StrategicAdvantageNoShield() - res.StrategicAdvantageShield()
 	}
 	b.ReportMetric(advGap, "strategic-edge-removed-by-waits")
+}
+
+// BenchmarkMarketParallel measures concurrent bid throughput against the
+// sharded market arbiter: every goroutine bids on a rotation of 64
+// datasets with a fresh buyer per rotation, so each bid is a winning bid
+// exercising the full path (engine, accounts, ledger, payout). Run with
+// -cpu 1,2,4,... on a multicore machine to see throughput scale with
+// parallelism; the shards=1 variant is the unsharded baseline the
+// speedup should be measured against (with a single shard every bid
+// serializes on one lock regardless of GOMAXPROCS).
+func BenchmarkMarketParallel(b *testing.B) {
+	for _, shards := range []int{1, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			const numDatasets = 64
+			m, datasets := benchMarket(b, numDatasets, shards)
+			// Pre-register every buyer the run can need: registration
+			// takes the registry write lock (a full bid barrier), which
+			// belongs in setup, not in the measured hot path.
+			buyers := make([]shield.BuyerID, b.N/numDatasets+runtime.GOMAXPROCS(0)+1)
+			for i := range buyers {
+				buyers[i] = shield.BuyerID(fmt.Sprintf("buyer-%d", i))
+				if err := m.RegisterBuyer(buyers[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var buyerSeq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				var buyer shield.BuyerID
+				i := numDatasets // force a fresh buyer on the first iteration
+				for pb.Next() {
+					if i == numDatasets {
+						buyer = buyers[buyerSeq.Add(1)-1]
+						i = 0
+					}
+					if _, err := m.SubmitBid(buyer, datasets[i], 150); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			var bids, contention int64
+			for _, sh := range m.ShardStats() {
+				bids += sh.Bids
+				contention += sh.Contention
+			}
+			if bids > 0 {
+				b.ReportMetric(float64(contention)/float64(bids), "contention/bid")
+			}
+		})
+	}
+}
+
+// BenchmarkMarketBatchBids measures the batch entry point: one
+// SubmitBids call per iteration carrying a fresh buyer's bids across all
+// 64 datasets, fanned out internally across the shards.
+func BenchmarkMarketBatchBids(b *testing.B) {
+	const numDatasets = 64
+	m, datasets := benchMarket(b, numDatasets, 0)
+	var buyerSeq atomic.Int64
+	reqs := make([]shield.BidRequest, numDatasets)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buyer := shield.BuyerID(fmt.Sprintf("buyer-%d", buyerSeq.Add(1)))
+		if err := m.RegisterBuyer(buyer); err != nil {
+			b.Fatal(err)
+		}
+		for j, ds := range datasets {
+			reqs[j] = shield.BidRequest{Buyer: buyer, Dataset: ds, Amount: 150}
+		}
+		for _, res := range m.SubmitBids(reqs) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+}
+
+// benchMarket builds a market with n base datasets for the concurrency
+// benchmarks (shards <= 0 selects the default shard count).
+func benchMarket(b *testing.B, n, shards int) (*shield.Market, []shield.DatasetID) {
+	b.Helper()
+	m, err := shield.NewMarket(shield.MarketConfig{
+		Engine: shield.EngineConfig{
+			Candidates: shield.LinearGrid(1, 100, 40),
+			EpochSize:  8,
+			MinBid:     1,
+		},
+		Seed:   2022,
+		Shards: shards,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.RegisterSeller("bench-seller"); err != nil {
+		b.Fatal(err)
+	}
+	datasets := make([]shield.DatasetID, n)
+	for i := range datasets {
+		datasets[i] = shield.DatasetID(fmt.Sprintf("ds-%03d", i))
+		if err := m.UploadDataset("bench-seller", datasets[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m, datasets
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"github.com/datamarket/shield/internal/auth"
 	"github.com/datamarket/shield/internal/market"
@@ -54,11 +55,27 @@ func (c *client) call(method, path string, body, dst any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
+		// The server replies with the versioned envelope
+		// {"error":{"code":"...","message":"..."}}; older servers sent a
+		// bare string, so both shapes are accepted.
 		var e struct {
-			Error string `json:"error"`
+			Error json.RawMessage `json:"error"`
 		}
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && len(e.Error) > 0 {
+			var env struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			}
+			if json.Unmarshal(e.Error, &env) == nil && env.Message != "" {
+				if env.Code != "" {
+					return fmt.Errorf("server: %s [%s] (HTTP %d)", env.Message, env.Code, resp.StatusCode)
+				}
+				return fmt.Errorf("server: %s (HTTP %d)", env.Message, resp.StatusCode)
+			}
+			var msg string
+			if json.Unmarshal(e.Error, &msg) == nil && msg != "" {
+				return fmt.Errorf("server: %s (HTTP %d)", msg, resp.StatusCode)
+			}
 		}
 		return fmt.Errorf("server: HTTP %d", resp.StatusCode)
 	}
@@ -173,6 +190,66 @@ func run(c *client, args []string, out io.Writer) error {
 				rest[0], resp.WaitPeriods, rest[1])
 		}
 		return nil
+
+	case "bid-batch":
+		if len(rest) == 0 {
+			return errors.New("usage: marketctl bid-batch <buyer>:<dataset>:<amount> [...]")
+		}
+		var bids []map[string]any
+		nonce := c.nonce
+		for _, spec := range rest {
+			parts := strings.SplitN(spec, ":", 3)
+			if len(parts) != 3 {
+				return fmt.Errorf("bad bid spec %q (want <buyer>:<dataset>:<amount>)", spec)
+			}
+			buyer, dataset := parts[0], parts[1]
+			amount, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil || amount <= 0 {
+				return fmt.Errorf("bad amount %q in bid spec %q", parts[2], spec)
+			}
+			entry := map[string]any{"buyer": buyer, "dataset": dataset, "amount": amount}
+			if c.credential != "" {
+				micros := int64(market.FromFloat(amount))
+				signed, err := auth.Sign(auth.Credential{BuyerID: buyer, Secret: c.credential}, dataset, micros, nonce)
+				if err != nil {
+					return err
+				}
+				nonce++
+				entry = map[string]any{
+					"buyer": buyer, "dataset": dataset,
+					"amount_micros": signed.AmountMicros,
+					"nonce":         signed.Nonce,
+					"mac":           signed.MAC,
+				}
+			}
+			bids = append(bids, entry)
+		}
+		var resp struct {
+			Results []struct {
+				Allocated   bool    `json:"allocated"`
+				PricePaid   float64 `json:"price_paid"`
+				WaitPeriods int     `json:"wait_periods"`
+				Error       *struct {
+					Code    string `json:"code"`
+					Message string `json:"message"`
+				} `json:"error"`
+			} `json:"results"`
+		}
+		if err := c.call("POST", "/v1/bids/batch", map[string]any{"bids": bids}, &resp); err != nil {
+			return err
+		}
+		t := render.NewTable("bid", "outcome", "detail")
+		for i, res := range resp.Results {
+			switch {
+			case res.Error != nil:
+				t.AddRowf(rest[i], "error", fmt.Sprintf("%s [%s]", res.Error.Message, res.Error.Code))
+			case res.Allocated:
+				t.AddRowf(rest[i], "won", fmt.Sprintf("paid %.6f", res.PricePaid))
+			default:
+				t.AddRowf(rest[i], "lost", fmt.Sprintf("wait %d period(s)", res.WaitPeriods))
+			}
+		}
+		return t.Render(out)
 
 	case "tick":
 		if err := need(0, "tick"); err != nil {

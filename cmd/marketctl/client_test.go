@@ -171,3 +171,57 @@ func TestMetricsViaCLI(t *testing.T) {
 		t.Fatal("usage error accepted")
 	}
 }
+
+func TestBidBatchViaCLI(t *testing.T) {
+	c := testClient(t, false)
+	runCmd(t, c, "register-seller", "s")
+	runCmd(t, c, "upload", "s", "d1")
+	runCmd(t, c, "upload", "s", "d2")
+	runCmd(t, c, "register-buyer", "bob")
+	runCmd(t, c, "register-buyer", "alice")
+
+	out := runCmd(t, c, "bid-batch", "bob:d1:500", "alice:d2:2", "ghost:d1:10")
+	if !strings.Contains(out, "won") {
+		t.Fatalf("no winning row: %q", out)
+	}
+	if !strings.Contains(out, "lost") || !strings.Contains(out, "wait") {
+		t.Fatalf("no losing row: %q", out)
+	}
+	if !strings.Contains(out, "unknown_buyer") {
+		t.Fatalf("no error code row: %q", out)
+	}
+
+	var sb strings.Builder
+	if err := run(c, []string{"bid-batch"}, &sb); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if err := run(c, []string{"bid-batch", "malformed"}, &sb); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+	if err := run(c, []string{"bid-batch", "b:d:not-a-number"}, &sb); err == nil {
+		t.Fatal("bad amount accepted")
+	}
+}
+
+func TestSignedBidBatchViaCLI(t *testing.T) {
+	c := testClient(t, true)
+	runCmd(t, c, "register-seller", "s")
+	runCmd(t, c, "upload", "s", "d1")
+	runCmd(t, c, "upload", "s", "d2")
+	out := runCmd(t, c, "register-buyer", "bob")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	fields := strings.Fields(lines[len(lines)-1])
+	secret := fields[len(fields)-1]
+
+	signed := &client{base: c.base, credential: secret, nonce: 1}
+	res := runCmd(t, signed, "bid-batch", "bob:d1:500", "bob:d2:500")
+	if strings.Count(res, "won") != 2 {
+		t.Fatalf("signed batch: %q", res)
+	}
+
+	// Unsigned batch entries against an auth server fail in place.
+	res = runCmd(t, c, "bid-batch", "bob:d1:500")
+	if !strings.Contains(res, "unauthorized") {
+		t.Fatalf("unsigned batch entry: %q", res)
+	}
+}

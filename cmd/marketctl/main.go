@@ -13,6 +13,10 @@
 //	withdraw <seller> <dataset>
 //	compose  <dataset> <part> [<part>...]
 //	bid      <buyer> <dataset> <amount>    sign with -credential and -nonce
+//	bid-batch <buyer>:<dataset>:<amount> [...]
+//	                                       one request, one result per bid;
+//	                                       with -credential each bid is signed
+//	                                       using nonce, nonce+1, ...
 //	tick
 //	datasets
 //	stats    <dataset>
@@ -27,6 +31,7 @@
 //	marketctl upload acme sales-2025
 //	marketctl register-buyer bob
 //	marketctl bid bob sales-2025 120.5
+//	marketctl bid-batch bob:sales-2025:120.5 alice:ads-2025:80
 //	marketctl -credential deadbeef... -nonce 3 bid bob sales-2025 120.5
 package main
 

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	marketd [-addr :8080] [-epoch 8] [-candidates 40] [-min 1] [-max 200]
-//	        [-seed 2022] [-journal market.log] [-auth]
+//	        [-seed 2022] [-shards 16] [-journal market.log] [-auth]
 //
 // With -journal, every successful operation is appended to an event log
 // and the full market state is rebuilt from it on restart. With -auth,
@@ -44,6 +44,7 @@ func main() {
 		maxPrice    = flag.Float64("max", 200, "highest candidate price")
 		bpp         = flag.Int("bpp", 1, "expected bids per market period (Time-Shield conversion)")
 		seed        = flag.Uint64("seed", 2022, "pricing randomness seed")
+		shards      = flag.Int("shards", market.DefaultShards, "lock shards for concurrent bidding (pricing is shard-count independent)")
 		journalPath = flag.String("journal", "", "event-journal file (created, or replayed if present)")
 		compact     = flag.Bool("compact", false, "compact the journal (snapshot head) before serving")
 		useAuth     = flag.Bool("auth", false, "require HMAC-signed bids")
@@ -57,7 +58,8 @@ func main() {
 			BidsPerPeriod: *bpp,
 			MinBid:        *minPrice,
 		},
-		Seed: *seed,
+		Seed:   *seed,
+		Shards: *shards,
 	}
 
 	var srvHandler *httpapi.Server

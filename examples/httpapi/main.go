@@ -40,6 +40,7 @@ func main() {
 	// Seller onboarding.
 	mustPost(ts.URL+"/v1/sellers", map[string]any{"id": "geodata-co"})
 	mustPost(ts.URL+"/v1/datasets", map[string]any{"seller": "geodata-co", "id": "road-network"})
+	mustPost(ts.URL+"/v1/datasets", map[string]any{"seller": "geodata-co", "id": "traffic-feed"})
 
 	// Buyer registration returns the signing credential (once).
 	resp := mustPost(ts.URL+"/v1/buyers", map[string]any{"id": "navtech"})
@@ -70,6 +71,34 @@ func main() {
 		"amount_micros": signed.AmountMicros, "nonce": signed.Nonce, "mac": signed.MAC,
 	})
 	fmt.Printf("replayed bid:  HTTP %d (nonce consumed)\n", code)
+
+	// Batch bidding: several signed bids in one request. Each entry
+	// succeeds or fails on its own — here a fresh buyer bids on both
+	// datasets plus one that does not exist, and the response carries one
+	// result per entry with a stable error code on the failed slot.
+	resp = mustPost(ts.URL+"/v1/buyers", map[string]any{"id": "fleetai"})
+	fleetCred := shield.BidCredential{BuyerID: "fleetai", Secret: resp["credential"].(string)}
+	var batch []map[string]any
+	for i, ds := range []string{"road-network", "traffic-feed", "no-such-dataset"} {
+		s, err := shield.SignBid(fleetCred, ds, 130_000_000, uint64(i+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		batch = append(batch, map[string]any{
+			"buyer": "fleetai", "dataset": ds,
+			"amount_micros": s.AmountMicros, "nonce": s.Nonce, "mac": s.MAC,
+		})
+	}
+	out = mustPost(ts.URL+"/v1/bids/batch", map[string]any{"bids": batch})
+	for i, r := range out["results"].([]any) {
+		res := r.(map[string]any)
+		if env, ok := res["error"].(map[string]any); ok {
+			fmt.Printf("batch bid %d on %s: error code=%s\n", i, batch[i]["dataset"], env["code"])
+			continue
+		}
+		fmt.Printf("batch bid %d on %s: allocated=%v price_paid=%v\n",
+			i, batch[i]["dataset"], res["allocated"], res["price_paid"])
+	}
 
 	// The seller can watch its compensation accrue.
 	var bal map[string]float64

@@ -7,7 +7,6 @@ package httpapi
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 
@@ -25,6 +24,7 @@ type mutator interface {
 	WithdrawDataset(market.SellerID, market.DatasetID) error
 	ComposeDataset(market.DatasetID, ...market.DatasetID) error
 	SubmitBid(market.BuyerID, market.DatasetID, float64) (market.Decision, error)
+	SubmitBids([]market.BidRequest) []market.BidResult
 }
 
 // Server exposes a market.Market over a JSON HTTP API.
@@ -35,6 +35,7 @@ type mutator interface {
 //	POST   /v1/datasets/compose   {"id": "combo", "constituents": ["a","b"]}
 //	DELETE /v1/datasets/{id}?seller=acme
 //	POST   /v1/bids               {"buyer": "bob", "dataset": "sales", "amount": 120.5}
+//	POST   /v1/bids/batch         {"bids": [{"buyer": "bob", "dataset": "sales", "amount": 120.5}, ...]}
 //	POST   /v1/tick               {}
 //	GET    /v1/datasets
 //	GET    /v1/datasets/{id}/stats
@@ -48,6 +49,10 @@ type mutator interface {
 // never disclosed to them (that is the leak Uncertainty-Shield guards
 // against). The stats and metrics endpoints are operator-facing and
 // should not be reachable by buyers in a real deployment.
+//
+// Every error response carries the versioned envelope
+// {"error":{"code":"...","message":"..."}} with a stable machine-readable
+// code (see errors.go).
 type Server struct {
 	m    *market.Market // reads
 	mut  mutator        // writes (possibly journaled)
@@ -86,6 +91,7 @@ func (s *Server) Routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/datasets/compose", s.handleComposeDataset)
 	mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleWithdrawDataset)
 	mux.HandleFunc("POST /v1/bids", s.handleBid)
+	mux.HandleFunc("POST /v1/bids/batch", s.handleBidBatch)
 	mux.HandleFunc("POST /v1/tick", s.handleTick)
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("GET /v1/datasets/{id}/stats", s.handleDatasetStats)
@@ -154,7 +160,7 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleWithdrawDataset(w http.ResponseWriter, r *http.Request) {
 	seller := r.URL.Query().Get("seller")
 	if seller == "" {
-		http.Error(w, `{"error":"missing seller query parameter"}`, http.StatusBadRequest)
+		writeAPIError(w, http.StatusBadRequest, CodeBadRequest, "missing seller query parameter")
 		return
 	}
 	if err := s.mut.WithdrawDataset(market.SellerID(seller), market.DatasetID(r.PathValue("id"))); err != nil {
@@ -207,9 +213,8 @@ func (s *Server) handleBid(w http.ResponseWriter, r *http.Request) {
 	amount := req.Amount
 	if s.verifier != nil {
 		if req.MAC == "" {
-			writeJSON(w, http.StatusUnauthorized, map[string]string{
-				"error": "auth: bid must be signed (amount_micros, nonce, mac)",
-			})
+			writeAPIError(w, http.StatusUnauthorized, CodeUnauthorized,
+				"auth: bid must be signed (amount_micros, nonce, mac)")
 			return
 		}
 		err := s.verifier.Verify(auth.SignedBid{
@@ -220,7 +225,7 @@ func (s *Server) handleBid(w http.ResponseWriter, r *http.Request) {
 			MAC:          req.MAC,
 		})
 		if err != nil {
-			writeJSON(w, http.StatusUnauthorized, map[string]string{"error": err.Error()})
+			writeAPIError(w, http.StatusUnauthorized, CodeUnauthorized, err.Error())
 			return
 		}
 		amount = market.Money(req.AmountMicros).Float()
@@ -235,6 +240,100 @@ func (s *Server) handleBid(w http.ResponseWriter, r *http.Request) {
 		PricePaid:   d.PricePaid.Float(),
 		WaitPeriods: d.WaitPeriods,
 	})
+}
+
+// maxBatchBids bounds one batch request; larger workloads should split
+// across requests rather than hold a connection for an unbounded batch.
+const maxBatchBids = 1024
+
+// batchBidEntry is one bid of a POST /v1/bids/batch request. Signature
+// fields follow the same rules as the single-bid endpoint: required when
+// the server runs with auth, in which case AmountMicros is the bid.
+type batchBidEntry struct {
+	Buyer        string  `json:"buyer"`
+	Dataset      string  `json:"dataset"`
+	Amount       float64 `json:"amount"`
+	AmountMicros int64   `json:"amount_micros,omitempty"`
+	Nonce        uint64  `json:"nonce,omitempty"`
+	MAC          string  `json:"mac,omitempty"`
+}
+
+// batchBidResult mirrors bidResponse with a per-entry error envelope:
+// one rejected bid never fails the batch, it fails its slot.
+type batchBidResult struct {
+	Allocated   bool      `json:"allocated"`
+	PricePaid   float64   `json:"price_paid,omitempty"`
+	WaitPeriods int       `json:"wait_periods,omitempty"`
+	Error       *APIError `json:"error,omitempty"`
+}
+
+// handleBidBatch submits a batch of bids in one request. The response
+// carries one result per request entry, in order; the call returns 200
+// even when individual bids fail (their slots carry error envelopes).
+func (s *Server) handleBidBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Bids []batchBidEntry `json:"bids"`
+	}
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Bids) == 0 {
+		writeAPIError(w, http.StatusBadRequest, CodeBadRequest, "batch must contain at least one bid")
+		return
+	}
+	if len(req.Bids) > maxBatchBids {
+		writeAPIError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("batch exceeds %d bids", maxBatchBids))
+		return
+	}
+
+	results := make([]batchBidResult, len(req.Bids))
+	// Verify signatures first (when auth is on), so only authenticated
+	// bids reach the market; rejected entries fail in place.
+	reqs := make([]market.BidRequest, 0, len(req.Bids))
+	slots := make([]int, 0, len(req.Bids))
+	for i, b := range req.Bids {
+		amount := b.Amount
+		if s.verifier != nil {
+			if b.MAC == "" {
+				results[i].Error = &APIError{Code: CodeUnauthorized,
+					Message: "auth: bid must be signed (amount_micros, nonce, mac)"}
+				continue
+			}
+			err := s.verifier.Verify(auth.SignedBid{
+				BuyerID:      b.Buyer,
+				Dataset:      b.Dataset,
+				AmountMicros: b.AmountMicros,
+				Nonce:        b.Nonce,
+				MAC:          b.MAC,
+			})
+			if err != nil {
+				results[i].Error = &APIError{Code: CodeUnauthorized, Message: err.Error()}
+				continue
+			}
+			amount = market.Money(b.AmountMicros).Float()
+		}
+		reqs = append(reqs, market.BidRequest{
+			Buyer:   market.BuyerID(b.Buyer),
+			Dataset: market.DatasetID(b.Dataset),
+			Amount:  amount,
+		})
+		slots = append(slots, i)
+	}
+	for j, res := range s.mut.SubmitBids(reqs) {
+		i := slots[j]
+		if res.Err != nil {
+			code, _ := classify(res.Err)
+			results[i].Error = &APIError{Code: code, Message: res.Err.Error()}
+			continue
+		}
+		results[i] = batchBidResult{
+			Allocated:   res.Decision.Allocated,
+			PricePaid:   res.Decision.PricePaid.Float(),
+			WaitPeriods: res.Decision.WaitPeriods,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string][]batchBidResult{"results": results})
 }
 
 func (s *Server) handleTick(w http.ResponseWriter, _ *http.Request) {
@@ -271,7 +370,7 @@ func (s *Server) handleSellerBalance(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBuyerWait(w http.ResponseWriter, r *http.Request) {
 	dataset := r.URL.Query().Get("dataset")
 	if dataset == "" {
-		http.Error(w, `{"error":"missing dataset query parameter"}`, http.StatusBadRequest)
+		writeAPIError(w, http.StatusBadRequest, CodeBadRequest, "missing dataset query parameter")
 		return
 	}
 	wait, err := s.m.WaitRemaining(market.BuyerID(r.PathValue("id")), market.DatasetID(dataset))
@@ -290,7 +389,7 @@ func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		http.Error(w, fmt.Sprintf(`{"error":%q}`, "bad request: "+err.Error()), http.StatusBadRequest)
+		writeAPIError(w, http.StatusBadRequest, CodeBadRequest, "bad request: "+err.Error())
 		return false
 	}
 	return true
@@ -300,29 +399,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-// writeError maps market errors to HTTP statuses.
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, market.ErrUnknownBuyer),
-		errors.Is(err, market.ErrUnknownSeller),
-		errors.Is(err, market.ErrUnknownDataset):
-		status = http.StatusNotFound
-	case errors.Is(err, market.ErrDuplicateID),
-		errors.Is(err, market.ErrAlreadyAcquired),
-		errors.Is(err, market.ErrDatasetInUse):
-		status = http.StatusConflict
-	case errors.Is(err, market.ErrBadBid),
-		errors.Is(err, market.ErrEmptyID),
-		errors.Is(err, auth.ErrEmptyID):
-		status = http.StatusBadRequest
-	case errors.Is(err, auth.ErrDuplicate):
-		status = http.StatusConflict
-	case errors.Is(err, market.ErrBidTooSoon),
-		errors.Is(err, market.ErrWaitActive):
-		status = http.StatusTooManyRequests
-	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

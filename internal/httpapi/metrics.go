@@ -4,12 +4,19 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+
+	"github.com/datamarket/shield/internal/market"
 )
 
 // handleMetrics exposes operator metrics in the Prometheus text
 // exposition format (no client library needed — the format is plain
 // text). Like the stats endpoint, this is operator-facing: posting
 // prices per dataset must not be reachable by buyers.
+//
+// The exposition format requires every sample of a metric family to
+// appear contiguously after its HELP/TYPE header, so per-dataset and
+// per-shard stats are collected first and then emitted family by
+// family, never interleaved per label.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 
@@ -25,27 +32,65 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE shield_market_period gauge\n")
 	fmt.Fprintf(w, "shield_market_period %d\n", s.m.Period())
 
-	fmt.Fprintf(w, "# HELP shield_dataset_bids_total Bids evaluated per dataset.\n")
-	fmt.Fprintf(w, "# TYPE shield_dataset_bids_total counter\n")
-	fmt.Fprintf(w, "# HELP shield_dataset_allocations_total Winning bids per dataset.\n")
-	fmt.Fprintf(w, "# TYPE shield_dataset_allocations_total counter\n")
-	fmt.Fprintf(w, "# HELP shield_dataset_epochs_total Completed pricing epochs per dataset.\n")
-	fmt.Fprintf(w, "# TYPE shield_dataset_epochs_total counter\n")
-	fmt.Fprintf(w, "# HELP shield_dataset_revenue_units Revenue per dataset.\n")
-	fmt.Fprintf(w, "# TYPE shield_dataset_revenue_units counter\n")
-	fmt.Fprintf(w, "# HELP shield_dataset_posting_price Current posting price per dataset (operator only).\n")
-	fmt.Fprintf(w, "# TYPE shield_dataset_posting_price gauge\n")
+	type datasetSample struct {
+		label string
+		stats market.DatasetStats
+	}
+	var datasets []datasetSample
 	for _, id := range s.m.Datasets() {
 		stats, err := s.m.Stats(id)
 		if err != nil {
 			continue
 		}
-		label := promLabel(string(id))
-		fmt.Fprintf(w, "shield_dataset_bids_total{dataset=%q} %d\n", label, stats.Bids)
-		fmt.Fprintf(w, "shield_dataset_allocations_total{dataset=%q} %d\n", label, stats.Allocations)
-		fmt.Fprintf(w, "shield_dataset_epochs_total{dataset=%q} %d\n", label, stats.Epochs)
-		fmt.Fprintf(w, "shield_dataset_revenue_units{dataset=%q} %g\n", label, stats.Revenue)
-		fmt.Fprintf(w, "shield_dataset_posting_price{dataset=%q} %g\n", label, stats.PostingPrice)
+		datasets = append(datasets, datasetSample{promLabel(string(id)), stats})
+	}
+
+	fmt.Fprintf(w, "# HELP shield_dataset_bids_total Bids evaluated per dataset.\n")
+	fmt.Fprintf(w, "# TYPE shield_dataset_bids_total counter\n")
+	for _, d := range datasets {
+		fmt.Fprintf(w, "shield_dataset_bids_total{dataset=%q} %d\n", d.label, d.stats.Bids)
+	}
+	fmt.Fprintf(w, "# HELP shield_dataset_allocations_total Winning bids per dataset.\n")
+	fmt.Fprintf(w, "# TYPE shield_dataset_allocations_total counter\n")
+	for _, d := range datasets {
+		fmt.Fprintf(w, "shield_dataset_allocations_total{dataset=%q} %d\n", d.label, d.stats.Allocations)
+	}
+	fmt.Fprintf(w, "# HELP shield_dataset_epochs_total Completed pricing epochs per dataset.\n")
+	fmt.Fprintf(w, "# TYPE shield_dataset_epochs_total counter\n")
+	for _, d := range datasets {
+		fmt.Fprintf(w, "shield_dataset_epochs_total{dataset=%q} %d\n", d.label, d.stats.Epochs)
+	}
+	fmt.Fprintf(w, "# HELP shield_dataset_revenue_units Revenue per dataset.\n")
+	fmt.Fprintf(w, "# TYPE shield_dataset_revenue_units counter\n")
+	for _, d := range datasets {
+		fmt.Fprintf(w, "shield_dataset_revenue_units{dataset=%q} %g\n", d.label, d.stats.Revenue)
+	}
+	fmt.Fprintf(w, "# HELP shield_dataset_posting_price Current posting price per dataset (operator only).\n")
+	fmt.Fprintf(w, "# TYPE shield_dataset_posting_price gauge\n")
+	for _, d := range datasets {
+		fmt.Fprintf(w, "shield_dataset_posting_price{dataset=%q} %g\n", d.label, d.stats.PostingPrice)
+	}
+
+	shards := s.m.ShardStats()
+	fmt.Fprintf(w, "# HELP shield_shard_datasets Datasets currently hashed to each lock shard.\n")
+	fmt.Fprintf(w, "# TYPE shield_shard_datasets gauge\n")
+	for _, sh := range shards {
+		fmt.Fprintf(w, "shield_shard_datasets{shard=\"%d\"} %d\n", sh.Shard, sh.Datasets)
+	}
+	fmt.Fprintf(w, "# HELP shield_shard_bids_total Bids routed through each lock shard.\n")
+	fmt.Fprintf(w, "# TYPE shield_shard_bids_total counter\n")
+	for _, sh := range shards {
+		fmt.Fprintf(w, "shield_shard_bids_total{shard=\"%d\"} %d\n", sh.Shard, sh.Bids)
+	}
+	fmt.Fprintf(w, "# HELP shield_shard_lock_contention_total Shard-lock acquisitions that had to wait.\n")
+	fmt.Fprintf(w, "# TYPE shield_shard_lock_contention_total counter\n")
+	for _, sh := range shards {
+		fmt.Fprintf(w, "shield_shard_lock_contention_total{shard=\"%d\"} %d\n", sh.Shard, sh.Contention)
+	}
+	fmt.Fprintf(w, "# HELP shield_shard_bid_latency_seconds_total Cumulative wall time inside locked bid sections per shard.\n")
+	fmt.Fprintf(w, "# TYPE shield_shard_bid_latency_seconds_total counter\n")
+	for _, sh := range shards {
+		fmt.Fprintf(w, "shield_shard_bid_latency_seconds_total{shard=\"%d\"} %g\n", sh.Shard, sh.BidLatency.Seconds())
 	}
 }
 

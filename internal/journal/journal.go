@@ -35,13 +35,24 @@ const (
 	OpUpload         Op = "upload"
 	OpCompose        Op = "compose"
 	OpBid            Op = "bid"
-	OpTick           Op = "tick"
-	OpWithdraw       Op = "withdraw"
+	// OpBidBatch records the successful bids of one batch submission in
+	// the order they were applied, so replay reproduces the batch with a
+	// single event.
+	OpBidBatch Op = "bid_batch"
+	OpTick     Op = "tick"
+	OpWithdraw Op = "withdraw"
 	// OpSnapshot heads a compacted log: it embeds the full market state
 	// at the moment of compaction, and the remaining events replay on
 	// top of it.
 	OpSnapshot Op = "snapshot"
 )
+
+// BatchBid is one entry of an OpBidBatch event.
+type BatchBid struct {
+	Buyer   string  `json:"buyer"`
+	Dataset string  `json:"dataset"`
+	Amount  float64 `json:"amount"`
+}
 
 // Event is one journal record. Field presence depends on Op.
 type Event struct {
@@ -52,6 +63,7 @@ type Event struct {
 	Dataset      string           `json:"dataset,omitempty"`
 	Constituents []string         `json:"constituents,omitempty"`
 	Amount       float64          `json:"amount,omitempty"`
+	Bids         []BatchBid       `json:"bids,omitempty"`
 	Config       *market.Config   `json:"config,omitempty"`
 	Snapshot     *market.Snapshot `json:"snapshot,omitempty"`
 }
@@ -228,6 +240,12 @@ func Replay(m *market.Market, events []Event) error {
 			err = m.ComposeDataset(market.DatasetID(e.Dataset), parts...)
 		case OpBid:
 			_, err = m.SubmitBid(market.BuyerID(e.Buyer), market.DatasetID(e.Dataset), e.Amount)
+		case OpBidBatch:
+			for _, b := range e.Bids {
+				if _, err = m.SubmitBid(market.BuyerID(b.Buyer), market.DatasetID(b.Dataset), b.Amount); err != nil {
+					break
+				}
+			}
 		case OpWithdraw:
 			err = m.WithdrawDataset(market.SellerID(e.Seller), market.DatasetID(e.Dataset))
 		case OpTick:
@@ -411,6 +429,36 @@ func (m *Market) SubmitBid(buyer market.BuyerID, dataset market.DatasetID, amoun
 		return d, err
 	}
 	return d, nil
+}
+
+// SubmitBids places a batch of bids and journals the successful ones as
+// a single OpBidBatch event. Unlike the unjournaled market's SubmitBids,
+// entries execute sequentially in request order: the journal is a total
+// order of operations, and replay must reproduce the exact engine state,
+// so the batch's application order has to be the recorded order.
+func (m *Market) SubmitBids(reqs []market.BidRequest) []market.BidResult {
+	out := make([]market.BidResult, len(reqs))
+	bids := make([]BatchBid, 0, len(reqs))
+	for i, r := range reqs {
+		out[i].Decision, out[i].Err = m.Market.SubmitBid(r.Buyer, r.Dataset, r.Amount)
+		if out[i].Err == nil {
+			bids = append(bids, BatchBid{Buyer: string(r.Buyer), Dataset: string(r.Dataset), Amount: r.Amount})
+		}
+	}
+	if len(bids) == 0 {
+		return out
+	}
+	if err := m.w.Append(Event{Op: OpBidBatch, Bids: bids}); err != nil {
+		// The bids applied but did not persist; surface the journal
+		// failure on every applied entry so callers know the log is
+		// behind the in-memory state.
+		for i := range out {
+			if out[i].Err == nil {
+				out[i].Err = err
+			}
+		}
+	}
+	return out
 }
 
 // WithdrawDataset journals on success.

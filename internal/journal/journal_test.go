@@ -478,3 +478,115 @@ func TestRandomOpSequencesReplayExactly(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestBidBatchJournalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	m, err := NewMarket(testConfig(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterSeller("s"); err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range []market.DatasetID{"a", "b", "c"} {
+		if err := m.UploadDataset("s", ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, b := range []market.BuyerID{"b1", "b2", "b3"} {
+		if err := m.RegisterBuyer(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A batch mixing successes and failures: only successes are recorded.
+	res := m.SubmitBids([]market.BidRequest{
+		{Buyer: "b1", Dataset: "a", Amount: 60},
+		{Buyer: "b2", Dataset: "b", Amount: 80},
+		{Buyer: "ghost", Dataset: "a", Amount: 50}, // unknown buyer
+		{Buyer: "b3", Dataset: "c", Amount: 120},
+	})
+	if res[0].Err != nil || res[1].Err != nil || res[3].Err != nil {
+		t.Fatalf("unexpected bid errors: %+v", res)
+	}
+	if !errors.Is(res[2].Err, market.ErrUnknownBuyer) {
+		t.Fatalf("entry 2 error = %v, want ErrUnknownBuyer", res[2].Err)
+	}
+	if _, err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	// A second batch after the tick keeps the clock-relative state honest.
+	m.SubmitBids([]market.BidRequest{
+		{Buyer: "b1", Dataset: "b", Amount: 90},
+		{Buyer: "b2", Dataset: "c", Amount: 40},
+	})
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batches [][]BatchBid
+	for _, e := range events {
+		if e.Op == OpBidBatch {
+			batches = append(batches, e.Bids)
+		}
+	}
+	if len(batches) != 2 {
+		t.Fatalf("journaled %d batch events, want 2", len(batches))
+	}
+	if len(batches[0]) != 3 {
+		t.Fatalf("first batch recorded %d bids, want 3 (failed entry must be dropped)", len(batches[0]))
+	}
+	want := []BatchBid{
+		{Buyer: "b1", Dataset: "a", Amount: 60},
+		{Buyer: "b2", Dataset: "b", Amount: 80},
+		{Buyer: "b3", Dataset: "c", Amount: 120},
+	}
+	for i, b := range batches[0] {
+		if b != want[i] {
+			t.Fatalf("batch entry %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+
+	restored, err := Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Revenue() != m.Revenue() {
+		t.Fatalf("revenue: restored %v, live %v", restored.Revenue(), m.Revenue())
+	}
+	lt, rt := m.Transactions(), restored.Transactions()
+	if len(lt) != len(rt) {
+		t.Fatalf("transactions: %d vs %d", len(lt), len(rt))
+	}
+	for i := range lt {
+		if lt[i] != rt[i] {
+			t.Fatalf("transaction %d: %+v vs %+v", i, lt[i], rt[i])
+		}
+	}
+	for _, ds := range []market.DatasetID{"a", "b", "c"} {
+		ls, _ := m.Stats(ds)
+		rs, _ := restored.Stats(ds)
+		if ls != rs {
+			t.Fatalf("stats %s: %+v vs %+v", ds, ls, rs)
+		}
+	}
+}
+
+func TestBidBatchReplayDivergenceDetected(t *testing.T) {
+	cfg := testConfig()
+	m, err := market.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Replay(m, []Event{{
+		Seq: 2, Op: OpBidBatch,
+		Bids: []BatchBid{{Buyer: "nobody", Dataset: "nothing", Amount: 10}},
+	}})
+	if !errors.Is(err, ErrReplay) {
+		t.Fatalf("replay error = %v, want ErrReplay", err)
+	}
+}

@@ -1,0 +1,62 @@
+package market
+
+import (
+	"runtime"
+	"sync"
+)
+
+// BidRequest is one bid of a batch submitted through SubmitBids.
+type BidRequest struct {
+	Buyer   BuyerID   `json:"buyer"`
+	Dataset DatasetID `json:"dataset"`
+	Amount  float64   `json:"amount"`
+}
+
+// BidResult is the outcome of one bid of a batch: either a Decision or
+// the error the equivalent SubmitBid call would have returned.
+type BidResult struct {
+	Decision Decision
+	Err      error
+}
+
+// SubmitBids places a batch of bids, fanning the work out across the
+// market's shards with a bounded worker pool: bids on datasets in
+// different shards execute in parallel, bids on the same dataset
+// serialize on its shard in an unspecified order (batch entries are
+// concurrent with each other, exactly as if each had arrived on its own
+// goroutine). Results are returned in request order, one per request,
+// and one failed bid never aborts the rest of the batch.
+func (m *Market) SubmitBids(reqs []BidRequest) []BidResult {
+	out := make([]BidResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers <= 1 {
+		for i, r := range reqs {
+			out[i].Decision, out[i].Err = m.SubmitBid(r.Buyer, r.Dataset, r.Amount)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				r := reqs[i]
+				out[i].Decision, out[i].Err = m.SubmitBid(r.Buyer, r.Dataset, r.Amount)
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

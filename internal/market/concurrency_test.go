@@ -1,0 +1,253 @@
+package market
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/datamarket/shield/internal/auction"
+	"github.com/datamarket/shield/internal/core"
+)
+
+// TestConcurrentStormConservesMoney is the -race workhorse: G goroutines
+// bid (singly and in batches) on D datasets while Tick, ComposeDataset,
+// Stats, Snapshot, and every read endpoint run concurrently. Afterwards
+// the ledger must balance exactly: total revenue == sum of seller
+// balances == sum of buyer spends == sum of transaction prices.
+func TestConcurrentStormConservesMoney(t *testing.T) {
+	m := MustNew(Config{
+		Engine: core.Config{
+			Candidates:    auction.LinearGrid(10, 100, 10),
+			EpochSize:     4,
+			BidsPerPeriod: 1,
+			MinBid:        1,
+		},
+		Seed:   11,
+		Shards: 8,
+	})
+
+	sellers := []SellerID{"s0", "s1", "s2", "s3"}
+	for _, s := range sellers {
+		if err := m.RegisterSeller(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var datasets []DatasetID
+	for i := 0; i < 8; i++ {
+		id := DatasetID(fmt.Sprintf("d%d", i))
+		if err := m.UploadDataset(sellers[i%len(sellers)], id); err != nil {
+			t.Fatal(err)
+		}
+		datasets = append(datasets, id)
+	}
+	// Two derived products so bids propagate demand across shards.
+	if err := m.ComposeDataset("d0+d1", "d0", "d1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ComposeDataset("d2+d3+d4", "d2", "d3", "d4"); err != nil {
+		t.Fatal(err)
+	}
+	datasets = append(datasets, "d0+d1", "d2+d3+d4")
+
+	const buyers = 16
+	var buyerIDs []BuyerID
+	for i := 0; i < buyers; i++ {
+		id := BuyerID(fmt.Sprintf("b%d", i))
+		if err := m.RegisterBuyer(id); err != nil {
+			t.Fatal(err)
+		}
+		buyerIDs = append(buyerIDs, id)
+	}
+
+	var wg sync.WaitGroup
+
+	// Bidders: half bid one-by-one, half in batches. Cadence and wait
+	// errors are expected mid-storm; corruption is not.
+	for g, b := range buyerIDs {
+		wg.Add(1)
+		go func(g int, b BuyerID) {
+			defer wg.Done()
+			if g%2 == 0 {
+				for i := 0; i < 150; i++ {
+					ds := datasets[(g*7+i)%len(datasets)]
+					amount := float64(5 + (g*13+i*29)%120)
+					m.SubmitBid(b, ds, amount)
+				}
+				return
+			}
+			for i := 0; i < 15; i++ {
+				reqs := make([]BidRequest, 0, len(datasets))
+				for j, ds := range datasets {
+					reqs = append(reqs, BidRequest{
+						Buyer:   b,
+						Dataset: ds,
+						Amount:  float64(5 + (g*17+i*31+j)%120),
+					})
+				}
+				m.SubmitBids(reqs)
+			}
+		}(g, b)
+	}
+
+	// Clock: periods advance throughout the storm.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			m.Tick()
+		}
+	}()
+
+	// Composer: the registry keeps changing shape mid-storm.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			id := DatasetID(fmt.Sprintf("storm-%d", i))
+			if err := m.ComposeDataset(id, datasets[i%8], datasets[(i+1)%8]); err != nil {
+				t.Errorf("compose %s: %v", id, err)
+			}
+		}
+	}()
+
+	// Readers: stats, snapshots, and listings race the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			for _, ds := range datasets {
+				m.Stats(ds)
+			}
+			m.Datasets()
+			m.Revenue()
+			m.Transactions()
+			m.ShardStats()
+			m.Period()
+			if i%10 == 0 {
+				m.Snapshot()
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	revenue := m.Revenue()
+	var sellerTotal Money
+	for _, s := range sellers {
+		bal, err := m.SellerBalance(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sellerTotal += bal
+	}
+	if sellerTotal != revenue {
+		t.Fatalf("seller balances %v != revenue %v (ledger leak)", sellerTotal, revenue)
+	}
+	var buyerTotal Money
+	for _, b := range buyerIDs {
+		spent, err := m.BuyerSpend(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buyerTotal += spent
+	}
+	if buyerTotal != revenue {
+		t.Fatalf("buyer spends %v != revenue %v", buyerTotal, revenue)
+	}
+	var txTotal Money
+	seen := make(map[int]bool)
+	for _, tx := range m.Transactions() {
+		txTotal += tx.Price
+		if seen[tx.Seq] {
+			t.Fatalf("duplicate transaction seq %d", tx.Seq)
+		}
+		seen[tx.Seq] = true
+	}
+	if txTotal != revenue {
+		t.Fatalf("transaction total %v != revenue %v", txTotal, revenue)
+	}
+	if revenue <= 0 {
+		t.Fatal("storm raised no revenue")
+	}
+
+	// Shard counters saw the traffic.
+	var shardBids int64
+	for _, ss := range m.ShardStats() {
+		shardBids += ss.Bids
+	}
+	if shardBids <= 0 {
+		t.Fatal("shard counters recorded no bids")
+	}
+}
+
+// TestSubmitBidsMatchesSubmitBid pins batch semantics: a batch over
+// disjoint (buyer, dataset) pairs must produce exactly the decisions the
+// equivalent sequential SubmitBid calls produce on a twin market.
+func TestSubmitBidsMatchesSubmitBid(t *testing.T) {
+	build := func() *Market {
+		m := MustNew(Config{
+			Engine: core.Config{
+				Candidates:    auction.LinearGrid(10, 100, 10),
+				EpochSize:     4,
+				BidsPerPeriod: 1,
+				MinBid:        1,
+			},
+			Seed: 21,
+		})
+		if err := m.RegisterSeller("s"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			if err := m.UploadDataset("s", DatasetID(fmt.Sprintf("d%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 6; i++ {
+			if err := m.RegisterBuyer(BuyerID(fmt.Sprintf("b%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m
+	}
+	batch, seq := build(), build()
+
+	var reqs []BidRequest
+	for i := 0; i < 6; i++ {
+		reqs = append(reqs, BidRequest{
+			Buyer:   BuyerID(fmt.Sprintf("b%d", i)),
+			Dataset: DatasetID(fmt.Sprintf("d%d", i)),
+			Amount:  float64(20 + i*15),
+		})
+	}
+	got := batch.SubmitBids(reqs)
+	if len(got) != len(reqs) {
+		t.Fatalf("results = %d, want %d", len(got), len(reqs))
+	}
+	for i, r := range reqs {
+		want, werr := seq.SubmitBid(r.Buyer, r.Dataset, r.Amount)
+		if got[i].Err != nil || werr != nil {
+			t.Fatalf("bid %d errored: batch=%v seq=%v", i, got[i].Err, werr)
+		}
+		if got[i].Decision != want {
+			t.Fatalf("bid %d: batch %+v != sequential %+v", i, got[i].Decision, want)
+		}
+	}
+	if batch.Revenue() != seq.Revenue() {
+		t.Fatalf("revenue diverged: %v vs %v", batch.Revenue(), seq.Revenue())
+	}
+
+	// Errors surface per-entry without aborting the batch.
+	res := batch.SubmitBids([]BidRequest{
+		{Buyer: "ghost", Dataset: "d0", Amount: 10},
+		{Buyer: "b0", Dataset: "nope", Amount: 10},
+		{Buyer: "b0", Dataset: "d1", Amount: -1},
+	})
+	for i, want := range []error{ErrUnknownBuyer, ErrUnknownDataset, ErrBadBid} {
+		if res[i].Err == nil {
+			t.Fatalf("entry %d: no error, want %v", i, want)
+		}
+	}
+	if out := batch.SubmitBids(nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d results", len(out))
+	}
+}

@@ -8,6 +8,21 @@
 // One core.Engine prices each dataset. Derived datasets are combinations
 // of base datasets (Figure 1, step 3); a bid on a derived dataset
 // propagates as a demand signal to its constituents' engines (step 2).
+//
+// # Concurrency
+//
+// The arbiter is sharded by dataset: each dataset's engine lives in one
+// of Config.Shards lock shards (FNV hash of the dataset ID), so bids on
+// distinct datasets proceed in parallel while bids on the same dataset
+// serialize on its shard. A read-mostly registry (sync.RWMutex) guards
+// participant accounts, the provenance graph, dataset->shard membership
+// and the market clock; registry writers (registration, uploads,
+// composition, withdrawal, Tick, Snapshot) take it exclusively, which
+// quiesces every in-flight bid and acts as the coordinated all-shard
+// lock. Money movement (revenue, transactions, seller balances) is
+// guarded by a dedicated ledger mutex and per-buyer account mutexes.
+// The lock order is registry -> shards (ascending index) -> buyer
+// account -> ledger; see DESIGN.md "Concurrency model".
 package market
 
 import (
@@ -16,6 +31,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/datamarket/shield/internal/core"
 	"github.com/datamarket/shield/internal/provenance"
@@ -74,9 +90,14 @@ type Config struct {
 	Engine core.Config
 	// Seed is the market-level seed.
 	Seed uint64
+	// Shards is the number of lock shards datasets are partitioned
+	// across for concurrent bidding; 0 selects DefaultShards. Shard
+	// count never affects pricing, only parallelism.
+	Shards int
 }
 
 type buyerAccount struct {
+	mu           sync.Mutex        // guards all fields below
 	lastBid      map[DatasetID]int // last period with a bid per dataset
 	blockedUntil map[DatasetID]int // first period allowed to bid again
 	acquired     map[DatasetID]bool
@@ -84,22 +105,31 @@ type buyerAccount struct {
 }
 
 type sellerAccount struct {
-	balance  Money
-	datasets []DatasetID
+	balance  Money       // guarded by Market.ledger
+	datasets []DatasetID // guarded by Market.reg
 }
 
 // Market is the arbiter plus its books. All methods are safe for
-// concurrent use.
+// concurrent use; bids on datasets in different shards run in parallel.
 type Market struct {
-	mu sync.Mutex
+	cfg    Config
+	shards []*shard
 
-	cfg     Config
+	// reg guards the registry: participant maps, the provenance graph,
+	// dataset ownership, dataset->shard membership, and the clock.
+	// Bids hold it for read; structural operations hold it for write,
+	// which excludes every in-flight bid (the all-shard coordination
+	// point).
+	reg     sync.RWMutex
 	clock   int
 	graph   *provenance.Graph
-	engines map[DatasetID]*core.Engine
 	owners  map[DatasetID]SellerID // base datasets only
 	buyers  map[BuyerID]*buyerAccount
 	sellers map[SellerID]*sellerAccount
+
+	// ledger guards money movement: total revenue, the transaction log,
+	// and seller balances.
+	ledger  sync.Mutex
 	txs     []Transaction
 	revenue Money
 }
@@ -109,10 +139,13 @@ func New(cfg Config) (*Market, error) {
 	if err := cfg.Engine.Validate(); err != nil {
 		return nil, fmt.Errorf("market: engine template: %w", err)
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("market: negative shard count %d", cfg.Shards)
+	}
 	return &Market{
 		cfg:     cfg,
+		shards:  newShards(cfg.Shards),
 		graph:   provenance.NewGraph(),
-		engines: make(map[DatasetID]*core.Engine),
 		owners:  make(map[DatasetID]SellerID),
 		buyers:  make(map[BuyerID]*buyerAccount),
 		sellers: make(map[SellerID]*sellerAccount),
@@ -133,8 +166,8 @@ func (m *Market) RegisterBuyer(id BuyerID) error {
 	if id == "" {
 		return ErrEmptyID
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.reg.Lock()
+	defer m.reg.Unlock()
 	if _, ok := m.buyers[id]; ok {
 		return fmt.Errorf("%w: buyer %s", ErrDuplicateID, id)
 	}
@@ -151,8 +184,8 @@ func (m *Market) RegisterSeller(id SellerID) error {
 	if id == "" {
 		return ErrEmptyID
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.reg.Lock()
+	defer m.reg.Unlock()
 	if _, ok := m.sellers[id]; ok {
 		return fmt.Errorf("%w: seller %s", ErrDuplicateID, id)
 	}
@@ -166,8 +199,8 @@ func (m *Market) UploadDataset(seller SellerID, id DatasetID) error {
 	if id == "" {
 		return ErrEmptyID
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.reg.Lock()
+	defer m.reg.Unlock()
 	acct, ok := m.sellers[seller]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownSeller, seller)
@@ -175,7 +208,7 @@ func (m *Market) UploadDataset(seller SellerID, id DatasetID) error {
 	if err := m.graph.AddBase(string(id)); err != nil {
 		return fmt.Errorf("%w: dataset %s", ErrDuplicateID, id)
 	}
-	m.engines[id] = m.newEngine(id)
+	m.shardFor(id).engines[id] = m.newEngine(id)
 	m.owners[id] = seller
 	acct.datasets = append(acct.datasets, id)
 	return nil
@@ -188,8 +221,8 @@ func (m *Market) ComposeDataset(id DatasetID, constituents ...DatasetID) error {
 	if id == "" {
 		return ErrEmptyID
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.reg.Lock()
+	defer m.reg.Unlock()
 	parts := make([]string, len(constituents))
 	for i, c := range constituents {
 		parts[i] = string(c)
@@ -204,7 +237,7 @@ func (m *Market) ComposeDataset(id DatasetID, constituents ...DatasetID) error {
 			return err
 		}
 	}
-	m.engines[id] = m.newEngine(id)
+	m.shardFor(id).engines[id] = m.newEngine(id)
 	return nil
 }
 
@@ -217,18 +250,20 @@ func (m *Market) newEngine(id DatasetID) *core.Engine {
 }
 
 // Tick advances the market clock by one period and returns the new
-// period. Buyers may bid once per period per dataset.
+// period. Buyers may bid once per period per dataset. Tick takes the
+// registry write lock, so it linearizes against every in-flight bid on
+// every shard.
 func (m *Market) Tick() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.reg.Lock()
+	defer m.reg.Unlock()
 	m.clock++
 	return m.clock
 }
 
 // Period returns the current period.
 func (m *Market) Period() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.reg.RLock()
+	defer m.reg.RUnlock()
 	return m.clock
 }
 
@@ -236,72 +271,111 @@ func (m *Market) Period() int {
 // pay the posting price immediately; the payment is split across the
 // sellers whose base datasets back the product. Losers receive a
 // Time-Shield wait and may not bid on this dataset again until it passes.
+//
+// Bids on datasets in different shards execute concurrently; a bid on a
+// derived dataset additionally holds the shards of the leaf engines it
+// propagates demand to, so the whole engine interaction is atomic with
+// respect to any overlapping bid.
 func (m *Market) SubmitBid(buyer BuyerID, dataset DatasetID, amount float64) (Decision, error) {
 	if !(amount > 0) {
 		return Decision{}, ErrBadBid
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.reg.RLock()
+	defer m.reg.RUnlock()
 
 	acct, ok := m.buyers[buyer]
 	if !ok {
 		return Decision{}, fmt.Errorf("%w: %s", ErrUnknownBuyer, buyer)
 	}
-	eng, ok := m.engines[dataset]
-	if !ok {
+	primary := m.shardFor(dataset)
+	if _, ok := primary.engines[dataset]; !ok {
 		return Decision{}, fmt.Errorf("%w: %s", ErrUnknownDataset, dataset)
 	}
+
+	// Resolve demand-propagation targets up front so every shard the bid
+	// touches can be locked in the global (ascending) order.
+	var leaves []string
+	if parts, ok := m.graph.Constituents(string(dataset)); ok && len(parts) > 0 {
+		leaves, _ = m.graph.Leaves(string(dataset))
+	}
+	locked := m.lockSet(dataset, leaves)
+	m.lockShards(locked)
+	defer m.unlockShards(locked)
+
+	start := time.Now()
+	primary.bids.Add(1)
+	defer func() { primary.latencyNs.Add(int64(time.Since(start))) }()
+
+	// The clock is frozen while we hold the registry read lock (Tick
+	// needs the write lock), so one read serves the whole bid.
+	clock := m.clock
+
+	acct.mu.Lock()
 	if acct.acquired[dataset] {
+		acct.mu.Unlock()
 		return Decision{}, fmt.Errorf("%w: %s", ErrAlreadyAcquired, dataset)
 	}
-	if last, ok := acct.lastBid[dataset]; ok && last == m.clock {
-		return Decision{}, fmt.Errorf("%w: period %d", ErrBidTooSoon, m.clock)
+	if last, ok := acct.lastBid[dataset]; ok && last == clock {
+		acct.mu.Unlock()
+		return Decision{}, fmt.Errorf("%w: period %d", ErrBidTooSoon, clock)
 	}
-	if until := acct.blockedUntil[dataset]; m.clock < until {
-		return Decision{}, fmt.Errorf("%w: %d periods remain", ErrWaitActive, until-m.clock)
+	if until := acct.blockedUntil[dataset]; clock < until {
+		acct.mu.Unlock()
+		return Decision{}, fmt.Errorf("%w: %d periods remain", ErrWaitActive, until-clock)
 	}
+	acct.lastBid[dataset] = clock
+	acct.mu.Unlock()
 
-	acct.lastBid[dataset] = m.clock
-	d := eng.SubmitBid(amount)
+	d := primary.engines[dataset].SubmitBid(amount)
 
 	// Propagate the demand signal to the constituents of a derived
-	// dataset (Figure 1, step 2).
-	if parts, ok := m.graph.Constituents(string(dataset)); ok && len(parts) > 0 {
-		leaves, err := m.graph.Leaves(string(dataset))
-		if err == nil {
-			for _, leaf := range leaves {
-				if le, ok := m.engines[DatasetID(leaf)]; ok {
-					le.Observe(amount)
-				}
-			}
+	// dataset (Figure 1, step 2). Their shards are already held.
+	for _, leaf := range leaves {
+		if le, ok := m.shardFor(DatasetID(leaf)).engines[DatasetID(leaf)]; ok {
+			le.Observe(amount)
 		}
 	}
 
 	if !d.Allocated {
-		acct.blockedUntil[dataset] = m.clock + d.Wait
+		acct.mu.Lock()
+		acct.blockedUntil[dataset] = clock + d.Wait
+		acct.mu.Unlock()
 		return Decision{WaitPeriods: d.Wait}, nil
 	}
 
 	price := FromFloat(d.Price)
+	acct.mu.Lock()
 	acct.acquired[dataset] = true
 	acct.spent += price
+	acct.mu.Unlock()
+
+	m.ledger.Lock()
 	m.revenue += price
-	m.paySellers(dataset, price)
+	m.paySellers(dataset, leaves, price)
 	m.txs = append(m.txs, Transaction{
 		Seq:     len(m.txs) + 1,
 		Buyer:   buyer,
 		Dataset: dataset,
 		Price:   price,
-		Period:  m.clock,
+		Period:  clock,
 	})
+	m.ledger.Unlock()
 	return Decision{Allocated: true, PricePaid: price}, nil
 }
 
 // paySellers splits price across the owners of the base datasets backing
 // dataset, exactly (no micro lost), deterministically (leaves are sorted).
-func (m *Market) paySellers(dataset DatasetID, price Money) {
-	leaves, err := m.graph.Leaves(string(dataset))
-	if err != nil || len(leaves) == 0 {
+// leaves may be pre-resolved by the caller (nil means "resolve here").
+// Callers must hold the registry (read) lock and the ledger lock.
+func (m *Market) paySellers(dataset DatasetID, leaves []string, price Money) {
+	if leaves == nil {
+		var err error
+		leaves, err = m.graph.Leaves(string(dataset))
+		if err != nil {
+			return
+		}
+	}
+	if len(leaves) == 0 {
 		return
 	}
 	parts := price.Split(len(leaves))
@@ -318,53 +392,61 @@ func (m *Market) paySellers(dataset DatasetID, price Money) {
 
 // Revenue returns the total revenue raised so far.
 func (m *Market) Revenue() Money {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.ledger.Lock()
+	defer m.ledger.Unlock()
 	return m.revenue
 }
 
 // SellerBalance returns a seller's accumulated compensation.
 func (m *Market) SellerBalance(id SellerID) (Money, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.reg.RLock()
 	acct, ok := m.sellers[id]
+	m.reg.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownSeller, id)
 	}
+	m.ledger.Lock()
+	defer m.ledger.Unlock()
 	return acct.balance, nil
 }
 
 // BuyerSpend returns the total a buyer has paid.
 func (m *Market) BuyerSpend(id BuyerID) (Money, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.reg.RLock()
 	acct, ok := m.buyers[id]
+	m.reg.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownBuyer, id)
 	}
+	acct.mu.Lock()
+	defer acct.mu.Unlock()
 	return acct.spent, nil
 }
 
 // Owns reports whether the buyer has acquired the dataset.
 func (m *Market) Owns(buyer BuyerID, dataset DatasetID) (bool, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.reg.RLock()
 	acct, ok := m.buyers[buyer]
+	m.reg.RUnlock()
 	if !ok {
 		return false, fmt.Errorf("%w: %s", ErrUnknownBuyer, buyer)
 	}
+	acct.mu.Lock()
+	defer acct.mu.Unlock()
 	return acct.acquired[dataset], nil
 }
 
 // WaitRemaining returns how many periods remain before the buyer may bid
 // on the dataset again (0 when unblocked).
 func (m *Market) WaitRemaining(buyer BuyerID, dataset DatasetID) (int, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.reg.RLock()
+	defer m.reg.RUnlock()
 	acct, ok := m.buyers[buyer]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownBuyer, buyer)
 	}
+	acct.mu.Lock()
+	defer acct.mu.Unlock()
 	if until := acct.blockedUntil[dataset]; m.clock < until {
 		return until - m.clock, nil
 	}
@@ -373,8 +455,8 @@ func (m *Market) WaitRemaining(buyer BuyerID, dataset DatasetID) (int, error) {
 
 // Transactions returns a copy of the transaction log.
 func (m *Market) Transactions() []Transaction {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.ledger.Lock()
+	defer m.ledger.Unlock()
 	out := make([]Transaction, len(m.txs))
 	copy(out, m.txs)
 	return out
@@ -382,11 +464,13 @@ func (m *Market) Transactions() []Transaction {
 
 // Datasets returns the registered dataset IDs, sorted.
 func (m *Market) Datasets() []DatasetID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]DatasetID, 0, len(m.engines))
-	for id := range m.engines {
-		out = append(out, id)
+	m.reg.RLock()
+	defer m.reg.RUnlock()
+	var out []DatasetID
+	for _, sh := range m.shards {
+		for id := range sh.engines {
+			out = append(out, id)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -408,12 +492,15 @@ type DatasetStats struct {
 
 // Stats returns the diagnostic snapshot for a dataset.
 func (m *Market) Stats(dataset DatasetID) (DatasetStats, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	eng, ok := m.engines[dataset]
+	m.reg.RLock()
+	defer m.reg.RUnlock()
+	sh := m.shardFor(dataset)
+	eng, ok := sh.engines[dataset]
 	if !ok {
 		return DatasetStats{}, fmt.Errorf("%w: %s", ErrUnknownDataset, dataset)
 	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	return DatasetStats{
 		Dataset:         dataset,
 		Bids:            eng.Bids(),
@@ -432,8 +519,8 @@ func (m *Market) Stats(dataset DatasetID) (DatasetStats, error) {
 // earned. Buyers who purchased the dataset keep it: data is nonrival and
 // already delivered.
 func (m *Market) WithdrawDataset(seller SellerID, id DatasetID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.reg.Lock()
+	defer m.reg.Unlock()
 	acct, ok := m.sellers[seller]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownSeller, seller)
@@ -457,7 +544,7 @@ func (m *Market) WithdrawDataset(seller SellerID, id DatasetID) error {
 	if err := m.graph.Remove(string(id)); err != nil {
 		return err
 	}
-	delete(m.engines, id)
+	delete(m.shardFor(id).engines, id)
 	delete(m.owners, id)
 	for i, d := range acct.datasets {
 		if d == id {
@@ -470,8 +557,8 @@ func (m *Market) WithdrawDataset(seller SellerID, id DatasetID) error {
 
 // SellerDatasets returns the base datasets a seller has uploaded.
 func (m *Market) SellerDatasets(id SellerID) ([]DatasetID, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.reg.RLock()
+	defer m.reg.RUnlock()
 	acct, ok := m.sellers[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownSeller, id)

@@ -1,0 +1,127 @@
+package market
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/datamarket/shield/internal/core"
+)
+
+// DefaultShards is the number of lock shards a Market partitions its
+// datasets across when Config.Shards is zero. Sharding affects only
+// concurrency, never pricing: engine seeds derive from the market seed
+// and the dataset ID alone, so results are identical for any shard
+// count.
+const DefaultShards = 16
+
+// shard owns the pricing engines of the datasets that hash to it. The
+// shard mutex serializes calls *into* those engines (bids, demand
+// observations, stats reads); map membership itself is guarded by the
+// market's registry lock, which every mutating-membership operation
+// takes exclusively.
+type shard struct {
+	mu      sync.Mutex
+	engines map[DatasetID]*core.Engine
+
+	// Operator counters, updated atomically so metrics reads never take
+	// the shard lock.
+	bids       atomic.Int64 // bids routed through this shard
+	contention atomic.Int64 // lock acquisitions that had to wait
+	latencyNs  atomic.Int64 // cumulative nanoseconds inside locked bid sections
+}
+
+// newShards builds n shards (n <= 0 selects DefaultShards).
+func newShards(n int) []*shard {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	out := make([]*shard, n)
+	for i := range out {
+		out[i] = &shard{engines: make(map[DatasetID]*core.Engine)}
+	}
+	return out
+}
+
+// shardIndex maps a dataset to its shard by FNV-1a hash.
+func (m *Market) shardIndex(id DatasetID) int {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int(h.Sum64() % uint64(len(m.shards)))
+}
+
+func (m *Market) shardFor(id DatasetID) *shard {
+	return m.shards[m.shardIndex(id)]
+}
+
+// lockSet returns the sorted, deduplicated shard indices a bid on
+// dataset must hold: the dataset's own shard plus, for derived
+// datasets, the shards of every leaf engine the demand signal
+// propagates to. Callers must hold the registry read lock.
+func (m *Market) lockSet(dataset DatasetID, leaves []string) []int {
+	idx := []int{m.shardIndex(dataset)}
+	for _, leaf := range leaves {
+		idx = append(idx, m.shardIndex(DatasetID(leaf)))
+	}
+	sort.Ints(idx)
+	uniq := idx[:1]
+	for _, i := range idx[1:] {
+		if i != uniq[len(uniq)-1] {
+			uniq = append(uniq, i)
+		}
+	}
+	return uniq
+}
+
+// lockShards acquires the given shard indices in ascending order (the
+// global shard lock order — see DESIGN.md "Concurrency model"),
+// counting contended acquisitions.
+func (m *Market) lockShards(idx []int) {
+	for _, i := range idx {
+		sh := m.shards[i]
+		if !sh.mu.TryLock() {
+			sh.contention.Add(1)
+			sh.mu.Lock()
+		}
+	}
+}
+
+// unlockShards releases the given shard indices.
+func (m *Market) unlockShards(idx []int) {
+	for _, i := range idx {
+		m.shards[i].mu.Unlock()
+	}
+}
+
+// ShardStats is an operator-facing snapshot of one lock shard: how many
+// datasets hash to it and how its hot path is behaving. It backs the
+// per-shard series of the /metrics endpoint.
+type ShardStats struct {
+	Shard      int           // shard index
+	Datasets   int           // datasets currently hashed to this shard
+	Bids       int64         // bids routed through this shard
+	Contention int64         // shard-lock acquisitions that had to wait
+	BidLatency time.Duration // cumulative wall time inside locked bid sections
+}
+
+// NumShards returns the number of lock shards.
+func (m *Market) NumShards() int { return len(m.shards) }
+
+// ShardStats returns a snapshot of every shard's counters.
+func (m *Market) ShardStats() []ShardStats {
+	m.reg.RLock()
+	defer m.reg.RUnlock()
+	out := make([]ShardStats, len(m.shards))
+	for i, sh := range m.shards {
+		out[i] = ShardStats{
+			Shard:      i,
+			Datasets:   len(sh.engines),
+			Bids:       sh.bids.Load(),
+			Contention: sh.contention.Load(),
+			BidLatency: time.Duration(sh.latencyNs.Load()),
+		}
+	}
+	return out
+}

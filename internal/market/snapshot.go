@@ -37,23 +37,29 @@ type Snapshot struct {
 	Revenue      Money                       `json:"revenue"`
 }
 
-// Snapshot captures the whole market state.
+// Snapshot captures the whole market state. It takes the registry write
+// lock, quiescing every in-flight bid, so the snapshot is a consistent
+// point-in-time view.
 func (m *Market) Snapshot() Snapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.reg.Lock()
+	defer m.reg.Unlock()
+	m.ledger.Lock()
+	defer m.ledger.Unlock()
 	s := Snapshot{
 		Config:       m.cfg,
 		Clock:        m.clock,
 		Graph:        m.graph.Snapshot(),
-		Engines:      make(map[DatasetID]core.Snapshot, len(m.engines)),
+		Engines:      make(map[DatasetID]core.Snapshot),
 		Owners:       make(map[DatasetID]SellerID, len(m.owners)),
 		Buyers:       make(map[BuyerID]BuyerSnapshot, len(m.buyers)),
 		Sellers:      make(map[SellerID]SellerSnapshot, len(m.sellers)),
 		Transactions: make([]Transaction, len(m.txs)),
 		Revenue:      m.revenue,
 	}
-	for id, eng := range m.engines {
-		s.Engines[id] = eng.Snapshot()
+	for _, sh := range m.shards {
+		for id, eng := range sh.engines {
+			s.Engines[id] = eng.Snapshot()
+		}
 	}
 	for id, owner := range m.owners {
 		s.Owners[id] = owner
@@ -99,11 +105,14 @@ func RestoreSnapshot(s Snapshot) (*Market, error) {
 	if err != nil {
 		return nil, fmt.Errorf("market: snapshot graph: %w", err)
 	}
+	if s.Config.Shards < 0 {
+		return nil, fmt.Errorf("market: snapshot shard count negative")
+	}
 	m := &Market{
 		cfg:     s.Config,
+		shards:  newShards(s.Config.Shards),
 		clock:   s.Clock,
 		graph:   graph,
-		engines: make(map[DatasetID]*core.Engine, len(s.Engines)),
 		owners:  make(map[DatasetID]SellerID, len(s.Owners)),
 		buyers:  make(map[BuyerID]*buyerAccount, len(s.Buyers)),
 		sellers: make(map[SellerID]*sellerAccount, len(s.Sellers)),
@@ -118,10 +127,10 @@ func RestoreSnapshot(s Snapshot) (*Market, error) {
 		if err != nil {
 			return nil, fmt.Errorf("market: snapshot engine %s: %w", id, err)
 		}
-		m.engines[id] = eng
+		m.shardFor(id).engines[id] = eng
 	}
 	for id := range s.Graph {
-		if _, ok := m.engines[DatasetID(id)]; !ok {
+		if _, ok := s.Engines[DatasetID(id)]; !ok {
 			return nil, fmt.Errorf("market: snapshot dataset %s has no engine", id)
 		}
 	}
@@ -158,7 +167,7 @@ func RestoreSnapshot(s Snapshot) (*Market, error) {
 		if _, ok := m.buyers[tx.Buyer]; !ok {
 			return nil, fmt.Errorf("market: snapshot transaction %d references unknown buyer %s", i, tx.Buyer)
 		}
-		if _, ok := m.engines[tx.Dataset]; !ok {
+		if _, ok := s.Engines[tx.Dataset]; !ok {
 			return nil, fmt.Errorf("market: snapshot transaction %d references unknown dataset %s", i, tx.Dataset)
 		}
 		m.txs[i] = tx

@@ -144,6 +144,22 @@ func MoneyFromFloat(f float64) Money { return market.FromFloat(f) }
 // NewMarket builds a market arbiter.
 func NewMarket(cfg MarketConfig) (*Market, error) { return market.New(cfg) }
 
+// BidRequest is one bid of a batch submitted through Market.SubmitBids.
+type BidRequest = market.BidRequest
+
+// BidResult is the outcome of one bid of a batch: a MarketDecision or
+// the error the equivalent single-bid call would have returned.
+type BidResult = market.BidResult
+
+// MarketShardStats reports one lock shard's datasets, bid traffic,
+// contention and cumulative bid latency (see Market.ShardStats).
+type MarketShardStats = market.ShardStats
+
+// DefaultMarketShards is the lock-shard count used when
+// MarketConfig.Shards is zero. Sharding affects only concurrency, never
+// pricing.
+const DefaultMarketShards = market.DefaultShards
+
 // Utility is the deadline-patience buyer utility of Equation 1.
 func Utility(valuation, price float64, allocated bool, t, deadline int) float64 {
 	return market.Utility(valuation, price, allocated, t, deadline)
@@ -181,6 +197,28 @@ var (
 	ErrAlreadyAcquired = market.ErrAlreadyAcquired
 	ErrDatasetInUse    = market.ErrDatasetInUse
 )
+
+// Stable machine-readable error codes carried by the HTTP API's
+// versioned envelope {"error":{"code":"...","message":"..."}}. Clients
+// should branch on these, never on message text.
+const (
+	ErrCodeDuplicateID     = httpapi.CodeDuplicateID
+	ErrCodeUnknownBuyer    = httpapi.CodeUnknownBuyer
+	ErrCodeUnknownSeller   = httpapi.CodeUnknownSeller
+	ErrCodeUnknownDataset  = httpapi.CodeUnknownDataset
+	ErrCodeBadBid          = httpapi.CodeBadBid
+	ErrCodeBidTooSoon      = httpapi.CodeBidTooSoon
+	ErrCodeBlockedUntil    = httpapi.CodeBlockedUntil
+	ErrCodeAlreadyAcquired = httpapi.CodeAlreadyAcquired
+	ErrCodeDatasetInUse    = httpapi.CodeDatasetInUse
+	ErrCodeEmptyID         = httpapi.CodeEmptyID
+	ErrCodeUnauthorized    = httpapi.CodeUnauthorized
+	ErrCodeBadRequest      = httpapi.CodeBadRequest
+	ErrCodeInternal        = httpapi.CodeInternal
+)
+
+// APIError is the code/message body of the HTTP error envelope.
+type APIError = httpapi.APIError
 
 // ---- Ex-post trading (Section 8) ----
 
