@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench fuzz-smoke
 
-ci: vet build race test
+ci: vet build race test fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -13,12 +13,24 @@ build:
 	$(GO) build ./...
 
 # The concurrency-sensitive packages run under the race detector: the
-# sharded market arbiter and the HTTP layer that fans batches into it.
+# sharded market arbiter, the HTTP layer that fans batches into it, and
+# the journal (crash-recovery harness appends concurrently).
 race:
-	$(GO) test -race ./internal/market/... ./internal/httpapi/...
+	$(GO) test -race ./internal/market/... ./internal/httpapi/... ./internal/journal/...
 
 test:
 	$(GO) test ./...
+
+# Every fuzz target gets a short randomized run on each CI pass; real
+# corpus-growing sessions use `go test -fuzz <target> -fuzztime 10m` by
+# hand. Go allows one -fuzz target per invocation, hence the loop.
+FUZZ_TIME ?= 5s
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz '^FuzzReadNeverPanics$$' -fuzztime $(FUZZ_TIME) ./internal/journal/
+	$(GO) test -run xxx -fuzz '^FuzzDescriptiveNeverNonsense$$' -fuzztime $(FUZZ_TIME) ./internal/stats/
+	$(GO) test -run xxx -fuzz '^FuzzWilcoxonBounds$$' -fuzztime $(FUZZ_TIME) ./internal/stats/
+	$(GO) test -run xxx -fuzz '^FuzzOptimalPrice$$' -fuzztime $(FUZZ_TIME) ./internal/auction/
+	$(GO) test -run xxx -fuzz '^FuzzEpochPricerNeverPanics$$' -fuzztime $(FUZZ_TIME) ./internal/auction/
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

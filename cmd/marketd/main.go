@@ -6,12 +6,17 @@
 // Usage:
 //
 //	marketd [-addr :8080] [-epoch 8] [-candidates 40] [-min 1] [-max 200]
-//	        [-seed 2022] [-shards 16] [-journal market.log] [-auth]
+//	        [-seed 2022] [-shards 16] [-journal market.log] [-fsync] [-auth]
 //
 // With -journal, every successful operation is appended to an event log
-// and the full market state is rebuilt from it on restart. With -auth,
-// buyer registration returns an HMAC credential and every bid must be
-// signed with it (false-name bidding deterrence; see internal/auth).
+// and the full market state is rebuilt from it on restart; -fsync
+// additionally syncs the log to disk after every record, trading append
+// latency for zero data loss on power failure (without it a crash of the
+// machine — not just the process — can lose recently buffered events;
+// recovery still works either way, replaying the longest durable prefix).
+// With -auth, buyer registration returns an HMAC credential and every bid
+// must be signed with it (false-name bidding deterrence; see
+// internal/auth).
 //
 // See internal/httpapi for the endpoint list.
 package main
@@ -46,6 +51,7 @@ func main() {
 		seed        = flag.Uint64("seed", 2022, "pricing randomness seed")
 		shards      = flag.Int("shards", market.DefaultShards, "lock shards for concurrent bidding (pricing is shard-count independent)")
 		journalPath = flag.String("journal", "", "event-journal file (created, or replayed if present)")
+		fsync       = flag.Bool("fsync", false, "fsync the journal after every record (durable across power loss, slower appends)")
 		compact     = flag.Bool("compact", false, "compact the journal (snapshot head) before serving")
 		useAuth     = flag.Bool("auth", false, "require HMAC-signed bids")
 	)
@@ -63,6 +69,7 @@ func main() {
 	}
 
 	var srvHandler *httpapi.Server
+	closeJournal := func() error { return nil }
 	switch {
 	case *journalPath == "":
 		m, err := market.New(cfg)
@@ -77,11 +84,15 @@ func main() {
 			}
 			log.Printf("marketd: compacted %s", *journalPath)
 		}
-		jm, replayed, err := journal.OpenFile(cfg, *journalPath)
+		var opts []journal.Option
+		if *fsync {
+			opts = append(opts, journal.WithFsync())
+		}
+		jm, replayed, err := journal.OpenFile(cfg, *journalPath, opts...)
 		if err != nil {
 			log.Fatalf("marketd: %v", err)
 		}
-		defer jm.Close()
+		closeJournal = jm.Close
 		if replayed > 0 {
 			log.Printf("marketd: replayed %d events from %s", replayed, *journalPath)
 		}
@@ -103,7 +114,8 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	// Graceful shutdown: stop accepting requests, drain in-flight ones,
-	// then let the deferred journal Close flush the event log.
+	// then close the journal — Close syncs the log to disk, so a clean
+	// SIGTERM never loses events even without -fsync.
 	done := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)
@@ -124,4 +136,10 @@ func main() {
 		log.Fatal(err)
 	}
 	<-done
+	if *journalPath != "" {
+		if err := closeJournal(); err != nil {
+			log.Fatalf("marketd: closing journal: %v", err)
+		}
+		log.Printf("marketd: journal %s closed cleanly", *journalPath)
+	}
 }

@@ -1,0 +1,458 @@
+// Error-envelope contract test: every v1 endpoint that can fail must
+// answer with the versioned envelope {"error":{"code":"...","message":
+// "..."}} — exactly those two fields — carrying a code from the stable
+// set the shield facade re-exports. It lives in the external test
+// package so the expected codes can be spelled as shield.ErrCode*,
+// which pins the facade re-exports to the wire values at the same time.
+package httpapi_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	shield "github.com/datamarket/shield"
+	"github.com/datamarket/shield/internal/auction"
+	"github.com/datamarket/shield/internal/auth"
+	"github.com/datamarket/shield/internal/core"
+	"github.com/datamarket/shield/internal/httpapi"
+	"github.com/datamarket/shield/internal/market"
+)
+
+// contractServer builds a fresh market with sellers acme (datasets
+// "base", "other", and derived "combo" = base+other) and buyers bob and
+// eve, so every table case starts from the same known state.
+func contractServer(t *testing.T, withAuth bool) *httptest.Server {
+	t.Helper()
+	m := market.MustNew(market.Config{
+		Engine: core.Config{
+			Candidates: auction.LinearGrid(10, 100, 10),
+			EpochSize:  4,
+			MinBid:     1,
+		},
+		Seed: 11,
+	})
+	srv := httpapi.NewServer(m)
+	if withAuth {
+		srv = srv.WithAuth(auth.NewVerifier(nil))
+	}
+	ts := httptest.NewServer(srv.Routes())
+	t.Cleanup(ts.Close)
+	for _, step := range []struct{ path, body string }{
+		{"/v1/sellers", `{"id":"acme"}`},
+		{"/v1/datasets", `{"seller":"acme","id":"base"}`},
+		{"/v1/datasets", `{"seller":"acme","id":"other"}`},
+		{"/v1/datasets/compose", `{"id":"combo","constituents":["base","other"]}`},
+		{"/v1/buyers", `{"id":"bob"}`},
+		{"/v1/buyers", `{"id":"eve"}`},
+	} {
+		resp := do(t, ts, "POST", step.path, step.body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("setup %s: status %d", step.path, resp.StatusCode)
+		}
+	}
+	return ts
+}
+
+func do(t *testing.T, ts *httptest.Server, method, path, body string) *http.Response {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("{}")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// decodeEnvelope strictly decodes an error envelope: unknown fields at
+// either level, or a missing code/message, fail the test — the envelope
+// shape itself is the contract.
+func decodeEnvelope(t *testing.T, resp *http.Response) (code, message string) {
+	t.Helper()
+	defer resp.Body.Close()
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	dec := json.NewDecoder(resp.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil {
+		t.Fatalf("response is not a bare error envelope: %v", err)
+	}
+	if dec.More() {
+		t.Fatal("trailing data after error envelope")
+	}
+	if env.Error.Code == "" {
+		t.Fatal("error envelope missing code")
+	}
+	if env.Error.Message == "" {
+		t.Fatal("error envelope missing message")
+	}
+	return env.Error.Code, env.Error.Message
+}
+
+func TestErrorEnvelopeContract(t *testing.T) {
+	// Each case runs against its own fresh server; setup holds the
+	// requests that drive the market into the failing state.
+	cases := []struct {
+		name       string
+		setup      []struct{ method, path, body string }
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{
+			name:       "sellers duplicate",
+			method:     "POST",
+			path:       "/v1/sellers",
+			body:       `{"id":"acme"}`,
+			wantStatus: http.StatusConflict,
+			wantCode:   shield.ErrCodeDuplicateID,
+		},
+		{
+			name:       "sellers empty id",
+			method:     "POST",
+			path:       "/v1/sellers",
+			body:       `{"id":""}`,
+			wantStatus: http.StatusBadRequest,
+			wantCode:   shield.ErrCodeEmptyID,
+		},
+		{
+			name:       "sellers malformed json",
+			method:     "POST",
+			path:       "/v1/sellers",
+			body:       `{"id":`,
+			wantStatus: http.StatusBadRequest,
+			wantCode:   shield.ErrCodeBadRequest,
+		},
+		{
+			name:       "sellers unknown field rejected",
+			method:     "POST",
+			path:       "/v1/sellers",
+			body:       `{"id":"new","extra":true}`,
+			wantStatus: http.StatusBadRequest,
+			wantCode:   shield.ErrCodeBadRequest,
+		},
+		{
+			name:       "buyers duplicate",
+			method:     "POST",
+			path:       "/v1/buyers",
+			body:       `{"id":"bob"}`,
+			wantStatus: http.StatusConflict,
+			wantCode:   shield.ErrCodeDuplicateID,
+		},
+		{
+			name:       "buyers empty id",
+			method:     "POST",
+			path:       "/v1/buyers",
+			body:       `{"id":""}`,
+			wantStatus: http.StatusBadRequest,
+			wantCode:   shield.ErrCodeEmptyID,
+		},
+		{
+			name:       "datasets unknown seller",
+			method:     "POST",
+			path:       "/v1/datasets",
+			body:       `{"seller":"ghost","id":"d"}`,
+			wantStatus: http.StatusNotFound,
+			wantCode:   shield.ErrCodeUnknownSeller,
+		},
+		{
+			name:       "datasets duplicate",
+			method:     "POST",
+			path:       "/v1/datasets",
+			body:       `{"seller":"acme","id":"base"}`,
+			wantStatus: http.StatusConflict,
+			wantCode:   shield.ErrCodeDuplicateID,
+		},
+		{
+			name:       "compose unknown constituent",
+			method:     "POST",
+			path:       "/v1/datasets/compose",
+			body:       `{"id":"c2","constituents":["base","ghost"]}`,
+			wantStatus: http.StatusNotFound,
+			wantCode:   shield.ErrCodeUnknownDataset,
+		},
+		{
+			name:       "compose duplicate",
+			method:     "POST",
+			path:       "/v1/datasets/compose",
+			body:       `{"id":"combo","constituents":["base","other"]}`,
+			wantStatus: http.StatusConflict,
+			wantCode:   shield.ErrCodeDuplicateID,
+		},
+		{
+			name:       "withdraw missing seller param",
+			method:     "DELETE",
+			path:       "/v1/datasets/base",
+			wantStatus: http.StatusBadRequest,
+			wantCode:   shield.ErrCodeBadRequest,
+		},
+		{
+			name:       "withdraw unknown seller",
+			method:     "DELETE",
+			path:       "/v1/datasets/base?seller=ghost",
+			wantStatus: http.StatusNotFound,
+			wantCode:   shield.ErrCodeUnknownSeller,
+		},
+		{
+			name:       "withdraw unknown dataset",
+			method:     "DELETE",
+			path:       "/v1/datasets/ghost?seller=acme",
+			wantStatus: http.StatusNotFound,
+			wantCode:   shield.ErrCodeUnknownDataset,
+		},
+		{
+			name:       "withdraw composed-upon base",
+			method:     "DELETE",
+			path:       "/v1/datasets/base?seller=acme",
+			wantStatus: http.StatusConflict,
+			wantCode:   shield.ErrCodeDatasetInUse,
+		},
+		{
+			name:       "bid unknown buyer",
+			method:     "POST",
+			path:       "/v1/bids",
+			body:       `{"buyer":"ghost","dataset":"base","amount":50}`,
+			wantStatus: http.StatusNotFound,
+			wantCode:   shield.ErrCodeUnknownBuyer,
+		},
+		{
+			name:       "bid unknown dataset",
+			method:     "POST",
+			path:       "/v1/bids",
+			body:       `{"buyer":"bob","dataset":"ghost","amount":50}`,
+			wantStatus: http.StatusNotFound,
+			wantCode:   shield.ErrCodeUnknownDataset,
+		},
+		{
+			name:       "bid non-positive amount",
+			method:     "POST",
+			path:       "/v1/bids",
+			body:       `{"buyer":"bob","dataset":"base","amount":0}`,
+			wantStatus: http.StatusBadRequest,
+			wantCode:   shield.ErrCodeBadBid,
+		},
+		{
+			name: "bid twice in one period",
+			setup: []struct{ method, path, body string }{
+				// Sure-lose bid: above MinBid, below every grid candidate.
+				{"POST", "/v1/bids", `{"buyer":"bob","dataset":"base","amount":2}`},
+			},
+			method:     "POST",
+			path:       "/v1/bids",
+			body:       `{"buyer":"bob","dataset":"base","amount":2}`,
+			wantStatus: http.StatusTooManyRequests,
+			wantCode:   shield.ErrCodeBidTooSoon,
+		},
+		{
+			name: "bid during wait period",
+			setup: []struct{ method, path, body string }{
+				{"POST", "/v1/bids", `{"buyer":"bob","dataset":"base","amount":2}`},
+				{"POST", "/v1/tick", ""},
+			},
+			method:     "POST",
+			path:       "/v1/bids",
+			body:       `{"buyer":"bob","dataset":"base","amount":2}`,
+			wantStatus: http.StatusTooManyRequests,
+			wantCode:   shield.ErrCodeBlockedUntil,
+		},
+		{
+			name: "bid on already acquired dataset",
+			setup: []struct{ method, path, body string }{
+				// Above every grid candidate: allocated immediately.
+				{"POST", "/v1/bids", `{"buyer":"bob","dataset":"base","amount":10000}`},
+			},
+			method:     "POST",
+			path:       "/v1/bids",
+			body:       `{"buyer":"bob","dataset":"base","amount":10000}`,
+			wantStatus: http.StatusConflict,
+			wantCode:   shield.ErrCodeAlreadyAcquired,
+		},
+		{
+			name:       "batch empty",
+			method:     "POST",
+			path:       "/v1/bids/batch",
+			body:       `{"bids":[]}`,
+			wantStatus: http.StatusBadRequest,
+			wantCode:   shield.ErrCodeBadRequest,
+		},
+		{
+			name:       "batch malformed json",
+			method:     "POST",
+			path:       "/v1/bids/batch",
+			body:       `{"bids":`,
+			wantStatus: http.StatusBadRequest,
+			wantCode:   shield.ErrCodeBadRequest,
+		},
+		{
+			name:       "stats unknown dataset",
+			method:     "GET",
+			path:       "/v1/datasets/ghost/stats",
+			wantStatus: http.StatusNotFound,
+			wantCode:   shield.ErrCodeUnknownDataset,
+		},
+		{
+			name:       "balance unknown seller",
+			method:     "GET",
+			path:       "/v1/sellers/ghost/balance",
+			wantStatus: http.StatusNotFound,
+			wantCode:   shield.ErrCodeUnknownSeller,
+		},
+		{
+			name:       "wait missing dataset param",
+			method:     "GET",
+			path:       "/v1/buyers/bob/wait",
+			wantStatus: http.StatusBadRequest,
+			wantCode:   shield.ErrCodeBadRequest,
+		},
+		{
+			name:       "wait unknown buyer",
+			method:     "GET",
+			path:       "/v1/buyers/ghost/wait?dataset=base",
+			wantStatus: http.StatusNotFound,
+			wantCode:   shield.ErrCodeUnknownBuyer,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := contractServer(t, false)
+			for _, s := range tc.setup {
+				resp := do(t, ts, s.method, s.path, s.body)
+				resp.Body.Close()
+				if resp.StatusCode >= 400 {
+					t.Fatalf("setup %s %s: status %d", s.method, s.path, resp.StatusCode)
+				}
+			}
+			resp := do(t, ts, tc.method, tc.path, tc.body)
+			if resp.StatusCode != tc.wantStatus {
+				resp.Body.Close()
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				resp.Body.Close()
+				t.Fatalf("Content-Type = %q", ct)
+			}
+			code, msg := decodeEnvelope(t, resp)
+			if code != tc.wantCode {
+				t.Fatalf("code = %q (%s), want %q", code, msg, tc.wantCode)
+			}
+		})
+	}
+}
+
+// TestErrorEnvelopeContractAuth covers the unauthorized code, which only
+// exists on servers running with bid signing.
+func TestErrorEnvelopeContractAuth(t *testing.T) {
+	ts := contractServer(t, true)
+
+	resp := do(t, ts, "POST", "/v1/bids", `{"buyer":"bob","dataset":"base","amount":50}`)
+	if resp.StatusCode != http.StatusUnauthorized {
+		resp.Body.Close()
+		t.Fatalf("unsigned bid status = %d, want 401", resp.StatusCode)
+	}
+	if code, _ := decodeEnvelope(t, resp); code != shield.ErrCodeUnauthorized {
+		t.Fatalf("unsigned bid code = %q", code)
+	}
+
+	// Batch entries fail in their slot with the same envelope shape.
+	resp = do(t, ts, "POST", "/v1/bids/batch",
+		`{"bids":[{"buyer":"bob","dataset":"base","amount":50}]}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d, want 200 (per-slot errors)", resp.StatusCode)
+	}
+	var out struct {
+		Results []struct {
+			Allocated bool `json:"allocated"`
+			Error     *struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 1 || out.Results[0].Error == nil {
+		t.Fatalf("batch results = %+v", out.Results)
+	}
+	if out.Results[0].Error.Code != shield.ErrCodeUnauthorized {
+		t.Fatalf("batch slot code = %q", out.Results[0].Error.Code)
+	}
+}
+
+// TestBatchSlotErrorsUseContractCodes asserts per-slot batch errors
+// carry the same stable codes as the single-bid endpoint.
+func TestBatchSlotErrorsUseContractCodes(t *testing.T) {
+	ts := contractServer(t, false)
+	resp := do(t, ts, "POST", "/v1/bids/batch", `{"bids":[
+		{"buyer":"ghost","dataset":"base","amount":50},
+		{"buyer":"bob","dataset":"ghost","amount":50},
+		{"buyer":"bob","dataset":"base","amount":0},
+		{"buyer":"eve","dataset":"base","amount":2}
+	]}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Results []struct {
+			Allocated   bool    `json:"allocated"`
+			WaitPeriods int     `json:"wait_periods"`
+			PricePaid   float64 `json:"price_paid"`
+			Error       *struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(out.Results))
+	}
+	wantCodes := []string{
+		shield.ErrCodeUnknownBuyer,
+		shield.ErrCodeUnknownDataset,
+		shield.ErrCodeBadBid,
+	}
+	for i, want := range wantCodes {
+		if out.Results[i].Error == nil {
+			t.Fatalf("slot %d: no error, want %s", i, want)
+		}
+		if out.Results[i].Error.Code != want {
+			t.Fatalf("slot %d code = %q, want %q", i, out.Results[i].Error.Code, want)
+		}
+	}
+	// The one valid (sure-lose) bid succeeded in place.
+	last := out.Results[3]
+	if last.Error != nil {
+		t.Fatalf("valid slot errored: %+v", last.Error)
+	}
+	if last.Allocated || last.WaitPeriods <= 0 {
+		t.Fatalf("valid sure-lose slot = %+v", last)
+	}
+	if last.PricePaid != 0 {
+		t.Fatal("losing batch slot leaked a price")
+	}
+}

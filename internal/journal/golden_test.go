@@ -1,0 +1,154 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+
+	"github.com/datamarket/shield/internal/market"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate golden journal fixtures")
+
+const (
+	goldenLogPath  = "testdata/pr1.log"
+	goldenSnapPath = "testdata/pr1.snapshot.json"
+)
+
+// goldenWorkload is the fixed PR-1-era operation script behind the
+// checked-in fixture: every journaled op kind, including a bid_batch
+// with a rejected entry and a sold-then-bid dataset mix. It must never
+// change — the fixture pins the on-disk format and replay semantics.
+func goldenWorkload(t *testing.T, sink *bytes.Buffer) *Market {
+	t.Helper()
+	m, err := NewMarket(testConfig(), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []error{
+		m.RegisterSeller("acme"),
+		m.RegisterSeller("globex"),
+		m.UploadDataset("acme", "weather"),
+		m.UploadDataset("globex", "traffic"),
+		m.ComposeDataset("weather+traffic", "weather", "traffic"),
+		m.RegisterBuyer("alice"),
+		m.RegisterBuyer("bob"),
+	}
+	for _, err := range steps {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.SubmitBid("alice", "weather", 55); err != nil {
+		t.Fatal(err)
+	}
+	res := m.SubmitBids([]market.BidRequest{
+		{Buyer: "bob", Dataset: "traffic", Amount: 70},
+		{Buyer: "ghost", Dataset: "weather", Amount: 60}, // rejected, not journaled
+		{Buyer: "alice", Dataset: "weather+traffic", Amount: 130},
+	})
+	if res[0].Err != nil || res[2].Err != nil || res[1].Err == nil {
+		t.Fatalf("golden batch results changed: %+v", res)
+	}
+	if _, err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SubmitBid("bob", "weather", 95); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterSeller("initech"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UploadDataset("initech", "logs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WithdrawDataset("initech", "logs"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestGoldenPR1JournalReplays is the backward-compatibility gate: the
+// checked-in PR-1-era journal (bid_batch event included) must keep
+// restoring to a byte-identical market snapshot. If this fails, a
+// change broke replay of logs written by earlier releases — add a
+// migration, don't regenerate the fixture (regeneration, via -update,
+// is only for deliberate, documented format bumps).
+func TestGoldenPR1JournalReplays(t *testing.T) {
+	if *updateGolden {
+		var buf bytes.Buffer
+		m := goldenWorkload(t, &buf)
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenLogPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := json.MarshalIndent(m.Market.Snapshot(), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenSnapPath, append(snap, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("golden fixtures regenerated")
+	}
+
+	logBytes, err := os.ReadFile(goldenLogPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := Read(bytes.NewReader(logBytes))
+	if err != nil {
+		t.Fatalf("PR-1 journal no longer parses: %v", err)
+	}
+	var sawBatch bool
+	for _, e := range events {
+		if e.Op == OpBidBatch {
+			sawBatch = true
+			if len(e.Bids) != 2 {
+				t.Fatalf("golden bid_batch carries %d bids, want 2", len(e.Bids))
+			}
+		}
+	}
+	if !sawBatch {
+		t.Fatal("golden log lost its bid_batch event")
+	}
+
+	m, err := Restore(bytes.NewReader(logBytes))
+	if err != nil {
+		t.Fatalf("PR-1 journal no longer restores: %v", err)
+	}
+	got, err := json.MarshalIndent(m.Snapshot(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	want, err := os.ReadFile(goldenSnapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		var gs, ws market.Snapshot
+		if json.Unmarshal(got, &gs) == nil && json.Unmarshal(want, &ws) == nil {
+			t.Fatalf("replayed snapshot drifted from golden: %s", gs.Diff(ws))
+		}
+		t.Fatal("replayed snapshot drifted from golden (and no longer decodes)")
+	}
+
+	// The current writer still emits the byte-identical log for the
+	// same operations: format stability cuts both ways.
+	var buf bytes.Buffer
+	goldenWorkload(t, &buf)
+	if !bytes.Equal(buf.Bytes(), logBytes) {
+		t.Fatal("writer output drifted from the PR-1 on-disk format")
+	}
+}

@@ -9,10 +9,30 @@
 // The first record is a genesis event carrying the market configuration,
 // so a log is self-contained: Restore reads a log and returns a running
 // market.
+//
+// # Crash safety
+//
+// Each record is encoded off to the side and handed to the sink as one
+// Write call, newline-terminated, so the only way a record lands
+// partially is the operating system or hardware dying mid-write. Read
+// and Restore therefore tolerate exactly one trailing torn record — a
+// final line without its newline terminator — by truncating to the last
+// complete event; any anomaly before the tail (unparseable line,
+// sequence gap) is a hard error carrying the expected sequence number
+// and byte offset, because no crash can produce it. A writer whose sink
+// fails is poisoned: the failed record may be torn on disk, so every
+// subsequent append returns the original error rather than writing
+// after the tear. With WithFsync, every append is fsynced before the
+// corresponding operation is acknowledged; Close always syncs syncable
+// sinks. Compaction builds the replacement log in a temporary sibling
+// file, syncs it, and atomically renames it over the original (then
+// syncs the directory), so an interrupted compaction leaves either the
+// old or the new log — never a hybrid.
 package journal
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -78,20 +98,47 @@ var (
 	ErrDoubleStart = errors.New("journal: genesis already written")
 )
 
+// syncer is the durability hook *os.File (and fault-injection shims)
+// provide.
+type syncer interface{ Sync() error }
+
+// Option configures a Writer (and the constructors that build one).
+type Option func(*Writer)
+
+// WithFsync makes the writer fsync the sink after every append, so an
+// acknowledged operation survives an OS or power crash, not just a
+// process crash. It is a no-op for sinks without a Sync method.
+func WithFsync() Option {
+	return func(w *Writer) { w.fsync = true }
+}
+
 // Writer appends events to a log. Safe for concurrent use.
+//
+// Every record reaches the sink as a single newline-terminated Write.
+// A sink failure poisons the writer: the failed record may be torn on
+// disk, so all subsequent appends return the original error instead of
+// writing after the tear (which would turn a recoverable torn tail into
+// unrecoverable mid-log corruption).
 type Writer struct {
 	mu      sync.Mutex
-	w       *bufio.Writer
+	sink    io.Writer
+	scratch bytes.Buffer
 	enc     *json.Encoder
+	fsync   bool
 	seq     int64
 	started bool
 	closed  bool
+	err     error // sticky append failure
 }
 
 // NewWriter wraps w. Call Genesis before any other append.
-func NewWriter(w io.Writer) *Writer {
-	bw := bufio.NewWriter(w)
-	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+func NewWriter(w io.Writer, opts ...Option) *Writer {
+	jw := &Writer{sink: w}
+	jw.enc = json.NewEncoder(&jw.scratch)
+	for _, o := range opts {
+		o(jw)
+	}
+	return jw
 }
 
 // Genesis writes the configuration header. Must be called exactly once,
@@ -136,41 +183,101 @@ func (w *Writer) Append(e Event) error {
 }
 
 func (w *Writer) append(e Event) error {
-	w.seq++
-	e.Seq = w.seq
+	if w.err != nil {
+		return w.err
+	}
+	e.Seq = w.seq + 1
+	w.scratch.Reset()
 	if err := w.enc.Encode(e); err != nil {
+		// Nothing reached the sink; the writer stays usable.
 		return fmt.Errorf("journal: encoding event %d: %w", e.Seq, err)
 	}
-	return w.w.Flush()
+	if _, err := w.sink.Write(w.scratch.Bytes()); err != nil {
+		w.err = fmt.Errorf("journal: writing event %d: %w", e.Seq, err)
+		return w.err
+	}
+	if w.fsync {
+		if s, ok := w.sink.(syncer); ok {
+			if err := s.Sync(); err != nil {
+				w.err = fmt.Errorf("journal: syncing event %d: %w", e.Seq, err)
+				return w.err
+			}
+		}
+	}
+	w.seq = e.Seq
+	return nil
 }
 
-// Close flushes and marks the writer closed; further appends fail.
+// Close marks the writer closed and syncs syncable sinks, so a graceful
+// shutdown is durable even without WithFsync. Further appends fail with
+// ErrClosed. Close does not close the sink; callers that opened a file
+// own closing it (Market.Close does both).
 func (w *Writer) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.closed {
+		return w.err
+	}
 	w.closed = true
-	return w.w.Flush()
+	if w.err != nil {
+		return w.err
+	}
+	if s, ok := w.sink.(syncer); ok {
+		if err := s.Sync(); err != nil {
+			w.err = fmt.Errorf("journal: syncing on close: %w", err)
+			return w.err
+		}
+	}
+	return nil
+}
+
+// Recover scans a log, tolerating exactly one trailing torn record: a
+// final line without its newline terminator is dropped (a crash killed
+// the writer mid-record), and torn reports whether that happened. It
+// returns the parsed events and the byte length of the durable prefix —
+// the log up to and including the last complete record — which callers
+// resuming appends must truncate the file to. Any malformed or
+// out-of-sequence record before the tail is a hard error carrying the
+// expected sequence number and byte offset: crashes cannot produce
+// mid-log damage, so it is real corruption. Recover does not validate
+// the header; Read and Bootstrap do.
+func Recover(r io.Reader) (events []Event, durable int64, torn bool, err error) {
+	br := bufio.NewReader(r)
+	var seq int64
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr == io.EOF {
+			if len(line) > 0 {
+				// Trailing bytes without a newline: the torn tail.
+				return events, durable, true, nil
+			}
+			return events, durable, false, nil
+		}
+		if rerr != nil {
+			return nil, 0, false, fmt.Errorf("journal: reading event %d at byte %d: %w", seq+1, durable, rerr)
+		}
+		var e Event
+		if uerr := json.Unmarshal(line, &e); uerr != nil {
+			return nil, 0, false, fmt.Errorf("%w: event %d at byte %d: %v", ErrBadEvent, seq+1, durable, uerr)
+		}
+		seq++
+		if e.Seq != seq {
+			return nil, 0, false, fmt.Errorf("%w: got %d, want %d at byte %d", ErrSeqGap, e.Seq, seq, durable)
+		}
+		events = append(events, e)
+		durable += int64(len(line))
+	}
 }
 
 // Read parses a log, validating sequence continuity and the header: the
 // first event must be a genesis (fresh log) or a snapshot (compacted
-// log). It returns every event, header included.
+// log). It returns every event, header included. A single trailing torn
+// record — the signature of a crash mid-append — is silently dropped;
+// see Recover.
 func Read(r io.Reader) ([]Event, error) {
-	dec := json.NewDecoder(bufio.NewReader(r))
-	var events []Event
-	var seq int64
-	for {
-		var e Event
-		if err := dec.Decode(&e); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadEvent, err)
-		}
-		seq++
-		if e.Seq != seq {
-			return nil, fmt.Errorf("%w: got %d, want %d", ErrSeqGap, e.Seq, seq)
-		}
-		events = append(events, e)
+	events, _, _, err := Recover(r)
+	if err != nil {
+		return nil, err
 	}
 	if len(events) == 0 {
 		return nil, ErrNoGenesis
@@ -274,21 +381,31 @@ func Restore(r io.Reader) (*market.Market, error) {
 // Compact reads a log from r and writes an equivalent single-snapshot
 // log to w: the rebuilt market's full state becomes the new head, so
 // restart cost no longer grows with history.
-func Compact(r io.Reader, w io.Writer) error {
+func Compact(r io.Reader, w io.Writer, opts ...Option) error {
 	m, err := Restore(r)
 	if err != nil {
 		return err
 	}
-	nw := NewWriter(w)
+	nw := NewWriter(w, opts...)
 	if err := nw.Snapshot(m.Snapshot()); err != nil {
 		return err
 	}
 	return nw.Close()
 }
 
-// CompactFile compacts a journal file in place (atomically via a
-// temporary sibling file and rename).
+// CompactFile compacts a journal file in place, atomically: the
+// snapshot log is built in a temporary sibling file, synced, and
+// renamed over the original (then the directory is synced). A crash or
+// error at any point leaves either the old log or the new log intact —
+// never a half-written hybrid.
 func CompactFile(path string) error {
+	return compactFile(path, nil)
+}
+
+// compactFile is CompactFile with a test hook: wrap, when non-nil,
+// wraps the temporary file's writer so crash tests can inject faults at
+// chosen byte offsets.
+func compactFile(path string, wrap func(io.Writer) io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -298,7 +415,13 @@ func CompactFile(path string) error {
 		f.Close()
 		return err
 	}
-	if err := Compact(f, tmp); err != nil {
+	var sink io.Writer = tmp
+	if wrap != nil {
+		sink = wrap(tmp)
+	}
+	// Compact's writer syncs the sink on Close, so a silently-lost write
+	// surfaces here, before the rename can install a short log.
+	if err := Compact(f, sink); err != nil {
 		f.Close()
 		tmp.Close()
 		os.Remove(tmp.Name())
@@ -309,7 +432,25 @@ func CompactFile(path string) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Market wraps a market.Market, journaling every successful mutating
@@ -317,16 +458,19 @@ func CompactFile(path string) error {
 type Market struct {
 	*market.Market
 	w *Writer
+	// sink, when the journal owns its file (OpenFile), is closed by
+	// Close after the final sync.
+	sink io.Closer
 }
 
 // NewMarket builds a market from cfg and a journal writing to sink,
 // writing the genesis record immediately.
-func NewMarket(cfg market.Config, sink io.Writer) (*Market, error) {
+func NewMarket(cfg market.Config, sink io.Writer, opts ...Option) (*Market, error) {
 	m, err := market.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	w := NewWriter(sink)
+	w := NewWriter(sink, opts...)
 	if err := w.Genesis(cfg); err != nil {
 		return nil, err
 	}
@@ -336,38 +480,52 @@ func NewMarket(cfg market.Config, sink io.Writer) (*Market, error) {
 // OpenFile creates a fresh journaled market logging to path, or — when
 // path already holds a journal — rebuilds the market from it and resumes
 // appending. The log's genesis configuration wins over cfg on restore:
-// mixing configurations would silently diverge the replay. It returns
-// the number of replayed events.
-func OpenFile(cfg market.Config, path string) (*Market, int, error) {
+// mixing configurations would silently diverge the replay. A torn
+// trailing record (crash mid-append) is truncated away before appends
+// resume, so the file only ever grows from a complete record boundary.
+// It returns the number of replayed events.
+func OpenFile(cfg market.Config, path string, opts ...Option) (*Market, int, error) {
 	if info, err := os.Stat(path); err == nil && info.Size() > 0 {
 		f, err := os.Open(path)
 		if err != nil {
 			return nil, 0, err
 		}
-		events, err := Read(f)
+		events, durable, torn, err := Recover(f)
 		f.Close()
 		if err != nil {
 			return nil, 0, err
 		}
-		m, err := Bootstrap(events)
-		if err != nil {
-			return nil, 0, err
+		if torn {
+			if err := os.Truncate(path, durable); err != nil {
+				return nil, 0, fmt.Errorf("journal: truncating torn tail of %s: %w", path, err)
+			}
 		}
-		sink, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return nil, 0, err
+		if len(events) > 0 {
+			m, err := Bootstrap(events)
+			if err != nil {
+				return nil, 0, err
+			}
+			sink, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, 0, err
+			}
+			jm := Resume(m, sink, int64(len(events)), opts...)
+			jm.sink = sink
+			return jm, len(events) - 1, nil
 		}
-		return Resume(m, sink, int64(len(events))), len(events) - 1, nil
+		// The crash hit the very first record: nothing durable, start
+		// a fresh log below.
 	}
 	sink, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, 0, err
 	}
-	jm, err := NewMarket(cfg, sink)
+	jm, err := NewMarket(cfg, sink, opts...)
 	if err != nil {
 		sink.Close()
 		return nil, 0, err
 	}
+	jm.sink = sink
 	return jm, 0, nil
 }
 
@@ -375,8 +533,8 @@ func OpenFile(cfg market.Config, path string) (*Market, int, error) {
 // an existing log: sink should append to the same file the market was
 // restored from, and lastSeq is the sequence number of the log's final
 // record (1 + the event count returned by Read, counting genesis).
-func Resume(m *market.Market, sink io.Writer, lastSeq int64) *Market {
-	w := NewWriter(sink)
+func Resume(m *market.Market, sink io.Writer, lastSeq int64, opts ...Option) *Market {
+	w := NewWriter(sink, opts...)
 	w.started = true
 	w.seq = lastSeq
 	return &Market{Market: m, w: w}
@@ -475,5 +633,14 @@ func (m *Market) Tick() (int, error) {
 	return p, m.w.Append(Event{Op: OpTick})
 }
 
-// Close flushes the journal.
-func (m *Market) Close() error { return m.w.Close() }
+// Close syncs the journal and, when the journal owns its file, closes
+// it. After Close every mutating operation fails with ErrClosed.
+func (m *Market) Close() error {
+	err := m.w.Close()
+	if m.sink != nil {
+		if cerr := m.sink.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -164,11 +164,11 @@ func RestoreSnapshot(s Snapshot) (*Market, error) {
 		m.sellers[id] = acct
 	}
 	for i, tx := range s.Transactions {
+		// Transactions are history, not live references: a sold dataset
+		// may have been withdrawn since (buyers keep delivered data), so
+		// only the buyer — who can never deregister — must still exist.
 		if _, ok := m.buyers[tx.Buyer]; !ok {
 			return nil, fmt.Errorf("market: snapshot transaction %d references unknown buyer %s", i, tx.Buyer)
-		}
-		if _, ok := s.Engines[tx.Dataset]; !ok {
-			return nil, fmt.Errorf("market: snapshot transaction %d references unknown dataset %s", i, tx.Dataset)
 		}
 		m.txs[i] = tx
 	}

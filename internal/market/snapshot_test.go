@@ -141,9 +141,6 @@ func TestRestoreSnapshotValidation(t *testing.T) {
 		"transaction unknown buyer": mutate(func(s *Snapshot) {
 			s.Transactions = append(s.Transactions, Transaction{Buyer: "ghost", Dataset: "weather"})
 		}),
-		"transaction unknown dataset": mutate(func(s *Snapshot) {
-			s.Transactions = append(s.Transactions, Transaction{Buyer: "carol", Dataset: "ghost"})
-		}),
 		"cyclic graph": mutate(func(s *Snapshot) {
 			s.Graph["weather"] = []string{"weather+traffic"}
 		}),
@@ -156,5 +153,14 @@ func TestRestoreSnapshotValidation(t *testing.T) {
 	// The untouched snapshot still restores.
 	if _, err := RestoreSnapshot(good); err != nil {
 		t.Fatalf("good snapshot rejected: %v", err)
+	}
+	// Transactions are history: one referencing a dataset that was
+	// withdrawn after the sale must NOT block restore (compaction of a
+	// market that sold-then-withdrew a dataset depends on this).
+	withdrawn := good
+	withdrawn.Transactions = append([]Transaction{}, good.Transactions...)
+	withdrawn.Transactions = append(withdrawn.Transactions, Transaction{Buyer: "carol", Dataset: "long-gone"})
+	if _, err := RestoreSnapshot(withdrawn); err != nil {
+		t.Fatalf("snapshot with withdrawn-dataset transaction rejected: %v", err)
 	}
 }
