@@ -13,10 +13,11 @@ build:
 	$(GO) build ./...
 
 # The concurrency-sensitive packages run under the race detector: the
-# sharded market arbiter, the HTTP layer that fans batches into it, and
-# the journal (crash-recovery harness appends concurrently).
+# sharded market arbiter, the HTTP layer that fans batches into it, the
+# journal (crash-recovery harness appends concurrently), and the
+# telemetry registry/tracer (scraped while updated).
 race:
-	$(GO) test -race ./internal/market/... ./internal/httpapi/... ./internal/journal/...
+	$(GO) test -race ./internal/market/... ./internal/httpapi/... ./internal/journal/... ./internal/obs/...
 
 test:
 	$(GO) test ./...

@@ -20,6 +20,10 @@ type client struct {
 	base       string
 	credential string
 	nonce      uint64
+	// token, when set, is sent as a bearer token on every request —
+	// the operator endpoints (metrics, stats, traces) require it when
+	// the server runs with auth.
+	token string
 	// httpClient is swappable in tests; nil selects http.DefaultClient.
 	httpClient *http.Client
 }
@@ -48,6 +52,9 @@ func (c *client) call(method, path string, body, dst any) error {
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
@@ -318,7 +325,14 @@ func run(c *client, args []string, out io.Writer) error {
 		if err := need(0, "metrics"); err != nil {
 			return err
 		}
-		resp, err := c.http().Get(c.base + "/metrics")
+		req, err := http.NewRequest("GET", c.base+"/metrics", nil)
+		if err != nil {
+			return err
+		}
+		if c.token != "" {
+			req.Header.Set("Authorization", "Bearer "+c.token)
+		}
+		resp, err := c.http().Do(req)
 		if err != nil {
 			return err
 		}
@@ -328,6 +342,42 @@ func run(c *client, args []string, out io.Writer) error {
 		}
 		_, err = io.Copy(out, resp.Body)
 		return err
+
+	case "health":
+		if err := need(0, "health"); err != nil {
+			return err
+		}
+		// Raw requests rather than call(): /readyz answers 503 with a
+		// plain status body, not the error envelope, and the reason
+		// must survive into the output.
+		check := func(path string) (int, map[string]string, error) {
+			resp, err := c.http().Get(c.base + path)
+			if err != nil {
+				return 0, nil, err
+			}
+			defer resp.Body.Close()
+			var body map[string]string
+			_ = json.NewDecoder(resp.Body).Decode(&body)
+			return resp.StatusCode, body, nil
+		}
+		liveCode, live, err := check("/healthz")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "live:  %s (HTTP %d)\n", live["status"], liveCode)
+		readyCode, ready, err := check("/readyz")
+		if err != nil {
+			return err
+		}
+		if reason := ready["reason"]; reason != "" {
+			fmt.Fprintf(out, "ready: %s (HTTP %d): %s\n", ready["status"], readyCode, reason)
+		} else {
+			fmt.Fprintf(out, "ready: %s (HTTP %d)\n", ready["status"], readyCode)
+		}
+		if liveCode != http.StatusOK || readyCode != http.StatusOK {
+			return errors.New("server is not healthy")
+		}
+		return nil
 
 	case "transactions":
 		if err := need(0, "transactions"); err != nil {

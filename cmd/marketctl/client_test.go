@@ -225,3 +225,36 @@ func TestSignedBidBatchViaCLI(t *testing.T) {
 		t.Fatalf("unsigned batch entry: %q", res)
 	}
 }
+
+func TestHealthCommand(t *testing.T) {
+	c := testClient(t, false)
+	out := runCmd(t, c, "health")
+	if !strings.Contains(out, "live:  ok") || !strings.Contains(out, "ready: ready") {
+		t.Fatalf("health output: %q", out)
+	}
+}
+
+func TestOperatorTokenFlag(t *testing.T) {
+	m := market.MustNew(market.Config{
+		Engine: core.Config{
+			Candidates: auction.LinearGrid(10, 100, 10),
+			EpochSize:  4,
+			MinBid:     1,
+		},
+		Seed: 8,
+	})
+	srv := httpapi.NewServer(m).WithAuth(auth.NewVerifier(nil)).WithOperatorToken("op-secret")
+	ts := httptest.NewServer(srv.Routes())
+	t.Cleanup(ts.Close)
+
+	// Without the token the operator endpoints refuse.
+	var sb strings.Builder
+	if err := run(&client{base: ts.URL}, []string{"metrics"}, &sb); err == nil {
+		t.Fatal("metrics without token succeeded under auth")
+	}
+	// With it they serve.
+	out := runCmd(t, &client{base: ts.URL, token: "op-secret"}, "metrics")
+	if !strings.Contains(out, "shield_market_revenue_units") {
+		t.Fatalf("metrics with token: %q", out)
+	}
+}

@@ -23,7 +23,11 @@
 //	balance  <seller>
 //	wait     <buyer> <dataset>
 //	transactions
-//	metrics
+//	metrics                                requires -token when the server
+//	                                       runs with auth
+//	health                                 liveness + readiness; exits
+//	                                       nonzero when the server is
+//	                                       unready (e.g. poisoned journal)
 //
 // Examples:
 //
@@ -46,9 +50,10 @@ func main() {
 		server     = flag.String("server", "http://localhost:8080", "marketd base URL")
 		credential = flag.String("credential", "", "hex signing secret for signed bids")
 		nonce      = flag.Uint64("nonce", 0, "bid nonce (must strictly increase per buyer)")
+		token      = flag.String("token", "", "operator bearer token (metrics, stats and traces under auth)")
 	)
 	flag.Parse()
-	c := &client{base: *server, credential: *credential, nonce: *nonce}
+	c := &client{base: *server, credential: *credential, nonce: *nonce, token: *token}
 	if err := run(c, flag.Args(), os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "marketctl:", err)
 		os.Exit(1)

@@ -7,6 +7,7 @@
 //
 //	marketd [-addr :8080] [-epoch 8] [-candidates 40] [-min 1] [-max 200]
 //	        [-seed 2022] [-shards 16] [-journal market.log] [-fsync] [-auth]
+//	        [-operator-token secret] [-trace-sample 1] [-debug-addr 127.0.0.1:6060]
 //
 // With -journal, every successful operation is appended to an event log
 // and the full market state is rebuilt from it on restart; -fsync
@@ -18,15 +19,29 @@
 // must be signed with it (false-name bidding deterrence; see
 // internal/auth).
 //
+// The daemon is fully instrumented (see internal/obs): every request
+// gets an ID and a structured log line, bids leave sampled lifecycle
+// traces (-trace-sample records 1 in N; 0 disables), and /metrics
+// serves the shared registry. With -auth the operator endpoints
+// (/metrics, /debug/traces, dataset stats) require the bearer token
+// from -operator-token; if -auth is set without a token one is
+// generated and logged at startup so the operator surface never silently
+// opens. -debug-addr starts a second, operator-only listener with
+// net/http/pprof plus the same metrics and trace endpoints, ungated —
+// bind it to localhost.
+//
 // See internal/httpapi for the endpoint list.
 package main
 
 import (
 	"context"
 	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +53,7 @@ import (
 	"github.com/datamarket/shield/internal/httpapi"
 	"github.com/datamarket/shield/internal/journal"
 	"github.com/datamarket/shield/internal/market"
+	"github.com/datamarket/shield/internal/obs"
 )
 
 func main() {
@@ -54,8 +70,27 @@ func main() {
 		fsync       = flag.Bool("fsync", false, "fsync the journal after every record (durable across power loss, slower appends)")
 		compact     = flag.Bool("compact", false, "compact the journal (snapshot head) before serving")
 		useAuth     = flag.Bool("auth", false, "require HMAC-signed bids")
+		opToken     = flag.String("operator-token", "", "bearer token for operator endpoints (auto-generated with -auth when empty)")
+		traceSample = flag.Int("trace-sample", 1, "record 1 in N bid-lifecycle traces (0 disables tracing)")
+		debugAddr   = flag.String("debug-addr", "", "operator-only debug listener with pprof, metrics and traces (off when empty; bind to localhost)")
 	)
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
+
+	if *traceSample < 0 {
+		logger.Error("marketd: bad -trace-sample (want a non-negative integer)", "value", *traceSample)
+		os.Exit(1)
+	}
+	// One Telemetry for the whole process: the API server, the market,
+	// the journal and the debug listener all share its registry and
+	// trace ring. The tracer inherits the pricing seed so sampled trace
+	// sequences are reproducible run to run.
+	tel := &obs.Telemetry{
+		Registry: obs.NewRegistry(),
+		Tracer:   obs.NewTracer(256, *traceSample, *seed),
+	}
 
 	cfg := market.Config{
 		Engine: core.Config{
@@ -74,30 +109,34 @@ func main() {
 	case *journalPath == "":
 		m, err := market.New(cfg)
 		if err != nil {
-			log.Fatalf("marketd: %v", err)
+			logger.Error("marketd: building market", "err", err)
+			os.Exit(1)
 		}
 		srvHandler = httpapi.NewServer(m)
 	default:
 		if *compact {
 			if err := journal.CompactFile(*journalPath); err != nil {
-				log.Fatalf("marketd: compacting %s: %v", *journalPath, err)
+				logger.Error("marketd: compacting journal", "path", *journalPath, "err", err)
+				os.Exit(1)
 			}
-			log.Printf("marketd: compacted %s", *journalPath)
+			logger.Info("marketd: compacted journal", "path", *journalPath)
 		}
-		var opts []journal.Option
+		opts := []journal.Option{journal.WithTelemetry(tel)}
 		if *fsync {
 			opts = append(opts, journal.WithFsync())
 		}
 		jm, replayed, err := journal.OpenFile(cfg, *journalPath, opts...)
 		if err != nil {
-			log.Fatalf("marketd: %v", err)
+			logger.Error("marketd: opening journal", "path", *journalPath, "err", err)
+			os.Exit(1)
 		}
 		closeJournal = jm.Close
 		if replayed > 0 {
-			log.Printf("marketd: replayed %d events from %s", replayed, *journalPath)
+			logger.Info("marketd: replayed journal", "events", replayed, "path", *journalPath)
 		}
 		srvHandler = httpapi.NewJournaled(jm)
 	}
+	srvHandler = srvHandler.WithTelemetry(tel).WithLogger(logger)
 
 	if *useAuth {
 		srvHandler = srvHandler.WithAuth(auth.NewVerifier(func() ([]byte, error) {
@@ -105,7 +144,25 @@ func main() {
 			_, err := rand.Read(key)
 			return key, err
 		}))
-		log.Printf("marketd: HMAC bid signing required")
+		logger.Info("marketd: HMAC bid signing required")
+		if *opToken == "" {
+			// Never leave the operator surface silently locked (or,
+			// worse, open): mint a token and tell the operator.
+			raw := make([]byte, 16)
+			if _, err := rand.Read(raw); err != nil {
+				logger.Error("marketd: generating operator token", "err", err)
+				os.Exit(1)
+			}
+			*opToken = hex.EncodeToString(raw)
+			logger.Info("marketd: generated operator token", "token", *opToken)
+		}
+	}
+	if *opToken != "" {
+		srvHandler = srvHandler.WithOperatorToken(*opToken)
+	}
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, tel, logger)
 	}
 
 	srv := &http.Server{
@@ -121,25 +178,56 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Printf("marketd: shutting down")
+		logger.Info("marketd: shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("marketd: shutdown: %v", err)
+			logger.Error("marketd: shutdown", "err", err)
 		}
 		close(done)
 	}()
 
-	log.Printf("marketd: listening on %s (E=%d, %d candidates in [%g, %g])",
-		*addr, *epoch, *candidates, *minPrice, *maxPrice)
+	logger.Info("marketd: listening", "addr", *addr,
+		"epoch", *epoch, "candidates", *candidates, "min", *minPrice, "max", *maxPrice)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatal(err)
+		logger.Error("marketd: serve", "err", err)
+		os.Exit(1)
 	}
 	<-done
 	if *journalPath != "" {
 		if err := closeJournal(); err != nil {
-			log.Fatalf("marketd: closing journal: %v", err)
+			logger.Error("marketd: closing journal", "path", *journalPath, "err", err)
+			os.Exit(1)
 		}
-		log.Printf("marketd: journal %s closed cleanly", *journalPath)
+		logger.Info("marketd: journal closed cleanly", "path", *journalPath)
+	}
+}
+
+// serveDebug runs the operator-only debug listener: net/http/pprof on
+// an explicit mux (never the default mux), plus the process's metrics
+// and trace ring. It is ungated — reachable only on debugAddr, which
+// the operator should bind to localhost or a management network.
+func serveDebug(addr string, tel *obs.Telemetry, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = tel.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"dropped": tel.Tracer.Dropped(),
+			"traces":  tel.Tracer.Recent(64),
+		})
+	})
+	logger.Info("marketd: debug listener", "addr", addr)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		logger.Error("marketd: debug listener", "err", err)
 	}
 }

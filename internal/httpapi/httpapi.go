@@ -6,25 +6,32 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"sync"
 
 	"github.com/datamarket/shield/internal/auth"
 	"github.com/datamarket/shield/internal/journal"
 	"github.com/datamarket/shield/internal/market"
+	"github.com/datamarket/shield/internal/obs"
 )
 
 // mutator is the write interface shared by market.Market and the
-// journaling wrapper journal.Market.
+// journaling wrapper journal.Market. Bids take the request context so
+// the obs trace and request ID ride into the shard-lock, pricing and
+// journal layers.
 type mutator interface {
 	RegisterBuyer(market.BuyerID) error
 	RegisterSeller(market.SellerID) error
 	UploadDataset(market.SellerID, market.DatasetID) error
 	WithdrawDataset(market.SellerID, market.DatasetID) error
 	ComposeDataset(market.DatasetID, ...market.DatasetID) error
-	SubmitBid(market.BuyerID, market.DatasetID, float64) (market.Decision, error)
-	SubmitBids([]market.BidRequest) []market.BidResult
+	SubmitBidCtx(context.Context, market.BuyerID, market.DatasetID, float64) (market.Decision, error)
+	SubmitBidsCtx(context.Context, []market.BidRequest) []market.BidResult
 }
 
 // Server exposes a market.Market over a JSON HTTP API.
@@ -43,12 +50,20 @@ type mutator interface {
 //	GET    /v1/buyers/{id}/wait?dataset=sales
 //	GET    /v1/transactions
 //	GET    /metrics
+//	GET    /debug/traces
 //	GET    /healthz
+//	GET    /readyz
 //
 // Losing bidders receive only their wait-period: the posting price is
 // never disclosed to them (that is the leak Uncertainty-Shield guards
-// against). The stats and metrics endpoints are operator-facing and
-// should not be reachable by buyers in a real deployment.
+// against). The stats, metrics and traces endpoints are operator-facing
+// and sit behind the bearer-token gate (WithOperatorToken) whenever bid
+// auth or a token is configured.
+//
+// Every request is instrumented: the server mints a request ID (echoed
+// as X-Request-ID), records a sampled bid-lifecycle trace, measures
+// per-route/per-status latency into the shared obs registry, and emits
+// one structured log line (WithLogger).
 //
 // Every error response carries the versioned envelope
 // {"error":{"code":"...","message":"..."}} with a stable machine-readable
@@ -62,15 +77,34 @@ type Server struct {
 	// Section 2.1 of the paper). Buyer registration then returns the
 	// credential secret.
 	verifier *auth.Verifier
+	// ready, when set, gates /readyz (journaled servers report their
+	// writer's health here).
+	ready func() error
+
+	tel         *obs.Telemetry
+	telOnce     sync.Once
+	httpLatency *obs.Vec[*obs.Histogram]
+	logger      *slog.Logger
+	opToken     string
 }
 
 func NewServer(m *market.Market) *Server {
-	return &Server{m: m, mut: m, tick: func() (int, error) { return m.Tick(), nil }}
+	return &Server{
+		m: m, mut: m,
+		tick:   func() (int, error) { return m.Tick(), nil },
+		logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
 }
 
-// NewJournaled routes writes through the journaling wrapper.
+// NewJournaled routes writes through the journaling wrapper; /readyz
+// reports the journal writer's health.
 func NewJournaled(jm *journal.Market) *Server {
-	return &Server{m: jm.Market, mut: jm, tick: jm.Tick}
+	return &Server{
+		m: jm.Market, mut: jm,
+		tick:   jm.Tick,
+		ready:  jm.Healthy,
+		logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
 }
 
 // WithAuth enables bid signing.
@@ -79,12 +113,18 @@ func (s *Server) WithAuth(v *auth.Verifier) *Server {
 	return s
 }
 
-func (s *Server) Routes() *http.ServeMux {
+// Routes builds the instrumented handler: the route table wrapped in
+// the request middleware (request IDs, tracing, latency metrics,
+// logging). The first call binds the server's telemetry — the shared
+// one from WithTelemetry, or a private default — and registers the
+// market's metric families on it.
+func (s *Server) Routes() http.Handler {
+	s.ensureTelemetry()
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.operatorOnly(s.handleMetrics))
+	mux.HandleFunc("GET /debug/traces", s.operatorOnly(s.handleTraces))
 	mux.HandleFunc("POST /v1/sellers", s.handleRegisterSeller)
 	mux.HandleFunc("POST /v1/buyers", s.handleRegisterBuyer)
 	mux.HandleFunc("POST /v1/datasets", s.handleUploadDataset)
@@ -94,11 +134,11 @@ func (s *Server) Routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/bids/batch", s.handleBidBatch)
 	mux.HandleFunc("POST /v1/tick", s.handleTick)
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
-	mux.HandleFunc("GET /v1/datasets/{id}/stats", s.handleDatasetStats)
+	mux.HandleFunc("GET /v1/datasets/{id}/stats", s.operatorOnly(s.handleDatasetStats))
 	mux.HandleFunc("GET /v1/sellers/{id}/balance", s.handleSellerBalance)
 	mux.HandleFunc("GET /v1/buyers/{id}/wait", s.handleBuyerWait)
 	mux.HandleFunc("GET /v1/transactions", s.handleTransactions)
-	return mux
+	return s.instrument(mux)
 }
 
 type idRequest struct {
@@ -230,7 +270,7 @@ func (s *Server) handleBid(w http.ResponseWriter, r *http.Request) {
 		}
 		amount = market.Money(req.AmountMicros).Float()
 	}
-	d, err := s.mut.SubmitBid(market.BuyerID(req.Buyer), market.DatasetID(req.Dataset), amount)
+	d, err := s.mut.SubmitBidCtx(r.Context(), market.BuyerID(req.Buyer), market.DatasetID(req.Dataset), amount)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -320,7 +360,7 @@ func (s *Server) handleBidBatch(w http.ResponseWriter, r *http.Request) {
 		})
 		slots = append(slots, i)
 	}
-	for j, res := range s.mut.SubmitBids(reqs) {
+	for j, res := range s.mut.SubmitBidsCtx(r.Context(), reqs) {
 		i := slots[j]
 		if res.Err != nil {
 			code, _ := classify(res.Err)
@@ -386,6 +426,7 @@ func (s *Server) handleTransactions(w http.ResponseWriter, _ *http.Request) {
 }
 
 func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	defer obs.StartSpan(r.Context(), "http.parse")()
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {

@@ -1,102 +1,16 @@
 package httpapi
 
-import (
-	"fmt"
-	"net/http"
-	"strings"
+import "net/http"
 
-	"github.com/datamarket/shield/internal/market"
-)
-
-// handleMetrics exposes operator metrics in the Prometheus text
-// exposition format (no client library needed — the format is plain
-// text). Like the stats endpoint, this is operator-facing: posting
-// prices per dataset must not be reachable by buyers.
-//
-// The exposition format requires every sample of a metric family to
-// appear contiguously after its HELP/TYPE header, so per-dataset and
-// per-shard stats are collected first and then emitted family by
-// family, never interleaved per label.
+// handleMetrics serves the shared obs registry in the Prometheus text
+// exposition format. Every family — market books, per-dataset engine
+// diagnostics, shard lock behaviour, HTTP latency, journal durability —
+// is registered on the registry by the layer that owns it, and
+// WritePrometheus owns ordering and escaping; nothing is hand-written
+// here. Like the stats endpoint this is operator-facing: posting prices
+// per dataset must not be reachable by buyers, so the route sits behind
+// the operator gate when auth is configured.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-
-	fmt.Fprintf(w, "# HELP shield_market_revenue_units Total revenue raised across all datasets.\n")
-	fmt.Fprintf(w, "# TYPE shield_market_revenue_units counter\n")
-	fmt.Fprintf(w, "shield_market_revenue_units %g\n", s.m.Revenue().Float())
-
-	fmt.Fprintf(w, "# HELP shield_market_transactions_total Completed sales.\n")
-	fmt.Fprintf(w, "# TYPE shield_market_transactions_total counter\n")
-	fmt.Fprintf(w, "shield_market_transactions_total %d\n", len(s.m.Transactions()))
-
-	fmt.Fprintf(w, "# HELP shield_market_period Current market period.\n")
-	fmt.Fprintf(w, "# TYPE shield_market_period gauge\n")
-	fmt.Fprintf(w, "shield_market_period %d\n", s.m.Period())
-
-	type datasetSample struct {
-		label string
-		stats market.DatasetStats
-	}
-	var datasets []datasetSample
-	for _, id := range s.m.Datasets() {
-		stats, err := s.m.Stats(id)
-		if err != nil {
-			continue
-		}
-		datasets = append(datasets, datasetSample{promLabel(string(id)), stats})
-	}
-
-	fmt.Fprintf(w, "# HELP shield_dataset_bids_total Bids evaluated per dataset.\n")
-	fmt.Fprintf(w, "# TYPE shield_dataset_bids_total counter\n")
-	for _, d := range datasets {
-		fmt.Fprintf(w, "shield_dataset_bids_total{dataset=%q} %d\n", d.label, d.stats.Bids)
-	}
-	fmt.Fprintf(w, "# HELP shield_dataset_allocations_total Winning bids per dataset.\n")
-	fmt.Fprintf(w, "# TYPE shield_dataset_allocations_total counter\n")
-	for _, d := range datasets {
-		fmt.Fprintf(w, "shield_dataset_allocations_total{dataset=%q} %d\n", d.label, d.stats.Allocations)
-	}
-	fmt.Fprintf(w, "# HELP shield_dataset_epochs_total Completed pricing epochs per dataset.\n")
-	fmt.Fprintf(w, "# TYPE shield_dataset_epochs_total counter\n")
-	for _, d := range datasets {
-		fmt.Fprintf(w, "shield_dataset_epochs_total{dataset=%q} %d\n", d.label, d.stats.Epochs)
-	}
-	fmt.Fprintf(w, "# HELP shield_dataset_revenue_units Revenue per dataset.\n")
-	fmt.Fprintf(w, "# TYPE shield_dataset_revenue_units counter\n")
-	for _, d := range datasets {
-		fmt.Fprintf(w, "shield_dataset_revenue_units{dataset=%q} %g\n", d.label, d.stats.Revenue)
-	}
-	fmt.Fprintf(w, "# HELP shield_dataset_posting_price Current posting price per dataset (operator only).\n")
-	fmt.Fprintf(w, "# TYPE shield_dataset_posting_price gauge\n")
-	for _, d := range datasets {
-		fmt.Fprintf(w, "shield_dataset_posting_price{dataset=%q} %g\n", d.label, d.stats.PostingPrice)
-	}
-
-	shards := s.m.ShardStats()
-	fmt.Fprintf(w, "# HELP shield_shard_datasets Datasets currently hashed to each lock shard.\n")
-	fmt.Fprintf(w, "# TYPE shield_shard_datasets gauge\n")
-	for _, sh := range shards {
-		fmt.Fprintf(w, "shield_shard_datasets{shard=\"%d\"} %d\n", sh.Shard, sh.Datasets)
-	}
-	fmt.Fprintf(w, "# HELP shield_shard_bids_total Bids routed through each lock shard.\n")
-	fmt.Fprintf(w, "# TYPE shield_shard_bids_total counter\n")
-	for _, sh := range shards {
-		fmt.Fprintf(w, "shield_shard_bids_total{shard=\"%d\"} %d\n", sh.Shard, sh.Bids)
-	}
-	fmt.Fprintf(w, "# HELP shield_shard_lock_contention_total Shard-lock acquisitions that had to wait.\n")
-	fmt.Fprintf(w, "# TYPE shield_shard_lock_contention_total counter\n")
-	for _, sh := range shards {
-		fmt.Fprintf(w, "shield_shard_lock_contention_total{shard=\"%d\"} %d\n", sh.Shard, sh.Contention)
-	}
-	fmt.Fprintf(w, "# HELP shield_shard_bid_latency_seconds_total Cumulative wall time inside locked bid sections per shard.\n")
-	fmt.Fprintf(w, "# TYPE shield_shard_bid_latency_seconds_total counter\n")
-	for _, sh := range shards {
-		fmt.Fprintf(w, "shield_shard_bid_latency_seconds_total{shard=\"%d\"} %g\n", sh.Shard, sh.BidLatency.Seconds())
-	}
-}
-
-// promLabel sanitizes a label value for the exposition format (the %q
-// above handles quoting; newlines are the remaining hazard).
-func promLabel(v string) string {
-	v = strings.ReplaceAll(v, "\n", " ")
-	return v
+	_ = s.tel.Registry.WritePrometheus(w)
 }

@@ -47,9 +47,14 @@ func validateExposition(t *testing.T, r io.Reader) {
 		closed   = map[string]bool{} // families whose sample block ended
 		series   = map[string]bool{}
 		samples  = map[string]int{}
+		suffixed = map[string]string{} // histogram sample name -> base family
 		scanner  = bufio.NewScanner(r)
 		metricOf = func(sample string) string {
-			return strings.FieldsFunc(sample, func(r rune) bool { return r == '{' || r == ' ' })[0]
+			name := strings.FieldsFunc(sample, func(r rune) bool { return r == '{' || r == ' ' })[0]
+			if base, ok := suffixed[name]; ok {
+				return base
+			}
+			return name
 		}
 		lineCount int
 	)
@@ -81,7 +86,15 @@ func validateExposition(t *testing.T, r io.Reader) {
 				t.Errorf("line %d: duplicate TYPE for %s", lineCount, name)
 			}
 			typed[name] = true
-			if kind != "counter" && kind != "gauge" {
+			switch kind {
+			case "counter", "gauge":
+			case "histogram":
+				// Histogram samples carry suffixed names that belong to
+				// the base family's contiguous block.
+				suffixed[name+"_bucket"] = name
+				suffixed[name+"_sum"] = name
+				suffixed[name+"_count"] = name
+			default:
 				t.Errorf("line %d: unexpected metric type %q", lineCount, kind)
 			}
 			continue
@@ -101,7 +114,13 @@ func validateExposition(t *testing.T, r io.Reader) {
 		if !typed[name] {
 			t.Errorf("line %d: sample for %s before TYPE", lineCount, name)
 		}
-		key := strings.SplitN(line, " ", 2)[0] // name{labels}
+		// The series key is name{labels}; label values may contain
+		// spaces (route="POST /v1/bids"), so split after the closing
+		// brace rather than at the first space.
+		key := strings.SplitN(line, " ", 2)[0]
+		if brace := strings.LastIndex(line, "}"); strings.Contains(key, "{") && brace >= 0 {
+			key = line[:brace+1]
+		}
 		if series[key] {
 			t.Errorf("line %d: duplicate series %s", lineCount, key)
 		}
@@ -132,6 +151,10 @@ func validateExposition(t *testing.T, r io.Reader) {
 		"shield_shard_lock_contention_total",
 		"shield_shard_bid_latency_seconds_total",
 		"shield_shard_datasets",
+		"shield_shard_lock_wait_seconds",
+		"shield_price_evaluate_seconds",
+		"shield_http_request_seconds",
+		"shield_metrics_scrape_errors_total",
 	} {
 		if !helped[want] || !typed[want] {
 			t.Errorf("family %s missing HELP/TYPE", want)

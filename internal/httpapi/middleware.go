@@ -1,0 +1,169 @@
+package httpapi
+
+import (
+	"crypto/subtle"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/datamarket/shield/internal/obs"
+)
+
+// WithTelemetry makes the server share t instead of building its own
+// private Telemetry on first Routes call. Pass the same value to the
+// journal's WithTelemetry option and the daemon's debug mux so one
+// registry and one trace ring serve the whole process. Must be called
+// before Routes.
+func (s *Server) WithTelemetry(t *obs.Telemetry) *Server {
+	s.tel = t
+	return s
+}
+
+// WithLogger routes the structured request log (one line per request:
+// id, route, status, elapsed) to l. The default logger discards.
+func (s *Server) WithLogger(l *slog.Logger) *Server {
+	s.logger = l
+	return s
+}
+
+// WithOperatorToken gates the operator-facing endpoints — GET /metrics,
+// GET /debug/traces and GET /v1/datasets/{id}/stats — behind a bearer
+// token: they expose posting prices and per-request traces, exactly the
+// information Uncertainty-Shield keeps from buyers. With bid auth
+// enabled and no token configured the operator endpoints lock shut
+// (fail closed); with neither auth nor a token the server is an open
+// development deployment and they stay open.
+func (s *Server) WithOperatorToken(token string) *Server {
+	s.opToken = token
+	return s
+}
+
+// ensureTelemetry lazily builds the default Telemetry and instruments
+// the market exactly once (family registration panics on duplicates by
+// design, so this must not run twice even if Routes is called again).
+func (s *Server) ensureTelemetry() {
+	s.telOnce.Do(func() {
+		if s.tel == nil {
+			s.tel = obs.NewTelemetry()
+		}
+		s.m.Instrument(s.tel)
+		s.httpLatency = s.tel.Registry.HistogramVec("shield_http_request_seconds",
+			"HTTP request latency by route pattern and status code.",
+			obs.LatencyBuckets(), "route", "status")
+	})
+}
+
+// statusWriter captures the response status for the latency histogram
+// and the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument is the outermost middleware: it mints the request ID,
+// echoes it as X-Request-ID, begins the (possibly sampled-out) trace,
+// threads both through the request context, and on completion records
+// the route/status latency sample and one structured log line. The
+// route label is the mux pattern that matched — a bounded set — never
+// the raw URL.
+func (s *Server) instrument(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := s.tel.Tracer.NewRequestID()
+		tr := s.tel.Tracer.Begin(id, r.Method+" "+r.URL.Path)
+		ctx := obs.WithTrace(obs.WithRequestID(r.Context(), id), tr)
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		r = r.WithContext(ctx)
+		mux.ServeHTTP(sw, r)
+		// ServeMux writes the matched pattern back onto this request
+		// before dispatching (Go 1.22+), so it is readable here.
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		tr.SetName(route)
+		s.tel.Tracer.Finish(tr)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		s.httpLatency.With(route, strconv.Itoa(sw.status)).Observe(elapsed.Seconds())
+		s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
+			slog.String("id", id),
+			slog.String("route", route),
+			slog.Int("status", sw.status),
+			slog.Duration("elapsed", elapsed),
+			slog.String("remote", r.RemoteAddr),
+		)
+	})
+}
+
+// operatorOnly enforces the operator gate described at
+// WithOperatorToken. Comparison is constant-time; the response never
+// distinguishes a wrong token from a missing one.
+func (s *Server) operatorOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.verifier == nil && s.opToken == "" {
+			h(w, r)
+			return
+		}
+		if s.opToken == "" {
+			writeAPIError(w, http.StatusUnauthorized, CodeUnauthorized,
+				"operator endpoints locked: no operator token configured")
+			return
+		}
+		tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(tok), []byte(s.opToken)) != 1 {
+			writeAPIError(w, http.StatusUnauthorized, CodeUnauthorized,
+				"operator token required")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleHealthz is liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: the market is restored and the journal
+// (when there is one) can still persist writes. A poisoned or closed
+// journal answers 503 — the daemon serves reads but must be rotated out
+// of write traffic.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.ready != nil {
+		if err := s.ready(); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]string{"status": "unready", "reason": err.Error()})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleTraces serves the most recent completed bid-lifecycle traces,
+// newest first, with the count of traces already evicted from the ring.
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dropped": s.tel.Tracer.Dropped(),
+		"traces":  s.tel.Tracer.Recent(64),
+	})
+}

@@ -1,0 +1,233 @@
+package httpapi
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"github.com/datamarket/shield/internal/auction"
+	"github.com/datamarket/shield/internal/auth"
+	"github.com/datamarket/shield/internal/core"
+	"github.com/datamarket/shield/internal/journal"
+	"github.com/datamarket/shield/internal/market"
+)
+
+func testConfig() market.Config {
+	return market.Config{
+		Engine: core.Config{
+			Candidates: auction.LinearGrid(10, 100, 10),
+			EpochSize:  4,
+			MinBid:     1,
+		},
+		Seed: 9,
+	}
+}
+
+// operatorGet issues a GET with an optional bearer token.
+func operatorGet(t *testing.T, ts *httptest.Server, path, token string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+var operatorPaths = []string{"/metrics", "/debug/traces", "/v1/datasets/x/stats"}
+
+// TestOperatorEndpointsGated pins the operator-gate contract: with bid
+// auth enabled, /metrics, /debug/traces and /v1/datasets/{id}/stats
+// require the configured bearer token (posting prices and traces are
+// exactly what the shield keeps from buyers).
+func TestOperatorEndpointsGated(t *testing.T) {
+	m := market.MustNew(testConfig())
+	srv := NewServer(m).WithAuth(auth.NewVerifier(nil)).WithOperatorToken("sekrit")
+	ts := httptest.NewServer(srv.Routes())
+	defer ts.Close()
+
+	for _, path := range operatorPaths {
+		if got := operatorGet(t, ts, path, "").StatusCode; got != http.StatusUnauthorized {
+			t.Errorf("GET %s without token = %d, want 401", path, got)
+		}
+		if got := operatorGet(t, ts, path, "wrong").StatusCode; got != http.StatusUnauthorized {
+			t.Errorf("GET %s with wrong token = %d, want 401", path, got)
+		}
+		if got := operatorGet(t, ts, path, "sekrit").StatusCode; got == http.StatusUnauthorized {
+			t.Errorf("GET %s with operator token = 401, want authorized", path)
+		}
+	}
+	// Public endpoints stay open under auth.
+	if got := operatorGet(t, ts, "/healthz", "").StatusCode; got != http.StatusOK {
+		t.Errorf("GET /healthz under auth = %d, want 200", got)
+	}
+}
+
+// TestOperatorEndpointsFailClosed: auth on but no operator token
+// configured means the operator endpoints lock shut rather than open.
+func TestOperatorEndpointsFailClosed(t *testing.T) {
+	m := market.MustNew(testConfig())
+	ts := httptest.NewServer(NewServer(m).WithAuth(auth.NewVerifier(nil)).Routes())
+	defer ts.Close()
+	for _, path := range operatorPaths {
+		if got := operatorGet(t, ts, path, "anything").StatusCode; got != http.StatusUnauthorized {
+			t.Errorf("GET %s with auth and no operator token = %d, want 401", path, got)
+		}
+	}
+}
+
+// TestOperatorEndpointsOpenWithoutAuth: a development deployment with
+// neither bid auth nor a token keeps the operator endpoints open.
+func TestOperatorEndpointsOpenWithoutAuth(t *testing.T) {
+	ts := testServer(t)
+	for _, path := range []string{"/metrics", "/debug/traces"} {
+		if got := operatorGet(t, ts, path, "").StatusCode; got != http.StatusOK {
+			t.Errorf("GET %s without auth = %d, want 200", path, got)
+		}
+	}
+}
+
+// failAfterWriter passes through n writes, then fails every write.
+type failAfterWriter struct {
+	n int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk gone")
+	}
+	w.n--
+	return len(p), nil
+}
+
+// TestReadyz pins the readiness contract: an unjournaled server is
+// always ready; a journaled server goes unready (503) the moment its
+// journal writer is poisoned, while liveness stays 200.
+func TestReadyz(t *testing.T) {
+	ts := testServer(t)
+	var out map[string]string
+	if resp := get(t, ts, "/readyz", &out); resp.StatusCode != http.StatusOK || out["status"] != "ready" {
+		t.Fatalf("unjournaled readyz: %d %v", resp.StatusCode, out)
+	}
+
+	// Journaled server whose sink dies after the genesis record.
+	jm, err := journal.NewMarket(testConfig(), &failAfterWriter{n: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jts := httptest.NewServer(NewJournaled(jm).Routes())
+	defer jts.Close()
+	if resp := get(t, jts, "/readyz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("journaled readyz before poison = %d, want 200", resp.StatusCode)
+	}
+	// This write poisons the journal: the market mutates but the append
+	// fails, so the daemon must stop taking writes.
+	post(t, jts, "/v1/sellers", map[string]string{"id": "s"})
+	var unready map[string]string
+	if resp := get(t, jts, "/readyz", &unready); resp.StatusCode != http.StatusServiceUnavailable || unready["status"] != "unready" {
+		t.Fatalf("journaled readyz after poison: %d %v", resp.StatusCode, unready)
+	}
+	if resp := get(t, jts, "/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after poison = %d, want 200 (liveness is not readiness)", resp.StatusCode)
+	}
+}
+
+// TestRequestIDHeader: every response carries the minted request ID.
+func TestRequestIDHeader(t *testing.T) {
+	ts := testServer(t)
+	resp := get(t, ts, "/v1/datasets", nil)
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Fatal("response missing X-Request-ID")
+	}
+}
+
+// TestBidTraceRetrievable is the telemetry layer's acceptance test: a
+// single bid through the HTTP API of a journaled (fsynced) server
+// yields a retrievable trace whose spans name every stage of the bid
+// lifecycle, and the journal record carries the same request ID so a
+// log line, a journal event and a trace all join on it.
+func TestBidTraceRetrievable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "market.journal")
+	jm, _, err := journal.OpenFile(testConfig(), path, journal.WithFsync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jm.Close()
+	ts := httptest.NewServer(NewJournaled(jm).Routes())
+	defer ts.Close()
+
+	post(t, ts, "/v1/sellers", map[string]string{"id": "s"})
+	post(t, ts, "/v1/datasets", map[string]string{"seller": "s", "id": "d"})
+	post(t, ts, "/v1/buyers", map[string]string{"id": "bob"})
+	resp, _ := post(t, ts, "/v1/bids", map[string]any{"buyer": "bob", "dataset": "d", "amount": 150.0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bid: %d", resp.StatusCode)
+	}
+	bidID := resp.Header.Get("X-Request-ID")
+	if bidID == "" {
+		t.Fatal("bid response missing X-Request-ID")
+	}
+
+	// The journal event for the bid records the request ID.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := journal.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bidEvent *journal.Event
+	for i := range events {
+		if events[i].Op == journal.OpBid {
+			bidEvent = &events[i]
+		}
+	}
+	if bidEvent == nil {
+		t.Fatal("no bid event journaled")
+	}
+	if bidEvent.Trace != bidID {
+		t.Fatalf("journal event trace = %q, want %q", bidEvent.Trace, bidID)
+	}
+
+	// The trace is retrievable and carries the lifecycle spans.
+	var out struct {
+		Traces []struct {
+			ID    string `json:"id"`
+			Name  string `json:"name"`
+			Spans []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		} `json:"traces"`
+	}
+	get(t, ts, "/debug/traces", &out)
+	var spans []string
+	for _, tr := range out.Traces {
+		if tr.ID != bidID {
+			continue
+		}
+		if tr.Name != "POST /v1/bids" {
+			t.Errorf("trace name = %q, want POST /v1/bids", tr.Name)
+		}
+		for _, sp := range tr.Spans {
+			spans = append(spans, sp.Name)
+		}
+	}
+	for _, want := range []string{"http.parse", "shard.lock_wait", "price.evaluate", "journal.append", "journal.fsync"} {
+		if !slices.Contains(spans, want) {
+			t.Errorf("trace %s missing span %q (got %v)", bidID, want, spans)
+		}
+	}
+}

@@ -33,6 +33,7 @@ package journal
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -40,8 +41,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"github.com/datamarket/shield/internal/market"
+	"github.com/datamarket/shield/internal/obs"
 )
 
 // Op enumerates journaled operations.
@@ -86,6 +89,11 @@ type Event struct {
 	Bids         []BatchBid       `json:"bids,omitempty"`
 	Config       *market.Config   `json:"config,omitempty"`
 	Snapshot     *market.Snapshot `json:"snapshot,omitempty"`
+	// Trace is the request ID of the HTTP request that produced this
+	// event, when one was in flight — it joins a journal record to the
+	// bid-lifecycle trace and the structured request log. Replay
+	// ignores it.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Sentinel errors.
@@ -112,6 +120,43 @@ func WithFsync() Option {
 	return func(w *Writer) { w.fsync = true }
 }
 
+// WithTelemetry instruments the writer: append and fsync latency
+// histograms, a per-record size histogram, and counters for appended
+// bytes and failed appends, all registered on t's registry. Register at
+// most one writer per registry (families panic on double registration
+// by design); short-lived internal writers, like the one Compact
+// builds, stay uninstrumented.
+func WithTelemetry(t *obs.Telemetry) Option {
+	return func(w *Writer) {
+		r := t.Registry
+		w.tel = &writerTelemetry{
+			appendLatency: r.Histogram("shield_journal_append_seconds",
+				"Time to hand one encoded record to the journal sink.",
+				obs.LatencyBuckets()),
+			fsyncLatency: r.Histogram("shield_journal_fsync_seconds",
+				"Time to fsync the journal after an append (WithFsync only).",
+				obs.LatencyBuckets()),
+			recordBytes: r.Histogram("shield_journal_record_bytes",
+				"Encoded size of one journal record.",
+				obs.SizeBuckets()),
+			bytesTotal: r.Counter("shield_journal_appended_bytes_total",
+				"Bytes appended to the journal."),
+			appendErrors: r.Counter("shield_journal_append_errors_total",
+				"Appends that failed and poisoned the writer."),
+		}
+	}
+}
+
+// writerTelemetry holds a writer's pre-bound instruments; nil on
+// uninstrumented writers.
+type writerTelemetry struct {
+	appendLatency *obs.Histogram
+	fsyncLatency  *obs.Histogram
+	recordBytes   *obs.Histogram
+	bytesTotal    *obs.Counter
+	appendErrors  *obs.Counter
+}
+
 // Writer appends events to a log. Safe for concurrent use.
 //
 // Every record reaches the sink as a single newline-terminated Write.
@@ -125,6 +170,7 @@ type Writer struct {
 	scratch bytes.Buffer
 	enc     *json.Encoder
 	fsync   bool
+	tel     *writerTelemetry
 	seq     int64
 	started bool
 	closed  bool
@@ -163,11 +209,18 @@ func (w *Writer) head(e Event) error {
 		return ErrDoubleStart
 	}
 	w.started = true
-	return w.append(e)
+	return w.append(context.Background(), e)
 }
 
 // Append journals one event (Seq is assigned by the writer).
 func (w *Writer) Append(e Event) error {
+	return w.AppendCtx(context.Background(), e)
+}
+
+// AppendCtx is Append with request context: when ctx carries a sampled
+// obs trace, the record's sink write and fsync land as journal.append
+// and journal.fsync spans on it.
+func (w *Writer) AppendCtx(ctx context.Context, e Event) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
@@ -179,10 +232,10 @@ func (w *Writer) Append(e Event) error {
 	if e.Op == OpGenesis || e.Op == OpSnapshot {
 		return ErrDoubleStart
 	}
-	return w.append(e)
+	return w.append(ctx, e)
 }
 
-func (w *Writer) append(e Event) error {
+func (w *Writer) append(ctx context.Context, e Event) error {
 	if w.err != nil {
 		return w.err
 	}
@@ -192,19 +245,63 @@ func (w *Writer) append(e Event) error {
 		// Nothing reached the sink; the writer stays usable.
 		return fmt.Errorf("journal: encoding event %d: %w", e.Seq, err)
 	}
-	if _, err := w.sink.Write(w.scratch.Bytes()); err != nil {
+	endAppend := obs.StartSpan(ctx, "journal.append")
+	var start time.Time
+	if w.tel != nil {
+		start = time.Now()
+	}
+	n, err := w.sink.Write(w.scratch.Bytes())
+	if w.tel != nil {
+		w.tel.appendLatency.ObserveSince(start)
+	}
+	endAppend()
+	if err != nil {
+		if w.tel != nil {
+			w.tel.appendErrors.Inc()
+		}
 		w.err = fmt.Errorf("journal: writing event %d: %w", e.Seq, err)
 		return w.err
 	}
+	if w.tel != nil {
+		w.tel.bytesTotal.Add(uint64(n))
+		w.tel.recordBytes.Observe(float64(n))
+	}
 	if w.fsync {
 		if s, ok := w.sink.(syncer); ok {
-			if err := s.Sync(); err != nil {
-				w.err = fmt.Errorf("journal: syncing event %d: %w", e.Seq, err)
+			endFsync := obs.StartSpan(ctx, "journal.fsync")
+			if w.tel != nil {
+				start = time.Now()
+			}
+			serr := s.Sync()
+			if w.tel != nil {
+				w.tel.fsyncLatency.ObserveSince(start)
+			}
+			endFsync()
+			if serr != nil {
+				if w.tel != nil {
+					w.tel.appendErrors.Inc()
+				}
+				w.err = fmt.Errorf("journal: syncing event %d: %w", e.Seq, serr)
 				return w.err
 			}
 		}
 	}
 	w.seq = e.Seq
+	return nil
+}
+
+// Healthy reports whether the writer can accept appends: nil while
+// open and unpoisoned, ErrClosed after Close, and the original sticky
+// append failure after a sink error. It backs readiness probes.
+func (w *Writer) Healthy() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return ErrClosed
+	}
 	return nil
 }
 
@@ -579,11 +676,20 @@ func (m *Market) ComposeDataset(id market.DatasetID, constituents ...market.Data
 // SubmitBid journals on success (including losing bids: they move
 // engine and wait state).
 func (m *Market) SubmitBid(buyer market.BuyerID, dataset market.DatasetID, amount float64) (market.Decision, error) {
-	d, err := m.Market.SubmitBid(buyer, dataset, amount)
+	return m.SubmitBidCtx(context.Background(), buyer, dataset, amount)
+}
+
+// SubmitBidCtx is SubmitBid with request context: the obs trace rides
+// through the market's locking and pricing spans into the journal's
+// append and fsync spans, and the journaled event records the request
+// ID so operators can join a log record to its trace.
+func (m *Market) SubmitBidCtx(ctx context.Context, buyer market.BuyerID, dataset market.DatasetID, amount float64) (market.Decision, error) {
+	d, err := m.Market.SubmitBidCtx(ctx, buyer, dataset, amount)
 	if err != nil {
 		return d, err
 	}
-	if err := m.w.Append(Event{Op: OpBid, Buyer: string(buyer), Dataset: string(dataset), Amount: amount}); err != nil {
+	e := Event{Op: OpBid, Buyer: string(buyer), Dataset: string(dataset), Amount: amount, Trace: obs.RequestIDFrom(ctx)}
+	if err := m.w.AppendCtx(ctx, e); err != nil {
 		return d, err
 	}
 	return d, nil
@@ -595,10 +701,15 @@ func (m *Market) SubmitBid(buyer market.BuyerID, dataset market.DatasetID, amoun
 // order of operations, and replay must reproduce the exact engine state,
 // so the batch's application order has to be the recorded order.
 func (m *Market) SubmitBids(reqs []market.BidRequest) []market.BidResult {
+	return m.SubmitBidsCtx(context.Background(), reqs)
+}
+
+// SubmitBidsCtx is SubmitBids with request context; see SubmitBidCtx.
+func (m *Market) SubmitBidsCtx(ctx context.Context, reqs []market.BidRequest) []market.BidResult {
 	out := make([]market.BidResult, len(reqs))
 	bids := make([]BatchBid, 0, len(reqs))
 	for i, r := range reqs {
-		out[i].Decision, out[i].Err = m.Market.SubmitBid(r.Buyer, r.Dataset, r.Amount)
+		out[i].Decision, out[i].Err = m.Market.SubmitBidCtx(ctx, r.Buyer, r.Dataset, r.Amount)
 		if out[i].Err == nil {
 			bids = append(bids, BatchBid{Buyer: string(r.Buyer), Dataset: string(r.Dataset), Amount: r.Amount})
 		}
@@ -606,7 +717,8 @@ func (m *Market) SubmitBids(reqs []market.BidRequest) []market.BidResult {
 	if len(bids) == 0 {
 		return out
 	}
-	if err := m.w.Append(Event{Op: OpBidBatch, Bids: bids}); err != nil {
+	e := Event{Op: OpBidBatch, Bids: bids, Trace: obs.RequestIDFrom(ctx)}
+	if err := m.w.AppendCtx(ctx, e); err != nil {
 		// The bids applied but did not persist; surface the journal
 		// failure on every applied entry so callers know the log is
 		// behind the in-memory state.
@@ -631,6 +743,15 @@ func (m *Market) WithdrawDataset(seller market.SellerID, id market.DatasetID) er
 func (m *Market) Tick() (int, error) {
 	p := m.Market.Tick()
 	return p, m.w.Append(Event{Op: OpTick})
+}
+
+// Healthy reports whether the market can still accept and persist
+// operations: nil while the journal writer is open and unpoisoned, the
+// writer's error otherwise. It backs the daemon's readiness probe — a
+// market whose journal is poisoned serves reads but must not be sent
+// writes.
+func (m *Market) Healthy() error {
+	return m.w.Healthy()
 }
 
 // Close syncs the journal and, when the journal owns its file, closes

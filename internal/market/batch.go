@@ -1,6 +1,7 @@
 package market
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -27,9 +28,27 @@ type BidResult struct {
 // goroutine). Results are returned in request order, one per request,
 // and one failed bid never aborts the rest of the batch.
 func (m *Market) SubmitBids(reqs []BidRequest) []BidResult {
+	return m.SubmitBidsCtx(context.Background(), reqs)
+}
+
+// SubmitBidsCtx is SubmitBids with request context: the context (and
+// any obs trace it carries) is shared by every worker, so a batch
+// request's trace accumulates the spans of all its bids. On an
+// instrumented market the pool also reports its queue depth (accepted
+// bids not yet decided) and saturation (bids that found every worker
+// busy).
+func (m *Market) SubmitBidsCtx(ctx context.Context, reqs []BidRequest) []BidResult {
 	out := make([]BidResult, len(reqs))
 	if len(reqs) == 0 {
 		return out
+	}
+	if m.tel != nil {
+		m.tel.batchDepth.Add(float64(len(reqs)))
+	}
+	done := func() {
+		if m.tel != nil {
+			m.tel.batchDepth.Add(-1)
+		}
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(reqs) {
@@ -37,7 +56,8 @@ func (m *Market) SubmitBids(reqs []BidRequest) []BidResult {
 	}
 	if workers <= 1 {
 		for i, r := range reqs {
-			out[i].Decision, out[i].Err = m.SubmitBid(r.Buyer, r.Dataset, r.Amount)
+			out[i].Decision, out[i].Err = m.SubmitBidCtx(ctx, r.Buyer, r.Dataset, r.Amount)
+			done()
 		}
 		return out
 	}
@@ -49,12 +69,24 @@ func (m *Market) SubmitBids(reqs []BidRequest) []BidResult {
 			defer wg.Done()
 			for i := range idx {
 				r := reqs[i]
-				out[i].Decision, out[i].Err = m.SubmitBid(r.Buyer, r.Dataset, r.Amount)
+				out[i].Decision, out[i].Err = m.SubmitBidCtx(ctx, r.Buyer, r.Dataset, r.Amount)
+				done()
 			}
 		}()
 	}
 	for i := range reqs {
-		idx <- i
+		if m.tel == nil {
+			idx <- i
+			continue
+		}
+		// A bid that cannot be handed off immediately means every
+		// worker is busy: the pool is saturated for this batch shape.
+		select {
+		case idx <- i:
+		default:
+			m.tel.batchSaturated.Inc()
+			idx <- i
+		}
 	}
 	close(idx)
 	wg.Wait()

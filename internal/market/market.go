@@ -26,6 +26,7 @@
 package market
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"github.com/datamarket/shield/internal/core"
+	"github.com/datamarket/shield/internal/obs"
 	"github.com/datamarket/shield/internal/provenance"
 )
 
@@ -132,6 +134,11 @@ type Market struct {
 	ledger  sync.Mutex
 	txs     []Transaction
 	revenue Money
+
+	// tel holds pre-bound hot-path instruments; nil until Instrument is
+	// called (before the market serves traffic), so uninstrumented
+	// markets pay one pointer check per site.
+	tel *telemetry
 }
 
 // New builds a Market; the engine template must validate.
@@ -277,6 +284,15 @@ func (m *Market) Period() int {
 // propagates demand to, so the whole engine interaction is atomic with
 // respect to any overlapping bid.
 func (m *Market) SubmitBid(buyer BuyerID, dataset DatasetID, amount float64) (Decision, error) {
+	return m.SubmitBidCtx(context.Background(), buyer, dataset, amount)
+}
+
+// SubmitBidCtx is SubmitBid with request context: when ctx carries an
+// obs trace, the bid records shard.lock_wait and price.evaluate spans,
+// so one request's trace shows where its time went. The context does
+// not cancel the bid — a bid that reached the market always completes
+// (partial application would desynchronize engines and books).
+func (m *Market) SubmitBidCtx(ctx context.Context, buyer BuyerID, dataset DatasetID, amount float64) (Decision, error) {
 	if !(amount > 0) {
 		return Decision{}, ErrBadBid
 	}
@@ -299,7 +315,9 @@ func (m *Market) SubmitBid(buyer BuyerID, dataset DatasetID, amount float64) (De
 		leaves, _ = m.graph.Leaves(string(dataset))
 	}
 	locked := m.lockSet(dataset, leaves)
+	endLockSpan := obs.StartSpan(ctx, "shard.lock_wait")
 	m.lockShards(locked)
+	endLockSpan()
 	defer m.unlockShards(locked)
 
 	start := time.Now()
@@ -326,6 +344,11 @@ func (m *Market) SubmitBid(buyer BuyerID, dataset DatasetID, amount float64) (De
 	acct.lastBid[dataset] = clock
 	acct.mu.Unlock()
 
+	endEvalSpan := obs.StartSpan(ctx, "price.evaluate")
+	var evalStart time.Time
+	if m.tel != nil {
+		evalStart = time.Now()
+	}
 	d := primary.engines[dataset].SubmitBid(amount)
 
 	// Propagate the demand signal to the constituents of a derived
@@ -334,6 +357,10 @@ func (m *Market) SubmitBid(buyer BuyerID, dataset DatasetID, amount float64) (De
 		if le, ok := m.shardFor(DatasetID(leaf)).engines[DatasetID(leaf)]; ok {
 			le.Observe(amount)
 		}
+	}
+	endEvalSpan()
+	if m.tel != nil {
+		m.tel.priceEval.ObserveSince(evalStart)
 	}
 
 	if !d.Allocated {

@@ -77,14 +77,28 @@ func (m *Market) lockSet(dataset DatasetID, leaves []string) []int {
 
 // lockShards acquires the given shard indices in ascending order (the
 // global shard lock order — see DESIGN.md "Concurrency model"),
-// counting contended acquisitions.
+// counting contended acquisitions. On an instrumented market every
+// acquisition lands in that shard's lock-wait histogram: 0 for
+// uncontended fast-path takes, the measured wait otherwise — so the
+// histogram count is total acquisitions and the upper buckets isolate
+// real contention.
 func (m *Market) lockShards(idx []int) {
 	for _, i := range idx {
 		sh := m.shards[i]
-		if !sh.mu.TryLock() {
-			sh.contention.Add(1)
-			sh.mu.Lock()
+		if sh.mu.TryLock() {
+			if m.tel != nil {
+				m.tel.lockWait[i].Observe(0)
+			}
+			continue
 		}
+		sh.contention.Add(1)
+		if m.tel == nil {
+			sh.mu.Lock()
+			continue
+		}
+		waitStart := time.Now()
+		sh.mu.Lock()
+		m.tel.lockWait[i].ObserveSince(waitStart)
 	}
 }
 

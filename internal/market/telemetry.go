@@ -1,0 +1,147 @@
+package market
+
+import (
+	"sort"
+	"strconv"
+
+	"github.com/datamarket/shield/internal/obs"
+)
+
+// telemetry holds the market's pre-bound hot-path instruments. All
+// fields are bound once in Instrument, before the market serves
+// traffic, so the bid path reads them without synchronization; a nil
+// telemetry (the default) costs one pointer check per site.
+type telemetry struct {
+	// lockWait, indexed by shard, observes every shard-lock
+	// acquisition: 0 for uncontended fast-path takes, the measured
+	// wait otherwise — so _count is total acquisitions and the upper
+	// buckets isolate real contention.
+	lockWait []*obs.Histogram
+	// priceEval times the engine interaction of one bid: allocation
+	// decision, wait-period simulation, demand propagation and the
+	// epoch price update.
+	priceEval *obs.Histogram
+	// batchDepth is the number of batch-submitted bids accepted but
+	// not yet decided (worker-pool queue depth).
+	batchDepth *obs.Gauge
+	// batchSaturated counts batch bids that found every worker busy
+	// and had to queue.
+	batchSaturated *obs.Counter
+	// scrapeErrors counts metric families whose collector failed
+	// mid-scrape instead of silently dropping their samples.
+	scrapeErrors *obs.Counter
+}
+
+// Instrument registers the market's metric families on t and binds the
+// hot-path instruments. Call once, before the market serves traffic
+// (registering the same family twice panics by design).
+//
+// Scrape-time families read market state through StatsAll and
+// ShardStats, each of which takes one consistent pass under the
+// registry lock — a dataset withdrawn mid-scrape is either fully
+// present or fully absent, never half-reported.
+func (m *Market) Instrument(t *obs.Telemetry) {
+	r := t.Registry
+
+	tel := &telemetry{
+		priceEval: r.Histogram("shield_price_evaluate_seconds",
+			"Time inside the pricing engine per bid: allocation, wait simulation, demand propagation, epoch update.",
+			obs.LatencyBuckets()),
+		batchDepth: r.Gauge("shield_batch_queue_depth",
+			"Batch-submitted bids accepted but not yet decided by the worker pool."),
+		batchSaturated: r.Counter("shield_batch_pool_saturated_total",
+			"Batch bids that found every worker busy and had to queue."),
+		scrapeErrors: r.Counter("shield_metrics_scrape_errors_total",
+			"Metric families whose collector failed during a scrape (samples would otherwise be silently dropped)."),
+	}
+	lockWaitVec := r.HistogramVec("shield_shard_lock_wait_seconds",
+		"Shard-lock acquisition wait per shard (0 for uncontended takes; _count is total acquisitions).",
+		obs.LatencyBuckets(), "shard")
+	tel.lockWait = make([]*obs.Histogram, len(m.shards))
+	for i := range m.shards {
+		tel.lockWait[i] = lockWaitVec.With(strconv.Itoa(i))
+	}
+	r.OnCollectError(func(string) { tel.scrapeErrors.Inc() })
+
+	// Market-level books.
+	r.Collect("shield_market_revenue_units", "Total revenue raised across all datasets.",
+		obs.KindCounter, func(emit func(float64, ...string)) {
+			emit(m.Revenue().Float())
+		})
+	r.Collect("shield_market_transactions_total", "Completed sales.",
+		obs.KindCounter, func(emit func(float64, ...string)) {
+			emit(float64(len(m.Transactions())))
+		})
+	r.Collect("shield_market_period", "Current market period.",
+		obs.KindGauge, func(emit func(float64, ...string)) {
+			emit(float64(m.Period()))
+		})
+
+	// Per-dataset engine diagnostics. Each family scans one consistent
+	// StatsAll snapshot; the posting price stays operator-only (the
+	// registry is served behind the operator gate).
+	perDataset := func(name, help string, kind obs.Kind, value func(DatasetStats) float64) {
+		r.Collect(name, help, kind, func(emit func(float64, ...string)) {
+			for _, d := range m.StatsAll() {
+				emit(value(d), "dataset", string(d.Dataset))
+			}
+		})
+	}
+	perDataset("shield_dataset_bids_total", "Bids evaluated per dataset.",
+		obs.KindCounter, func(d DatasetStats) float64 { return float64(d.Bids) })
+	perDataset("shield_dataset_allocations_total", "Winning bids per dataset.",
+		obs.KindCounter, func(d DatasetStats) float64 { return float64(d.Allocations) })
+	perDataset("shield_dataset_epochs_total", "Completed pricing epochs per dataset.",
+		obs.KindCounter, func(d DatasetStats) float64 { return float64(d.Epochs) })
+	perDataset("shield_dataset_revenue_units", "Revenue per dataset.",
+		obs.KindCounter, func(d DatasetStats) float64 { return d.Revenue })
+	perDataset("shield_dataset_posting_price", "Current posting price per dataset (operator only).",
+		obs.KindGauge, func(d DatasetStats) float64 { return d.PostingPrice })
+
+	// Per-shard lock diagnostics.
+	perShard := func(name, help string, kind obs.Kind, value func(ShardStats) float64) {
+		r.Collect(name, help, kind, func(emit func(float64, ...string)) {
+			for _, sh := range m.ShardStats() {
+				emit(value(sh), "shard", strconv.Itoa(sh.Shard))
+			}
+		})
+	}
+	perShard("shield_shard_datasets", "Datasets currently hashed to each lock shard.",
+		obs.KindGauge, func(s ShardStats) float64 { return float64(s.Datasets) })
+	perShard("shield_shard_bids_total", "Bids routed through each lock shard.",
+		obs.KindCounter, func(s ShardStats) float64 { return float64(s.Bids) })
+	perShard("shield_shard_lock_contention_total", "Shard-lock acquisitions that had to wait.",
+		obs.KindCounter, func(s ShardStats) float64 { return float64(s.Contention) })
+	perShard("shield_shard_bid_latency_seconds_total", "Cumulative wall time inside locked bid sections per shard.",
+		obs.KindCounter, func(s ShardStats) float64 { return s.BidLatency.Seconds() })
+
+	m.tel = tel
+}
+
+// StatsAll returns the diagnostic snapshot of every dataset, sorted by
+// ID, in one consistent pass: the registry read lock is held across the
+// whole scan, so a concurrent withdraw or upload is either fully
+// reflected or not at all — unlike per-dataset Stats calls, which could
+// race a withdrawal and silently drop the dataset mid-scrape.
+func (m *Market) StatsAll() []DatasetStats {
+	m.reg.RLock()
+	defer m.reg.RUnlock()
+	var out []DatasetStats
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for id, eng := range sh.engines {
+			out = append(out, DatasetStats{
+				Dataset:         id,
+				Bids:            eng.Bids(),
+				Allocations:     eng.Allocations(),
+				Epochs:          eng.Epochs(),
+				Revenue:         eng.Revenue(),
+				PostingPrice:    eng.PostingPrice(),
+				MostLikelyPrice: eng.MostLikelyPrice(),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dataset < out[j].Dataset })
+	return out
+}

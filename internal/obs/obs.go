@@ -1,0 +1,39 @@
+// Package obs is the market daemon's telemetry subsystem: a
+// dependency-free metrics registry with a Prometheus text-exposition
+// writer, and a lightweight in-process span recorder for bid-lifecycle
+// tracing. It is stdlib-only by design — the exposition format is plain
+// text and the trace store is a ring buffer, so no client library is
+// needed.
+//
+// The two halves are bundled into a Telemetry value that the serving
+// layers (httpapi, market, journal) share:
+//
+//   - Registry holds typed Counter / Gauge / Histogram instruments with
+//     atomic hot paths and label-set interning, plus collector families
+//     whose samples are computed at scrape time. WritePrometheus owns
+//     family ordering and label escaping, so every family's HELP/TYPE
+//     header is emitted exactly once and its samples stay contiguous.
+//   - Tracer mints request IDs, records sampled per-request traces
+//     (named spans with durations) into a fixed-size ring, and serves
+//     them to the /debug/traces operator endpoint.
+//
+// Instrument update paths are safe for concurrent use and never block a
+// scrape: counters and gauges are single atomics, histograms are one
+// atomic per bucket.
+package obs
+
+// Telemetry bundles the metrics registry and the trace recorder that
+// one daemon shares across its layers.
+type Telemetry struct {
+	Registry *Registry
+	Tracer   *Tracer
+}
+
+// NewTelemetry builds a Telemetry with default trace capacity and
+// sampling (record every request, keep the last 256 traces).
+func NewTelemetry() *Telemetry {
+	return &Telemetry{
+		Registry: NewRegistry(),
+		Tracer:   NewTracer(256, 1, 0),
+	}
+}

@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records per-request traces into a fixed-size ring buffer. It
+// mints request IDs for every request and decides (with seedable
+// sampling) which requests get a full span trace; unsampled requests
+// still carry their ID through logs and journal records, they just
+// don't occupy ring slots.
+type Tracer struct {
+	seq atomic.Uint64 // request-ID counter
+
+	mu      sync.Mutex
+	ring    []*Trace // completed traces, oldest overwritten first
+	next    int
+	filled  bool
+	every   int    // record 1 in every sampled requests; <=0 disables
+	rng     uint64 // xorshift64* state for sampling jitter
+	dropped uint64 // traces evicted from the ring so far
+}
+
+// NewTracer builds a tracer keeping the last capacity traces and
+// sampling one request in every (1 records all, 0 disables tracing).
+// seed makes the sampling sequence reproducible.
+func NewTracer(capacity, every int, seed uint64) *Tracer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Tracer{
+		ring:  make([]*Trace, capacity),
+		every: every,
+		rng:   seed | 1, // xorshift state must be non-zero
+	}
+}
+
+// NewRequestID mints a unique request identifier. Every request gets
+// one, sampled or not.
+func (t *Tracer) NewRequestID() string {
+	return fmt.Sprintf("req-%08x", t.seq.Add(1))
+}
+
+// sampled draws the seeded sampling decision.
+func (t *Tracer) sampled() bool {
+	if t.every <= 0 {
+		return false
+	}
+	if t.every == 1 {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// xorshift64*: deterministic for a given seed, cheap, good enough
+	// for load shedding (this is sampling, not cryptography).
+	t.rng ^= t.rng >> 12
+	t.rng ^= t.rng << 25
+	t.rng ^= t.rng >> 27
+	return (t.rng*0x2545F4914F6CDD1D)%uint64(t.every) == 0
+}
+
+// Begin starts a trace for the given request ID if this request is
+// sampled; it returns nil otherwise. A nil *Trace is safe to use —
+// every method no-ops — so callers thread it unconditionally.
+func (t *Tracer) Begin(id, name string) *Trace {
+	if !t.sampled() {
+		return nil
+	}
+	return &Trace{ID: id, Name: name, start: time.Now()}
+}
+
+// Finish completes a trace and commits it to the ring. Finishing a nil
+// trace is a no-op.
+func (t *Tracer) Finish(tr *Trace) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.duration = time.Since(tr.start)
+	tr.mu.Unlock()
+	t.mu.Lock()
+	if t.ring[t.next] != nil {
+		t.dropped++
+	}
+	t.ring[t.next] = tr
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.filled = true
+	}
+	t.mu.Unlock()
+}
+
+// Dropped returns how many completed traces have been evicted from the
+// ring so far.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Recent returns up to n completed traces, most recent first.
+func (t *Tracer) Recent(n int) []TraceSnapshot {
+	t.mu.Lock()
+	var traces []*Trace
+	// Walk backwards from the most recently written slot.
+	count := t.next
+	if t.filled {
+		count = len(t.ring)
+	}
+	for i := 0; i < count && len(traces) < n; i++ {
+		idx := (t.next - 1 - i + len(t.ring)) % len(t.ring)
+		if t.ring[idx] != nil {
+			traces = append(traces, t.ring[idx])
+		}
+	}
+	t.mu.Unlock()
+	out := make([]TraceSnapshot, len(traces))
+	for i, tr := range traces {
+		out[i] = tr.Snapshot()
+	}
+	return out
+}
+
+// Trace is one request's span record. Methods are safe for concurrent
+// use (batch bids fan one request out across workers) and safe on a nil
+// receiver (unsampled requests).
+type Trace struct {
+	ID   string
+	Name string
+
+	start time.Time
+
+	mu       sync.Mutex
+	spans    []Span
+	duration time.Duration
+}
+
+// Span is one named, timed section of a trace.
+type Span struct {
+	Name     string
+	Start    time.Duration // offset from trace start
+	Duration time.Duration
+}
+
+// StartSpan opens a named span and returns the function that closes
+// it. On a nil trace both are no-ops.
+func (tr *Trace) StartSpan(name string) func() {
+	if tr == nil {
+		return func() {}
+	}
+	begin := time.Now()
+	return func() {
+		end := time.Now()
+		tr.mu.Lock()
+		tr.spans = append(tr.spans, Span{
+			Name:     name,
+			Start:    begin.Sub(tr.start),
+			Duration: end.Sub(begin),
+		})
+		tr.mu.Unlock()
+	}
+}
+
+// SetName renames the trace (the HTTP middleware starts a trace before
+// routing decides the pattern).
+func (tr *Trace) SetName(name string) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.Name = name
+	tr.mu.Unlock()
+}
+
+// TraceSnapshot is the exported, JSON-ready form of a completed trace.
+type TraceSnapshot struct {
+	ID         string         `json:"id"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationUS int64          `json:"duration_us"`
+	Spans      []SpanSnapshot `json:"spans"`
+}
+
+// SpanSnapshot is one span of a TraceSnapshot, in microseconds.
+type SpanSnapshot struct {
+	Name       string `json:"name"`
+	StartUS    int64  `json:"start_us"`
+	DurationUS int64  `json:"duration_us"`
+}
+
+// Snapshot copies the trace's current state.
+func (tr *Trace) Snapshot() TraceSnapshot {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := TraceSnapshot{
+		ID:         tr.ID,
+		Name:       tr.Name,
+		Start:      tr.start,
+		DurationUS: tr.duration.Microseconds(),
+		Spans:      make([]SpanSnapshot, len(tr.spans)),
+	}
+	for i, s := range tr.spans {
+		out.Spans[i] = SpanSnapshot{
+			Name:       s.Name,
+			StartUS:    s.Start.Microseconds(),
+			DurationUS: s.Duration.Microseconds(),
+		}
+	}
+	return out
+}
+
+// ---- context propagation ----
+
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	requestIDKey
+)
+
+// WithTrace attaches a trace (possibly nil) to the context.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey, tr)
+}
+
+// TraceFrom returns the context's trace, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey).(*Trace)
+	return tr
+}
+
+// StartSpan opens a named span on the context's trace and returns its
+// close function; a no-op when the context carries no trace, so
+// instrumented code needs no sampling checks.
+func StartSpan(ctx context.Context, name string) func() {
+	return TraceFrom(ctx).StartSpan(name)
+}
+
+// WithRequestID attaches a request ID to the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFrom returns the context's request ID, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
