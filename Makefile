@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench fuzz-smoke
+.PHONY: ci vet build test race bench fuzz-smoke torture torture-long cover
 
-ci: vet build race test fuzz-smoke
+ci: vet build race test fuzz-smoke torture
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,24 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzWilcoxonBounds$$' -fuzztime $(FUZZ_TIME) ./internal/stats/
 	$(GO) test -run xxx -fuzz '^FuzzOptimalPrice$$' -fuzztime $(FUZZ_TIME) ./internal/auction/
 	$(GO) test -run xxx -fuzz '^FuzzEpochPricerNeverPanics$$' -fuzztime $(FUZZ_TIME) ./internal/auction/
+	$(GO) test -run xxx -fuzz '^FuzzBidBatchDecode$$' -fuzztime $(FUZZ_TIME) ./internal/httpapi/
+
+# Model-based torture: seeded workloads differentially tested against the
+# sequential reference model at shard counts {1,4,16} (~30s). Failures
+# print a `shieldstorm -seed N -ops M` reproduction line.
+TORTURE_SEED ?= 1
+torture:
+	$(GO) run ./cmd/shieldstorm -seed $(TORTURE_SEED) -seeds 2 -ops 100000
+
+# Nightly soak: many seeds, longer histories.
+torture-long:
+	$(GO) run ./cmd/shieldstorm -seed $(TORTURE_SEED) -seeds 16 -ops 250000 -v
+
+# Aggregate statement coverage across all packages; the closing line is
+# the figure recorded in EXPERIMENTS.md.
+cover:
+	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

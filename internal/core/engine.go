@@ -436,11 +436,21 @@ func (e *Engine) regrid() {
 	}
 }
 
+// TestPerturbPrice, when non-nil, transforms every drawn posting price
+// before it takes effect. It exists solely as a mutation canary for the
+// model-based torture harness (internal/torture): a test injects a
+// deliberate mispricing here and asserts the differential against the
+// sequential reference model catches it, proving the reference actually
+// discriminates. Production code must never set it, and it is not
+// goroutine-safe to flip while a market is serving bids.
+var TestPerturbPrice func(price float64) float64
+
 // drawPrice picks the next posting price according to the configured rule.
 func (e *Engine) drawPrice() float64 {
+	var p float64
 	switch e.cfg.Rule {
 	case DrawMWMax:
-		return e.cfg.Candidates[e.learner.ArgMax()]
+		p = e.cfg.Candidates[e.learner.ArgMax()]
 	case DrawAdHoc:
 		k := e.cfg.AdHocNeighborhood
 		center := e.learner.ArgMax()
@@ -451,12 +461,16 @@ func (e *Engine) drawPrice() float64 {
 		if hi > len(e.cfg.Candidates)-1 {
 			hi = len(e.cfg.Candidates) - 1
 		}
-		return e.cfg.Candidates[lo+e.rand.Intn(hi-lo+1)]
+		p = e.cfg.Candidates[lo+e.rand.Intn(hi-lo+1)]
 	case DrawRandom:
-		return e.cfg.Candidates[e.rand.Intn(len(e.cfg.Candidates))]
+		p = e.cfg.Candidates[e.rand.Intn(len(e.cfg.Candidates))]
 	default: // DrawMW
-		return e.learner.DrawValue(e.rand)
+		p = e.learner.DrawValue(e.rand)
 	}
+	if TestPerturbPrice != nil {
+		p = TestPerturbPrice(p)
+	}
+	return p
 }
 
 // ComputeWaitPeriod returns the Time-Shield wait-period (in buyer time

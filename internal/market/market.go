@@ -424,6 +424,30 @@ func (m *Market) Revenue() Money {
 	return m.revenue
 }
 
+// Totals returns the market's money books in one consistent view:
+// total revenue, the sum of every buyer's spend, and the sum of every
+// seller's balance. In a conserving market all three are equal — the
+// torture harness (internal/torture) asserts exactly that after every
+// operation, so the three sums are gathered under the registry lock
+// rather than via per-participant accessor calls that could interleave
+// with a concurrent sale.
+func (m *Market) Totals() (revenue, spent, balances Money) {
+	m.reg.RLock()
+	defer m.reg.RUnlock()
+	for _, acct := range m.buyers {
+		acct.mu.Lock()
+		spent += acct.spent
+		acct.mu.Unlock()
+	}
+	m.ledger.Lock()
+	revenue = m.revenue
+	for _, acct := range m.sellers {
+		balances += acct.balance
+	}
+	m.ledger.Unlock()
+	return revenue, spent, balances
+}
+
 // SellerBalance returns a seller's accumulated compensation.
 func (m *Market) SellerBalance(id SellerID) (Money, error) {
 	m.reg.RLock()

@@ -1,6 +1,9 @@
 package market
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Money is an amount of market currency in integer micro-units
 // (1_000_000 micros = 1 currency unit). Ledgers, payments, and balances
@@ -13,12 +16,28 @@ type Money int64
 const Micro Money = 1_000_000
 
 // FromFloat converts a float64 currency amount to Money, rounding half
-// away from zero.
+// away from zero. Values beyond the Money range saturate at the int64
+// bounds rather than wrapping (a float-to-int conversion whose value
+// overflows int64 is platform-dependent in Go and wraps to MinInt64 on
+// amd64 — a positive price must never become a negative ledger entry).
+// NaN converts to zero.
 func FromFloat(f float64) Money {
-	if f >= 0 {
-		return Money(f*float64(Micro) + 0.5)
+	if math.IsNaN(f) {
+		return 0
 	}
-	return Money(f*float64(Micro) - 0.5)
+	scaled := f * float64(Micro)
+	// float64(MaxInt64) rounds up to 2^63, so scaled >= it implies the
+	// rounded value cannot fit; the negative bound is exact.
+	if scaled >= float64(math.MaxInt64) {
+		return Money(math.MaxInt64)
+	}
+	if scaled <= float64(math.MinInt64) {
+		return Money(math.MinInt64)
+	}
+	if f >= 0 {
+		return Money(scaled + 0.5)
+	}
+	return Money(scaled - 0.5)
 }
 
 // Float converts m back to float64 currency units.

@@ -1,8 +1,13 @@
 package market
 
 import (
+	"errors"
+	"math"
 	"testing"
 	"testing/quick"
+
+	"github.com/datamarket/shield/internal/auction"
+	"github.com/datamarket/shield/internal/core"
 )
 
 func TestFromFloatRounding(t *testing.T) {
@@ -21,6 +26,129 @@ func TestFromFloatRounding(t *testing.T) {
 		if got := FromFloat(c.in); got != c.want {
 			t.Errorf("FromFloat(%v) = %d, want %d", c.in, got, c.want)
 		}
+	}
+}
+
+func TestFromFloatOverflowSaturates(t *testing.T) {
+	// f*1e6 past the int64 range must clamp, not wrap: Go's float->int
+	// conversion is undefined on overflow and produces MinInt64 on amd64,
+	// which would turn an absurdly large price into a negative ledger
+	// entry.
+	const maxMoney = Money(math.MaxInt64)
+	const minMoney = Money(math.MinInt64)
+	cases := []struct {
+		name string
+		in   float64
+		want Money
+	}{
+		{"just over max", float64(math.MaxInt64) / float64(Micro) * 1.001, maxMoney},
+		{"2^63 units", math.Pow(2, 63), maxMoney},
+		{"huge positive", 1e300, maxMoney},
+		{"+inf", math.Inf(1), maxMoney},
+		{"just under min", -float64(math.MaxInt64) / float64(Micro) * 1.001, minMoney},
+		{"huge negative", -1e300, minMoney},
+		{"-inf", math.Inf(-1), minMoney},
+		{"nan", math.NaN(), 0},
+		// Near-boundary values that do fit must still convert normally.
+		{"large in range", 9e12, 9e12 * 1_000_000},
+		{"large negative in range", -9e12, -9e12 * 1_000_000},
+	}
+	for _, c := range cases {
+		if got := FromFloat(c.in); got != c.want {
+			t.Errorf("%s: FromFloat(%v) = %d, want %d", c.name, c.in, got, c.want)
+		}
+	}
+	// The sign must never flip: a non-negative float never becomes
+	// negative Money and vice versa, across magnitudes spanning the
+	// overflow boundary.
+	for exp := 0.0; exp < 310; exp++ {
+		f := math.Pow(10, exp)
+		if FromFloat(f) < 0 {
+			t.Fatalf("FromFloat(1e%v) went negative: %d", exp, FromFloat(f))
+		}
+		if FromFloat(-f) > 0 {
+			t.Fatalf("FromFloat(-1e%v) went positive: %d", exp, FromFloat(-f))
+		}
+	}
+}
+
+func TestFromFloatMonotoneAcrossBoundary(t *testing.T) {
+	// Saturation keeps FromFloat monotone: growing inputs never produce
+	// shrinking Money.
+	inputs := []float64{
+		0, 1, 1e6, 1e12, float64(math.MaxInt64) / float64(Micro) * 0.999,
+		float64(math.MaxInt64) / float64(Micro) * 1.001, 1e200, math.Inf(1),
+	}
+	prev := Money(math.MinInt64)
+	for _, f := range inputs {
+		got := FromFloat(f)
+		if got < prev {
+			t.Fatalf("FromFloat not monotone: f=%v gave %d after %d", f, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestSplitFractionalCents(t *testing.T) {
+	// Epoch-revenue splits that do not divide evenly must distribute the
+	// remainder micro-by-micro to the earliest parts and never mint or
+	// lose a micro.
+	cases := []struct {
+		name string
+		m    Money
+		n    int
+		want []Money
+	}{
+		{"one micro two ways", 1, 2, []Money{1, 0}},
+		{"seven micros three ways", 7, 3, []Money{3, 2, 2}},
+		{"cent across three sellers", 10_000, 3, []Money{3334, 3333, 3333}},
+		{"unit across seven", Micro, 7, []Money{142858, 142857, 142857, 142857, 142857, 142857, 142857}},
+		{"zero", 0, 4, []Money{0, 0, 0, 0}},
+		{"n exceeds micros", 3, 5, []Money{1, 1, 1, 0, 0}},
+	}
+	for _, c := range cases {
+		got := c.m.Split(c.n)
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: got %d parts, want %d", c.name, len(got), len(c.want))
+		}
+		var sum Money
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: part %d = %d, want %d", c.name, i, got[i], c.want[i])
+			}
+			sum += got[i]
+		}
+		if sum != c.m {
+			t.Errorf("%s: parts sum to %d, want %d", c.name, sum, c.m)
+		}
+	}
+}
+
+func TestSubmitBidRejectsBadAmounts(t *testing.T) {
+	m := MustNew(Config{
+		Engine: core.Config{
+			Candidates: auction.LinearGrid(10, 100, 8),
+			EpochSize:  4,
+		},
+		Seed: 1,
+	})
+	if err := m.RegisterBuyer("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterSeller("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UploadDataset("s", "d"); err != nil {
+		t.Fatal(err)
+	}
+	for _, amount := range []float64{0, -1, -1e300, math.NaN(), math.Inf(-1)} {
+		if _, err := m.SubmitBid("b", "d", amount); !errors.Is(err, ErrBadBid) {
+			t.Errorf("SubmitBid(amount=%v) err = %v, want ErrBadBid", amount, err)
+		}
+	}
+	// The rejections must leave no trace in the books.
+	if rev, spent, bal := m.Totals(); rev != 0 || spent != 0 || bal != 0 {
+		t.Errorf("rejected bids moved money: revenue=%d spent=%d balances=%d", rev, spent, bal)
 	}
 }
 

@@ -51,6 +51,29 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64())
 }
 
+// Fork derives an independent child stream from r's current state and a
+// name, without advancing r: the same (state, name) pair always yields
+// the same child, and distinct names yield decorrelated streams. Unlike
+// Split, Fork is order-independent — a simulation can hand every actor
+// its own stream keyed by the actor's identifier, and the streams do not
+// change when actors are created in a different order or when unrelated
+// draws are added to the parent.
+func (r *RNG) Fork(name string) *RNG {
+	// FNV-1a over the name, mixed with the parent state through one
+	// splitmix64 round so similar names do not seed correlated streams.
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime
+	}
+	s := r.state ^ h
+	return New(splitmix64(&s))
+}
+
 // Snapshot is the full serializable generator state: restoring it
 // continues the stream exactly where it left off.
 type Snapshot struct {

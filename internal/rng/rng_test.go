@@ -59,6 +59,55 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+func TestForkDeterministicAndOrderIndependent(t *testing.T) {
+	mk := func() *RNG { return New(1234) }
+
+	// Same (state, name) pair yields the same child stream.
+	a := mk().Fork("buyer/b01")
+	b := mk().Fork("buyer/b01")
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("fork streams diverged at %d: %d != %d", i, av, bv)
+		}
+	}
+
+	// Forking does not advance the parent: parent output after a fork
+	// matches a parent that never forked.
+	p1, p2 := mk(), mk()
+	p1.Fork("anything")
+	p1.Fork("else")
+	for i := 0; i < 100; i++ {
+		if v1, v2 := p1.Uint64(), p2.Uint64(); v1 != v2 {
+			t.Fatalf("fork advanced the parent stream at %d: %d != %d", i, v1, v2)
+		}
+	}
+
+	// Fork order does not matter: the child keyed by a name is the same
+	// whether it is created first or last.
+	first := mk().Fork("dataset/d001").Uint64()
+	r := mk()
+	r.Fork("dataset/d000")
+	r.Fork("dataset/d999")
+	if got := r.Fork("dataset/d001").Uint64(); got != first {
+		t.Fatalf("fork depends on creation order: %d != %d", got, first)
+	}
+}
+
+func TestForkDistinctNamesDecorrelated(t *testing.T) {
+	r := New(5)
+	c1 := r.Fork("a")
+	c2 := r.Fork("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forks %q and %q produced %d/100 identical outputs", "a", "b", same)
+	}
+}
+
 func TestFloat64Range(t *testing.T) {
 	r := New(3)
 	for i := 0; i < 10000; i++ {

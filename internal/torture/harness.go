@@ -1,0 +1,483 @@
+// Package torture is a deterministic model-based torture harness for
+// the data market. A seeded workload generator produces a reproducible
+// stream of market operations (bids, batches, ticks, dataset churn,
+// price queries, ex-post settlements) driven by the buyer personas of
+// internal/buyers and AR(1) valuation series from internal/timeseries.
+// Every history is applied simultaneously to a single-goroutine
+// reference model (reference.go) and to real journaled markets at
+// several shard counts, plus a telemetry-instrumented twin; decisions,
+// errors, canonical snapshots, journals, and ledger invariants must all
+// agree at every step. Any failure reports a one-line reproduction
+// command: shieldstorm -seed N -ops M.
+package torture
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/datamarket/shield/internal/auction"
+	"github.com/datamarket/shield/internal/core"
+	"github.com/datamarket/shield/internal/expost"
+	"github.com/datamarket/shield/internal/journal"
+	"github.com/datamarket/shield/internal/market"
+	"github.com/datamarket/shield/internal/obs"
+)
+
+// Config configures one torture run.
+type Config struct {
+	// Seed drives every random choice in the run; the same Seed and Ops
+	// reproduce the identical history, byte for byte.
+	Seed uint64
+	// Ops is the number of operations to generate (default 10_000).
+	Ops int
+	// Shards lists the shard counts to run real replicas at
+	// (default 1, 4, 16). State must be bit-identical across all of them.
+	Shards []int
+	// CheckEvery is the interval, in ops, between full-state checkpoints
+	// (default Ops/16, at least 512). Cheap per-op invariants run on
+	// every op regardless.
+	CheckEvery int
+	// Engine is the pricing-engine template (default: a 12-candidate
+	// linear grid with small epochs, tuned so a run exercises many epoch
+	// boundaries). RegridEvery must be zero: the reference model does
+	// not mirror adaptive regridding.
+	Engine core.Config
+	// Gen configures the workload generator.
+	Gen GenConfig
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// DefaultEngine is the engine template used when Config.Engine is zero.
+func DefaultEngine() core.Config {
+	return core.Config{
+		Candidates:    auction.LinearGrid(10, 200, 12),
+		EpochSize:     8,
+		Rule:          core.DrawMW,
+		Wait:          core.WaitBound,
+		MinBid:        5,
+		BidsPerPeriod: 4,
+		MaxWaitEpochs: 12,
+	}
+}
+
+func (c *Config) applyDefaults() {
+	if c.Ops == 0 {
+		c.Ops = 10_000
+	}
+	if len(c.Shards) == 0 {
+		c.Shards = []int{1, 4, 16}
+	}
+	if c.CheckEvery == 0 {
+		c.CheckEvery = c.Ops / 16
+		if c.CheckEvery < 512 {
+			c.CheckEvery = 512
+		}
+	}
+	if len(c.Engine.Candidates) == 0 {
+		c.Engine = DefaultEngine()
+	}
+}
+
+// Report summarizes a passing run.
+type Report struct {
+	Seed        uint64
+	Ops         int
+	OpCounts    map[string]int
+	Rejections  int
+	Allocations int
+	Revenue     market.Money
+	Checkpoints int
+}
+
+// Failure is a torture-harness failure. Error() includes a one-line
+// reproduction command.
+type Failure struct {
+	Seed    uint64
+	Ops     int
+	OpIndex int
+	OpDesc  string
+	Reason  string
+}
+
+// Error implements error.
+func (f *Failure) Error() string {
+	return fmt.Sprintf("torture failure at op %d (%s): %s\nrepro: shieldstorm -seed %d -ops %d",
+		f.OpIndex, f.OpDesc, f.Reason, f.Seed, f.Ops)
+}
+
+// opResult is the outcome of one op against one implementation.
+type opResult struct {
+	err   error
+	dec   market.Decision
+	tick  int
+	batch []market.BidResult
+	stats market.DatasetStats
+}
+
+// replica is one real journaled market under test.
+type replica struct {
+	name   string
+	shards int
+	jm     *journal.Market
+	buf    *bytes.Buffer
+}
+
+func (r *replica) apply(op Op) opResult {
+	switch op.Kind {
+	case OpRegisterBuyer:
+		return opResult{err: r.jm.RegisterBuyer(op.Buyer)}
+	case OpRegisterSeller:
+		return opResult{err: r.jm.RegisterSeller(op.Seller)}
+	case OpUpload:
+		return opResult{err: r.jm.UploadDataset(op.Seller, op.Dataset)}
+	case OpCompose:
+		return opResult{err: r.jm.ComposeDataset(op.Dataset, op.Constituents...)}
+	case OpWithdraw:
+		return opResult{err: r.jm.WithdrawDataset(op.Seller, op.Dataset)}
+	case OpTick:
+		n, err := r.jm.Tick()
+		return opResult{tick: n, err: err}
+	case OpBid:
+		d, err := r.jm.SubmitBid(op.Buyer, op.Dataset, op.Amount)
+		return opResult{dec: d, err: err}
+	case OpBatch:
+		return opResult{batch: r.jm.SubmitBids(bidRequests(op))}
+	case OpQuery:
+		s, err := r.jm.Stats(op.Dataset)
+		return opResult{stats: s, err: err}
+	default:
+		return opResult{}
+	}
+}
+
+func applyRef(r *refMarket, op Op) opResult {
+	switch op.Kind {
+	case OpRegisterBuyer:
+		return opResult{err: r.registerBuyer(op.Buyer)}
+	case OpRegisterSeller:
+		return opResult{err: r.registerSeller(op.Seller)}
+	case OpUpload:
+		return opResult{err: r.uploadDataset(op.Seller, op.Dataset)}
+	case OpCompose:
+		return opResult{err: r.composeDataset(op.Dataset, op.Constituents...)}
+	case OpWithdraw:
+		return opResult{err: r.withdrawDataset(op.Seller, op.Dataset)}
+	case OpTick:
+		return opResult{tick: r.tick()}
+	case OpBid:
+		d, err := r.submitBid(op.Buyer, op.Dataset, op.Amount)
+		return opResult{dec: d, err: err}
+	case OpBatch:
+		return opResult{batch: r.submitBids(bidRequests(op))}
+	case OpQuery:
+		s, err := r.stats(op.Dataset)
+		return opResult{stats: s, err: err}
+	default:
+		return opResult{}
+	}
+}
+
+func bidRequests(op Op) []market.BidRequest {
+	reqs := make([]market.BidRequest, len(op.Bids))
+	for i, b := range op.Bids {
+		reqs[i] = market.BidRequest{Buyer: b.Buyer, Dataset: b.Dataset, Amount: b.Amount}
+	}
+	return reqs
+}
+
+// harness holds the full differential state for one run.
+type harness struct {
+	cfg      Config
+	gen      *generator
+	ref      *refMarket
+	replicas []*replica
+
+	// maxWait bounds any legal Time-Shield wait, derived from the
+	// defaults-applied engine template.
+	maxWait int
+
+	// txSum tracks the running sum of reference transaction prices for
+	// the per-op conservation check without rescanning the ledger.
+	txSum   market.Money
+	txCount int
+
+	twinA, twinB      *expost.Arbiter
+	lastExpostRevenue market.Money
+
+	report Report
+}
+
+// Run executes one torture run and returns its report, or a *Failure
+// describing the first divergence or invariant violation.
+func Run(cfg Config) (*Report, error) {
+	cfg.applyDefaults()
+	if err := cfg.Engine.Validate(); err != nil {
+		return nil, fmt.Errorf("torture: engine config: %w", err)
+	}
+	if cfg.Engine.RegridEvery > 0 {
+		return nil, fmt.Errorf("torture: RegridEvery is not supported: the reference model does not mirror adaptive regridding")
+	}
+
+	// Mirror core's defaulting to size the wait bound.
+	eng := cfg.Engine
+	if eng.BidsPerPeriod == 0 {
+		eng.BidsPerPeriod = 1
+	}
+	if eng.MaxWaitEpochs == 0 {
+		eng.MaxWaitEpochs = 64
+	}
+	minBid := eng.MinBid
+	if minBid <= 0 {
+		minBid = 1
+	}
+
+	gen, err := newGenerator(cfg.Gen, cfg.Seed, minBid)
+	if err != nil {
+		return nil, err
+	}
+
+	h := &harness{
+		cfg:     cfg,
+		gen:     gen,
+		ref:     newRefMarket(market.Config{Engine: cfg.Engine, Seed: cfg.Seed}),
+		maxWait: ceilDiv(eng.EpochSize*(1+eng.MaxWaitEpochs), eng.BidsPerPeriod),
+		report:  Report{Seed: cfg.Seed, Ops: cfg.Ops, OpCounts: make(map[string]int)},
+	}
+
+	for _, shards := range cfg.Shards {
+		r, err := newReplica(fmt.Sprintf("shards=%d", shards), cfg, shards, false)
+		if err != nil {
+			return nil, err
+		}
+		h.replicas = append(h.replicas, r)
+	}
+	// The instrumented twin runs at the highest shard count with live
+	// telemetry: metrics and tracing must never perturb market state.
+	twin, err := newReplica(fmt.Sprintf("telemetry shards=%d", cfg.Shards[len(cfg.Shards)-1]),
+		cfg, cfg.Shards[len(cfg.Shards)-1], true)
+	if err != nil {
+		return nil, err
+	}
+	h.replicas = append(h.replicas, twin)
+
+	// Two identically-seeded ex-post arbiters: the settle stream must be
+	// bit-for-bit deterministic across instances.
+	for _, a := range []**expost.Arbiter{&h.twinA, &h.twinB} {
+		*a, err = expost.New(expost.Config{Engine: cfg.Engine, Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("torture: ex-post arbiter: %w", err)
+		}
+	}
+
+	for i := 0; i < cfg.Ops; i++ {
+		op := gen.Next()
+		if f := h.step(i, op); f != nil {
+			return nil, f
+		}
+		if cfg.Logf != nil && (i+1)%cfg.CheckEvery == 0 {
+			rev, _, _ := h.ref.totals()
+			cfg.Logf("op %d/%d: clock=%d datasets=%d revenue=%s",
+				i+1, cfg.Ops, h.gen.clock, len(h.ref.engines), rev)
+		}
+	}
+	if f := h.checkpoint(cfg.Ops - 1); f != nil {
+		return nil, f
+	}
+	if f := h.finalChecks(); f != nil {
+		return nil, f
+	}
+
+	rev, _, _ := h.ref.totals()
+	h.report.Revenue = rev
+	h.report.Allocations = len(h.ref.txs)
+	return &h.report, nil
+}
+
+func newReplica(name string, cfg Config, shards int, instrument bool) (*replica, error) {
+	buf := &bytes.Buffer{}
+	jm, err := journal.NewMarket(market.Config{Engine: cfg.Engine, Seed: cfg.Seed, Shards: shards}, buf)
+	if err != nil {
+		return nil, fmt.Errorf("torture: replica %s: %w", name, err)
+	}
+	if instrument {
+		jm.Market.Instrument(obs.NewTelemetry())
+	}
+	return &replica{name: name, shards: shards, jm: jm, buf: buf}, nil
+}
+
+func (h *harness) fail(opIdx int, op Op, format string, args ...any) *Failure {
+	return &Failure{
+		Seed:    h.cfg.Seed,
+		Ops:     h.cfg.Ops,
+		OpIndex: opIdx,
+		OpDesc:  op.String(),
+		Reason:  fmt.Sprintf(format, args...),
+	}
+}
+
+// step applies one op everywhere and runs the per-op invariants.
+func (h *harness) step(i int, op Op) *Failure {
+	h.report.OpCounts[op.Kind.String()]++
+
+	if op.Kind == OpSettle {
+		if reason := h.applySettle(op); reason != "" {
+			return h.fail(i, op, "%s", reason)
+		}
+		h.gen.Observe(op, opResult{})
+		if (i+1)%h.cfg.CheckEvery == 0 {
+			return h.checkpoint(i)
+		}
+		return nil
+	}
+
+	refRes := applyRef(h.ref, op)
+	if refRes.err != nil {
+		h.report.Rejections++
+	}
+	if op.chaos && refRes.err == nil && op.Kind != OpBatch {
+		// Chaos ops are constructed to be rejected; acceptance means the
+		// generator's state mirror (and likely the reference) is wrong.
+		return h.fail(i, op, "chaos op unexpectedly accepted by reference")
+	}
+	for _, r := range h.replicas {
+		res := r.apply(op)
+		if reason := diffResults(op, refRes, res); reason != "" {
+			return h.fail(i, op, "replica %s disagrees with reference: %s", r.name, reason)
+		}
+	}
+	if reason := h.checkBidInvariants(op, refRes); reason != "" {
+		return h.fail(i, op, "%s", reason)
+	}
+	if reason := h.checkConservation(); reason != "" {
+		return h.fail(i, op, "%s", reason)
+	}
+
+	// Mirror market membership into the ex-post twins so settles have
+	// participants to act on.
+	switch {
+	case op.Kind == OpRegisterBuyer && refRes.err == nil:
+		if e1, e2 := h.twinA.RegisterBuyer(string(op.Buyer)), h.twinB.RegisterBuyer(string(op.Buyer)); e1 != nil || e2 != nil {
+			return h.fail(i, op, "ex-post twin registration: %v / %v", e1, e2)
+		}
+	case op.Kind == OpUpload && refRes.err == nil:
+		if e1, e2 := h.twinA.AddDataset(string(op.Dataset)), h.twinB.AddDataset(string(op.Dataset)); e1 != nil || e2 != nil {
+			return h.fail(i, op, "ex-post twin dataset: %v / %v", e1, e2)
+		}
+	case op.Kind == OpTick:
+		h.twinA.Tick()
+		h.twinB.Tick()
+	}
+
+	h.gen.Observe(op, refRes)
+
+	if (i+1)%h.cfg.CheckEvery == 0 {
+		return h.checkpoint(i)
+	}
+	return nil
+}
+
+// applySettle drives the ex-post arbiter twins and returns a non-empty
+// reason on any divergence between them.
+func (h *harness) applySettle(op Op) string {
+	buyer, dataset := string(op.Buyer), string(op.Dataset)
+	if op.Exante {
+		ra, ea := h.twinA.Bid(buyer, dataset, op.Amount)
+		rb, eb := h.twinB.Bid(buyer, dataset, op.Amount)
+		if ra != rb || errString(ea) != errString(eb) {
+			return fmt.Sprintf("ex-post twins diverge on bid: %+v (%v) vs %+v (%v)", ra, ea, rb, eb)
+		}
+	} else {
+		ga, ea := h.twinA.Request(buyer, dataset)
+		gb, eb := h.twinB.Request(buyer, dataset)
+		if ga != gb || errString(ea) != errString(eb) {
+			return fmt.Sprintf("ex-post twins diverge on request: %d (%v) vs %d (%v)", ga, ea, gb, eb)
+		}
+		if ea == nil {
+			pa, e1 := h.twinA.Pay(ga, op.Amount)
+			pb, e2 := h.twinB.Pay(gb, op.Amount)
+			if pa != pb || errString(e1) != errString(e2) {
+				return fmt.Sprintf("ex-post twins diverge on pay: %+v (%v) vs %+v (%v)", pa, e1, pb, e2)
+			}
+		}
+	}
+	revA, revB := h.twinA.Revenue(), h.twinB.Revenue()
+	if revA != revB {
+		return fmt.Sprintf("ex-post twin revenues diverge: %s vs %s", revA, revB)
+	}
+	if revA < h.lastExpostRevenue {
+		return fmt.Sprintf("ex-post revenue decreased: %s -> %s", h.lastExpostRevenue, revA)
+	}
+	h.lastExpostRevenue = revA
+	return ""
+}
+
+// checkpoint runs the expensive whole-state invariants.
+func (h *harness) checkpoint(opIdx int) *Failure {
+	h.report.Checkpoints++
+	op := Op{Kind: OpTick} // placeholder desc for state-level failures
+	want := h.ref.snapshot()
+	wantBytes, err := want.Canonical()
+	if err != nil {
+		return h.fail(opIdx, op, "reference snapshot: %v", err)
+	}
+	for _, r := range h.replicas {
+		got := r.jm.Snapshot()
+		got.Config.Shards = 0 // parallelism knob, not market state
+		gotBytes, err := got.Canonical()
+		if err != nil {
+			return h.fail(opIdx, op, "replica %s snapshot: %v", r.name, err)
+		}
+		if !bytes.Equal(gotBytes, wantBytes) {
+			return h.fail(opIdx, op, "replica %s snapshot diverges from reference in sections %v",
+				r.name, want.Diff(got))
+		}
+	}
+	if reason := h.checkTotals(); reason != "" {
+		return h.fail(opIdx, op, "%s", reason)
+	}
+	if reason := h.checkWaitMonotone(); reason != "" {
+		return h.fail(opIdx, op, "%s", reason)
+	}
+	return nil
+}
+
+// finalChecks verifies journal equivalence: the journal tails (everything
+// after the config-bearing genesis record) must be byte-identical across
+// shard counts, and replaying any journal must rebuild the exact live
+// state.
+func (h *harness) finalChecks() *Failure {
+	op := Op{Kind: OpTick}
+	var tail []byte
+	for i, r := range h.replicas {
+		b := r.buf.Bytes()
+		idx := bytes.IndexByte(b, '\n')
+		if idx < 0 {
+			return h.fail(h.cfg.Ops-1, op, "replica %s journal has no genesis record", r.name)
+		}
+		t := b[idx+1:]
+		if i == 0 {
+			tail = t
+		} else if !bytes.Equal(tail, t) {
+			return h.fail(h.cfg.Ops-1, op, "journal tails diverge between %s and %s",
+				h.replicas[0].name, r.name)
+		}
+
+		restored, err := journal.Restore(bytes.NewReader(b))
+		if err != nil {
+			return h.fail(h.cfg.Ops-1, op, "replica %s journal replay: %v", r.name, err)
+		}
+		liveBytes, err := r.jm.Snapshot().Canonical()
+		if err != nil {
+			return h.fail(h.cfg.Ops-1, op, "replica %s live snapshot: %v", r.name, err)
+		}
+		restoredBytes, err := restored.Snapshot().Canonical()
+		if err != nil {
+			return h.fail(h.cfg.Ops-1, op, "replica %s restored snapshot: %v", r.name, err)
+		}
+		if !bytes.Equal(liveBytes, restoredBytes) {
+			return h.fail(h.cfg.Ops-1, op, "replica %s: journal replay does not rebuild live state", r.name)
+		}
+	}
+	return nil
+}

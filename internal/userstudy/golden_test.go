@@ -1,0 +1,76 @@
+package userstudy
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenAggregates pins the user-study aggregates the paper reports:
+// Table 1 rows for three valuations plus the RQ4/RQ5 bidding-plan hour
+// percentiles. Any change to the persona model, the panel RNG stream, or
+// the statistics stack shows up as a diff against the checked-in file.
+type goldenAggregates struct {
+	Table1 []Table1Row `json:"table1"`
+	RQ4P25 []float64   `json:"rq4_p25"`
+	RQ4P50 []float64   `json:"rq4_p50"`
+	RQ4P75 []float64   `json:"rq4_p75"`
+	RQ5P25 []float64   `json:"rq5_p25"`
+	RQ5P50 []float64   `json:"rq5_p50"`
+	RQ5P75 []float64   `json:"rq5_p75"`
+}
+
+func TestGoldenAggregates(t *testing.T) {
+	p := NewPanel(50, 7)
+	got := goldenAggregates{}
+
+	rows, err := p.Table1(100, 500, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Table1 = rows
+
+	rq4, err := p.RQ4(2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.RQ4P25, got.RQ4P50, got.RQ4P75 = HourPercentiles(rq4)
+
+	rq5, err := p.RQ5(2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.RQ5P25, got.RQ5P50, got.RQ5P75 = HourPercentiles(rq5)
+
+	buf, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+
+	path := filepath.Join("testdata", "table1_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file: %v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Errorf("user-study aggregates diverge from %s\n got: %s\nwant: %s\n(run with -update if the change is intentional)",
+			path, buf, want)
+	}
+}
