@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench fuzz-smoke torture torture-long cover
+.PHONY: ci fmt-check vet build test race bench fuzz-smoke torture torture-smoke torture-long cover
 
-ci: vet build race test fuzz-smoke torture
+ci: fmt-check vet build race test fuzz-smoke torture-smoke torture
+
+# Fails (and lists the offenders) if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +38,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzOptimalPrice$$' -fuzztime $(FUZZ_TIME) ./internal/auction/
 	$(GO) test -run xxx -fuzz '^FuzzEpochPricerNeverPanics$$' -fuzztime $(FUZZ_TIME) ./internal/auction/
 	$(GO) test -run xxx -fuzz '^FuzzBidBatchDecode$$' -fuzztime $(FUZZ_TIME) ./internal/httpapi/
+	$(GO) test -run xxx -fuzz '^FuzzCommandDecode$$' -fuzztime $(FUZZ_TIME) ./internal/command/
 
 # Model-based torture: seeded workloads differentially tested against the
 # sequential reference model at shard counts {1,4,16} (~30s). Failures
@@ -40,6 +46,12 @@ fuzz-smoke:
 TORTURE_SEED ?= 1
 torture:
 	$(GO) run ./cmd/shieldstorm -seed $(TORTURE_SEED) -seeds 2 -ops 100000
+
+# Quick differential pass at the shard extremes (1 = fully serialized,
+# 16 = default parallelism) — catches sharding bugs in seconds before
+# ci pays for the full matrix.
+torture-smoke:
+	$(GO) run ./cmd/shieldstorm -seed $(TORTURE_SEED) -seeds 1 -ops 20000 -shards 1,16
 
 # Nightly soak: many seeds, longer histories.
 torture-long:

@@ -1,0 +1,283 @@
+package command
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/datamarket/shield/internal/provenance"
+)
+
+// EventKind names what an Event records.
+type EventKind int
+
+// Event kinds, one per observable state transition.
+const (
+	EvBuyerRegistered EventKind = iota + 1
+	EvSellerRegistered
+	EvDatasetAdded
+	EvDatasetRemoved
+	EvTicked
+	EvBidDecided
+)
+
+// Event records one state transition Apply performed. It is a flat
+// struct rather than an interface so the live market's hot bid path can
+// reuse one scratch buffer with zero per-bid boxing; fields are
+// populated per Kind:
+//
+//   - EvBuyerRegistered: Buyer
+//   - EvSellerRegistered: Seller
+//   - EvDatasetAdded: Dataset, Seller (base only), Derived
+//   - EvDatasetRemoved: Dataset, Seller
+//   - EvTicked: Period (the new period)
+//   - EvBidDecided: Buyer, Dataset, Amount, Period, Decision, Leaves
+//     (demand-propagation targets, aliasing the provenance query — do
+//     not mutate), and for wins Tx (the recorded sale) and Paid (the
+//     total credited to sellers, which the market's books views apply
+//     as an exact balance delta).
+type Event struct {
+	Kind     EventKind
+	Buyer    BuyerID
+	Seller   SellerID
+	Dataset  DatasetID
+	Derived  bool
+	Period   int
+	Amount   float64
+	Decision Decision
+	Leaves   []string
+	Tx       *Transaction
+	Paid     Money
+}
+
+// Apply executes cmd against st and returns the events it produced.
+// It is the only code in the repository that mutates market state; the
+// live market, journal replay, and the torture reference are shells
+// around it. On error the state reflects the events already returned
+// (only BidBatch can partially apply: its events are the bids that
+// succeeded before the failing one).
+//
+// Serialization requirements are per command kind; see State.
+func Apply(st *State, cmd Command) ([]Event, error) {
+	return ApplyInto(st, cmd, nil)
+}
+
+// ApplyInto is Apply appending into buf (sliced to zero length) so a
+// hot caller can reuse one scratch buffer per serialization domain.
+// Events may alias buf's backing array; the caller owns their lifetime
+// until the next ApplyInto with the same buffer.
+func ApplyInto(st *State, cmd Command, buf []Event) ([]Event, error) {
+	evs := buf[:0]
+	switch c := cmd.(type) {
+	case RegisterBuyer:
+		if c.Buyer == "" {
+			return evs, ErrEmptyID
+		}
+		if _, ok := st.buyers[c.Buyer]; ok {
+			return evs, fmt.Errorf("%w: buyer %s", ErrDuplicateID, c.Buyer)
+		}
+		st.buyers[c.Buyer] = &buyerAccount{
+			lastBid:      make(map[DatasetID]int),
+			blockedUntil: make(map[DatasetID]int),
+			acquired:     make(map[DatasetID]bool),
+		}
+		return append(evs, Event{Kind: EvBuyerRegistered, Buyer: c.Buyer}), nil
+
+	case RegisterSeller:
+		if c.Seller == "" {
+			return evs, ErrEmptyID
+		}
+		if _, ok := st.sellers[c.Seller]; ok {
+			return evs, fmt.Errorf("%w: seller %s", ErrDuplicateID, c.Seller)
+		}
+		st.sellers[c.Seller] = &sellerAccount{}
+		return append(evs, Event{Kind: EvSellerRegistered, Seller: c.Seller}), nil
+
+	case UploadDataset:
+		if c.Dataset == "" {
+			return evs, ErrEmptyID
+		}
+		acct, ok := st.sellers[c.Seller]
+		if !ok {
+			return evs, fmt.Errorf("%w: %s", ErrUnknownSeller, c.Seller)
+		}
+		if err := st.graph.AddBase(string(c.Dataset)); err != nil {
+			return evs, fmt.Errorf("%w: dataset %s", ErrDuplicateID, c.Dataset)
+		}
+		st.engines[c.Dataset] = st.newEngine(c.Dataset)
+		st.owners[c.Dataset] = c.Seller
+		acct.datasets = append(acct.datasets, c.Dataset)
+		return append(evs, Event{Kind: EvDatasetAdded, Seller: c.Seller, Dataset: c.Dataset}), nil
+
+	case ComposeDataset:
+		if c.Dataset == "" {
+			return evs, ErrEmptyID
+		}
+		parts := make([]string, len(c.Constituents))
+		for i, p := range c.Constituents {
+			parts[i] = string(p)
+		}
+		if err := st.graph.AddDerived(string(c.Dataset), parts...); err != nil {
+			switch {
+			case errors.Is(err, provenance.ErrExists):
+				return evs, fmt.Errorf("%w: dataset %s", ErrDuplicateID, c.Dataset)
+			case errors.Is(err, provenance.ErrUnknown):
+				return evs, fmt.Errorf("%w: %v", ErrUnknownDataset, err)
+			default:
+				return evs, err
+			}
+		}
+		st.engines[c.Dataset] = st.newEngine(c.Dataset)
+		return append(evs, Event{Kind: EvDatasetAdded, Dataset: c.Dataset, Derived: true}), nil
+
+	case WithdrawDataset:
+		acct, ok := st.sellers[c.Seller]
+		if !ok {
+			return evs, fmt.Errorf("%w: %s", ErrUnknownSeller, c.Seller)
+		}
+		owner, ok := st.owners[c.Dataset]
+		if !ok {
+			return evs, fmt.Errorf("%w: %s is not a base dataset", ErrUnknownDataset, c.Dataset)
+		}
+		if owner != c.Seller {
+			return evs, fmt.Errorf("%w: %s does not own %s", ErrUnknownSeller, c.Seller, c.Dataset)
+		}
+		deps, err := st.graph.Dependents(string(c.Dataset))
+		if err != nil {
+			return evs, err
+		}
+		for _, d := range deps {
+			if d != string(c.Dataset) {
+				return evs, fmt.Errorf("%w: %s is still part of %s", ErrDatasetInUse, c.Dataset, d)
+			}
+		}
+		if err := st.graph.Remove(string(c.Dataset)); err != nil {
+			return evs, err
+		}
+		delete(st.engines, c.Dataset)
+		delete(st.owners, c.Dataset)
+		for i, d := range acct.datasets {
+			if d == c.Dataset {
+				acct.datasets = append(acct.datasets[:i], acct.datasets[i+1:]...)
+				break
+			}
+		}
+		return append(evs, Event{Kind: EvDatasetRemoved, Seller: c.Seller, Dataset: c.Dataset}), nil
+
+	case Tick:
+		st.clock++
+		return append(evs, Event{Kind: EvTicked, Period: st.clock}), nil
+
+	case SubmitBid:
+		ev, err := st.applyBid(c.Buyer, c.Dataset, c.Amount)
+		if err != nil {
+			return evs, err
+		}
+		return append(evs, ev), nil
+
+	case BidBatch:
+		for _, b := range c.Bids {
+			ev, err := st.applyBid(b.Buyer, b.Dataset, b.Amount)
+			if err != nil {
+				return evs, err
+			}
+			evs = append(evs, ev)
+		}
+		return evs, nil
+
+	case Settle:
+		return evs, ErrNotMarket
+
+	default:
+		return evs, fmt.Errorf("command: unhandled command type %T", cmd)
+	}
+}
+
+// applyBid is the bid rule: cadence and Time-Shield checks against the
+// buyer's account, one engine interaction (plus demand propagation to
+// the leaves of a derived dataset), then the money movement of a win.
+// The caller must hold shared access plus serialization of every engine
+// the bid touches.
+func (st *State) applyBid(buyer BuyerID, dataset DatasetID, amount float64) (Event, error) {
+	if !(amount > 0) {
+		return Event{}, ErrBadBid
+	}
+	acct, ok := st.buyers[buyer]
+	if !ok {
+		return Event{}, fmt.Errorf("%w: %s", ErrUnknownBuyer, buyer)
+	}
+	eng, ok := st.engines[dataset]
+	if !ok {
+		return Event{}, fmt.Errorf("%w: %s", ErrUnknownDataset, dataset)
+	}
+
+	// Resolve demand-propagation targets (Figure 1, step 2).
+	var leaves []string
+	if parts, ok := st.graph.Constituents(string(dataset)); ok && len(parts) > 0 {
+		leaves, _ = st.graph.Leaves(string(dataset))
+	}
+
+	clock := st.clock
+
+	acct.mu.Lock()
+	if acct.acquired[dataset] {
+		acct.mu.Unlock()
+		return Event{}, fmt.Errorf("%w: %s", ErrAlreadyAcquired, dataset)
+	}
+	if last, ok := acct.lastBid[dataset]; ok && last == clock {
+		acct.mu.Unlock()
+		return Event{}, fmt.Errorf("%w: period %d", ErrBidTooSoon, clock)
+	}
+	if until := acct.blockedUntil[dataset]; clock < until {
+		acct.mu.Unlock()
+		return Event{}, fmt.Errorf("%w: %d periods remain", ErrWaitActive, until-clock)
+	}
+	acct.lastBid[dataset] = clock
+	acct.mu.Unlock()
+
+	d := eng.SubmitBid(amount)
+	for _, leaf := range leaves {
+		if le, ok := st.engines[DatasetID(leaf)]; ok {
+			le.Observe(amount)
+		}
+	}
+
+	ev := Event{
+		Kind:    EvBidDecided,
+		Buyer:   buyer,
+		Dataset: dataset,
+		Amount:  amount,
+		Period:  clock,
+		Leaves:  leaves,
+	}
+	if !d.Allocated {
+		acct.mu.Lock()
+		acct.blockedUntil[dataset] = clock + d.Wait
+		acct.mu.Unlock()
+		ev.Decision = Decision{WaitPeriods: d.Wait}
+		return ev, nil
+	}
+
+	price := FromFloat(d.Price)
+	acct.mu.Lock()
+	acct.acquired[dataset] = true
+	acct.spent += price
+	acct.mu.Unlock()
+
+	st.ledger.Lock()
+	st.revenue += price
+	paid := st.paySellers(dataset, leaves, price)
+	tx := Transaction{
+		Seq:     len(st.txs) + 1,
+		Buyer:   buyer,
+		Dataset: dataset,
+		Price:   price,
+		Period:  clock,
+	}
+	st.txs = append(st.txs, tx)
+	st.ledger.Unlock()
+
+	ev.Decision = Decision{Allocated: true, PricePaid: price}
+	ev.Tx = &tx
+	ev.Paid = paid
+	return ev, nil
+}

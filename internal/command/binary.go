@@ -1,0 +1,251 @@
+package command
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary opcode bytes, one per Op, in declaration order. The binary
+// format is: opcode byte, then the op's fields in order — strings as
+// uvarint length + bytes, floats as little-endian IEEE-754 bits, lists
+// as uvarint count + elements, bools as one 0/1 byte. No padding, no
+// framing: one command per buffer, trailing bytes are an error.
+const (
+	bopRegisterBuyer byte = iota + 1
+	bopRegisterSeller
+	bopUpload
+	bopCompose
+	bopWithdraw
+	bopBid
+	bopBidBatch
+	bopTick
+	bopSettle
+)
+
+// EncodeBinary returns cmd's canonical binary encoding.
+func EncodeBinary(cmd Command) ([]byte, error) {
+	var b []byte
+	switch c := cmd.(type) {
+	case RegisterBuyer:
+		b = append(b, bopRegisterBuyer)
+		b = appendString(b, string(c.Buyer))
+	case RegisterSeller:
+		b = append(b, bopRegisterSeller)
+		b = appendString(b, string(c.Seller))
+	case UploadDataset:
+		b = append(b, bopUpload)
+		b = appendString(b, string(c.Seller))
+		b = appendString(b, string(c.Dataset))
+	case ComposeDataset:
+		b = append(b, bopCompose)
+		b = appendString(b, string(c.Dataset))
+		b = binary.AppendUvarint(b, uint64(len(c.Constituents)))
+		for _, p := range c.Constituents {
+			b = appendString(b, string(p))
+		}
+	case WithdrawDataset:
+		b = append(b, bopWithdraw)
+		b = appendString(b, string(c.Seller))
+		b = appendString(b, string(c.Dataset))
+	case SubmitBid:
+		b = append(b, bopBid)
+		b = appendString(b, string(c.Buyer))
+		b = appendString(b, string(c.Dataset))
+		b = appendFloat(b, c.Amount)
+	case BidBatch:
+		if len(c.Bids) == 0 {
+			return nil, fmt.Errorf("%w: bid_batch with no bids", ErrMalformed)
+		}
+		b = append(b, bopBidBatch)
+		b = binary.AppendUvarint(b, uint64(len(c.Bids)))
+		for _, bid := range c.Bids {
+			b = appendString(b, string(bid.Buyer))
+			b = appendString(b, string(bid.Dataset))
+			b = appendFloat(b, bid.Amount)
+		}
+	case Tick:
+		b = append(b, bopTick)
+	case Settle:
+		b = append(b, bopSettle)
+		b = appendString(b, string(c.Buyer))
+		b = appendString(b, string(c.Dataset))
+		b = appendFloat(b, c.Amount)
+		if c.Exante {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnknownOp, cmd)
+	}
+	return b, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// binReader cursors over one encoded command. Every read is bounded by
+// the remaining input, so a corrupted length prefix fails cleanly
+// instead of attempting a giant allocation.
+type binReader struct {
+	data []byte
+	err  error
+}
+
+func (r *binReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated binary command", ErrMalformed)
+	}
+}
+
+func (r *binReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *binReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.data)) {
+		r.fail()
+		return ""
+	}
+	s := string(r.data[:n])
+	r.data = r.data[n:]
+	return s
+}
+
+func (r *binReader) float() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data) < 8 {
+		r.fail()
+		return 0
+	}
+	f := math.Float64frombits(binary.LittleEndian.Uint64(r.data))
+	r.data = r.data[8:]
+	// JSON number literals cannot carry NaN or infinities, so the binary
+	// codec rejects them too: every decodable command has both
+	// encodings, and NaN would break command equality besides.
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: non-finite float", ErrMalformed)
+		}
+		return 0
+	}
+	return f
+}
+
+func (r *binReader) boolByte() bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.data) < 1 {
+		r.fail()
+		return false
+	}
+	v := r.data[0]
+	r.data = r.data[1:]
+	if v > 1 {
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: bool byte %d", ErrMalformed, v)
+		}
+		return false
+	}
+	return v == 1
+}
+
+// DecodeBinary parses one binary-encoded command. Errors wrap
+// ErrMalformed or ErrUnknownOp, the same closed set as DecodeJSON.
+func DecodeBinary(data []byte) (Command, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrMalformed)
+	}
+	r := &binReader{data: data[1:]}
+	var cmd Command
+	switch data[0] {
+	case bopRegisterBuyer:
+		cmd = RegisterBuyer{Buyer: BuyerID(r.str())}
+	case bopRegisterSeller:
+		cmd = RegisterSeller{Seller: SellerID(r.str())}
+	case bopUpload:
+		cmd = UploadDataset{Seller: SellerID(r.str()), Dataset: DatasetID(r.str())}
+	case bopCompose:
+		c := ComposeDataset{Dataset: DatasetID(r.str())}
+		n := r.uvarint()
+		// Each constituent needs at least one length byte, so a count
+		// beyond the remaining bytes is unsatisfiable — reject before
+		// allocating for it.
+		if n > uint64(len(r.data)) {
+			r.fail()
+		} else if n > 0 { // leave nil for zero, the canonical absent form
+			c.Constituents = make([]DatasetID, 0, n)
+			for i := uint64(0); i < n && r.err == nil; i++ {
+				c.Constituents = append(c.Constituents, DatasetID(r.str()))
+			}
+		}
+		cmd = c
+	case bopWithdraw:
+		cmd = WithdrawDataset{Seller: SellerID(r.str()), Dataset: DatasetID(r.str())}
+	case bopBid:
+		cmd = SubmitBid{Buyer: BuyerID(r.str()), Dataset: DatasetID(r.str()), Amount: r.float()}
+	case bopBidBatch:
+		n := r.uvarint()
+		if n == 0 && r.err == nil {
+			return nil, fmt.Errorf("%w: bid_batch with no bids", ErrMalformed)
+		}
+		// Each bid occupies at least 10 bytes (two length prefixes plus
+		// a float64), bounding any claimed count.
+		if n > uint64(len(r.data)) {
+			r.fail()
+		}
+		var c BidBatch
+		if r.err == nil {
+			c.Bids = make([]SubmitBid, 0, n)
+			for i := uint64(0); i < n && r.err == nil; i++ {
+				c.Bids = append(c.Bids, SubmitBid{
+					Buyer:   BuyerID(r.str()),
+					Dataset: DatasetID(r.str()),
+					Amount:  r.float(),
+				})
+			}
+		}
+		cmd = c
+	case bopTick:
+		cmd = Tick{}
+	case bopSettle:
+		cmd = Settle{
+			Buyer:   BuyerID(r.str()),
+			Dataset: DatasetID(r.str()),
+			Amount:  r.float(),
+			Exante:  r.boolByte(),
+		}
+	default:
+		return nil, fmt.Errorf("%w: opcode %d", ErrUnknownOp, data[0])
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(r.data))
+	}
+	return cmd, nil
+}

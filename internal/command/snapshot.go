@@ -1,4 +1,4 @@
-package market
+package command
 
 import (
 	"bytes"
@@ -6,7 +6,39 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"github.com/datamarket/shield/internal/core"
 )
+
+// BuyerSnapshot is one buyer account's serializable state.
+type BuyerSnapshot struct {
+	LastBid      map[DatasetID]int  `json:"last_bid,omitempty"`
+	BlockedUntil map[DatasetID]int  `json:"blocked_until,omitempty"`
+	Acquired     map[DatasetID]bool `json:"acquired,omitempty"`
+	Spent        Money              `json:"spent"`
+}
+
+// SellerSnapshot is one seller account's serializable state.
+type SellerSnapshot struct {
+	Balance  Money       `json:"balance"`
+	Datasets []DatasetID `json:"datasets,omitempty"`
+}
+
+// Snapshot is the market's full serializable state. Restoring it yields
+// a state that behaves identically from that point on (engine randomness
+// included), so a snapshot plus the command tail recorded after it
+// reconstructs the books exactly.
+type Snapshot struct {
+	Config       Config                      `json:"config"`
+	Clock        int                         `json:"clock"`
+	Graph        map[string][]string         `json:"graph"`
+	Engines      map[DatasetID]core.Snapshot `json:"engines"`
+	Owners       map[DatasetID]SellerID      `json:"owners"`
+	Buyers       map[BuyerID]BuyerSnapshot   `json:"buyers"`
+	Sellers      map[SellerID]SellerSnapshot `json:"sellers"`
+	Transactions []Transaction               `json:"transactions,omitempty"`
+	Revenue      Money                       `json:"revenue"`
+}
 
 // Canonical returns the snapshot's canonical JSON encoding. Two markets
 // are in identical states exactly when their snapshots' canonical

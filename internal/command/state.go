@@ -1,0 +1,494 @@
+package command
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"github.com/datamarket/shield/internal/core"
+	"github.com/datamarket/shield/internal/provenance"
+)
+
+type buyerAccount struct {
+	mu           sync.Mutex        // guards all fields below
+	lastBid      map[DatasetID]int // last period with a bid per dataset
+	blockedUntil map[DatasetID]int // first period allowed to bid again
+	acquired     map[DatasetID]bool
+	spent        Money
+}
+
+type sellerAccount struct {
+	balance  Money       // guarded by State.ledger
+	datasets []DatasetID // requires exclusive access (structural command)
+}
+
+// State is the market state machine Apply mutates: participants, the
+// provenance graph, one pricing engine per dataset, the clock, and the
+// money books.
+//
+// # Concurrency contract
+//
+// State is thread-compatible, not thread-safe; serialization is the
+// caller's job and follows the live market's sharding discipline:
+//
+//   - structural commands (registrations, uploads, composition,
+//     withdrawal, Tick) and Snapshot require exclusive access — no other
+//     Apply or read may be in flight;
+//   - SubmitBid/BidBatch commands require shared access plus external
+//     serialization per engine they touch (the primary dataset and, for a
+//     derived dataset, its leaves) — internal/market uses lock shards,
+//     the replay and reference shells are single-threaded;
+//   - per-buyer account mutexes and the ledger mutex make the money
+//     bookkeeping of concurrent shared-access bids race-free on their
+//     own.
+//
+// Under that contract Apply is deterministic: the same command sequence
+// against the same Config yields a byte-identical canonical Snapshot,
+// regardless of shard count or scheduling.
+type State struct {
+	cfg     Config
+	clock   int
+	graph   *provenance.Graph
+	engines map[DatasetID]*core.Engine
+	owners  map[DatasetID]SellerID // base datasets only
+	buyers  map[BuyerID]*buyerAccount
+	sellers map[SellerID]*sellerAccount
+
+	// ledger guards money movement: total revenue, the transaction log,
+	// and seller balances.
+	ledger  sync.Mutex
+	txs     []Transaction
+	revenue Money
+
+	// perturb, when non-nil, is installed into every engine as a price
+	// perturbation (test-only; see TestPerturbPrices).
+	perturb func(float64) float64
+}
+
+// NewState builds an empty State; the engine template must validate.
+func NewState(cfg Config) (*State, error) {
+	if err := cfg.Engine.Validate(); err != nil {
+		return nil, fmt.Errorf("market: engine template: %w", err)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("market: negative shard count %d", cfg.Shards)
+	}
+	return &State{
+		cfg:     cfg,
+		graph:   provenance.NewGraph(),
+		engines: make(map[DatasetID]*core.Engine),
+		owners:  make(map[DatasetID]SellerID),
+		buyers:  make(map[BuyerID]*buyerAccount),
+		sellers: make(map[SellerID]*sellerAccount),
+	}, nil
+}
+
+// MustNewState is NewState for static configurations; it panics on
+// config errors.
+func MustNewState(cfg Config) *State {
+	st, err := NewState(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+func (st *State) newEngine(id DatasetID) *core.Engine {
+	cfg := st.cfg.Engine
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	cfg.Seed = st.cfg.Seed ^ h.Sum64()
+	eng := core.MustNew(cfg)
+	if st.perturb != nil {
+		eng.TestSetPricePerturb(st.perturb)
+	}
+	return eng
+}
+
+// Config returns the configuration the state was built with.
+func (st *State) Config() Config { return st.cfg }
+
+// Period returns the current period. Requires shared access.
+func (st *State) Period() int { return st.clock }
+
+// HasBuyer reports whether the buyer is registered. Requires shared
+// access.
+func (st *State) HasBuyer(id BuyerID) bool {
+	_, ok := st.buyers[id]
+	return ok
+}
+
+// BidLeaves resolves what a bid on dataset will touch: it verifies the
+// dataset is priced and returns the leaf datasets a bid on it propagates
+// demand to (nil for a base dataset). The live market uses it to compute
+// a bid's lock set before serializing the bid into Apply. Requires
+// shared access.
+func (st *State) BidLeaves(dataset DatasetID) ([]string, error) {
+	if _, ok := st.engines[dataset]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDataset, dataset)
+	}
+	var leaves []string
+	if parts, ok := st.graph.Constituents(string(dataset)); ok && len(parts) > 0 {
+		leaves, _ = st.graph.Leaves(string(dataset))
+	}
+	return leaves, nil
+}
+
+// NumDatasets returns the number of priced datasets. Requires shared
+// access.
+func (st *State) NumDatasets() int { return len(st.engines) }
+
+// DatasetIDs returns the registered dataset IDs, sorted. Requires
+// shared access.
+func (st *State) DatasetIDs() []DatasetID {
+	out := make([]DatasetID, 0, len(st.engines))
+	for id := range st.engines {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats returns the diagnostic snapshot for a dataset. Requires shared
+// access plus serialization of the dataset's engine (the live market
+// holds its shard lock; single-threaded shells need nothing extra).
+func (st *State) Stats(dataset DatasetID) (DatasetStats, error) {
+	eng, ok := st.engines[dataset]
+	if !ok {
+		return DatasetStats{}, fmt.Errorf("%w: %s", ErrUnknownDataset, dataset)
+	}
+	return DatasetStats{
+		Dataset:         dataset,
+		Bids:            eng.Bids(),
+		Allocations:     eng.Allocations(),
+		Epochs:          eng.Epochs(),
+		Revenue:         eng.Revenue(),
+		PostingPrice:    eng.PostingPrice(),
+		MostLikelyPrice: eng.MostLikelyPrice(),
+	}, nil
+}
+
+// ComputeWait returns the Time-Shield wait the dataset's engine would
+// assign a losing bid of amount right now, without mutating anything.
+// Requires shared access plus serialization of the dataset's engine.
+func (st *State) ComputeWait(dataset DatasetID, amount float64) (int, error) {
+	eng, ok := st.engines[dataset]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownDataset, dataset)
+	}
+	return eng.ComputeWaitPeriod(amount), nil
+}
+
+// Totals returns the money books in one view: total revenue, the sum of
+// every buyer's spend, and the sum of every seller's balance. In a
+// conserving market all three are equal. Requires shared access.
+func (st *State) Totals() (revenue, spent, balances Money) {
+	for _, acct := range st.buyers {
+		acct.mu.Lock()
+		spent += acct.spent
+		acct.mu.Unlock()
+	}
+	st.ledger.Lock()
+	revenue = st.revenue
+	for _, acct := range st.sellers {
+		balances += acct.balance
+	}
+	st.ledger.Unlock()
+	return revenue, spent, balances
+}
+
+// Revenue returns the total revenue raised so far. Requires shared
+// access.
+func (st *State) Revenue() Money {
+	st.ledger.Lock()
+	defer st.ledger.Unlock()
+	return st.revenue
+}
+
+// SellerBalance returns a seller's accumulated compensation. Requires
+// shared access.
+func (st *State) SellerBalance(id SellerID) (Money, error) {
+	acct, ok := st.sellers[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownSeller, id)
+	}
+	st.ledger.Lock()
+	defer st.ledger.Unlock()
+	return acct.balance, nil
+}
+
+// BuyerSpend returns the total a buyer has paid. Requires shared access.
+func (st *State) BuyerSpend(id BuyerID) (Money, error) {
+	acct, ok := st.buyers[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownBuyer, id)
+	}
+	acct.mu.Lock()
+	defer acct.mu.Unlock()
+	return acct.spent, nil
+}
+
+// Owns reports whether the buyer has acquired the dataset. Requires
+// shared access.
+func (st *State) Owns(buyer BuyerID, dataset DatasetID) (bool, error) {
+	acct, ok := st.buyers[buyer]
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrUnknownBuyer, buyer)
+	}
+	acct.mu.Lock()
+	defer acct.mu.Unlock()
+	return acct.acquired[dataset], nil
+}
+
+// WaitRemaining returns how many periods remain before the buyer may bid
+// on the dataset again (0 when unblocked). Requires shared access.
+func (st *State) WaitRemaining(buyer BuyerID, dataset DatasetID) (int, error) {
+	acct, ok := st.buyers[buyer]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownBuyer, buyer)
+	}
+	acct.mu.Lock()
+	defer acct.mu.Unlock()
+	if until := acct.blockedUntil[dataset]; st.clock < until {
+		return until - st.clock, nil
+	}
+	return 0, nil
+}
+
+// BuyerIDs returns the registered buyer IDs, sorted. Requires shared
+// access.
+func (st *State) BuyerIDs() []BuyerID {
+	out := make([]BuyerID, 0, len(st.buyers))
+	for id := range st.buyers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// InspectBuyer calls f with the buyer's live acquisition set and spend,
+// under the buyer's account mutex, and reports whether the buyer exists.
+// f must not retain or mutate the map. The live market uses it to
+// publish read views that are consistent with concurrent wins on other
+// datasets by the same buyer.
+func (st *State) InspectBuyer(id BuyerID, f func(acquired map[DatasetID]bool, spent Money)) bool {
+	acct, ok := st.buyers[id]
+	if !ok {
+		return false
+	}
+	acct.mu.Lock()
+	f(acct.acquired, acct.spent)
+	acct.mu.Unlock()
+	return true
+}
+
+// SellerDatasets returns the base datasets a seller has uploaded.
+// Requires shared access.
+func (st *State) SellerDatasets(id SellerID) ([]DatasetID, error) {
+	acct, ok := st.sellers[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSeller, id)
+	}
+	out := make([]DatasetID, len(acct.datasets))
+	copy(out, acct.datasets)
+	return out, nil
+}
+
+// TxCount returns the number of recorded transactions. Requires shared
+// access.
+func (st *State) TxCount() int {
+	st.ledger.Lock()
+	defer st.ledger.Unlock()
+	return len(st.txs)
+}
+
+// TxAt returns transaction i (0-based). Requires shared access.
+func (st *State) TxAt(i int) Transaction {
+	st.ledger.Lock()
+	defer st.ledger.Unlock()
+	return st.txs[i]
+}
+
+// Transactions returns a copy of the transaction log. Requires shared
+// access.
+func (st *State) Transactions() []Transaction {
+	st.ledger.Lock()
+	defer st.ledger.Unlock()
+	out := make([]Transaction, len(st.txs))
+	copy(out, st.txs)
+	return out
+}
+
+// paySellers splits price across the owners of the base datasets backing
+// dataset, exactly (no micro lost), deterministically (leaves are
+// sorted), and returns the total actually credited. leaves may be
+// pre-resolved by the caller (nil means "resolve here"). Callers must
+// hold the ledger lock and have at least shared access.
+func (st *State) paySellers(dataset DatasetID, leaves []string, price Money) Money {
+	if leaves == nil {
+		var err error
+		leaves, err = st.graph.Leaves(string(dataset))
+		if err != nil {
+			return 0
+		}
+	}
+	if len(leaves) == 0 {
+		return 0
+	}
+	var credited Money
+	parts := price.Split(len(leaves))
+	for i, leaf := range leaves {
+		owner, ok := st.owners[DatasetID(leaf)]
+		if !ok {
+			continue
+		}
+		if acct, ok := st.sellers[owner]; ok {
+			acct.balance += parts[i]
+			credited += parts[i]
+		}
+	}
+	return credited
+}
+
+// TestPerturbPrices installs f as a price perturbation on every current
+// and future engine (nil removes it). It exists for mutation-canary
+// tests that prove the differential harness still detects a seeded
+// pricing bug; production code must never call it. Requires exclusive
+// access.
+func (st *State) TestPerturbPrices(f func(price float64) float64) {
+	st.perturb = f
+	for _, eng := range st.engines {
+		eng.TestSetPricePerturb(f)
+	}
+}
+
+// Snapshot captures the whole state. Requires exclusive access.
+func (st *State) Snapshot() Snapshot {
+	s := Snapshot{
+		Config:       st.cfg,
+		Clock:        st.clock,
+		Graph:        st.graph.Snapshot(),
+		Engines:      make(map[DatasetID]core.Snapshot),
+		Owners:       make(map[DatasetID]SellerID, len(st.owners)),
+		Buyers:       make(map[BuyerID]BuyerSnapshot, len(st.buyers)),
+		Sellers:      make(map[SellerID]SellerSnapshot, len(st.sellers)),
+		Transactions: make([]Transaction, len(st.txs)),
+		Revenue:      st.revenue,
+	}
+	for id, eng := range st.engines {
+		s.Engines[id] = eng.Snapshot()
+	}
+	for id, owner := range st.owners {
+		s.Owners[id] = owner
+	}
+	for id, acct := range st.buyers {
+		bs := BuyerSnapshot{
+			LastBid:      make(map[DatasetID]int, len(acct.lastBid)),
+			BlockedUntil: make(map[DatasetID]int, len(acct.blockedUntil)),
+			Acquired:     make(map[DatasetID]bool, len(acct.acquired)),
+			Spent:        acct.spent,
+		}
+		for k, v := range acct.lastBid {
+			bs.LastBid[k] = v
+		}
+		for k, v := range acct.blockedUntil {
+			bs.BlockedUntil[k] = v
+		}
+		for k, v := range acct.acquired {
+			bs.Acquired[k] = v
+		}
+		s.Buyers[id] = bs
+	}
+	for id, acct := range st.sellers {
+		ss := SellerSnapshot{Balance: acct.balance, Datasets: make([]DatasetID, len(acct.datasets))}
+		copy(ss.Datasets, acct.datasets)
+		s.Sellers[id] = ss
+	}
+	copy(s.Transactions, st.txs)
+	return s
+}
+
+// RestoreState reconstructs a state from a snapshot, validating
+// cross-references (every engine has a graph node, every owner exists,
+// every transaction's parties exist).
+func RestoreState(s Snapshot) (*State, error) {
+	if err := s.Config.Engine.Validate(); err != nil {
+		return nil, fmt.Errorf("market: snapshot config: %w", err)
+	}
+	if s.Clock < 0 || s.Revenue < 0 {
+		return nil, fmt.Errorf("market: snapshot clock/revenue negative")
+	}
+	graph, err := provenance.FromSnapshot(s.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("market: snapshot graph: %w", err)
+	}
+	if s.Config.Shards < 0 {
+		return nil, fmt.Errorf("market: snapshot shard count negative")
+	}
+	st := &State{
+		cfg:     s.Config,
+		clock:   s.Clock,
+		graph:   graph,
+		engines: make(map[DatasetID]*core.Engine, len(s.Engines)),
+		owners:  make(map[DatasetID]SellerID, len(s.Owners)),
+		buyers:  make(map[BuyerID]*buyerAccount, len(s.Buyers)),
+		sellers: make(map[SellerID]*sellerAccount, len(s.Sellers)),
+		txs:     make([]Transaction, len(s.Transactions)),
+		revenue: s.Revenue,
+	}
+	for id, es := range s.Engines {
+		if !graph.Contains(string(id)) {
+			return nil, fmt.Errorf("market: snapshot engine %s has no graph node", id)
+		}
+		eng, err := core.RestoreSnapshot(es)
+		if err != nil {
+			return nil, fmt.Errorf("market: snapshot engine %s: %w", id, err)
+		}
+		st.engines[id] = eng
+	}
+	for id := range s.Graph {
+		if _, ok := s.Engines[DatasetID(id)]; !ok {
+			return nil, fmt.Errorf("market: snapshot dataset %s has no engine", id)
+		}
+	}
+	for id, owner := range s.Owners {
+		if _, ok := s.Sellers[owner]; !ok {
+			return nil, fmt.Errorf("market: snapshot dataset %s owned by unknown seller %s", id, owner)
+		}
+		st.owners[id] = owner
+	}
+	for id, bs := range s.Buyers {
+		acct := &buyerAccount{
+			lastBid:      make(map[DatasetID]int, len(bs.LastBid)),
+			blockedUntil: make(map[DatasetID]int, len(bs.BlockedUntil)),
+			acquired:     make(map[DatasetID]bool, len(bs.Acquired)),
+			spent:        bs.Spent,
+		}
+		for k, v := range bs.LastBid {
+			acct.lastBid[k] = v
+		}
+		for k, v := range bs.BlockedUntil {
+			acct.blockedUntil[k] = v
+		}
+		for k, v := range bs.Acquired {
+			acct.acquired[k] = v
+		}
+		st.buyers[id] = acct
+	}
+	for id, ss := range s.Sellers {
+		acct := &sellerAccount{balance: ss.Balance, datasets: make([]DatasetID, len(ss.Datasets))}
+		copy(acct.datasets, ss.Datasets)
+		st.sellers[id] = acct
+	}
+	for i, tx := range s.Transactions {
+		// Transactions are history, not live references: a sold dataset
+		// may have been withdrawn since (buyers keep delivered data), so
+		// only the buyer — who can never deregister — must still exist.
+		if _, ok := st.buyers[tx.Buyer]; !ok {
+			return nil, fmt.Errorf("market: snapshot transaction %d references unknown buyer %s", i, tx.Buyer)
+		}
+		st.txs[i] = tx
+	}
+	return st, nil
+}

@@ -1,0 +1,89 @@
+package command
+
+import (
+	"errors"
+
+	"github.com/datamarket/shield/internal/core"
+)
+
+// Sentinel errors returned by Apply (and re-exported by
+// internal/market, which historically owned them — the strings keep the
+// "market:" prefix so error text is byte-identical across the move;
+// tooling, tests and the torture harness compare errors by full string).
+var (
+	ErrUnknownBuyer    = errors.New("market: unknown buyer")
+	ErrUnknownSeller   = errors.New("market: unknown seller")
+	ErrUnknownDataset  = errors.New("market: unknown dataset")
+	ErrDuplicateID     = errors.New("market: identifier already registered")
+	ErrBadBid          = errors.New("market: bid must be a positive amount")
+	ErrBidTooSoon      = errors.New("market: buyer already bid this period")
+	ErrWaitActive      = errors.New("market: buyer is in a Time-Shield wait period")
+	ErrAlreadyAcquired = errors.New("market: buyer already owns this dataset")
+	ErrEmptyID         = errors.New("market: empty identifier")
+	ErrDatasetInUse    = errors.New("market: dataset backs derived products")
+)
+
+// ErrNotMarket is returned by Apply for commands that are part of the
+// codec but do not target market state (today: Settle, which belongs to
+// the ex-post arbiter).
+var ErrNotMarket = errors.New("command: not a market-state command")
+
+// BuyerID identifies a registered buyer.
+type BuyerID string
+
+// SellerID identifies a registered seller.
+type SellerID string
+
+// DatasetID identifies a dataset (base or derived).
+type DatasetID string
+
+// Transaction records one completed sale.
+type Transaction struct {
+	Seq     int
+	Buyer   BuyerID
+	Dataset DatasetID
+	Price   Money
+	Period  int
+}
+
+// Decision is the market's answer to a bid. Unlike core.Decision it hides
+// the posting price from losers: a losing buyer learns only its wait.
+type Decision struct {
+	// Allocated reports whether the buyer won the dataset.
+	Allocated bool
+	// PricePaid is the posting price charged to a winner (zero for
+	// losers).
+	PricePaid Money
+	// WaitPeriods is the number of periods the buyer must wait before
+	// bidding on this dataset again (zero for winners).
+	WaitPeriods int
+}
+
+// Config configures a market state machine.
+type Config struct {
+	// Engine is the pricing-engine template applied to every dataset;
+	// each dataset's engine gets a seed derived from Seed and the dataset
+	// ID.
+	Engine core.Config
+	// Seed is the market-level seed.
+	Seed uint64
+	// Shards is the number of lock shards the live market partitions
+	// datasets across for concurrent bidding; 0 selects the market's
+	// default. Shard count never affects pricing, only parallelism — the
+	// command core ignores it entirely.
+	Shards int
+}
+
+// DatasetStats is a diagnostic snapshot of one dataset's pricing engine.
+// It is operator-facing: a deployment must not expose PostingPrice or
+// MostLikelyPrice to buyers (that is the leak Uncertainty-Shield guards
+// against).
+type DatasetStats struct {
+	Dataset     DatasetID
+	Bids        int
+	Allocations int
+	Epochs      int
+	Revenue     float64
+	PostingPrice,
+	MostLikelyPrice float64
+}

@@ -183,6 +183,10 @@ type Engine struct {
 	bids        int
 	allocations int
 	epochs      int
+
+	// perturb, when non-nil, transforms every drawn posting price before
+	// it takes effect (test-only; see TestSetPricePerturb).
+	perturb func(price float64) float64
 }
 
 // Validate checks a Config, returning a descriptive error for the first
@@ -436,14 +440,19 @@ func (e *Engine) regrid() {
 	}
 }
 
-// TestPerturbPrice, when non-nil, transforms every drawn posting price
-// before it takes effect. It exists solely as a mutation canary for the
-// model-based torture harness (internal/torture): a test injects a
-// deliberate mispricing here and asserts the differential against the
-// sequential reference model catches it, proving the reference actually
-// discriminates. Production code must never set it, and it is not
-// goroutine-safe to flip while a market is serving bids.
-var TestPerturbPrice func(price float64) float64
+// TestSetPricePerturb installs f (nil to remove) as a transform applied
+// to every posting price this engine draws from now on. It exists
+// solely as a mutation canary for the model-based torture harness
+// (internal/torture): a test injects a deliberate mispricing into the
+// live replicas' engines and asserts the differential against the
+// unperturbed reference model catches it, proving the reference
+// actually discriminates. Production code must never call it, and it is
+// not goroutine-safe to flip while the engine is serving bids. The
+// price drawn at construction time is unaffected; the perturbation
+// first bites at the next epoch redraw.
+func (e *Engine) TestSetPricePerturb(f func(price float64) float64) {
+	e.perturb = f
+}
 
 // drawPrice picks the next posting price according to the configured rule.
 func (e *Engine) drawPrice() float64 {
@@ -467,8 +476,8 @@ func (e *Engine) drawPrice() float64 {
 	default: // DrawMW
 		p = e.learner.DrawValue(e.rand)
 	}
-	if TestPerturbPrice != nil {
-		p = TestPerturbPrice(p)
+	if e.perturb != nil {
+		p = e.perturb(p)
 	}
 	return p
 }

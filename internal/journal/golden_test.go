@@ -3,24 +3,33 @@ package journal
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"os"
+	"strings"
 	"testing"
 
 	"github.com/datamarket/shield/internal/market"
 )
 
-var updateGolden = flag.Bool("update", false, "regenerate golden journal fixtures")
+var updateGolden = flag.Bool("update", false, "regenerate the current-format golden journal fixtures")
 
 const (
-	goldenLogPath  = "testdata/pr1.log"
-	goldenSnapPath = "testdata/pr1.snapshot.json"
+	// The PR-1-era (format version 0) fixture. Frozen: the current
+	// writer can no longer produce it, so -update does not touch it —
+	// it exists precisely to prove old logs stay readable.
+	legacyLogPath  = "testdata/pr1.log"
+	legacySnapPath = "testdata/pr1.snapshot.json"
+	// The current-format fixture, regenerated with -update on
+	// deliberate format bumps.
+	goldenLogPath  = "testdata/v2.log"
+	goldenSnapPath = "testdata/v2.snapshot.json"
 )
 
-// goldenWorkload is the fixed PR-1-era operation script behind the
-// checked-in fixture: every journaled op kind, including a bid_batch
-// with a rejected entry and a sold-then-bid dataset mix. It must never
-// change — the fixture pins the on-disk format and replay semantics.
+// goldenWorkload is the fixed operation script behind both checked-in
+// fixtures: every journaled op kind, including a bid_batch with a
+// rejected entry and a sold-then-bid dataset mix. It must never change —
+// the fixtures pin the on-disk format and replay semantics.
 func goldenWorkload(t *testing.T, sink *bytes.Buffer) *Market {
 	t.Helper()
 	m, err := NewMarket(testConfig(), sink)
@@ -76,13 +85,75 @@ func goldenWorkload(t *testing.T, sink *bytes.Buffer) *Market {
 	return m
 }
 
+// restoreMatches replays a fixture log and asserts the rebuilt market's
+// snapshot is byte-identical to the fixture snapshot.
+func restoreMatches(t *testing.T, logBytes, want []byte) {
+	t.Helper()
+	m, err := Restore(bytes.NewReader(logBytes))
+	if err != nil {
+		t.Fatalf("fixture journal no longer restores: %v", err)
+	}
+	got, err := json.MarshalIndent(m.Snapshot(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if !bytes.Equal(got, want) {
+		var gs, ws market.Snapshot
+		if json.Unmarshal(got, &gs) == nil && json.Unmarshal(want, &ws) == nil {
+			t.Fatalf("replayed snapshot drifted from golden: %s", gs.Diff(ws))
+		}
+		t.Fatal("replayed snapshot drifted from golden (and no longer decodes)")
+	}
+}
+
 // TestGoldenPR1JournalReplays is the backward-compatibility gate: the
-// checked-in PR-1-era journal (bid_batch event included) must keep
-// restoring to a byte-identical market snapshot. If this fails, a
-// change broke replay of logs written by earlier releases — add a
-// migration, don't regenerate the fixture (regeneration, via -update,
-// is only for deliberate, documented format bumps).
+// checked-in PR-1-era journal — format version 0, written before the
+// command core existed — must keep restoring to a byte-identical
+// market snapshot through the CommandFromEvent upgrader. If this fails,
+// a change broke replay of logs written by earlier releases — add a
+// migration, don't regenerate the fixture (it is frozen; the current
+// writer cannot produce version-0 logs).
 func TestGoldenPR1JournalReplays(t *testing.T) {
+	logBytes, err := os.ReadFile(legacyLogPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(logBytes, []byte(`"v":`)) {
+		t.Fatal("legacy fixture carries a version field; it must stay a version-0 log")
+	}
+	events, err := Read(bytes.NewReader(logBytes))
+	if err != nil {
+		t.Fatalf("PR-1 journal no longer parses: %v", err)
+	}
+	if events[0].V != 0 {
+		t.Fatalf("legacy head decoded version %d, want 0", events[0].V)
+	}
+	var sawBatch bool
+	for _, e := range events {
+		if e.Op == OpBidBatch {
+			sawBatch = true
+			if len(e.Bids) != 2 {
+				t.Fatalf("golden bid_batch carries %d bids, want 2", len(e.Bids))
+			}
+		}
+	}
+	if !sawBatch {
+		t.Fatal("golden log lost its bid_batch event")
+	}
+	want, err := os.ReadFile(legacySnapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoreMatches(t, logBytes, want)
+}
+
+// TestGoldenV2JournalStable pins the current on-disk format: the
+// checked-in version-2 log must parse with its stamped version, restore
+// to its checked-in snapshot, and — format stability cuts both ways —
+// the current writer must still emit it byte-identically for the same
+// operations.
+func TestGoldenV2JournalStable(t *testing.T) {
 	if *updateGolden {
 		var buf bytes.Buffer
 		m := goldenWorkload(t, &buf)
@@ -108,47 +179,61 @@ func TestGoldenPR1JournalReplays(t *testing.T) {
 	}
 	events, err := Read(bytes.NewReader(logBytes))
 	if err != nil {
-		t.Fatalf("PR-1 journal no longer parses: %v", err)
+		t.Fatalf("v2 journal no longer parses: %v", err)
 	}
-	var sawBatch bool
-	for _, e := range events {
-		if e.Op == OpBidBatch {
-			sawBatch = true
-			if len(e.Bids) != 2 {
-				t.Fatalf("golden bid_batch carries %d bids, want 2", len(e.Bids))
-			}
-		}
+	if events[0].V != FormatVersion {
+		t.Fatalf("v2 head carries version %d, want %d", events[0].V, FormatVersion)
 	}
-	if !sawBatch {
-		t.Fatal("golden log lost its bid_batch event")
-	}
-
-	m, err := Restore(bytes.NewReader(logBytes))
-	if err != nil {
-		t.Fatalf("PR-1 journal no longer restores: %v", err)
-	}
-	got, err := json.MarshalIndent(m.Snapshot(), "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	got = append(got, '\n')
 	want, err := os.ReadFile(goldenSnapPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(got, want) {
-		var gs, ws market.Snapshot
-		if json.Unmarshal(got, &gs) == nil && json.Unmarshal(want, &ws) == nil {
-			t.Fatalf("replayed snapshot drifted from golden: %s", gs.Diff(ws))
-		}
-		t.Fatal("replayed snapshot drifted from golden (and no longer decodes)")
-	}
+	restoreMatches(t, logBytes, want)
 
 	// The current writer still emits the byte-identical log for the
-	// same operations: format stability cuts both ways.
+	// same operations.
 	var buf bytes.Buffer
 	goldenWorkload(t, &buf)
 	if !bytes.Equal(buf.Bytes(), logBytes) {
-		t.Fatal("writer output drifted from the PR-1 on-disk format")
+		t.Fatal("writer output drifted from the v2 on-disk format")
+	}
+}
+
+// TestGoldenFixturesAgree: the two fixtures record the same workload in
+// different format versions, so they must rebuild identical markets.
+func TestGoldenFixturesAgree(t *testing.T) {
+	legacy, err := os.ReadFile(legacySnapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	current, err := os.ReadFile(goldenSnapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(legacy, current) {
+		t.Fatal("version-0 and version-2 fixtures no longer rebuild the same market")
+	}
+}
+
+// TestUnknownVersionRejected: a head claiming a version this build does
+// not know fails with ErrVersion instead of replaying under guessed
+// semantics.
+func TestUnknownVersionRejected(t *testing.T) {
+	logBytes, err := os.ReadFile(goldenLogPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{1, 3} {
+		bumped := bytes.Replace(logBytes, []byte(`"v":2`), []byte(`"v":`+string(rune('0'+v))), 1)
+		if bytes.Equal(bumped, logBytes) {
+			t.Fatal("fixture head lost its version field")
+		}
+		_, err := Read(bytes.NewReader(bumped))
+		if !errors.Is(err, ErrVersion) {
+			t.Fatalf("version %d: got %v, want ErrVersion", v, err)
+		}
+		if err == nil || !strings.Contains(err.Error(), "unsupported format version") {
+			t.Fatalf("version %d: error %v lacks version message", v, err)
+		}
 	}
 }

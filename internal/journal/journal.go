@@ -1,14 +1,27 @@
 // Package journal provides durable, replayable persistence for the
-// market arbiter via event sourcing: every successful mutating operation
-// (registrations, uploads, compositions, bids, clock ticks) is appended
-// to a JSON-lines log, and replaying the log into a fresh market rebuilds
-// the exact state — engines are deterministic in their seeds, so the same
-// operation sequence yields the same prices, allocations, waits and
-// ledgers.
+// market arbiter via command sourcing: every successful mutating
+// operation (registrations, uploads, compositions, bids, clock ticks)
+// is appended to a JSON-lines log as the command that produced it, and
+// replaying the log into a fresh market re-applies those commands
+// through the same deterministic core (internal/command) the live
+// market runs — engines are deterministic in their seeds, so the same
+// command sequence yields the same prices, allocations, waits and
+// ledgers. CommandFromEvent and EventFromCommand convert between the
+// on-disk record and the typed command; Replay is a CommandFromEvent +
+// Apply loop.
 //
 // The first record is a genesis event carrying the market configuration,
 // so a log is self-contained: Restore reads a log and returns a running
 // market.
+//
+// # Format versions
+//
+// The head record (genesis or snapshot) carries the log's format
+// version in its "v" field. Logs written before versioning omit the
+// field (version 0) and remain readable forever: their records upgrade
+// to commands through CommandFromEvent. Current writers stamp
+// FormatVersion. Read rejects versions it does not know with
+// ErrVersion rather than guessing at future semantics.
 //
 // # Crash safety
 //
@@ -43,11 +56,28 @@ import (
 	"sync"
 	"time"
 
+	"github.com/datamarket/shield/internal/command"
 	"github.com/datamarket/shield/internal/market"
 	"github.com/datamarket/shield/internal/obs"
 )
 
-// Op enumerates journaled operations.
+// FormatVersion is the journal format stamped on the head record of
+// every log written by this release. Version history:
+//
+//	0 — implicit (no "v" field): the PR-1/PR-2 event log. Same record
+//	    shapes, readable through the CommandFromEvent upgrader.
+//	2 — the command-core log: op names coincide with internal/command
+//	    op names and replay is an Apply loop. Byte-compatible with
+//	    version 0 except for the head's "v" field.
+//
+// (Version 1 is skipped: a pre-release draft used it and rejecting it
+// outright is safer than guessing which draft wrote a given log.)
+const FormatVersion = 2
+
+// Op enumerates journaled operations. Every Op except the two head
+// records (OpGenesis, OpSnapshot) names the internal/command operation
+// it records — the string values match command.Op so a journal record
+// is a canonical command encoding plus sequencing metadata.
 type Op string
 
 // Journaled operations.
@@ -79,8 +109,12 @@ type BatchBid struct {
 
 // Event is one journal record. Field presence depends on Op.
 type Event struct {
-	Seq          int64            `json:"seq"`
-	Op           Op               `json:"op"`
+	Seq int64 `json:"seq"`
+	Op  Op    `json:"op"`
+	// V is the log's format version, stamped on head records (genesis
+	// and snapshot) only; body records inherit the head's version.
+	// Absent (0) on logs written before versioning.
+	V            int              `json:"v,omitempty"`
 	Buyer        string           `json:"buyer,omitempty"`
 	Seller       string           `json:"seller,omitempty"`
 	Dataset      string           `json:"dataset,omitempty"`
@@ -104,6 +138,7 @@ var (
 	ErrReplay      = errors.New("journal: replay diverged")
 	ErrClosed      = errors.New("journal: writer closed")
 	ErrDoubleStart = errors.New("journal: genesis already written")
+	ErrVersion     = errors.New("journal: unsupported format version")
 )
 
 // syncer is the durability hook *os.File (and fault-injection shims)
@@ -209,6 +244,7 @@ func (w *Writer) head(e Event) error {
 		return ErrDoubleStart
 	}
 	w.started = true
+	e.V = FormatVersion
 	return w.append(context.Background(), e)
 }
 
@@ -368,7 +404,9 @@ func Recover(r io.Reader) (events []Event, durable int64, torn bool, err error) 
 
 // Read parses a log, validating sequence continuity and the header: the
 // first event must be a genesis (fresh log) or a snapshot (compacted
-// log). It returns every event, header included. A single trailing torn
+// log) carrying a known format version — 0 (pre-versioning logs, which
+// omit the field) or FormatVersion; anything else fails with ErrVersion.
+// It returns every event, header included. A single trailing torn
 // record — the signature of a crash mid-append — is silently dropped;
 // see Recover.
 func Read(r io.Reader) ([]Event, error) {
@@ -384,6 +422,9 @@ func Read(r io.Reader) ([]Event, error) {
 	case head.Op == OpSnapshot && head.Snapshot != nil:
 	default:
 		return nil, ErrNoGenesis
+	}
+	if v := events[0].V; v != 0 && v != FormatVersion {
+		return nil, fmt.Errorf("%w: %d (this build reads 0 and %d)", ErrVersion, v, FormatVersion)
 	}
 	return events, nil
 }
@@ -422,42 +463,18 @@ func Bootstrap(events []Event) (*market.Market, error) {
 	return m, nil
 }
 
-// Replay applies events to m in order. Every event must succeed: the
-// journal only contains operations that succeeded when recorded, and
-// engines are deterministic, so any failure means the log does not match
-// the market configuration.
+// Replay applies events to m in order: each record upgrades to its
+// command through CommandFromEvent and goes through Market.Apply — the
+// same deterministic core the live market ran when the record was
+// written. Every event must succeed: the journal only contains
+// operations that succeeded when recorded, and engines are
+// deterministic, so any failure means the log does not match the market
+// configuration.
 func Replay(m *market.Market, events []Event) error {
 	for _, e := range events {
-		var err error
-		switch e.Op {
-		case OpRegisterBuyer:
-			err = m.RegisterBuyer(market.BuyerID(e.Buyer))
-		case OpRegisterSeller:
-			err = m.RegisterSeller(market.SellerID(e.Seller))
-		case OpUpload:
-			err = m.UploadDataset(market.SellerID(e.Seller), market.DatasetID(e.Dataset))
-		case OpCompose:
-			parts := make([]market.DatasetID, len(e.Constituents))
-			for i, c := range e.Constituents {
-				parts[i] = market.DatasetID(c)
-			}
-			err = m.ComposeDataset(market.DatasetID(e.Dataset), parts...)
-		case OpBid:
-			_, err = m.SubmitBid(market.BuyerID(e.Buyer), market.DatasetID(e.Dataset), e.Amount)
-		case OpBidBatch:
-			for _, b := range e.Bids {
-				if _, err = m.SubmitBid(market.BuyerID(b.Buyer), market.DatasetID(b.Dataset), b.Amount); err != nil {
-					break
-				}
-			}
-		case OpWithdraw:
-			err = m.WithdrawDataset(market.SellerID(e.Seller), market.DatasetID(e.Dataset))
-		case OpTick:
-			m.Tick()
-		case OpGenesis, OpSnapshot:
-			err = ErrDoubleStart
-		default:
-			err = fmt.Errorf("%w: unknown op %q", ErrBadEvent, e.Op)
+		cmd, err := CommandFromEvent(e)
+		if err == nil {
+			_, err = m.Apply(cmd)
 		}
 		if err != nil {
 			return fmt.Errorf("%w: event %d (%s): %v", ErrReplay, e.Seq, e.Op, err)
@@ -637,12 +654,22 @@ func Resume(m *market.Market, sink io.Writer, lastSeq int64, opts ...Option) *Ma
 	return &Market{Market: m, w: w}
 }
 
+// record encodes cmd as its journal event. Every command this file
+// builds has a journal form, so a failure is a programming error.
+func record(cmd command.Command) Event {
+	e, err := EventFromCommand(cmd)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
 // RegisterBuyer journals on success.
 func (m *Market) RegisterBuyer(id market.BuyerID) error {
 	if err := m.Market.RegisterBuyer(id); err != nil {
 		return err
 	}
-	return m.w.Append(Event{Op: OpRegisterBuyer, Buyer: string(id)})
+	return m.w.Append(record(command.RegisterBuyer{Buyer: id}))
 }
 
 // RegisterSeller journals on success.
@@ -650,7 +677,7 @@ func (m *Market) RegisterSeller(id market.SellerID) error {
 	if err := m.Market.RegisterSeller(id); err != nil {
 		return err
 	}
-	return m.w.Append(Event{Op: OpRegisterSeller, Seller: string(id)})
+	return m.w.Append(record(command.RegisterSeller{Seller: id}))
 }
 
 // UploadDataset journals on success.
@@ -658,7 +685,7 @@ func (m *Market) UploadDataset(seller market.SellerID, id market.DatasetID) erro
 	if err := m.Market.UploadDataset(seller, id); err != nil {
 		return err
 	}
-	return m.w.Append(Event{Op: OpUpload, Seller: string(seller), Dataset: string(id)})
+	return m.w.Append(record(command.UploadDataset{Seller: seller, Dataset: id}))
 }
 
 // ComposeDataset journals on success.
@@ -666,11 +693,7 @@ func (m *Market) ComposeDataset(id market.DatasetID, constituents ...market.Data
 	if err := m.Market.ComposeDataset(id, constituents...); err != nil {
 		return err
 	}
-	parts := make([]string, len(constituents))
-	for i, c := range constituents {
-		parts[i] = string(c)
-	}
-	return m.w.Append(Event{Op: OpCompose, Dataset: string(id), Constituents: parts})
+	return m.w.Append(record(command.ComposeDataset{Dataset: id, Constituents: constituents}))
 }
 
 // SubmitBid journals on success (including losing bids: they move
@@ -688,7 +711,8 @@ func (m *Market) SubmitBidCtx(ctx context.Context, buyer market.BuyerID, dataset
 	if err != nil {
 		return d, err
 	}
-	e := Event{Op: OpBid, Buyer: string(buyer), Dataset: string(dataset), Amount: amount, Trace: obs.RequestIDFrom(ctx)}
+	e := record(command.SubmitBid{Buyer: buyer, Dataset: dataset, Amount: amount})
+	e.Trace = obs.RequestIDFrom(ctx)
 	if err := m.w.AppendCtx(ctx, e); err != nil {
 		return d, err
 	}
@@ -707,17 +731,18 @@ func (m *Market) SubmitBids(reqs []market.BidRequest) []market.BidResult {
 // SubmitBidsCtx is SubmitBids with request context; see SubmitBidCtx.
 func (m *Market) SubmitBidsCtx(ctx context.Context, reqs []market.BidRequest) []market.BidResult {
 	out := make([]market.BidResult, len(reqs))
-	bids := make([]BatchBid, 0, len(reqs))
+	bids := make([]command.SubmitBid, 0, len(reqs))
 	for i, r := range reqs {
 		out[i].Decision, out[i].Err = m.Market.SubmitBidCtx(ctx, r.Buyer, r.Dataset, r.Amount)
 		if out[i].Err == nil {
-			bids = append(bids, BatchBid{Buyer: string(r.Buyer), Dataset: string(r.Dataset), Amount: r.Amount})
+			bids = append(bids, command.SubmitBid{Buyer: r.Buyer, Dataset: r.Dataset, Amount: r.Amount})
 		}
 	}
 	if len(bids) == 0 {
 		return out
 	}
-	e := Event{Op: OpBidBatch, Bids: bids, Trace: obs.RequestIDFrom(ctx)}
+	e := record(command.BidBatch{Bids: bids})
+	e.Trace = obs.RequestIDFrom(ctx)
 	if err := m.w.AppendCtx(ctx, e); err != nil {
 		// The bids applied but did not persist; surface the journal
 		// failure on every applied entry so callers know the log is
@@ -736,13 +761,13 @@ func (m *Market) WithdrawDataset(seller market.SellerID, id market.DatasetID) er
 	if err := m.Market.WithdrawDataset(seller, id); err != nil {
 		return err
 	}
-	return m.w.Append(Event{Op: OpWithdraw, Seller: string(seller), Dataset: string(id)})
+	return m.w.Append(record(command.WithdrawDataset{Seller: seller, Dataset: id}))
 }
 
 // Tick journals the clock advance.
 func (m *Market) Tick() (int, error) {
 	p := m.Market.Tick()
-	return p, m.w.Append(Event{Op: OpTick})
+	return p, m.w.Append(record(command.Tick{}))
 }
 
 // Healthy reports whether the market can still accept and persist

@@ -1,9 +1,22 @@
-// Package market implements the paper's market model (Section 2): buyers,
-// sellers, and an arbiter that prices seller-provided datasets with the
-// protected pricing algorithm, allocates them to bidding buyers, enforces
-// the bid cadence (at most one bid per buyer per period per dataset) and
-// the Time-Shield wait-periods, and distributes sale revenue to the
-// sellers whose datasets back each product via the provenance graph.
+// Package market is the concurrent shell around the deterministic
+// command core (internal/command): buyers, sellers, and an arbiter that
+// prices seller-provided datasets with the protected pricing algorithm,
+// allocates them to bidding buyers, enforces the bid cadence (at most
+// one bid per buyer per period per dataset) and the Time-Shield
+// wait-periods, and distributes sale revenue to the sellers whose
+// datasets back each product via the provenance graph (the paper's
+// Section 2 model).
+//
+// All market rules live in command.Apply — this package adds exactly
+// two things on top of the state machine:
+//
+//   - serialization: lock shards turn concurrent requests into the
+//     per-engine-serialized Apply calls the core's contract requires,
+//     so bids on distinct datasets proceed in parallel;
+//   - lock-free reads: every Apply publishes immutable copy-on-write
+//     views of the books, so Stats, StatsAll, Totals, Transactions,
+//     Owns and the /metrics collectors read an atomic pointer and take
+//     no locks at all.
 //
 // One core.Engine prices each dataset. Derived datasets are combinations
 // of base datasets (Figure 1, step 3); a bid on a derived dataset
@@ -11,129 +24,86 @@
 //
 // # Concurrency
 //
-// The arbiter is sharded by dataset: each dataset's engine lives in one
-// of Config.Shards lock shards (FNV hash of the dataset ID), so bids on
+// The arbiter is sharded by dataset: each dataset hashes to one of
+// Config.Shards lock shards (FNV hash of the dataset ID), so bids on
 // distinct datasets proceed in parallel while bids on the same dataset
-// serialize on its shard. A read-mostly registry (sync.RWMutex) guards
-// participant accounts, the provenance graph, dataset->shard membership
-// and the market clock; registry writers (registration, uploads,
-// composition, withdrawal, Tick, Snapshot) take it exclusively, which
-// quiesces every in-flight bid and acts as the coordinated all-shard
-// lock. Money movement (revenue, transactions, seller balances) is
-// guarded by a dedicated ledger mutex and per-buyer account mutexes.
+// serialize on its shard. A read-mostly registry lock (sync.RWMutex)
+// spans the whole state machine: bids hold it for read; structural
+// commands (registration, uploads, composition, withdrawal, Tick,
+// Snapshot) hold it for write, which quiesces every in-flight bid and
+// acts as the coordinated all-shard lock. Money movement is race-free
+// under the core's own per-buyer account mutexes and ledger mutex.
 // The lock order is registry -> shards (ascending index) -> buyer
-// account -> ledger; see DESIGN.md "Concurrency model".
+// account -> ledger -> view publication; see DESIGN.md "Concurrency
+// model".
 package market
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"hash/fnv"
-	"sort"
 	"sync"
 	"time"
 
-	"github.com/datamarket/shield/internal/core"
+	"github.com/datamarket/shield/internal/command"
 	"github.com/datamarket/shield/internal/obs"
-	"github.com/datamarket/shield/internal/provenance"
 )
 
-// Sentinel errors returned by Market operations.
+// Sentinel errors returned by Market operations. They are the command
+// core's errors re-exported under their historical home: identities
+// (errors.Is) and strings are unchanged.
 var (
-	ErrUnknownBuyer    = errors.New("market: unknown buyer")
-	ErrUnknownSeller   = errors.New("market: unknown seller")
-	ErrUnknownDataset  = errors.New("market: unknown dataset")
-	ErrDuplicateID     = errors.New("market: identifier already registered")
-	ErrBadBid          = errors.New("market: bid must be a positive amount")
-	ErrBidTooSoon      = errors.New("market: buyer already bid this period")
-	ErrWaitActive      = errors.New("market: buyer is in a Time-Shield wait period")
-	ErrAlreadyAcquired = errors.New("market: buyer already owns this dataset")
-	ErrEmptyID         = errors.New("market: empty identifier")
-	ErrDatasetInUse    = errors.New("market: dataset backs derived products")
+	ErrUnknownBuyer    = command.ErrUnknownBuyer
+	ErrUnknownSeller   = command.ErrUnknownSeller
+	ErrUnknownDataset  = command.ErrUnknownDataset
+	ErrDuplicateID     = command.ErrDuplicateID
+	ErrBadBid          = command.ErrBadBid
+	ErrBidTooSoon      = command.ErrBidTooSoon
+	ErrWaitActive      = command.ErrWaitActive
+	ErrAlreadyAcquired = command.ErrAlreadyAcquired
+	ErrEmptyID         = command.ErrEmptyID
+	ErrDatasetInUse    = command.ErrDatasetInUse
 )
 
-// BuyerID identifies a registered buyer.
-type BuyerID string
+// Domain types, aliased from the command core (which owns them since
+// the command-core refactor) so existing callers keep compiling
+// unchanged.
+type (
+	// BuyerID identifies a registered buyer.
+	BuyerID = command.BuyerID
+	// SellerID identifies a registered seller.
+	SellerID = command.SellerID
+	// DatasetID identifies a dataset (base or derived).
+	DatasetID = command.DatasetID
+	// Transaction records one completed sale.
+	Transaction = command.Transaction
+	// Decision is the market's answer to a bid.
+	Decision = command.Decision
+	// Config configures a Market.
+	Config = command.Config
+	// DatasetStats is a diagnostic snapshot of one dataset's pricing
+	// engine. It is operator-facing: a deployment must not expose
+	// PostingPrice or MostLikelyPrice to buyers (that is the leak
+	// Uncertainty-Shield guards against).
+	DatasetStats = command.DatasetStats
+)
 
-// SellerID identifies a registered seller.
-type SellerID string
-
-// DatasetID identifies a dataset (base or derived).
-type DatasetID string
-
-// Transaction records one completed sale.
-type Transaction struct {
-	Seq     int
-	Buyer   BuyerID
-	Dataset DatasetID
-	Price   Money
-	Period  int
-}
-
-// Decision is the market's answer to a bid. Unlike core.Decision it hides
-// the posting price from losers: a losing buyer learns only its wait.
-type Decision struct {
-	// Allocated reports whether the buyer won the dataset.
-	Allocated bool
-	// PricePaid is the posting price charged to a winner (zero for
-	// losers).
-	PricePaid Money
-	// WaitPeriods is the number of periods the buyer must wait before
-	// bidding on this dataset again (zero for winners).
-	WaitPeriods int
-}
-
-// Config configures a Market.
-type Config struct {
-	// Engine is the pricing-engine template applied to every dataset;
-	// each dataset's engine gets a seed derived from Seed and the dataset
-	// ID.
-	Engine core.Config
-	// Seed is the market-level seed.
-	Seed uint64
-	// Shards is the number of lock shards datasets are partitioned
-	// across for concurrent bidding; 0 selects DefaultShards. Shard
-	// count never affects pricing, only parallelism.
-	Shards int
-}
-
-type buyerAccount struct {
-	mu           sync.Mutex        // guards all fields below
-	lastBid      map[DatasetID]int // last period with a bid per dataset
-	blockedUntil map[DatasetID]int // first period allowed to bid again
-	acquired     map[DatasetID]bool
-	spent        Money
-}
-
-type sellerAccount struct {
-	balance  Money       // guarded by Market.ledger
-	datasets []DatasetID // guarded by Market.reg
-}
-
-// Market is the arbiter plus its books. All methods are safe for
-// concurrent use; bids on datasets in different shards run in parallel.
+// Market is the arbiter plus its books: a concurrent shell around one
+// command.State. All methods are safe for concurrent use; bids on
+// datasets in different shards run in parallel, and read endpoints
+// never block behind writers.
 type Market struct {
 	cfg    Config
+	st     *command.State
 	shards []*shard
 
-	// reg guards the registry: participant maps, the provenance graph,
-	// dataset ownership, dataset->shard membership, and the clock.
-	// Bids hold it for read; structural operations hold it for write,
-	// which excludes every in-flight bid (the all-shard coordination
-	// point).
-	reg     sync.RWMutex
-	clock   int
-	graph   *provenance.Graph
-	owners  map[DatasetID]SellerID // base datasets only
-	buyers  map[BuyerID]*buyerAccount
-	sellers map[SellerID]*sellerAccount
+	// reg is the registry lock spanning the state machine: bids hold it
+	// for read (the shared access the core's contract requires),
+	// structural commands hold it for write, which excludes every
+	// in-flight bid (the all-shard coordination point).
+	reg sync.RWMutex
 
-	// ledger guards money movement: total revenue, the transaction log,
-	// and seller balances.
-	ledger  sync.Mutex
-	txs     []Transaction
-	revenue Money
+	// vw holds the lock-free read views every Apply publishes.
+	vw views
 
 	// tel holds pre-bound hot-path instruments; nil until Instrument is
 	// called (before the market serves traffic), so uninstrumented
@@ -143,20 +113,17 @@ type Market struct {
 
 // New builds a Market; the engine template must validate.
 func New(cfg Config) (*Market, error) {
-	if err := cfg.Engine.Validate(); err != nil {
-		return nil, fmt.Errorf("market: engine template: %w", err)
+	st, err := command.NewState(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Shards < 0 {
-		return nil, fmt.Errorf("market: negative shard count %d", cfg.Shards)
+	m := &Market{
+		cfg:    cfg,
+		st:     st,
+		shards: newShards(cfg.Shards),
 	}
-	return &Market{
-		cfg:     cfg,
-		shards:  newShards(cfg.Shards),
-		graph:   provenance.NewGraph(),
-		owners:  make(map[DatasetID]SellerID),
-		buyers:  make(map[BuyerID]*buyerAccount),
-		sellers: make(map[SellerID]*sellerAccount),
-	}, nil
+	m.initViews()
+	return m, nil
 }
 
 // MustNew is New for static configurations; it panics on config errors.
@@ -168,92 +135,89 @@ func MustNew(cfg Config) *Market {
 	return m
 }
 
+// Apply executes one command against the market with the serialization
+// its kind requires: bids take the registry read lock plus the shard
+// locks of every engine they touch, everything else takes the registry
+// write lock. It returns the command core's events. All public
+// mutation methods are wrappers around Apply.
+func (m *Market) Apply(cmd command.Command) ([]command.Event, error) {
+	return m.ApplyCtx(context.Background(), cmd)
+}
+
+// ApplyCtx is Apply with request context: when ctx carries an obs
+// trace, a bid records shard.lock_wait and price.evaluate spans. The
+// context does not cancel the command — a command that reached the
+// market always completes (partial application would desynchronize
+// engines and books).
+func (m *Market) ApplyCtx(ctx context.Context, cmd command.Command) ([]command.Event, error) {
+	switch c := cmd.(type) {
+	case command.SubmitBid:
+		ev, err := m.applyBidCtx(ctx, c)
+		if err != nil {
+			return nil, err
+		}
+		return []command.Event{ev}, nil
+	case command.BidBatch:
+		// A batch replays strictly in order through the same hot path as
+		// individual bids; the first failure stops it (a recorded batch
+		// contains only bids that succeeded originally, so a failure
+		// during replay is a divergence the caller must see).
+		evs := make([]command.Event, 0, len(c.Bids))
+		for _, b := range c.Bids {
+			ev, err := m.applyBidCtx(ctx, b)
+			if err != nil {
+				return evs, err
+			}
+			evs = append(evs, ev)
+		}
+		return evs, nil
+	case command.Settle:
+		return command.Apply(m.st, cmd) // ErrNotMarket; no state touched
+	default:
+		m.reg.Lock()
+		defer m.reg.Unlock()
+		evs, err := command.Apply(m.st, cmd)
+		m.publishStructural(evs)
+		return evs, err
+	}
+}
+
 // RegisterBuyer adds a buyer.
 func (m *Market) RegisterBuyer(id BuyerID) error {
-	if id == "" {
-		return ErrEmptyID
-	}
-	m.reg.Lock()
-	defer m.reg.Unlock()
-	if _, ok := m.buyers[id]; ok {
-		return fmt.Errorf("%w: buyer %s", ErrDuplicateID, id)
-	}
-	m.buyers[id] = &buyerAccount{
-		lastBid:      make(map[DatasetID]int),
-		blockedUntil: make(map[DatasetID]int),
-		acquired:     make(map[DatasetID]bool),
-	}
-	return nil
+	_, err := m.Apply(command.RegisterBuyer{Buyer: id})
+	return err
 }
 
 // RegisterSeller adds a seller.
 func (m *Market) RegisterSeller(id SellerID) error {
-	if id == "" {
-		return ErrEmptyID
-	}
-	m.reg.Lock()
-	defer m.reg.Unlock()
-	if _, ok := m.sellers[id]; ok {
-		return fmt.Errorf("%w: seller %s", ErrDuplicateID, id)
-	}
-	m.sellers[id] = &sellerAccount{}
-	return nil
+	_, err := m.Apply(command.RegisterSeller{Seller: id})
+	return err
 }
 
 // UploadDataset registers a base dataset shared by seller (Figure 1,
 // step 1) and starts pricing it.
 func (m *Market) UploadDataset(seller SellerID, id DatasetID) error {
-	if id == "" {
-		return ErrEmptyID
-	}
-	m.reg.Lock()
-	defer m.reg.Unlock()
-	acct, ok := m.sellers[seller]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownSeller, seller)
-	}
-	if err := m.graph.AddBase(string(id)); err != nil {
-		return fmt.Errorf("%w: dataset %s", ErrDuplicateID, id)
-	}
-	m.shardFor(id).engines[id] = m.newEngine(id)
-	m.owners[id] = seller
-	acct.datasets = append(acct.datasets, id)
-	return nil
+	_, err := m.Apply(command.UploadDataset{Seller: seller, Dataset: id})
+	return err
 }
 
 // ComposeDataset registers a derived dataset the arbiter assembled from
 // existing datasets (Figure 1, step 3) and starts pricing it. Sale
 // revenue will flow to the sellers of the base datasets backing it.
 func (m *Market) ComposeDataset(id DatasetID, constituents ...DatasetID) error {
-	if id == "" {
-		return ErrEmptyID
-	}
-	m.reg.Lock()
-	defer m.reg.Unlock()
-	parts := make([]string, len(constituents))
-	for i, c := range constituents {
-		parts[i] = string(c)
-	}
-	if err := m.graph.AddDerived(string(id), parts...); err != nil {
-		switch {
-		case errors.Is(err, provenance.ErrExists):
-			return fmt.Errorf("%w: dataset %s", ErrDuplicateID, id)
-		case errors.Is(err, provenance.ErrUnknown):
-			return fmt.Errorf("%w: %v", ErrUnknownDataset, err)
-		default:
-			return err
-		}
-	}
-	m.shardFor(id).engines[id] = m.newEngine(id)
-	return nil
+	_, err := m.Apply(command.ComposeDataset{Dataset: id, Constituents: constituents})
+	return err
 }
 
-func (m *Market) newEngine(id DatasetID) *core.Engine {
-	cfg := m.cfg.Engine
-	h := fnv.New64a()
-	h.Write([]byte(id))
-	cfg.Seed = m.cfg.Seed ^ h.Sum64()
-	return core.MustNew(cfg)
+// WithdrawDataset removes a base dataset a seller no longer wants to
+// share. Withdrawal is refused while any derived dataset still builds on
+// it (those products would silently lose a constituent — the seller must
+// wait for the arbiter to retire them) and does not touch money already
+// earned. Buyers who purchased the dataset keep it: data is nonrival and
+// already delivered.
+func (m *Market) WithdrawDataset(seller SellerID, id DatasetID) error {
+	_, err := m.Apply(command.WithdrawDataset{Seller: seller, Dataset: id})
+	return err
 }
 
 // Tick advances the market clock by one period and returns the new
@@ -261,17 +225,8 @@ func (m *Market) newEngine(id DatasetID) *core.Engine {
 // registry write lock, so it linearizes against every in-flight bid on
 // every shard.
 func (m *Market) Tick() int {
-	m.reg.Lock()
-	defer m.reg.Unlock()
-	m.clock++
-	return m.clock
-}
-
-// Period returns the current period.
-func (m *Market) Period() int {
-	m.reg.RLock()
-	defer m.reg.RUnlock()
-	return m.clock
+	evs, _ := m.Apply(command.Tick{})
+	return evs[0].Period
 }
 
 // SubmitBid places buyer's bid on dataset at the current period. Winners
@@ -293,198 +248,113 @@ func (m *Market) SubmitBid(buyer BuyerID, dataset DatasetID, amount float64) (De
 // not cancel the bid — a bid that reached the market always completes
 // (partial application would desynchronize engines and books).
 func (m *Market) SubmitBidCtx(ctx context.Context, buyer BuyerID, dataset DatasetID, amount float64) (Decision, error) {
-	if !(amount > 0) {
-		return Decision{}, ErrBadBid
+	ev, err := m.applyBidCtx(ctx, command.SubmitBid{Buyer: buyer, Dataset: dataset, Amount: amount})
+	if err != nil {
+		return Decision{}, err
+	}
+	return ev.Decision, nil
+}
+
+// applyBidCtx is the hot path: it serializes one SubmitBid command into
+// the core under the registry read lock plus the shard locks of every
+// engine the bid touches, then publishes the read views the bid
+// invalidated before the locks are released.
+func (m *Market) applyBidCtx(ctx context.Context, c command.SubmitBid) (command.Event, error) {
+	if !(c.Amount > 0) {
+		return command.Event{}, ErrBadBid
 	}
 	m.reg.RLock()
 	defer m.reg.RUnlock()
 
-	acct, ok := m.buyers[buyer]
-	if !ok {
-		return Decision{}, fmt.Errorf("%w: %s", ErrUnknownBuyer, buyer)
+	// Pre-resolve what the bid will touch (and surface unknown-buyer /
+	// unknown-dataset errors) before any shard lock is taken, so the
+	// lock set is complete and failed lookups never count as shard
+	// traffic.
+	if !m.st.HasBuyer(c.Buyer) {
+		return command.Event{}, fmt.Errorf("%w: %s", ErrUnknownBuyer, c.Buyer)
 	}
-	primary := m.shardFor(dataset)
-	if _, ok := primary.engines[dataset]; !ok {
-		return Decision{}, fmt.Errorf("%w: %s", ErrUnknownDataset, dataset)
+	leaves, err := m.st.BidLeaves(c.Dataset)
+	if err != nil {
+		return command.Event{}, err
 	}
 
-	// Resolve demand-propagation targets up front so every shard the bid
-	// touches can be locked in the global (ascending) order.
-	var leaves []string
-	if parts, ok := m.graph.Constituents(string(dataset)); ok && len(parts) > 0 {
-		leaves, _ = m.graph.Leaves(string(dataset))
-	}
-	locked := m.lockSet(dataset, leaves)
+	locked := m.lockSet(c.Dataset, leaves)
 	endLockSpan := obs.StartSpan(ctx, "shard.lock_wait")
 	m.lockShards(locked)
 	endLockSpan()
 	defer m.unlockShards(locked)
 
+	primary := m.shardFor(c.Dataset)
 	start := time.Now()
 	primary.bids.Add(1)
 	defer func() { primary.latencyNs.Add(int64(time.Since(start))) }()
-
-	// The clock is frozen while we hold the registry read lock (Tick
-	// needs the write lock), so one read serves the whole bid.
-	clock := m.clock
-
-	acct.mu.Lock()
-	if acct.acquired[dataset] {
-		acct.mu.Unlock()
-		return Decision{}, fmt.Errorf("%w: %s", ErrAlreadyAcquired, dataset)
-	}
-	if last, ok := acct.lastBid[dataset]; ok && last == clock {
-		acct.mu.Unlock()
-		return Decision{}, fmt.Errorf("%w: period %d", ErrBidTooSoon, clock)
-	}
-	if until := acct.blockedUntil[dataset]; clock < until {
-		acct.mu.Unlock()
-		return Decision{}, fmt.Errorf("%w: %d periods remain", ErrWaitActive, until-clock)
-	}
-	acct.lastBid[dataset] = clock
-	acct.mu.Unlock()
 
 	endEvalSpan := obs.StartSpan(ctx, "price.evaluate")
 	var evalStart time.Time
 	if m.tel != nil {
 		evalStart = time.Now()
 	}
-	d := primary.engines[dataset].SubmitBid(amount)
-
-	// Propagate the demand signal to the constituents of a derived
-	// dataset (Figure 1, step 2). Their shards are already held.
-	for _, leaf := range leaves {
-		if le, ok := m.shardFor(DatasetID(leaf)).engines[DatasetID(leaf)]; ok {
-			le.Observe(amount)
-		}
-	}
+	// The scratch buffer is owned by the primary shard, whose lock we
+	// hold; the event is copied out by value before the locks drop.
+	evs, err := command.ApplyInto(m.st, c, primary.evbuf)
+	primary.evbuf = evs[:0]
 	endEvalSpan()
 	if m.tel != nil {
 		m.tel.priceEval.ObserveSince(evalStart)
 	}
-
-	if !d.Allocated {
-		acct.mu.Lock()
-		acct.blockedUntil[dataset] = clock + d.Wait
-		acct.mu.Unlock()
-		return Decision{WaitPeriods: d.Wait}, nil
+	if err != nil {
+		return command.Event{}, err
 	}
-
-	price := FromFloat(d.Price)
-	acct.mu.Lock()
-	acct.acquired[dataset] = true
-	acct.spent += price
-	acct.mu.Unlock()
-
-	m.ledger.Lock()
-	m.revenue += price
-	m.paySellers(dataset, leaves, price)
-	m.txs = append(m.txs, Transaction{
-		Seq:     len(m.txs) + 1,
-		Buyer:   buyer,
-		Dataset: dataset,
-		Price:   price,
-		Period:  clock,
-	})
-	m.ledger.Unlock()
-	return Decision{Allocated: true, PricePaid: price}, nil
+	ev := evs[0]
+	m.publishBid(ev)
+	return ev, nil
 }
 
-// paySellers splits price across the owners of the base datasets backing
-// dataset, exactly (no micro lost), deterministically (leaves are sorted).
-// leaves may be pre-resolved by the caller (nil means "resolve here").
-// Callers must hold the registry (read) lock and the ledger lock.
-func (m *Market) paySellers(dataset DatasetID, leaves []string, price Money) {
-	if leaves == nil {
-		var err error
-		leaves, err = m.graph.Leaves(string(dataset))
-		if err != nil {
-			return
-		}
-	}
-	if len(leaves) == 0 {
-		return
-	}
-	parts := price.Split(len(leaves))
-	for i, leaf := range leaves {
-		owner, ok := m.owners[DatasetID(leaf)]
-		if !ok {
-			continue
-		}
-		if acct, ok := m.sellers[owner]; ok {
-			acct.balance += parts[i]
-		}
-	}
+// Period returns the current period (lock-free).
+func (m *Market) Period() int {
+	return int(m.vw.clock.Load())
 }
 
-// Revenue returns the total revenue raised so far.
+// Revenue returns the total revenue raised so far (lock-free).
 func (m *Market) Revenue() Money {
-	m.ledger.Lock()
-	defer m.ledger.Unlock()
-	return m.revenue
+	return m.vw.books.Load().revenue
 }
 
 // Totals returns the market's money books in one consistent view:
 // total revenue, the sum of every buyer's spend, and the sum of every
 // seller's balance. In a conserving market all three are equal — the
 // torture harness (internal/torture) asserts exactly that after every
-// operation, so the three sums are gathered under the registry lock
-// rather than via per-participant accessor calls that could interleave
-// with a concurrent sale.
+// operation. The three sums come from one immutable books view
+// published atomically per sale, so the read is both consistent and
+// lock-free.
 func (m *Market) Totals() (revenue, spent, balances Money) {
-	m.reg.RLock()
-	defer m.reg.RUnlock()
-	for _, acct := range m.buyers {
-		acct.mu.Lock()
-		spent += acct.spent
-		acct.mu.Unlock()
-	}
-	m.ledger.Lock()
-	revenue = m.revenue
-	for _, acct := range m.sellers {
-		balances += acct.balance
-	}
-	m.ledger.Unlock()
-	return revenue, spent, balances
+	b := m.vw.books.Load()
+	return b.revenue, b.spent, b.balances
 }
 
 // SellerBalance returns a seller's accumulated compensation.
 func (m *Market) SellerBalance(id SellerID) (Money, error) {
 	m.reg.RLock()
-	acct, ok := m.sellers[id]
-	m.reg.RUnlock()
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrUnknownSeller, id)
-	}
-	m.ledger.Lock()
-	defer m.ledger.Unlock()
-	return acct.balance, nil
+	defer m.reg.RUnlock()
+	return m.st.SellerBalance(id)
 }
 
-// BuyerSpend returns the total a buyer has paid.
+// BuyerSpend returns the total a buyer has paid (lock-free).
 func (m *Market) BuyerSpend(id BuyerID) (Money, error) {
-	m.reg.RLock()
-	acct, ok := m.buyers[id]
-	m.reg.RUnlock()
+	cell, ok := (*m.vw.buyers.Load())[id]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownBuyer, id)
 	}
-	acct.mu.Lock()
-	defer acct.mu.Unlock()
-	return acct.spent, nil
+	return cell.Load().spent, nil
 }
 
-// Owns reports whether the buyer has acquired the dataset.
+// Owns reports whether the buyer has acquired the dataset (lock-free).
 func (m *Market) Owns(buyer BuyerID, dataset DatasetID) (bool, error) {
-	m.reg.RLock()
-	acct, ok := m.buyers[buyer]
-	m.reg.RUnlock()
+	cell, ok := (*m.vw.buyers.Load())[buyer]
 	if !ok {
 		return false, fmt.Errorf("%w: %s", ErrUnknownBuyer, buyer)
 	}
-	acct.mu.Lock()
-	defer acct.mu.Unlock()
-	return acct.acquired[dataset], nil
+	return cell.Load().acquired[dataset], nil
 }
 
 // WaitRemaining returns how many periods remain before the buyer may bid
@@ -492,129 +362,58 @@ func (m *Market) Owns(buyer BuyerID, dataset DatasetID) (bool, error) {
 func (m *Market) WaitRemaining(buyer BuyerID, dataset DatasetID) (int, error) {
 	m.reg.RLock()
 	defer m.reg.RUnlock()
-	acct, ok := m.buyers[buyer]
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrUnknownBuyer, buyer)
-	}
-	acct.mu.Lock()
-	defer acct.mu.Unlock()
-	if until := acct.blockedUntil[dataset]; m.clock < until {
-		return until - m.clock, nil
-	}
-	return 0, nil
+	return m.st.WaitRemaining(buyer, dataset)
 }
 
-// Transactions returns a copy of the transaction log.
+// Transactions returns a defensive copy of the transaction log, sorted
+// by sequence number (lock-free). Sorting is needed because concurrent
+// sales may publish their view updates out of sequence order; the
+// sequence numbers themselves are assigned under the core's ledger
+// mutex and are gapless.
 func (m *Market) Transactions() []Transaction {
-	m.ledger.Lock()
-	defer m.ledger.Unlock()
-	out := make([]Transaction, len(m.txs))
-	copy(out, m.txs)
+	txs := m.vw.books.Load().txs
+	out := make([]Transaction, len(txs))
+	copy(out, txs)
+	sortTransactions(out)
 	return out
 }
 
-// Datasets returns the registered dataset IDs, sorted.
+// Datasets returns a fresh slice of the registered dataset IDs, sorted
+// (lock-free).
 func (m *Market) Datasets() []DatasetID {
-	m.reg.RLock()
-	defer m.reg.RUnlock()
-	var out []DatasetID
-	for _, sh := range m.shards {
-		for id := range sh.engines {
-			out = append(out, id)
-		}
+	stats := *m.vw.stats.Load()
+	out := make([]DatasetID, 0, len(stats))
+	for id := range stats {
+		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sortDatasetIDs(out)
 	return out
 }
 
-// DatasetStats is a diagnostic snapshot of one dataset's pricing engine.
-// It is operator-facing: a deployment must not expose PostingPrice or
-// MostLikelyPrice to buyers (that is the leak Uncertainty-Shield guards
-// against).
-type DatasetStats struct {
-	Dataset     DatasetID
-	Bids        int
-	Allocations int
-	Epochs      int
-	Revenue     float64
-	PostingPrice,
-	MostLikelyPrice float64
-}
-
-// Stats returns the diagnostic snapshot for a dataset.
+// Stats returns the diagnostic snapshot for a dataset (lock-free): a
+// copy of the immutable per-dataset view published by the last bid that
+// touched its engine.
 func (m *Market) Stats(dataset DatasetID) (DatasetStats, error) {
-	m.reg.RLock()
-	defer m.reg.RUnlock()
-	sh := m.shardFor(dataset)
-	eng, ok := sh.engines[dataset]
+	cell, ok := (*m.vw.stats.Load())[dataset]
 	if !ok {
 		return DatasetStats{}, fmt.Errorf("%w: %s", ErrUnknownDataset, dataset)
 	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return DatasetStats{
-		Dataset:         dataset,
-		Bids:            eng.Bids(),
-		Allocations:     eng.Allocations(),
-		Epochs:          eng.Epochs(),
-		Revenue:         eng.Revenue(),
-		PostingPrice:    eng.PostingPrice(),
-		MostLikelyPrice: eng.MostLikelyPrice(),
-	}, nil
-}
-
-// WithdrawDataset removes a base dataset a seller no longer wants to
-// share. Withdrawal is refused while any derived dataset still builds on
-// it (those products would silently lose a constituent — the seller must
-// wait for the arbiter to retire them) and does not touch money already
-// earned. Buyers who purchased the dataset keep it: data is nonrival and
-// already delivered.
-func (m *Market) WithdrawDataset(seller SellerID, id DatasetID) error {
-	m.reg.Lock()
-	defer m.reg.Unlock()
-	acct, ok := m.sellers[seller]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownSeller, seller)
-	}
-	owner, ok := m.owners[id]
-	if !ok {
-		return fmt.Errorf("%w: %s is not a base dataset", ErrUnknownDataset, id)
-	}
-	if owner != seller {
-		return fmt.Errorf("%w: %s does not own %s", ErrUnknownSeller, seller, id)
-	}
-	deps, err := m.graph.Dependents(string(id))
-	if err != nil {
-		return err
-	}
-	for _, d := range deps {
-		if d != string(id) {
-			return fmt.Errorf("%w: %s is still part of %s", ErrDatasetInUse, id, d)
-		}
-	}
-	if err := m.graph.Remove(string(id)); err != nil {
-		return err
-	}
-	delete(m.shardFor(id).engines, id)
-	delete(m.owners, id)
-	for i, d := range acct.datasets {
-		if d == id {
-			acct.datasets = append(acct.datasets[:i], acct.datasets[i+1:]...)
-			break
-		}
-	}
-	return nil
+	return *cell.Load(), nil
 }
 
 // SellerDatasets returns the base datasets a seller has uploaded.
 func (m *Market) SellerDatasets(id SellerID) ([]DatasetID, error) {
 	m.reg.RLock()
 	defer m.reg.RUnlock()
-	acct, ok := m.sellers[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownSeller, id)
-	}
-	out := make([]DatasetID, len(acct.datasets))
-	copy(out, acct.datasets)
-	return out, nil
+	return m.st.SellerDatasets(id)
+}
+
+// TestPerturbPrices forwards a price perturbation to every current and
+// future engine (see command.State.TestPerturbPrices). It exists for
+// the torture harness's mutation canary; production code must never
+// call it.
+func (m *Market) TestPerturbPrices(f func(price float64) float64) {
+	m.reg.Lock()
+	defer m.reg.Unlock()
+	m.st.TestPerturbPrices(f)
 }

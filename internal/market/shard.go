@@ -7,7 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"github.com/datamarket/shield/internal/core"
+	"github.com/datamarket/shield/internal/command"
 )
 
 // DefaultShards is the number of lock shards a Market partitions its
@@ -17,14 +17,17 @@ import (
 // count.
 const DefaultShards = 16
 
-// shard owns the pricing engines of the datasets that hash to it. The
-// shard mutex serializes calls *into* those engines (bids, demand
-// observations, stats reads); map membership itself is guarded by the
-// market's registry lock, which every mutating-membership operation
-// takes exclusively.
+// shard serializes commands into the core for the datasets that hash to
+// it. The shard mutex is what turns concurrent bids into the
+// per-engine-serialized Apply calls command.State requires; engine
+// ownership itself lives in the core, and membership (which dataset
+// hashes where) is a pure function of the dataset ID.
 type shard struct {
-	mu      sync.Mutex
-	engines map[DatasetID]*core.Engine
+	mu sync.Mutex
+
+	// evbuf is the shard's event scratch buffer, reused by every bid
+	// whose primary dataset hashes here. Guarded by mu.
+	evbuf []command.Event
 
 	// Operator counters, updated atomically so metrics reads never take
 	// the shard lock.
@@ -40,7 +43,7 @@ func newShards(n int) []*shard {
 	}
 	out := make([]*shard, n)
 	for i := range out {
-		out[i] = &shard{engines: make(map[DatasetID]*core.Engine)}
+		out[i] = &shard{}
 	}
 	return out
 }
@@ -123,15 +126,18 @@ type ShardStats struct {
 // NumShards returns the number of lock shards.
 func (m *Market) NumShards() int { return len(m.shards) }
 
-// ShardStats returns a snapshot of every shard's counters.
+// ShardStats returns a snapshot of every shard's counters (lock-free:
+// membership comes from the stats view, counters are atomics).
 func (m *Market) ShardStats() []ShardStats {
-	m.reg.RLock()
-	defer m.reg.RUnlock()
+	counts := make([]int, len(m.shards))
+	for id := range *m.vw.stats.Load() {
+		counts[m.shardIndex(id)]++
+	}
 	out := make([]ShardStats, len(m.shards))
 	for i, sh := range m.shards {
 		out[i] = ShardStats{
 			Shard:      i,
-			Datasets:   len(sh.engines),
+			Datasets:   counts[i],
 			Bids:       sh.bids.Load(),
 			Contention: sh.contention.Load(),
 			BidLatency: time.Duration(sh.latencyNs.Load()),

@@ -1,41 +1,21 @@
 package market
 
-import (
-	"fmt"
+import "github.com/datamarket/shield/internal/command"
 
-	"github.com/datamarket/shield/internal/core"
-	"github.com/datamarket/shield/internal/provenance"
+// Snapshot types, aliased from the command core, which owns the
+// serializable state since the command-core refactor. The JSON shape is
+// unchanged.
+type (
+	// BuyerSnapshot is one buyer account's serializable state.
+	BuyerSnapshot = command.BuyerSnapshot
+	// SellerSnapshot is one seller account's serializable state.
+	SellerSnapshot = command.SellerSnapshot
+	// Snapshot is the market's full serializable state. Restoring it
+	// yields a market that behaves identically from that point on
+	// (engine randomness included), so a snapshot plus the journal tail
+	// recorded after it reconstructs the books exactly.
+	Snapshot = command.Snapshot
 )
-
-// BuyerSnapshot is one buyer account's serializable state.
-type BuyerSnapshot struct {
-	LastBid      map[DatasetID]int  `json:"last_bid,omitempty"`
-	BlockedUntil map[DatasetID]int  `json:"blocked_until,omitempty"`
-	Acquired     map[DatasetID]bool `json:"acquired,omitempty"`
-	Spent        Money              `json:"spent"`
-}
-
-// SellerSnapshot is one seller account's serializable state.
-type SellerSnapshot struct {
-	Balance  Money       `json:"balance"`
-	Datasets []DatasetID `json:"datasets,omitempty"`
-}
-
-// Snapshot is the market's full serializable state. Restoring it yields
-// a market that behaves identically from that point on (engine
-// randomness included), so a snapshot plus the journal tail recorded
-// after it reconstructs the books exactly.
-type Snapshot struct {
-	Config       Config                      `json:"config"`
-	Clock        int                         `json:"clock"`
-	Graph        map[string][]string         `json:"graph"`
-	Engines      map[DatasetID]core.Snapshot `json:"engines"`
-	Owners       map[DatasetID]SellerID      `json:"owners"`
-	Buyers       map[BuyerID]BuyerSnapshot   `json:"buyers"`
-	Sellers      map[SellerID]SellerSnapshot `json:"sellers"`
-	Transactions []Transaction               `json:"transactions,omitempty"`
-	Revenue      Money                       `json:"revenue"`
-}
 
 // Snapshot captures the whole market state. It takes the registry write
 // lock, quiescing every in-flight bid, so the snapshot is a consistent
@@ -43,134 +23,23 @@ type Snapshot struct {
 func (m *Market) Snapshot() Snapshot {
 	m.reg.Lock()
 	defer m.reg.Unlock()
-	m.ledger.Lock()
-	defer m.ledger.Unlock()
-	s := Snapshot{
-		Config:       m.cfg,
-		Clock:        m.clock,
-		Graph:        m.graph.Snapshot(),
-		Engines:      make(map[DatasetID]core.Snapshot),
-		Owners:       make(map[DatasetID]SellerID, len(m.owners)),
-		Buyers:       make(map[BuyerID]BuyerSnapshot, len(m.buyers)),
-		Sellers:      make(map[SellerID]SellerSnapshot, len(m.sellers)),
-		Transactions: make([]Transaction, len(m.txs)),
-		Revenue:      m.revenue,
-	}
-	for _, sh := range m.shards {
-		for id, eng := range sh.engines {
-			s.Engines[id] = eng.Snapshot()
-		}
-	}
-	for id, owner := range m.owners {
-		s.Owners[id] = owner
-	}
-	for id, acct := range m.buyers {
-		bs := BuyerSnapshot{
-			LastBid:      make(map[DatasetID]int, len(acct.lastBid)),
-			BlockedUntil: make(map[DatasetID]int, len(acct.blockedUntil)),
-			Acquired:     make(map[DatasetID]bool, len(acct.acquired)),
-			Spent:        acct.spent,
-		}
-		for k, v := range acct.lastBid {
-			bs.LastBid[k] = v
-		}
-		for k, v := range acct.blockedUntil {
-			bs.BlockedUntil[k] = v
-		}
-		for k, v := range acct.acquired {
-			bs.Acquired[k] = v
-		}
-		s.Buyers[id] = bs
-	}
-	for id, acct := range m.sellers {
-		ss := SellerSnapshot{Balance: acct.balance, Datasets: make([]DatasetID, len(acct.datasets))}
-		copy(ss.Datasets, acct.datasets)
-		s.Sellers[id] = ss
-	}
-	copy(s.Transactions, m.txs)
-	return s
+	return m.st.Snapshot()
 }
 
 // RestoreSnapshot reconstructs a market from a snapshot, validating
 // cross-references (every engine has a graph node, every owner exists,
 // every transaction's parties exist).
 func RestoreSnapshot(s Snapshot) (*Market, error) {
-	if err := s.Config.Engine.Validate(); err != nil {
-		return nil, fmt.Errorf("market: snapshot config: %w", err)
-	}
-	if s.Clock < 0 || s.Revenue < 0 {
-		return nil, fmt.Errorf("market: snapshot clock/revenue negative")
-	}
-	graph, err := provenance.FromSnapshot(s.Graph)
+	st, err := command.RestoreState(s)
 	if err != nil {
-		return nil, fmt.Errorf("market: snapshot graph: %w", err)
-	}
-	if s.Config.Shards < 0 {
-		return nil, fmt.Errorf("market: snapshot shard count negative")
+		return nil, err
 	}
 	m := &Market{
-		cfg:     s.Config,
-		shards:  newShards(s.Config.Shards),
-		clock:   s.Clock,
-		graph:   graph,
-		owners:  make(map[DatasetID]SellerID, len(s.Owners)),
-		buyers:  make(map[BuyerID]*buyerAccount, len(s.Buyers)),
-		sellers: make(map[SellerID]*sellerAccount, len(s.Sellers)),
-		txs:     make([]Transaction, len(s.Transactions)),
-		revenue: s.Revenue,
+		cfg:    st.Config(),
+		st:     st,
+		shards: newShards(st.Config().Shards),
 	}
-	for id, es := range s.Engines {
-		if !graph.Contains(string(id)) {
-			return nil, fmt.Errorf("market: snapshot engine %s has no graph node", id)
-		}
-		eng, err := core.RestoreSnapshot(es)
-		if err != nil {
-			return nil, fmt.Errorf("market: snapshot engine %s: %w", id, err)
-		}
-		m.shardFor(id).engines[id] = eng
-	}
-	for id := range s.Graph {
-		if _, ok := s.Engines[DatasetID(id)]; !ok {
-			return nil, fmt.Errorf("market: snapshot dataset %s has no engine", id)
-		}
-	}
-	for id, owner := range s.Owners {
-		if _, ok := s.Sellers[owner]; !ok {
-			return nil, fmt.Errorf("market: snapshot dataset %s owned by unknown seller %s", id, owner)
-		}
-		m.owners[id] = owner
-	}
-	for id, bs := range s.Buyers {
-		acct := &buyerAccount{
-			lastBid:      make(map[DatasetID]int, len(bs.LastBid)),
-			blockedUntil: make(map[DatasetID]int, len(bs.BlockedUntil)),
-			acquired:     make(map[DatasetID]bool, len(bs.Acquired)),
-			spent:        bs.Spent,
-		}
-		for k, v := range bs.LastBid {
-			acct.lastBid[k] = v
-		}
-		for k, v := range bs.BlockedUntil {
-			acct.blockedUntil[k] = v
-		}
-		for k, v := range bs.Acquired {
-			acct.acquired[k] = v
-		}
-		m.buyers[id] = acct
-	}
-	for id, ss := range s.Sellers {
-		acct := &sellerAccount{balance: ss.Balance, datasets: make([]DatasetID, len(ss.Datasets))}
-		copy(acct.datasets, ss.Datasets)
-		m.sellers[id] = acct
-	}
-	for i, tx := range s.Transactions {
-		// Transactions are history, not live references: a sold dataset
-		// may have been withdrawn since (buyers keep delivered data), so
-		// only the buyer — who can never deregister — must still exist.
-		if _, ok := m.buyers[tx.Buyer]; !ok {
-			return nil, fmt.Errorf("market: snapshot transaction %d references unknown buyer %s", i, tx.Buyer)
-		}
-		m.txs[i] = tx
-	}
+	m.initViews()
+	m.rebuildViews()
 	return m, nil
 }

@@ -37,9 +37,10 @@ type telemetry struct {
 // (registering the same family twice panics by design).
 //
 // Scrape-time families read market state through StatsAll and
-// ShardStats, each of which takes one consistent pass under the
-// registry lock — a dataset withdrawn mid-scrape is either fully
-// present or fully absent, never half-reported.
+// ShardStats, each of which reads the lock-free copy-on-write views in
+// one consistent pass — a dataset withdrawn mid-scrape is either fully
+// present or fully absent, never half-reported, and a scrape never
+// blocks a bid.
 func (m *Market) Instrument(t *obs.Telemetry) {
 	r := t.Registry
 
@@ -119,28 +120,16 @@ func (m *Market) Instrument(t *obs.Telemetry) {
 }
 
 // StatsAll returns the diagnostic snapshot of every dataset, sorted by
-// ID, in one consistent pass: the registry read lock is held across the
-// whole scan, so a concurrent withdraw or upload is either fully
-// reflected or not at all — unlike per-dataset Stats calls, which could
-// race a withdrawal and silently drop the dataset mid-scrape.
+// ID, lock-free: one atomic load of the copy-on-write stats view fixes
+// the dataset population (a concurrent withdraw or upload is either
+// fully reflected or not at all), and each dataset's value is the
+// immutable cell published by the last bid that touched its engine
+// under that engine's shard lock.
 func (m *Market) StatsAll() []DatasetStats {
-	m.reg.RLock()
-	defer m.reg.RUnlock()
-	var out []DatasetStats
-	for _, sh := range m.shards {
-		sh.mu.Lock()
-		for id, eng := range sh.engines {
-			out = append(out, DatasetStats{
-				Dataset:         id,
-				Bids:            eng.Bids(),
-				Allocations:     eng.Allocations(),
-				Epochs:          eng.Epochs(),
-				Revenue:         eng.Revenue(),
-				PostingPrice:    eng.PostingPrice(),
-				MostLikelyPrice: eng.MostLikelyPrice(),
-			})
-		}
-		sh.mu.Unlock()
+	stats := *m.vw.stats.Load()
+	out := make([]DatasetStats, 0, len(stats))
+	for _, cell := range stats {
+		out = append(out, *cell.Load())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Dataset < out[j].Dataset })
 	return out

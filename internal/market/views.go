@@ -1,0 +1,232 @@
+package market
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/datamarket/shield/internal/command"
+)
+
+// views holds the market's lock-free read state: immutable
+// copy-on-write values behind atomic pointers, republished by every
+// Apply before its locks drop. Readers load one pointer and observe a
+// consistent value; they never take the registry, shard, account, or
+// ledger locks.
+//
+// Granularity is chosen per write rate:
+//
+//   - the outer stats and buyers maps change only on structural
+//     commands (upload, withdraw, registration), which already hold the
+//     registry write lock — cloning the whole map there is rare and
+//     safe;
+//   - each dataset's stats and each buyer's view live in their own
+//     atomic cell, so the per-bid publication (every bid moves a bid
+//     counter, possibly a posting price) swaps one small pointer
+//     instead of cloning a map of all datasets;
+//   - the books (revenue, total spend, total balances, transactions)
+//     change only on sales, which are far rarer than bids; one
+//     immutable booksView is republished per sale under a dedicated
+//     publication mutex.
+type views struct {
+	clock atomic.Int64
+
+	// stats maps each priced dataset to its diagnostic cell. The outer
+	// map is copy-on-write (cloned under the registry write lock on
+	// upload/compose/withdraw); cells are swapped under the dataset's
+	// shard lock on every bid that touches its engine.
+	stats atomic.Pointer[map[DatasetID]*atomic.Pointer[DatasetStats]]
+
+	// buyers maps each registered buyer to its view cell. The outer map
+	// is copy-on-write (cloned under the registry write lock on
+	// registration); cells are swapped under the buyer's account mutex,
+	// and only when the buyer wins — losing bids touch no buyer-visible
+	// read state.
+	buyers atomic.Pointer[map[BuyerID]*atomic.Pointer[buyerView]]
+
+	// books is the money view. booksMu serializes publication (an
+	// atomic pointer swap alone would lose concurrent sales); readers
+	// only Load.
+	booksMu sync.Mutex
+	books   atomic.Pointer[booksView]
+}
+
+// buyerView is one buyer's immutable read view.
+type buyerView struct {
+	acquired map[DatasetID]bool
+	spent    Money
+}
+
+// booksView is the immutable money view: the three conservation sums
+// and the transaction log. txs grows by appending to the latest view's
+// slice under booksMu — older views keep their shorter length and never
+// observe the new element, so sharing the backing array is safe.
+type booksView struct {
+	revenue  Money
+	spent    Money
+	balances Money
+	txs      []Transaction
+}
+
+func (m *Market) initViews() {
+	stats := make(map[DatasetID]*atomic.Pointer[DatasetStats])
+	buyers := make(map[BuyerID]*atomic.Pointer[buyerView])
+	m.vw.stats.Store(&stats)
+	m.vw.buyers.Store(&buyers)
+	m.vw.books.Store(&booksView{})
+}
+
+// rebuildViews derives every view from the current state. Callers must
+// have exclusive access (restore path, before the market is shared).
+func (m *Market) rebuildViews() {
+	m.vw.clock.Store(int64(m.st.Period()))
+
+	ids := m.st.DatasetIDs()
+	stats := make(map[DatasetID]*atomic.Pointer[DatasetStats], len(ids))
+	for _, id := range ids {
+		ds, err := m.st.Stats(id)
+		if err != nil {
+			continue
+		}
+		cell := new(atomic.Pointer[DatasetStats])
+		cell.Store(&ds)
+		stats[id] = cell
+	}
+	m.vw.stats.Store(&stats)
+
+	buyerIDs := m.st.BuyerIDs()
+	buyers := make(map[BuyerID]*atomic.Pointer[buyerView], len(buyerIDs))
+	for _, id := range buyerIDs {
+		cell := new(atomic.Pointer[buyerView])
+		m.st.InspectBuyer(id, func(acquired map[DatasetID]bool, spent Money) {
+			cell.Store(newBuyerView(acquired, spent))
+		})
+		buyers[id] = cell
+	}
+	m.vw.buyers.Store(&buyers)
+
+	revenue, spent, balances := m.st.Totals()
+	m.vw.books.Store(&booksView{
+		revenue:  revenue,
+		spent:    spent,
+		balances: balances,
+		txs:      m.st.Transactions(),
+	})
+}
+
+func newBuyerView(acquired map[DatasetID]bool, spent Money) *buyerView {
+	v := &buyerView{acquired: make(map[DatasetID]bool, len(acquired)), spent: spent}
+	for k, ok := range acquired {
+		v.acquired[k] = ok
+	}
+	return v
+}
+
+// publishStructural updates the views invalidated by a structural
+// command's events. Callers hold the registry write lock, so outer-map
+// clones race with nothing.
+func (m *Market) publishStructural(evs []command.Event) {
+	for _, ev := range evs {
+		switch ev.Kind {
+		case command.EvTicked:
+			m.vw.clock.Store(int64(ev.Period))
+
+		case command.EvBuyerRegistered:
+			old := *m.vw.buyers.Load()
+			next := make(map[BuyerID]*atomic.Pointer[buyerView], len(old)+1)
+			for k, v := range old {
+				next[k] = v
+			}
+			cell := new(atomic.Pointer[buyerView])
+			cell.Store(&buyerView{acquired: map[DatasetID]bool{}})
+			next[ev.Buyer] = cell
+			m.vw.buyers.Store(&next)
+
+		case command.EvDatasetAdded:
+			ds, err := m.st.Stats(ev.Dataset)
+			if err != nil {
+				continue
+			}
+			old := *m.vw.stats.Load()
+			next := make(map[DatasetID]*atomic.Pointer[DatasetStats], len(old)+1)
+			for k, v := range old {
+				next[k] = v
+			}
+			cell := new(atomic.Pointer[DatasetStats])
+			cell.Store(&ds)
+			next[ev.Dataset] = cell
+			m.vw.stats.Store(&next)
+
+		case command.EvDatasetRemoved:
+			old := *m.vw.stats.Load()
+			next := make(map[DatasetID]*atomic.Pointer[DatasetStats], len(old))
+			for k, v := range old {
+				if k != ev.Dataset {
+					next[k] = v
+				}
+			}
+			m.vw.stats.Store(&next)
+		}
+	}
+}
+
+// publishBid updates the views invalidated by one decided bid. The
+// caller holds the registry read lock and the shard locks of the
+// primary dataset and every leaf, which serializes each stats cell's
+// publication with every other bid that could touch the same engines.
+func (m *Market) publishBid(ev command.Event) {
+	m.publishStats(ev.Dataset)
+	for _, leaf := range ev.Leaves {
+		// A base dataset is its own only leaf; don't publish it twice.
+		if DatasetID(leaf) != ev.Dataset {
+			m.publishStats(DatasetID(leaf))
+		}
+	}
+	if ev.Tx == nil {
+		return
+	}
+
+	// A sale: republish the books...
+	m.vw.booksMu.Lock()
+	old := m.vw.books.Load()
+	m.vw.books.Store(&booksView{
+		revenue:  old.revenue + ev.Tx.Price,
+		spent:    old.spent + ev.Tx.Price,
+		balances: old.balances + ev.Paid,
+		txs:      append(old.txs, *ev.Tx),
+	})
+	m.vw.booksMu.Unlock()
+
+	// ...and the winner's view. Publication happens under the buyer's
+	// account mutex (inside InspectBuyer) so concurrent wins by the same
+	// buyer on other shards cannot overwrite this win with a stale view.
+	if cell, ok := (*m.vw.buyers.Load())[ev.Buyer]; ok {
+		m.st.InspectBuyer(ev.Buyer, func(acquired map[DatasetID]bool, spent Money) {
+			cell.Store(newBuyerView(acquired, spent))
+		})
+	}
+}
+
+// publishStats republishes one dataset's stats cell. The caller holds
+// the dataset's shard lock (serializing against every other publisher
+// of the same cell) and the registry read lock (so the dataset cannot
+// be withdrawn mid-publication).
+func (m *Market) publishStats(id DatasetID) {
+	cell, ok := (*m.vw.stats.Load())[id]
+	if !ok {
+		return
+	}
+	ds, err := m.st.Stats(id)
+	if err != nil {
+		return
+	}
+	cell.Store(&ds)
+}
+
+func sortDatasetIDs(ids []DatasetID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func sortTransactions(txs []Transaction) {
+	sort.Slice(txs, func(i, j int) bool { return txs[i].Seq < txs[j].Seq })
+}

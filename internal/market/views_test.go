@@ -1,0 +1,95 @@
+package market
+
+import (
+	"testing"
+
+	"github.com/datamarket/shield/internal/command"
+)
+
+// winOn drives bids on a dataset until one wins, ticking between
+// periods. The grid tops out at 100, so a 150 bid wins as soon as the
+// buyer is not blocked.
+func winOn(t *testing.T, m *Market, buyer BuyerID, dataset DatasetID) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		d, err := m.SubmitBid(buyer, dataset, 150)
+		if err == nil && d.Allocated {
+			return
+		}
+		m.Tick()
+	}
+	t.Fatalf("no win on %s after 200 periods", dataset)
+}
+
+func TestTransactionsDefensiveCopy(t *testing.T) {
+	m := setupBasic(t)
+	winOn(t, m, "carol", "weather")
+	winOn(t, m, "carol", "traffic")
+
+	txs := m.Transactions()
+	if len(txs) != 2 {
+		t.Fatalf("transactions = %+v, want 2", txs)
+	}
+	for i, tx := range txs {
+		if tx.Seq != i+1 {
+			t.Fatalf("transactions not in sequence order: %+v", txs)
+		}
+	}
+	// Mutating the returned slice must not leak into market state.
+	txs[0].Buyer = "mallory"
+	txs[1].Price = 0
+	again := m.Transactions()
+	if again[0].Buyer != "carol" || again[1].Price == 0 {
+		t.Fatalf("caller mutation leaked into the market: %+v", again)
+	}
+}
+
+func TestDatasetsDefensiveCopy(t *testing.T) {
+	m := setupBasic(t)
+	ds := m.Datasets()
+	ds[0] = "mallory"
+	again := m.Datasets()
+	if again[0] == "mallory" {
+		t.Fatal("caller mutation leaked into the market")
+	}
+}
+
+// TestApplyCommandsMatchesWrappers drives the same history through the
+// typed wrappers and through Market.Apply with explicit commands; the
+// canonical snapshots must be identical — the wrappers are sugar over
+// the command core, not a second implementation.
+func TestApplyCommandsMatchesWrappers(t *testing.T) {
+	viaWrappers := setupBasic(t)
+	if _, err := viaWrappers.SubmitBid("carol", "weather", 55); err != nil {
+		t.Fatal(err)
+	}
+	viaWrappers.Tick()
+
+	viaApply := testMarket(t)
+	for _, cmd := range []command.Command{
+		command.RegisterSeller{Seller: "alice"},
+		command.RegisterSeller{Seller: "bob"},
+		command.RegisterBuyer{Buyer: "carol"},
+		command.UploadDataset{Seller: "alice", Dataset: "weather"},
+		command.UploadDataset{Seller: "bob", Dataset: "traffic"},
+		command.ComposeDataset{Dataset: "weather+traffic", Constituents: []command.DatasetID{"weather", "traffic"}},
+		command.SubmitBid{Buyer: "carol", Dataset: "weather", Amount: 55},
+		command.Tick{},
+	} {
+		if _, err := viaApply.Apply(cmd); err != nil {
+			t.Fatalf("apply %q: %v", cmd.Op(), err)
+		}
+	}
+
+	a, err := viaWrappers.Snapshot().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := viaApply.Snapshot().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("wrapper-driven and command-driven markets diverged")
+	}
+}

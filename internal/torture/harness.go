@@ -46,6 +46,12 @@ type Config struct {
 	Gen GenConfig
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+
+	// canaryPerturb, when non-nil, is installed as a price perturbation
+	// on the LIVE replicas only — never the reference. It exists for the
+	// mutation-canary test, which seeds a deliberate mispricing and
+	// asserts the differential catches it.
+	canaryPerturb func(price float64) float64
 }
 
 // DefaultEngine is the engine template used when Config.Engine is zero.
@@ -245,8 +251,8 @@ func Run(cfg Config) (*Report, error) {
 		report:  Report{Seed: cfg.Seed, Ops: cfg.Ops, OpCounts: make(map[string]int)},
 	}
 
-	for _, shards := range cfg.Shards {
-		r, err := newReplica(fmt.Sprintf("shards=%d", shards), cfg, shards, false)
+	for _, shardCount := range cfg.Shards {
+		r, err := newReplica(fmt.Sprintf("shards=%d", shardCount), cfg, shardCount, false)
 		if err != nil {
 			return nil, err
 		}
@@ -278,7 +284,7 @@ func Run(cfg Config) (*Report, error) {
 		if cfg.Logf != nil && (i+1)%cfg.CheckEvery == 0 {
 			rev, _, _ := h.ref.totals()
 			cfg.Logf("op %d/%d: clock=%d datasets=%d revenue=%s",
-				i+1, cfg.Ops, h.gen.clock, len(h.ref.engines), rev)
+				i+1, cfg.Ops, h.gen.clock, h.ref.st.NumDatasets(), rev)
 		}
 	}
 	if f := h.checkpoint(cfg.Ops - 1); f != nil {
@@ -290,8 +296,16 @@ func Run(cfg Config) (*Report, error) {
 
 	rev, _, _ := h.ref.totals()
 	h.report.Revenue = rev
-	h.report.Allocations = len(h.ref.txs)
+	h.report.Allocations = h.ref.st.TxCount()
 	return &h.report, nil
+}
+
+// ceilDiv mirrors core's wait-bound arithmetic for sizing maxWait.
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
 }
 
 func newReplica(name string, cfg Config, shards int, instrument bool) (*replica, error) {
@@ -302,6 +316,11 @@ func newReplica(name string, cfg Config, shards int, instrument bool) (*replica,
 	}
 	if instrument {
 		jm.Market.Instrument(obs.NewTelemetry())
+	}
+	if cfg.canaryPerturb != nil {
+		// Mutation canary: only live replicas are perturbed, never the
+		// reference — the differential must notice.
+		jm.Market.TestPerturbPrices(cfg.canaryPerturb)
 	}
 	return &replica{name: name, shards: shards, jm: jm, buf: buf}, nil
 }

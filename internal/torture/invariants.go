@@ -1,15 +1,12 @@
 package torture
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
 	"github.com/datamarket/shield/internal/core"
 	"github.com/datamarket/shield/internal/market"
 )
-
-func isErr(err, target error) bool { return errors.Is(err, target) }
 
 // errString is the comparison key for errors. The reference model
 // reproduces the real market's wrap formats exactly, so full-string
@@ -124,9 +121,8 @@ func candidateRange(cands []float64) (lo, hi float64) {
 // of ledger transaction prices.
 func (h *harness) checkConservation() string {
 	revenue, spent, balances := h.ref.totals()
-	for h.txCount < len(h.ref.txs) {
-		h.txSum += h.ref.txs[h.txCount].Price
-		h.txCount++
+	for n := h.ref.st.TxCount(); h.txCount < n; h.txCount++ {
+		h.txSum += h.ref.st.TxAt(h.txCount).Price
 	}
 	if revenue != spent || revenue != balances || revenue != h.txSum {
 		return fmt.Sprintf("money not conserved: revenue=%s spent=%s balances=%s txsum=%s",
@@ -160,12 +156,8 @@ func (h *harness) checkWaitMonotone() string {
 	if h.cfg.Engine.DisableWaitPeriods || h.cfg.Engine.Wait != core.WaitBound {
 		return ""
 	}
-	// Deterministic engine order: sort dataset IDs.
-	ids := make([]string, 0, len(h.ref.engines))
-	for id := range h.ref.engines {
-		ids = append(ids, string(id))
-	}
-	sort.Strings(ids)
+	// Deterministic engine order: DatasetIDs is sorted.
+	ids := h.ref.st.DatasetIDs()
 
 	lo, hi := candidateRange(h.cfg.Engine.Candidates)
 	ladder := append([]float64{lo / 2}, h.cfg.Engine.Candidates...)
@@ -173,11 +165,13 @@ func (h *harness) checkWaitMonotone() string {
 	ladder = append(ladder, hi+1)
 
 	for _, id := range ids {
-		eng := h.ref.engines[market.DatasetID(id)]
 		prev := -1
 		prevBid := 0.0
 		for i, b := range ladder {
-			w := eng.computeWaitPeriod(b)
+			w, err := h.ref.st.ComputeWait(id, b)
+			if err != nil {
+				return fmt.Sprintf("dataset %s: wait probe: %v", id, err)
+			}
 			if w < 0 || w > h.maxWait {
 				return fmt.Sprintf("dataset %s: probe wait %d for bid %v outside [0, %d]", id, w, b, h.maxWait)
 			}

@@ -1,271 +1,30 @@
 package torture
 
 import (
-	"fmt"
-	"hash/fnv"
-
-	"github.com/datamarket/shield/internal/auction"
-	"github.com/datamarket/shield/internal/core"
+	"github.com/datamarket/shield/internal/command"
 	"github.com/datamarket/shield/internal/market"
-	"github.com/datamarket/shield/internal/mw"
-	"github.com/datamarket/shield/internal/provenance"
-	"github.com/datamarket/shield/internal/rng"
 )
 
-// The reference model is a deliberately simple, single-goroutine
-// re-implementation of the market semantics the paper specifies: one
-// refEngine per dataset running Algorithm 1, and a refMarket enforcing
-// bid cadence, Time-Shield waits, provenance revenue splits and the
-// ledger. It shares the low-level substrate with the real
-// implementation — mw.Learner, rng.RNG, auction revenue math,
-// provenance.Graph, market.Money — because those are the paper's
-// primitives, but it re-implements all orchestration (epoch handling,
-// price draws, wait replay, account bookkeeping) without any of the
-// real system's sharding, locking, journaling or telemetry. Every
-// generated history replays against both; any divergence in decisions,
-// errors, or canonical snapshots is a bug in one of them.
+// The reference model is the deterministic command core itself
+// (internal/command), run single-threaded with none of the real
+// system's sharding, locking, journaling, or telemetry. Before the
+// command-core refactor this file hand-mirrored the market semantics in
+// ~560 lines of duplicated rules; now "the reference agrees with the
+// live market on the rules" is structural — both are the same Apply —
+// and what the differential actually tests is everything the live
+// market layers on top: shard serialization, lock ordering, the
+// lock-free read views, journaling, and replay. The mutation canary
+// (TestMutationCanary) keeps the harness honest by perturbing only the
+// live replicas' engines and asserting the differential still trips.
 //
-// The reference deliberately does NOT consult core.TestPerturbPrice:
-// that hook exists so a test can break the real engine's price update
-// and prove this model catches it.
+// The reference deliberately receives no canary perturbation: that hook
+// exists so a test can break the real replicas' pricing and prove this
+// model catches it.
 
-// refEngine mirrors core.Engine for the non-regridding configurations
-// the harness accepts (RegridEvery is rejected up front: mirroring the
-// adaptive grid would duplicate the very code under test).
-type refEngine struct {
-	cfg            core.Config
-	learner        *mw.Learner
-	rand           *rng.RNG
-	minCandidate   float64
-	origCandidates []float64
-
-	price float64
-	epoch []float64
-
-	revenue     float64
-	bids        int
-	allocations int
-	epochs      int
-}
-
-func newRefEngine(cfg core.Config) *refEngine {
-	// Mirror core's default application exactly: the engine snapshot
-	// embeds the defaulted config, so the reference must embed the same.
-	if cfg.Eta == 0 {
-		cfg.Eta = mw.DefaultEta
-	}
-	if cfg.BidsPerPeriod == 0 {
-		cfg.BidsPerPeriod = 1
-	}
-	if cfg.MaxWaitEpochs == 0 {
-		cfg.MaxWaitEpochs = 64
-	}
-	if cfg.AdHocNeighborhood == 0 {
-		cfg.AdHocNeighborhood = 1
-	}
-	cands := append([]float64(nil), cfg.Candidates...)
-	cfg.Candidates = cands
-	minCand := cands[0]
-	for _, c := range cands[1:] {
-		if c < minCand {
-			minCand = c
-		}
-	}
-	e := &refEngine{
-		cfg:            cfg,
-		learner:        mw.NewLearner(cands, cfg.Eta),
-		rand:           rng.New(cfg.Seed),
-		minCandidate:   minCand,
-		origCandidates: append([]float64(nil), cands...),
-		epoch:          make([]float64, 0, cfg.EpochSize),
-	}
-	if cfg.ShareFraction > 0 {
-		e.learner.SetShare(cfg.ShareFraction)
-	}
-	e.price = e.drawPrice()
-	return e
-}
-
-func (e *refEngine) drawPrice() float64 {
-	switch e.cfg.Rule {
-	case core.DrawMWMax:
-		return e.cfg.Candidates[e.learner.ArgMax()]
-	case core.DrawAdHoc:
-		k := e.cfg.AdHocNeighborhood
-		center := e.learner.ArgMax()
-		lo, hi := center-k, center+k
-		if lo < 0 {
-			lo = 0
-		}
-		if hi > len(e.cfg.Candidates)-1 {
-			hi = len(e.cfg.Candidates) - 1
-		}
-		return e.cfg.Candidates[lo+e.rand.Intn(hi-lo+1)]
-	case core.DrawRandom:
-		return e.cfg.Candidates[e.rand.Intn(len(e.cfg.Candidates))]
-	default: // DrawMW
-		return e.learner.DrawValue(e.rand)
-	}
-}
-
-func (e *refEngine) submitBid(b float64) core.Decision {
-	e.bids++
-	e.epoch = append(e.epoch, b)
-	d := core.Decision{Price: e.price}
-	if b >= e.price && e.price > 0 {
-		d.Allocated = true
-		e.allocations++
-		e.revenue += e.price
-	} else if !e.cfg.DisableWaitPeriods {
-		d.Wait = e.computeWaitPeriod(b)
-	}
-	e.maybeUpdatePrice()
-	return d
-}
-
-func (e *refEngine) observe(b float64) {
-	e.epoch = append(e.epoch, b)
-	e.maybeUpdatePrice()
-}
-
-func (e *refEngine) maybeUpdatePrice() {
-	if len(e.epoch) != e.cfg.EpochSize {
-		return
-	}
-	e.epochs++
-	optR := auction.OptimalRevenue(e.epoch)
-	if optR > 0 {
-		revenue := auction.Revenue(e.epoch, e.price)
-		costs := make([]float64, e.learner.Len())
-		for i, p := range e.learner.Values() {
-			costs[i] = (revenue - auction.Revenue(e.epoch, p)) / optR
-		}
-		e.learner.Update(costs, 0)
-	}
-	e.epoch = e.epoch[:0]
-	e.price = e.drawPrice()
-}
-
-func (e *refEngine) computeWaitPeriod(b float64) int {
-	sim := e.learner.Clone()
-	synthetic := e.cfg.MinBid
-	if e.cfg.Wait == core.WaitStable {
-		synthetic = b
-	} else if synthetic < e.minCandidate {
-		synthetic = e.minCandidate
-	}
-
-	likely := e.cfg.Candidates[sim.ArgMax()]
-	if b >= likely {
-		remaining := e.cfg.EpochSize - len(e.epoch)
-		return ceilDiv(remaining, e.cfg.BidsPerPeriod)
-	}
-	if b < e.minCandidate {
-		remaining := e.cfg.EpochSize - len(e.epoch)
-		return ceilDiv(remaining+e.cfg.MaxWaitEpochs*e.cfg.EpochSize, e.cfg.BidsPerPeriod)
-	}
-
-	epochBids := make([]float64, len(e.epoch), e.cfg.EpochSize)
-	copy(epochBids, e.epoch)
-	simulated := 0
-	for len(epochBids) < e.cfg.EpochSize {
-		epochBids = append(epochBids, synthetic)
-		simulated++
-	}
-
-	chosen := e.price
-	for round := 0; round < e.cfg.MaxWaitEpochs; round++ {
-		refApplyEpoch(sim, epochBids, chosen)
-		likely = e.cfg.Candidates[sim.ArgMax()]
-		if b >= likely {
-			return ceilDiv(simulated, e.cfg.BidsPerPeriod)
-		}
-		if len(epochBids) != e.cfg.EpochSize || epochBids[0] != synthetic {
-			epochBids = epochBids[:0]
-			for i := 0; i < e.cfg.EpochSize; i++ {
-				epochBids = append(epochBids, synthetic)
-			}
-		}
-		chosen = likely
-		simulated += e.cfg.EpochSize
-	}
-	return ceilDiv(simulated, e.cfg.BidsPerPeriod)
-}
-
-func refApplyEpoch(l *mw.Learner, epoch []float64, chosen float64) {
-	optR := auction.OptimalRevenue(epoch)
-	if optR <= 0 {
-		return
-	}
-	revenue := auction.Revenue(epoch, chosen)
-	costs := make([]float64, l.Len())
-	for i, p := range l.Values() {
-		costs[i] = (revenue - auction.Revenue(epoch, p)) / optR
-	}
-	l.Update(costs, 0)
-}
-
-func ceilDiv(a, b int) int {
-	if b <= 0 {
-		return a
-	}
-	return (a + b - 1) / b
-}
-
-func (e *refEngine) mostLikelyPrice() float64 {
-	return e.cfg.Candidates[e.learner.ArgMax()]
-}
-
-// snapshot builds the same core.Snapshot the real engine would produce
-// in the same state (non-nil empty slices included: Canonical compares
-// JSON bytes, and nil encodes as null while empty encodes as []).
-func (e *refEngine) snapshot() core.Snapshot {
-	s := core.Snapshot{
-		Config:         e.cfg,
-		OrigCandidates: make([]float64, len(e.origCandidates)),
-		Learner:        e.learner.Snapshot(),
-		Rand:           e.rand.Snapshot(),
-		Price:          e.price,
-		Epoch:          make([]float64, len(e.epoch)),
-		Revenue:        e.revenue,
-		Bids:           e.bids,
-		Allocations:    e.allocations,
-		Epochs:         e.epochs,
-	}
-	cands := make([]float64, len(e.cfg.Candidates))
-	copy(cands, e.cfg.Candidates)
-	s.Config.Candidates = cands
-	copy(s.OrigCandidates, e.origCandidates)
-	copy(s.Epoch, e.epoch)
-	return s
-}
-
-// refBuyer and refSeller mirror the market's per-participant books.
-type refBuyer struct {
-	lastBid      map[market.DatasetID]int
-	blockedUntil map[market.DatasetID]int
-	acquired     map[market.DatasetID]bool
-	spent        market.Money
-}
-
-type refSeller struct {
-	balance  market.Money
-	datasets []market.DatasetID
-}
-
-// refMarket is the sequential reference arbiter. Its error messages
-// reproduce the real market's wrap formats exactly, so the harness can
-// compare failures by full string, not just sentinel class.
+// refMarket is the sequential reference arbiter: one command.State and
+// an Apply loop.
 type refMarket struct {
-	cfg     market.Config
-	clock   int
-	graph   *provenance.Graph
-	engines map[market.DatasetID]*refEngine
-	owners  map[market.DatasetID]market.SellerID
-	buyers  map[market.BuyerID]*refBuyer
-	sellers map[market.SellerID]*refSeller
-	txs     []market.Transaction
-	revenue market.Money
+	st *command.State
 }
 
 // newRefMarket builds the reference arbiter. cfg.Shards is forced to
@@ -274,187 +33,49 @@ type refMarket struct {
 // real snapshots before comparison.
 func newRefMarket(cfg market.Config) *refMarket {
 	cfg.Shards = 0
-	return &refMarket{
-		cfg:     cfg,
-		graph:   provenance.NewGraph(),
-		engines: make(map[market.DatasetID]*refEngine),
-		owners:  make(map[market.DatasetID]market.SellerID),
-		buyers:  make(map[market.BuyerID]*refBuyer),
-		sellers: make(map[market.SellerID]*refSeller),
-	}
-}
-
-func (r *refMarket) newEngine(id market.DatasetID) *refEngine {
-	cfg := r.cfg.Engine
-	h := fnv.New64a()
-	h.Write([]byte(id))
-	cfg.Seed = r.cfg.Seed ^ h.Sum64()
-	return newRefEngine(cfg)
+	return &refMarket{st: command.MustNewState(cfg)}
 }
 
 func (r *refMarket) registerBuyer(id market.BuyerID) error {
-	if id == "" {
-		return market.ErrEmptyID
-	}
-	if _, ok := r.buyers[id]; ok {
-		return fmt.Errorf("%w: buyer %s", market.ErrDuplicateID, id)
-	}
-	r.buyers[id] = &refBuyer{
-		lastBid:      make(map[market.DatasetID]int),
-		blockedUntil: make(map[market.DatasetID]int),
-		acquired:     make(map[market.DatasetID]bool),
-	}
-	return nil
+	_, err := command.Apply(r.st, command.RegisterBuyer{Buyer: id})
+	return err
 }
 
 func (r *refMarket) registerSeller(id market.SellerID) error {
-	if id == "" {
-		return market.ErrEmptyID
-	}
-	if _, ok := r.sellers[id]; ok {
-		return fmt.Errorf("%w: seller %s", market.ErrDuplicateID, id)
-	}
-	r.sellers[id] = &refSeller{}
-	return nil
+	_, err := command.Apply(r.st, command.RegisterSeller{Seller: id})
+	return err
 }
 
 func (r *refMarket) uploadDataset(seller market.SellerID, id market.DatasetID) error {
-	if id == "" {
-		return market.ErrEmptyID
-	}
-	acct, ok := r.sellers[seller]
-	if !ok {
-		return fmt.Errorf("%w: %s", market.ErrUnknownSeller, seller)
-	}
-	if err := r.graph.AddBase(string(id)); err != nil {
-		return fmt.Errorf("%w: dataset %s", market.ErrDuplicateID, id)
-	}
-	r.engines[id] = r.newEngine(id)
-	r.owners[id] = seller
-	acct.datasets = append(acct.datasets, id)
-	return nil
+	_, err := command.Apply(r.st, command.UploadDataset{Seller: seller, Dataset: id})
+	return err
 }
 
 func (r *refMarket) composeDataset(id market.DatasetID, constituents ...market.DatasetID) error {
-	if id == "" {
-		return market.ErrEmptyID
-	}
-	parts := make([]string, len(constituents))
-	for i, c := range constituents {
-		parts[i] = string(c)
-	}
-	if err := r.graph.AddDerived(string(id), parts...); err != nil {
-		switch {
-		case isErr(err, provenance.ErrExists):
-			return fmt.Errorf("%w: dataset %s", market.ErrDuplicateID, id)
-		case isErr(err, provenance.ErrUnknown):
-			return fmt.Errorf("%w: %v", market.ErrUnknownDataset, err)
-		default:
-			return err
-		}
-	}
-	r.engines[id] = r.newEngine(id)
-	return nil
+	_, err := command.Apply(r.st, command.ComposeDataset{Dataset: id, Constituents: constituents})
+	return err
 }
 
 func (r *refMarket) withdrawDataset(seller market.SellerID, id market.DatasetID) error {
-	acct, ok := r.sellers[seller]
-	if !ok {
-		return fmt.Errorf("%w: %s", market.ErrUnknownSeller, seller)
-	}
-	owner, ok := r.owners[id]
-	if !ok {
-		return fmt.Errorf("%w: %s is not a base dataset", market.ErrUnknownDataset, id)
-	}
-	if owner != seller {
-		return fmt.Errorf("%w: %s does not own %s", market.ErrUnknownSeller, seller, id)
-	}
-	deps, err := r.graph.Dependents(string(id))
-	if err != nil {
-		return err
-	}
-	for _, d := range deps {
-		if d != string(id) {
-			return fmt.Errorf("%w: %s is still part of %s", market.ErrDatasetInUse, id, d)
-		}
-	}
-	if err := r.graph.Remove(string(id)); err != nil {
-		return err
-	}
-	delete(r.engines, id)
-	delete(r.owners, id)
-	for i, d := range acct.datasets {
-		if d == id {
-			acct.datasets = append(acct.datasets[:i], acct.datasets[i+1:]...)
-			break
-		}
-	}
-	return nil
+	_, err := command.Apply(r.st, command.WithdrawDataset{Seller: seller, Dataset: id})
+	return err
 }
 
 func (r *refMarket) tick() int {
-	r.clock++
-	return r.clock
+	evs, _ := command.Apply(r.st, command.Tick{})
+	return evs[0].Period
 }
 
 func (r *refMarket) submitBid(buyer market.BuyerID, dataset market.DatasetID, amount float64) (market.Decision, error) {
-	if !(amount > 0) {
-		return market.Decision{}, market.ErrBadBid
+	evs, err := command.Apply(r.st, command.SubmitBid{Buyer: buyer, Dataset: dataset, Amount: amount})
+	if err != nil {
+		return market.Decision{}, err
 	}
-	acct, ok := r.buyers[buyer]
-	if !ok {
-		return market.Decision{}, fmt.Errorf("%w: %s", market.ErrUnknownBuyer, buyer)
-	}
-	eng, ok := r.engines[dataset]
-	if !ok {
-		return market.Decision{}, fmt.Errorf("%w: %s", market.ErrUnknownDataset, dataset)
-	}
-	var leaves []string
-	if parts, ok := r.graph.Constituents(string(dataset)); ok && len(parts) > 0 {
-		leaves, _ = r.graph.Leaves(string(dataset))
-	}
-
-	if acct.acquired[dataset] {
-		return market.Decision{}, fmt.Errorf("%w: %s", market.ErrAlreadyAcquired, dataset)
-	}
-	if last, ok := acct.lastBid[dataset]; ok && last == r.clock {
-		return market.Decision{}, fmt.Errorf("%w: period %d", market.ErrBidTooSoon, r.clock)
-	}
-	if until := acct.blockedUntil[dataset]; r.clock < until {
-		return market.Decision{}, fmt.Errorf("%w: %d periods remain", market.ErrWaitActive, until-r.clock)
-	}
-	acct.lastBid[dataset] = r.clock
-
-	d := eng.submitBid(amount)
-	for _, leaf := range leaves {
-		if le, ok := r.engines[market.DatasetID(leaf)]; ok {
-			le.observe(amount)
-		}
-	}
-
-	if !d.Allocated {
-		// The real market records blockedUntil unconditionally for losing
-		// bids, including a Wait of zero — the map entry is state the
-		// snapshot comparison sees, so the reference records it too.
-		acct.blockedUntil[dataset] = r.clock + d.Wait
-		return market.Decision{WaitPeriods: d.Wait}, nil
-	}
-
-	price := market.FromFloat(d.Price)
-	acct.acquired[dataset] = true
-	acct.spent += price
-	r.revenue += price
-	r.paySellers(dataset, leaves, price)
-	r.txs = append(r.txs, market.Transaction{
-		Seq:     len(r.txs) + 1,
-		Buyer:   buyer,
-		Dataset: dataset,
-		Price:   price,
-		Period:  r.clock,
-	})
-	return market.Decision{Allocated: true, PricePaid: price}, nil
+	return evs[0].Decision, nil
 }
 
+// submitBids mirrors the journaled market's batch semantics: strictly
+// sequential application in request order.
 func (r *refMarket) submitBids(reqs []market.BidRequest) []market.BidResult {
 	out := make([]market.BidResult, len(reqs))
 	for i, q := range reqs {
@@ -463,99 +84,17 @@ func (r *refMarket) submitBids(reqs []market.BidRequest) []market.BidResult {
 	return out
 }
 
-func (r *refMarket) paySellers(dataset market.DatasetID, leaves []string, price market.Money) {
-	if leaves == nil {
-		var err error
-		leaves, err = r.graph.Leaves(string(dataset))
-		if err != nil {
-			return
-		}
-	}
-	if len(leaves) == 0 {
-		return
-	}
-	parts := price.Split(len(leaves))
-	for i, leaf := range leaves {
-		owner, ok := r.owners[market.DatasetID(leaf)]
-		if !ok {
-			continue
-		}
-		if acct, ok := r.sellers[owner]; ok {
-			acct.balance += parts[i]
-		}
-	}
-}
-
 func (r *refMarket) stats(dataset market.DatasetID) (market.DatasetStats, error) {
-	eng, ok := r.engines[dataset]
-	if !ok {
-		return market.DatasetStats{}, fmt.Errorf("%w: %s", market.ErrUnknownDataset, dataset)
-	}
-	return market.DatasetStats{
-		Dataset:         dataset,
-		Bids:            eng.bids,
-		Allocations:     eng.allocations,
-		Epochs:          eng.epochs,
-		Revenue:         eng.revenue,
-		PostingPrice:    eng.price,
-		MostLikelyPrice: eng.mostLikelyPrice(),
-	}, nil
+	return r.st.Stats(dataset)
 }
 
 // totals mirrors Market.Totals for the conservation invariant.
 func (r *refMarket) totals() (revenue, spent, balances market.Money) {
-	for _, acct := range r.buyers {
-		spent += acct.spent
-	}
-	for _, acct := range r.sellers {
-		balances += acct.balance
-	}
-	return r.revenue, spent, balances
+	return r.st.Totals()
 }
 
 // snapshot builds the market.Snapshot the real arbiter would produce in
 // this state (modulo Config.Shards, already zero here).
 func (r *refMarket) snapshot() market.Snapshot {
-	s := market.Snapshot{
-		Config:       r.cfg,
-		Clock:        r.clock,
-		Graph:        r.graph.Snapshot(),
-		Engines:      make(map[market.DatasetID]core.Snapshot),
-		Owners:       make(map[market.DatasetID]market.SellerID, len(r.owners)),
-		Buyers:       make(map[market.BuyerID]market.BuyerSnapshot, len(r.buyers)),
-		Sellers:      make(map[market.SellerID]market.SellerSnapshot, len(r.sellers)),
-		Transactions: make([]market.Transaction, len(r.txs)),
-		Revenue:      r.revenue,
-	}
-	for id, eng := range r.engines {
-		s.Engines[id] = eng.snapshot()
-	}
-	for id, owner := range r.owners {
-		s.Owners[id] = owner
-	}
-	for id, acct := range r.buyers {
-		bs := market.BuyerSnapshot{
-			LastBid:      make(map[market.DatasetID]int, len(acct.lastBid)),
-			BlockedUntil: make(map[market.DatasetID]int, len(acct.blockedUntil)),
-			Acquired:     make(map[market.DatasetID]bool, len(acct.acquired)),
-			Spent:        acct.spent,
-		}
-		for k, v := range acct.lastBid {
-			bs.LastBid[k] = v
-		}
-		for k, v := range acct.blockedUntil {
-			bs.BlockedUntil[k] = v
-		}
-		for k, v := range acct.acquired {
-			bs.Acquired[k] = v
-		}
-		s.Buyers[id] = bs
-	}
-	for id, acct := range r.sellers {
-		ss := market.SellerSnapshot{Balance: acct.balance, Datasets: make([]market.DatasetID, len(acct.datasets))}
-		copy(ss.Datasets, acct.datasets)
-		s.Sellers[id] = ss
-	}
-	copy(s.Transactions, r.txs)
-	return s
+	return r.st.Snapshot()
 }

@@ -77,14 +77,16 @@ func TestWaitStableStrategy(t *testing.T) {
 	}
 }
 
-// TestMutationCanary proves the differential actually discriminates: a
-// deliberately broken price update in the real engine must be caught,
-// with a reproduction line in the failure.
+// TestMutationCanary proves the differential actually discriminates
+// now that the reference shares Apply with the live market: a
+// deliberately broken price update seeded into the LIVE replicas'
+// engines only (the reference stays clean) must be caught, with a
+// reproduction line in the failure.
 func TestMutationCanary(t *testing.T) {
-	core.TestPerturbPrice = func(p float64) float64 { return p * 1.02 }
-	defer func() { core.TestPerturbPrice = nil }()
+	cfg := small(1, 2000)
+	cfg.canaryPerturb = func(p float64) float64 { return p * 1.02 }
 
-	_, err := Run(small(1, 2000))
+	_, err := Run(cfg)
 	if err == nil {
 		t.Fatal("perturbed engine prices were not detected")
 	}
