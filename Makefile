@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench fuzz-smoke torture torture-smoke torture-long cover
+.PHONY: ci fmt-check vet build test race bench bench-save bench-save-smoke fuzz-smoke torture torture-smoke torture-long cover
 
-ci: fmt-check vet build race test fuzz-smoke torture-smoke torture
+ci: fmt-check vet build race test fuzz-smoke torture-smoke torture bench-save-smoke
 
 # Fails (and lists the offenders) if any file is not gofmt-clean.
 fmt-check:
@@ -22,7 +22,7 @@ build:
 # journal (crash-recovery harness appends concurrently), and the
 # telemetry registry/tracer (scraped while updated).
 race:
-	$(GO) test -race ./internal/market/... ./internal/httpapi/... ./internal/journal/... ./internal/obs/...
+	$(GO) test -race ./internal/market/... ./internal/httpapi/... ./internal/journal/... ./internal/obs/... ./internal/wire/... ./internal/client/...
 
 test:
 	$(GO) test ./...
@@ -39,6 +39,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzEpochPricerNeverPanics$$' -fuzztime $(FUZZ_TIME) ./internal/auction/
 	$(GO) test -run xxx -fuzz '^FuzzBidBatchDecode$$' -fuzztime $(FUZZ_TIME) ./internal/httpapi/
 	$(GO) test -run xxx -fuzz '^FuzzCommandDecode$$' -fuzztime $(FUZZ_TIME) ./internal/command/
+	$(GO) test -run xxx -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZ_TIME) ./internal/wire/
 
 # Model-based torture: seeded workloads differentially tested against the
 # sequential reference model at shard counts {1,4,16} (~30s). Failures
@@ -65,3 +66,14 @@ cover:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# Runs the journal-durability and transport benchmarks and records them
+# (with the derived group-commit and wire-vs-HTTP speedups) in
+# BENCH_6.json, keeping the performance claims in DESIGN.md reproducible.
+bench-save:
+	$(GO) run ./cmd/benchsave -benchtime 1s
+
+# CI variant: a short benchtime keeps the gate fast while still proving
+# the benchmarks run and the artifact pipeline works end to end.
+bench-save-smoke:
+	$(GO) run ./cmd/benchsave -benchtime 50ms -out /tmp/bench_smoke.json

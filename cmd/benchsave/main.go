@@ -1,0 +1,152 @@
+// Command benchsave runs the hot-path benchmark suite — journal
+// durability modes and transport comparisons — and records the results
+// as a JSON artifact (BENCH_6.json by default) so performance claims in
+// the docs stay tied to a reproducible measurement.
+//
+// Usage:
+//
+//	benchsave [-out BENCH_6.json] [-benchtime 1s] [-count 1]
+//
+// The artifact records ns/op, B/op and allocs/op per benchmark plus the
+// two derived headline ratios: group-commit speedup over per-record
+// fsync, and wire-protocol speedup over HTTP per bid.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// result is one benchmark's parsed measurement.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// artifact is the BENCH_6.json schema.
+type artifact struct {
+	GeneratedAt string            `json:"generated_at"`
+	GoVersion   string            `json:"go_version"`
+	Benchtime   string            `json:"benchtime"`
+	Results     []result          `json:"results"`
+	Speedups    map[string]string `json:"speedups"`
+}
+
+// suites maps a package path to the benchmarks captured from it.
+var suites = []struct {
+	pkg     string
+	pattern string
+}{
+	{"./internal/journal/", "^BenchmarkBidAppendFsync"},
+	{"./internal/wire/", "^BenchmarkTransport"},
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_6.json", "artifact path")
+		benchtime = flag.String("benchtime", "1s", "go test -benchtime per benchmark")
+		count     = flag.Int("count", 1, "go test -count (last measurement wins)")
+	)
+	flag.Parse()
+
+	art := artifact{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Benchtime:   *benchtime,
+		Speedups:    map[string]string{},
+	}
+	if v, err := exec.Command("go", "version").Output(); err == nil {
+		art.GoVersion = strings.TrimSpace(string(v))
+	}
+
+	byName := map[string]result{}
+	for _, s := range suites {
+		cmd := exec.Command("go", "test", "-run", "xxx",
+			"-bench", s.pattern, "-benchmem",
+			"-benchtime", *benchtime, "-count", strconv.Itoa(*count), s.pkg)
+		cmd.Stderr = os.Stderr
+		outBytes, err := cmd.Output()
+		if err != nil {
+			log.Fatalf("benchsave: %s: %v", s.pkg, err)
+		}
+		os.Stdout.Write(outBytes)
+		for _, r := range parse(outBytes) {
+			byName[r.Name] = r
+			art.Results = append(art.Results, r)
+		}
+	}
+
+	ratio := func(label, slow, fast string) {
+		a, okA := byName[slow]
+		b, okB := byName[fast]
+		if okA && okB && b.NsPerOp > 0 {
+			art.Speedups[label] = fmt.Sprintf("%.1fx", a.NsPerOp/b.NsPerOp)
+		}
+	}
+	ratio("group_commit_vs_per_record_fsync",
+		"BenchmarkBidAppendFsyncPerRecord", "BenchmarkBidAppendFsyncGroupCommit")
+	ratio("group_commit_window_vs_per_record_fsync",
+		"BenchmarkBidAppendFsyncPerRecord", "BenchmarkBidAppendFsyncGroupCommitWindow")
+	ratio("wire_vs_http_single_bid",
+		"BenchmarkTransportHTTPBid", "BenchmarkTransportWireBid")
+	ratio("wire_vs_http_batch",
+		"BenchmarkTransportHTTPBatch", "BenchmarkTransportWireBatch")
+
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		log.Fatalf("benchsave: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatalf("benchsave: %v", err)
+	}
+	fmt.Printf("benchsave: wrote %s (%d results)\n", *out, len(art.Results))
+}
+
+// parse extracts benchmark lines from `go test -bench` output. A line
+// looks like:
+//
+//	BenchmarkTransportWireBid-8   76797   15677 ns/op   858 B/op   21 allocs/op
+func parse(out []byte) []result {
+	var rs []result
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+		r := result{Name: name}
+		var err error
+		if r.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				r.NsPerOp, _ = strconv.ParseFloat(val, 64)
+			case "B/op":
+				r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			}
+		}
+		rs = append(rs, r)
+	}
+	return rs
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/datamarket/shield/internal/apierr"
+	api "github.com/datamarket/shield/internal/client"
+	"github.com/datamarket/shield/internal/market"
+	"github.com/datamarket/shield/internal/timeseries"
+)
+
+// driveConfig parameterizes -target mode: replay the generated stream
+// against a live marketd instead of printing CSV.
+type driveConfig struct {
+	target    string  // client.Dial string: http://..., wire://..., host:port
+	rate      float64 // bids per second; <= 0 drives closed-loop, as fast as workers allow
+	dataset   string  // dataset every bid targets
+	seller    string  // seller registered to own the dataset
+	tickEvery int     // advance the market period every N bids (0 = never)
+	workers   int     // concurrent in-flight bids
+}
+
+// drive replays stream open-loop: bids are dispatched on the -rate
+// schedule regardless of how fast the server answers, so server-side
+// slowdowns surface as growing in-flight counts and latency, not as a
+// silently reduced offered load. With rate <= 0 it degenerates to a
+// closed loop saturating the worker pool.
+func drive(cfg driveConfig, stream []timeseries.Bid) error {
+	cl, err := api.Dial(cfg.target)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	if err := setup(ctx, cl, cfg, stream); err != nil {
+		return err
+	}
+
+	if cfg.workers <= 0 {
+		cfg.workers = 4
+	}
+	var (
+		won, lost, failed, ticks atomic.Int64
+		sent                     atomic.Int64
+		mu                       sync.Mutex
+		latencies                = make([]time.Duration, 0, len(stream))
+	)
+	jobs := make(chan timeseries.Bid, len(stream))
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range jobs {
+				buyer := market.BuyerID(fmt.Sprintf("gen-%d", b.Buyer))
+				start := time.Now()
+				d, err := cl.SubmitBid(ctx, buyer, market.DatasetID(cfg.dataset), b.Amount)
+				elapsed := time.Since(start)
+				mu.Lock()
+				latencies = append(latencies, elapsed)
+				mu.Unlock()
+				switch {
+				case err != nil:
+					failed.Add(1)
+				case d.Allocated:
+					won.Add(1)
+				default:
+					lost.Add(1)
+				}
+				if n := sent.Add(1); cfg.tickEvery > 0 && n%int64(cfg.tickEvery) == 0 {
+					if _, err := cl.Tick(ctx); err == nil {
+						ticks.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	begin := time.Now()
+	if cfg.rate > 0 {
+		interval := time.Duration(float64(time.Second) / cfg.rate)
+		ticker := time.NewTicker(interval)
+		for _, b := range stream {
+			<-ticker.C
+			jobs <- b
+		}
+		ticker.Stop()
+	} else {
+		for _, b := range stream {
+			jobs <- b
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	fmt.Fprintf(os.Stderr, "bidgen: drove %d bids in %v (%.1f bids/s): %d won, %d lost, %d errors, %d ticks\n",
+		len(stream), elapsed.Round(time.Millisecond), float64(len(stream))/elapsed.Seconds(),
+		won.Load(), lost.Load(), failed.Load(), ticks.Load())
+	fmt.Fprintf(os.Stderr, "bidgen: latency p50 %v p99 %v max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+	return nil
+}
+
+// setup registers the seller, the dataset and every buyer the stream
+// references. Duplicate-id failures are ignored so repeated runs
+// against a long-lived server keep working.
+func setup(ctx context.Context, cl api.Client, cfg driveConfig, stream []timeseries.Bid) error {
+	ignoreDup := func(err error) error {
+		var e *apierr.APIError
+		if errors.As(err, &e) && e.Code == apierr.CodeDuplicateID {
+			return nil
+		}
+		return err
+	}
+	if err := ignoreDup(cl.RegisterSeller(ctx, market.SellerID(cfg.seller))); err != nil {
+		return fmt.Errorf("registering seller: %w", err)
+	}
+	if err := ignoreDup(cl.UploadDataset(ctx, market.SellerID(cfg.seller), market.DatasetID(cfg.dataset))); err != nil {
+		return fmt.Errorf("uploading dataset: %w", err)
+	}
+	seen := make(map[int]bool)
+	for _, b := range stream {
+		if seen[b.Buyer] {
+			continue
+		}
+		seen[b.Buyer] = true
+		id := market.BuyerID(fmt.Sprintf("gen-%d", b.Buyer))
+		if _, err := cl.RegisterBuyer(ctx, id); err != nil {
+			if err = ignoreDup(err); err != nil {
+				return fmt.Errorf("registering buyer %s: %w", id, err)
+			}
+		}
+	}
+	return nil
+}

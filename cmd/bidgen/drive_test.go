@@ -1,0 +1,89 @@
+package main
+
+import (
+	"net"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/datamarket/shield/internal/auction"
+	"github.com/datamarket/shield/internal/core"
+	"github.com/datamarket/shield/internal/httpapi"
+	"github.com/datamarket/shield/internal/market"
+	"github.com/datamarket/shield/internal/rng"
+	"github.com/datamarket/shield/internal/timeseries"
+	"github.com/datamarket/shield/internal/wire"
+)
+
+func genStream(t *testing.T, n int) []timeseries.Bid {
+	t.Helper()
+	r := rng.New(3)
+	vals, err := timeseries.GenerateValuations(timeseries.ARConfig{
+		AR: 0.1, Sigma: 0.01, Mean: 50, Floor: 1, N: n,
+	}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := timeseries.Transform(vals, timeseries.StrategicConfig{
+		PCT: 0.5, Beta: 0.25, Horizon: 4, Floor: 1,
+	}, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stream
+}
+
+func driveMarket(t *testing.T) *market.Market {
+	t.Helper()
+	m, err := market.New(market.Config{
+		Engine: core.Config{
+			Candidates:    auction.LinearGrid(10, 100, 10),
+			EpochSize:     4,
+			BidsPerPeriod: 8,
+			MinBid:        1,
+		},
+		Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestDriveOverBothTransports replays a small generated stream against
+// a live server on each transport: setup, open-loop dispatch, ticks and
+// the summary path must all complete without a transport error.
+func TestDriveOverBothTransports(t *testing.T) {
+	stream := genStream(t, 40)
+
+	httpSrv := httptest.NewServer(httpapi.NewServer(driveMarket(t)).Routes())
+	t.Cleanup(httpSrv.Close)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() { _ = wire.NewServer(driveMarket(t)).Serve(l) }()
+
+	for name, target := range map[string]string{
+		"http": httpSrv.URL,
+		"wire": "wire://" + l.Addr().String(),
+	} {
+		cfg := driveConfig{
+			target:    target,
+			dataset:   "d",
+			seller:    "s",
+			tickEvery: 8,
+			workers:   2,
+		}
+		if err := drive(cfg, stream); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// A second run hits duplicate registrations; setup must shrug
+		// them off.
+		cfg.rate = 2000
+		if err := drive(cfg, stream[:10]); err != nil {
+			t.Fatalf("%s rerun: %v", name, err)
+		}
+	}
+}

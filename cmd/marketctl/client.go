@@ -1,7 +1,7 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,12 +10,16 @@ import (
 	"strconv"
 	"strings"
 
-	"github.com/datamarket/shield/internal/auth"
+	"github.com/datamarket/shield/internal/apierr"
+	api "github.com/datamarket/shield/internal/client"
 	"github.com/datamarket/shield/internal/market"
 	"github.com/datamarket/shield/internal/render"
 )
 
-// client talks to a marketd server.
+// client holds marketctl's connection settings; run turns it into a
+// typed internal/client.Client per invocation. It survives as a plain
+// struct (rather than the typed client directly) so flags and tests
+// can populate it field by field.
 type client struct {
 	base       string
 	credential string
@@ -35,61 +39,31 @@ func (c *client) http() *http.Client {
 	return http.DefaultClient
 }
 
-// call performs one JSON round-trip; a non-2xx status becomes an error
-// carrying the server's error message.
-func (c *client) call(method, path string, body, dst any) error {
-	var rd io.Reader
-	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		rd = bytes.NewReader(buf)
-	}
-	req, err := http.NewRequest(method, c.base+path, rd)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+// dial builds the typed client for the configured target. Every scheme
+// internal/client accepts works here, so -server can point at the
+// binary wire port ("wire://host:port") as well as the HTTP API.
+func (c *client) dial() (api.Client, error) {
+	var opts []api.Option
+	if c.credential != "" {
+		opts = append(opts, api.WithCredential(c.credential, c.nonce))
 	}
 	if c.token != "" {
-		req.Header.Set("Authorization", "Bearer "+c.token)
+		opts = append(opts, api.WithOperatorToken(c.token))
 	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return err
+	if c.httpClient != nil {
+		opts = append(opts, api.WithHTTPDoer(c.httpClient))
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 400 {
-		// The server replies with the versioned envelope
-		// {"error":{"code":"...","message":"..."}}; older servers sent a
-		// bare string, so both shapes are accepted.
-		var e struct {
-			Error json.RawMessage `json:"error"`
-		}
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && len(e.Error) > 0 {
-			var env struct {
-				Code    string `json:"code"`
-				Message string `json:"message"`
-			}
-			if json.Unmarshal(e.Error, &env) == nil && env.Message != "" {
-				if env.Code != "" {
-					return fmt.Errorf("server: %s [%s] (HTTP %d)", env.Message, env.Code, resp.StatusCode)
-				}
-				return fmt.Errorf("server: %s (HTTP %d)", env.Message, resp.StatusCode)
-			}
-			var msg string
-			if json.Unmarshal(e.Error, &msg) == nil && msg != "" {
-				return fmt.Errorf("server: %s (HTTP %d)", msg, resp.StatusCode)
-			}
-		}
-		return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	return api.Dial(c.base, opts...)
+}
+
+// decorate rewrites a server-reported failure into the CLI's
+// "server: <message> [<code>]" shape; transport errors pass through.
+func decorate(err error) error {
+	var e *apierr.APIError
+	if errors.As(err, &e) {
+		return fmt.Errorf("server: %s [%s]", e.Message, e.Code)
 	}
-	if dst == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(dst)
+	return err
 }
 
 // run dispatches one marketctl command.
@@ -104,13 +78,36 @@ func run(c *client, args []string, out io.Writer) error {
 		}
 		return nil
 	}
+
+	// metrics and health speak raw HTTP: the Prometheus exposition and
+	// the health endpoints sit outside the typed API on purpose.
+	switch cmd {
+	case "metrics":
+		if err := need(0, "metrics"); err != nil {
+			return err
+		}
+		return c.metrics(out)
+	case "health":
+		if err := need(0, "health"); err != nil {
+			return err
+		}
+		return c.health(out)
+	}
+
+	cl, err := c.dial()
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
 	switch cmd {
 	case "register-seller":
 		if err := need(1, "register-seller <id>"); err != nil {
 			return err
 		}
-		if err := c.call("POST", "/v1/sellers", map[string]string{"id": rest[0]}, nil); err != nil {
-			return err
+		if err := cl.RegisterSeller(ctx, market.SellerID(rest[0])); err != nil {
+			return decorate(err)
 		}
 		fmt.Fprintf(out, "seller %s registered\n", rest[0])
 		return nil
@@ -119,12 +116,12 @@ func run(c *client, args []string, out io.Writer) error {
 		if err := need(1, "register-buyer <id>"); err != nil {
 			return err
 		}
-		var resp map[string]string
-		if err := c.call("POST", "/v1/buyers", map[string]string{"id": rest[0]}, &resp); err != nil {
-			return err
+		cred, err := cl.RegisterBuyer(ctx, market.BuyerID(rest[0]))
+		if err != nil {
+			return decorate(err)
 		}
 		fmt.Fprintf(out, "buyer %s registered\n", rest[0])
-		if cred := resp["credential"]; cred != "" {
+		if cred != "" {
 			fmt.Fprintf(out, "credential (store securely, shown once): %s\n", cred)
 		}
 		return nil
@@ -133,8 +130,8 @@ func run(c *client, args []string, out io.Writer) error {
 		if err := need(2, "upload <seller> <dataset>"); err != nil {
 			return err
 		}
-		if err := c.call("POST", "/v1/datasets", map[string]string{"seller": rest[0], "id": rest[1]}, nil); err != nil {
-			return err
+		if err := cl.UploadDataset(ctx, market.SellerID(rest[0]), market.DatasetID(rest[1])); err != nil {
+			return decorate(err)
 		}
 		fmt.Fprintf(out, "dataset %s uploaded by %s\n", rest[1], rest[0])
 		return nil
@@ -143,8 +140,8 @@ func run(c *client, args []string, out io.Writer) error {
 		if err := need(2, "withdraw <seller> <dataset>"); err != nil {
 			return err
 		}
-		if err := c.call("DELETE", "/v1/datasets/"+rest[1]+"?seller="+rest[0], nil, nil); err != nil {
-			return err
+		if err := cl.WithdrawDataset(ctx, market.SellerID(rest[0]), market.DatasetID(rest[1])); err != nil {
+			return decorate(err)
 		}
 		fmt.Fprintf(out, "dataset %s withdrawn by %s\n", rest[1], rest[0])
 		return nil
@@ -153,9 +150,12 @@ func run(c *client, args []string, out io.Writer) error {
 		if len(rest) < 2 {
 			return errors.New("usage: marketctl compose <dataset> <part> [<part>...]")
 		}
-		body := map[string]any{"id": rest[0], "constituents": rest[1:]}
-		if err := c.call("POST", "/v1/datasets/compose", body, nil); err != nil {
-			return err
+		parts := make([]market.DatasetID, len(rest)-1)
+		for i, p := range rest[1:] {
+			parts[i] = market.DatasetID(p)
+		}
+		if err := cl.ComposeDataset(ctx, market.DatasetID(rest[0]), parts...); err != nil {
+			return decorate(err)
 		}
 		fmt.Fprintf(out, "dataset %s composed from %v\n", rest[0], rest[1:])
 		return nil
@@ -168,33 +168,15 @@ func run(c *client, args []string, out io.Writer) error {
 		if err != nil || amount <= 0 {
 			return fmt.Errorf("bad amount %q", rest[2])
 		}
-		body := map[string]any{"buyer": rest[0], "dataset": rest[1], "amount": amount}
-		if c.credential != "" {
-			micros := int64(market.FromFloat(amount))
-			signed, err := auth.Sign(auth.Credential{BuyerID: rest[0], Secret: c.credential}, rest[1], micros, c.nonce)
-			if err != nil {
-				return err
-			}
-			body = map[string]any{
-				"buyer": rest[0], "dataset": rest[1],
-				"amount_micros": signed.AmountMicros,
-				"nonce":         signed.Nonce,
-				"mac":           signed.MAC,
-			}
+		d, err := cl.SubmitBid(ctx, market.BuyerID(rest[0]), market.DatasetID(rest[1]), amount)
+		if err != nil {
+			return decorate(err)
 		}
-		var resp struct {
-			Allocated   bool    `json:"allocated"`
-			PricePaid   float64 `json:"price_paid"`
-			WaitPeriods int     `json:"wait_periods"`
-		}
-		if err := c.call("POST", "/v1/bids", body, &resp); err != nil {
-			return err
-		}
-		if resp.Allocated {
-			fmt.Fprintf(out, "won: %s acquired %s for %.6f\n", rest[0], rest[1], resp.PricePaid)
+		if d.Allocated {
+			fmt.Fprintf(out, "won: %s acquired %s for %.6f\n", rest[0], rest[1], d.PricePaid.Float())
 		} else {
 			fmt.Fprintf(out, "lost: %s must wait %d period(s) before bidding on %s again\n",
-				rest[0], resp.WaitPeriods, rest[1])
+				rest[0], d.WaitPeriods, rest[1])
 		}
 		return nil
 
@@ -202,58 +184,38 @@ func run(c *client, args []string, out io.Writer) error {
 		if len(rest) == 0 {
 			return errors.New("usage: marketctl bid-batch <buyer>:<dataset>:<amount> [...]")
 		}
-		var bids []map[string]any
-		nonce := c.nonce
-		for _, spec := range rest {
+		reqs := make([]market.BidRequest, len(rest))
+		for i, spec := range rest {
 			parts := strings.SplitN(spec, ":", 3)
 			if len(parts) != 3 {
 				return fmt.Errorf("bad bid spec %q (want <buyer>:<dataset>:<amount>)", spec)
 			}
-			buyer, dataset := parts[0], parts[1]
 			amount, err := strconv.ParseFloat(parts[2], 64)
 			if err != nil || amount <= 0 {
 				return fmt.Errorf("bad amount %q in bid spec %q", parts[2], spec)
 			}
-			entry := map[string]any{"buyer": buyer, "dataset": dataset, "amount": amount}
-			if c.credential != "" {
-				micros := int64(market.FromFloat(amount))
-				signed, err := auth.Sign(auth.Credential{BuyerID: buyer, Secret: c.credential}, dataset, micros, nonce)
-				if err != nil {
-					return err
-				}
-				nonce++
-				entry = map[string]any{
-					"buyer": buyer, "dataset": dataset,
-					"amount_micros": signed.AmountMicros,
-					"nonce":         signed.Nonce,
-					"mac":           signed.MAC,
-				}
+			reqs[i] = market.BidRequest{
+				Buyer:   market.BuyerID(parts[0]),
+				Dataset: market.DatasetID(parts[1]),
+				Amount:  amount,
 			}
-			bids = append(bids, entry)
 		}
-		var resp struct {
-			Results []struct {
-				Allocated   bool    `json:"allocated"`
-				PricePaid   float64 `json:"price_paid"`
-				WaitPeriods int     `json:"wait_periods"`
-				Error       *struct {
-					Code    string `json:"code"`
-					Message string `json:"message"`
-				} `json:"error"`
-			} `json:"results"`
-		}
-		if err := c.call("POST", "/v1/bids/batch", map[string]any{"bids": bids}, &resp); err != nil {
-			return err
+		results, err := cl.SubmitBids(ctx, reqs)
+		if err != nil {
+			return decorate(err)
 		}
 		t := render.NewTable("bid", "outcome", "detail")
-		for i, res := range resp.Results {
+		for i, res := range results {
+			var e *apierr.APIError
 			switch {
-			case res.Error != nil:
-				t.AddRowf(rest[i], "error", fmt.Sprintf("%s [%s]", res.Error.Message, res.Error.Code))
-			case res.Allocated:
-				t.AddRowf(rest[i], "won", fmt.Sprintf("paid %.6f", res.PricePaid))
+			case errors.As(res.Err, &e):
+				t.AddRowf(rest[i], "error", fmt.Sprintf("%s [%s]", e.Message, e.Code))
+			case res.Err != nil:
+				t.AddRowf(rest[i], "error", res.Err.Error())
+			case res.Decision.Allocated:
+				t.AddRowf(rest[i], "won", fmt.Sprintf("paid %.6f", res.Decision.PricePaid.Float()))
 			default:
-				t.AddRowf(rest[i], "lost", fmt.Sprintf("wait %d period(s)", res.WaitPeriods))
+				t.AddRowf(rest[i], "lost", fmt.Sprintf("wait %d period(s)", res.Decision.WaitPeriods))
 			}
 		}
 		return t.Render(out)
@@ -262,23 +224,23 @@ func run(c *client, args []string, out io.Writer) error {
 		if err := need(0, "tick"); err != nil {
 			return err
 		}
-		var resp map[string]int
-		if err := c.call("POST", "/v1/tick", map[string]any{}, &resp); err != nil {
-			return err
+		period, err := cl.Tick(ctx)
+		if err != nil {
+			return decorate(err)
 		}
-		fmt.Fprintf(out, "period %d\n", resp["period"])
+		fmt.Fprintf(out, "period %d\n", period)
 		return nil
 
 	case "datasets":
 		if err := need(0, "datasets"); err != nil {
 			return err
 		}
-		var ds []string
-		if err := c.call("GET", "/v1/datasets", nil, &ds); err != nil {
-			return err
+		ds, err := cl.Datasets(ctx)
+		if err != nil {
+			return decorate(err)
 		}
 		for _, d := range ds {
-			fmt.Fprintln(out, d)
+			fmt.Fprintln(out, string(d))
 		}
 		return nil
 
@@ -286,9 +248,9 @@ func run(c *client, args []string, out io.Writer) error {
 		if err := need(1, "stats <dataset>"); err != nil {
 			return err
 		}
-		var stats market.DatasetStats
-		if err := c.call("GET", "/v1/datasets/"+rest[0]+"/stats", nil, &stats); err != nil {
-			return err
+		stats, err := cl.Stats(ctx, market.DatasetID(rest[0]))
+		if err != nil {
+			return decorate(err)
 		}
 		t := render.NewTable("metric", "value")
 		t.AddRowf("bids", stats.Bids)
@@ -303,89 +265,31 @@ func run(c *client, args []string, out io.Writer) error {
 		if err := need(1, "balance <seller>"); err != nil {
 			return err
 		}
-		var resp map[string]float64
-		if err := c.call("GET", "/v1/sellers/"+rest[0]+"/balance", nil, &resp); err != nil {
-			return err
+		bal, err := cl.SellerBalance(ctx, market.SellerID(rest[0]))
+		if err != nil {
+			return decorate(err)
 		}
-		fmt.Fprintf(out, "%.6f\n", resp["balance"])
+		fmt.Fprintf(out, "%.6f\n", bal.Float())
 		return nil
 
 	case "wait":
 		if err := need(2, "wait <buyer> <dataset>"); err != nil {
 			return err
 		}
-		var resp map[string]int
-		if err := c.call("GET", "/v1/buyers/"+rest[0]+"/wait?dataset="+rest[1], nil, &resp); err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "%d\n", resp["wait_periods"])
-		return nil
-
-	case "metrics":
-		if err := need(0, "metrics"); err != nil {
-			return err
-		}
-		req, err := http.NewRequest("GET", c.base+"/metrics", nil)
+		w, err := cl.WaitRemaining(ctx, market.BuyerID(rest[0]), market.DatasetID(rest[1]))
 		if err != nil {
-			return err
+			return decorate(err)
 		}
-		if c.token != "" {
-			req.Header.Set("Authorization", "Bearer "+c.token)
-		}
-		resp, err := c.http().Do(req)
-		if err != nil {
-			return err
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode >= 400 {
-			return fmt.Errorf("server: HTTP %d", resp.StatusCode)
-		}
-		_, err = io.Copy(out, resp.Body)
-		return err
-
-	case "health":
-		if err := need(0, "health"); err != nil {
-			return err
-		}
-		// Raw requests rather than call(): /readyz answers 503 with a
-		// plain status body, not the error envelope, and the reason
-		// must survive into the output.
-		check := func(path string) (int, map[string]string, error) {
-			resp, err := c.http().Get(c.base + path)
-			if err != nil {
-				return 0, nil, err
-			}
-			defer resp.Body.Close()
-			var body map[string]string
-			_ = json.NewDecoder(resp.Body).Decode(&body)
-			return resp.StatusCode, body, nil
-		}
-		liveCode, live, err := check("/healthz")
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "live:  %s (HTTP %d)\n", live["status"], liveCode)
-		readyCode, ready, err := check("/readyz")
-		if err != nil {
-			return err
-		}
-		if reason := ready["reason"]; reason != "" {
-			fmt.Fprintf(out, "ready: %s (HTTP %d): %s\n", ready["status"], readyCode, reason)
-		} else {
-			fmt.Fprintf(out, "ready: %s (HTTP %d)\n", ready["status"], readyCode)
-		}
-		if liveCode != http.StatusOK || readyCode != http.StatusOK {
-			return errors.New("server is not healthy")
-		}
+		fmt.Fprintf(out, "%d\n", w)
 		return nil
 
 	case "transactions":
 		if err := need(0, "transactions"); err != nil {
 			return err
 		}
-		var txs []market.Transaction
-		if err := c.call("GET", "/v1/transactions", nil, &txs); err != nil {
-			return err
+		txs, err := cl.Transactions(ctx)
+		if err != nil {
+			return decorate(err)
 		}
 		t := render.NewTable("seq", "buyer", "dataset", "price", "period")
 		for _, tx := range txs {
@@ -396,4 +300,60 @@ func run(c *client, args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown command %q (see marketctl -h)", cmd)
 	}
+}
+
+// metrics streams the raw Prometheus exposition.
+func (c *client) metrics(out io.Writer) error {
+	req, err := http.NewRequest("GET", c.base+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	}
+	_, err = io.Copy(out, resp.Body)
+	return err
+}
+
+// health reports liveness and readiness, exiting nonzero when either
+// check fails. Raw requests rather than the typed client: /readyz
+// answers 503 with a plain status body, not the error envelope, and
+// the reason must survive into the output.
+func (c *client) health(out io.Writer) error {
+	check := func(path string) (int, map[string]string, error) {
+		resp, err := c.http().Get(c.base + path)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		var body map[string]string
+		_ = json.NewDecoder(resp.Body).Decode(&body)
+		return resp.StatusCode, body, nil
+	}
+	liveCode, live, err := check("/healthz")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "live:  %s (HTTP %d)\n", live["status"], liveCode)
+	readyCode, ready, err := check("/readyz")
+	if err != nil {
+		return err
+	}
+	if reason := ready["reason"]; reason != "" {
+		fmt.Fprintf(out, "ready: %s (HTTP %d): %s\n", ready["status"], readyCode, reason)
+	} else {
+		fmt.Fprintf(out, "ready: %s (HTTP %d)\n", ready["status"], readyCode)
+	}
+	if liveCode != http.StatusOK || readyCode != http.StatusOK {
+		return errors.New("server is not healthy")
+	}
+	return nil
 }

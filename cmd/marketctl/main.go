@@ -4,6 +4,11 @@
 //
 //	marketctl [-server http://localhost:8080] <command> [args]
 //
+// The -server flag accepts an HTTP base URL or a binary wire-protocol
+// target ("wire://host:port" or bare "host:port", see marketd
+// -wire-addr). Market commands work over either transport; metrics and
+// health are HTTP-only.
+//
 // Commands:
 //
 //	register-seller <id>

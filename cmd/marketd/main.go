@@ -7,6 +7,7 @@
 //
 //	marketd [-addr :8080] [-epoch 8] [-candidates 40] [-min 1] [-max 200]
 //	        [-seed 2022] [-shards 16] [-journal market.log] [-fsync] [-auth]
+//	        [-group-commit] [-group-commit-window 0s] [-wire-addr :9090]
 //	        [-operator-token secret] [-trace-sample 1] [-debug-addr 127.0.0.1:6060]
 //
 // With -journal, every successful operation is appended to an event log
@@ -15,9 +16,21 @@
 // latency for zero data loss on power failure (without it a crash of the
 // machine — not just the process — can lose recently buffered events;
 // recovery still works either way, replaying the longest durable prefix).
+// -group-commit coalesces concurrent journal appends into one write and
+// one fsync without weakening the per-acknowledgment durability
+// guarantee; -group-commit-window bounds how long a group leader waits
+// for followers (see journal.WithGroupCommit).
 // With -auth, buyer registration returns an HMAC credential and every bid
 // must be signed with it (false-name bidding deterrence; see
 // internal/auth).
+//
+// -wire-addr starts a second listener speaking the binary wire protocol
+// (internal/wire): persistent connections, pipelined length-prefixed
+// frames, the same market semantics and error codes as the JSON API at a
+// fraction of the per-bid cost. Clients connect with
+// shield.Dial("wire://host:port") or marketctl -server wire://host:port.
+// The wire protocol carries no bid signatures, so -wire-addr refuses to
+// start under -auth.
 //
 // The daemon is fully instrumented (see internal/obs): every request
 // gets an ID and a structured log line, bids leave sampled lifecycle
@@ -38,8 +51,10 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -54,6 +69,7 @@ import (
 	"github.com/datamarket/shield/internal/journal"
 	"github.com/datamarket/shield/internal/market"
 	"github.com/datamarket/shield/internal/obs"
+	"github.com/datamarket/shield/internal/wire"
 )
 
 func main() {
@@ -73,11 +89,21 @@ func main() {
 		opToken     = flag.String("operator-token", "", "bearer token for operator endpoints (auto-generated with -auth when empty)")
 		traceSample = flag.Int("trace-sample", 1, "record 1 in N bid-lifecycle traces (0 disables tracing)")
 		debugAddr   = flag.String("debug-addr", "", "operator-only debug listener with pprof, metrics and traces (off when empty; bind to localhost)")
+		wireAddr    = flag.String("wire-addr", "", "binary wire-protocol listener (off when empty; incompatible with -auth)")
+		groupCommit = flag.Bool("group-commit", false, "coalesce concurrent journal appends into one write (and one fsync with -fsync)")
+		gcWindow    = flag.Duration("group-commit-window", 0, "how long a group leader waits for followers with -group-commit (0 batches only what is already queued)")
 	)
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	slog.SetDefault(logger)
+
+	if *wireAddr != "" && *useAuth {
+		// The wire protocol carries no bid signatures; serving it beside
+		// an auth-gated HTTP API would silently bypass -auth.
+		logger.Error("marketd: -wire-addr is incompatible with -auth (the wire protocol has no bid signing)")
+		os.Exit(1)
+	}
 
 	if *traceSample < 0 {
 		logger.Error("marketd: bad -trace-sample (want a non-negative integer)", "value", *traceSample)
@@ -104,6 +130,7 @@ func main() {
 	}
 
 	var srvHandler *httpapi.Server
+	var backend wire.Backend
 	closeJournal := func() error { return nil }
 	switch {
 	case *journalPath == "":
@@ -113,6 +140,7 @@ func main() {
 			os.Exit(1)
 		}
 		srvHandler = httpapi.NewServer(m)
+		backend = m
 	default:
 		if *compact {
 			if err := journal.CompactFile(*journalPath); err != nil {
@@ -125,6 +153,9 @@ func main() {
 		if *fsync {
 			opts = append(opts, journal.WithFsync())
 		}
+		if *groupCommit {
+			opts = append(opts, journal.WithGroupCommit(*gcWindow))
+		}
 		jm, replayed, err := journal.OpenFile(cfg, *journalPath, opts...)
 		if err != nil {
 			logger.Error("marketd: opening journal", "path", *journalPath, "err", err)
@@ -135,6 +166,7 @@ func main() {
 			logger.Info("marketd: replayed journal", "events", replayed, "path", *journalPath)
 		}
 		srvHandler = httpapi.NewJournaled(jm)
+		backend = jm
 	}
 	srvHandler = srvHandler.WithTelemetry(tel).WithLogger(logger)
 
@@ -165,6 +197,25 @@ func main() {
 		go serveDebug(*debugAddr, tel, logger)
 	}
 
+	// The wire listener shares the HTTP handler's backend, so state,
+	// journaling and telemetry are identical over either transport.
+	var wireListener net.Listener
+	if *wireAddr != "" {
+		l, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			logger.Error("marketd: wire listener", "addr", *wireAddr, "err", err)
+			os.Exit(1)
+		}
+		wireListener = l
+		ws := wire.NewServer(backend).WithTelemetry(tel)
+		go func() {
+			logger.Info("marketd: wire protocol listening", "addr", *wireAddr)
+			if err := ws.Serve(l); err != nil && !errors.Is(err, net.ErrClosed) {
+				logger.Error("marketd: wire serve", "err", err)
+			}
+		}()
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           srvHandler.Routes(),
@@ -179,6 +230,9 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		logger.Info("marketd: shutting down")
+		if wireListener != nil {
+			_ = wireListener.Close()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

@@ -1,0 +1,84 @@
+// Package apierr is the serving surface's stable error vocabulary,
+// shared by every transport (HTTP/JSON in internal/httpapi, the binary
+// wire protocol in internal/wire). Each failed request carries exactly
+// one machine-readable code from the closed set below; clients branch
+// on the code, never on the message text. The codes are part of the v1
+// API contract and are re-exported from the shield facade.
+package apierr
+
+import (
+	"errors"
+	"net/http"
+
+	"github.com/datamarket/shield/internal/auth"
+	"github.com/datamarket/shield/internal/command"
+	"github.com/datamarket/shield/internal/market"
+)
+
+// Stable machine-readable error codes.
+const (
+	CodeDuplicateID     = "duplicate_id"
+	CodeUnknownBuyer    = "unknown_buyer"
+	CodeUnknownSeller   = "unknown_seller"
+	CodeUnknownDataset  = "unknown_dataset"
+	CodeBadBid          = "bad_bid"
+	CodeBidTooSoon      = "bid_too_soon"
+	CodeBlockedUntil    = "blocked_until"
+	CodeAlreadyAcquired = "already_acquired"
+	CodeDatasetInUse    = "dataset_in_use"
+	CodeEmptyID         = "empty_id"
+	CodeUnauthorized    = "unauthorized"
+	CodeBadRequest      = "bad_request"
+	CodeInternal        = "internal"
+)
+
+// APIError is one request's failure as the serving surface reports it:
+// a stable code plus the originating error's message. Over HTTP it is
+// the body of the {"error":{...}} envelope; over the wire protocol it
+// is the payload of an error frame.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error returns the message exactly as the server-side error produced
+// it — no code prefix, no decoration — so a client that round-trips an
+// operation through a transport observes the same error string an
+// in-process caller would (the torture harness pins this).
+func (e *APIError) Error() string { return e.Message }
+
+// Classify maps an error to its stable code and the HTTP status the
+// JSON transport uses for it (the wire transport carries the code
+// alone).
+func Classify(err error) (code string, status int) {
+	switch {
+	case errors.Is(err, market.ErrUnknownBuyer), errors.Is(err, auth.ErrUnknownBuyer):
+		return CodeUnknownBuyer, http.StatusNotFound
+	case errors.Is(err, market.ErrUnknownSeller):
+		return CodeUnknownSeller, http.StatusNotFound
+	case errors.Is(err, market.ErrUnknownDataset):
+		return CodeUnknownDataset, http.StatusNotFound
+	case errors.Is(err, market.ErrDuplicateID), errors.Is(err, auth.ErrDuplicate):
+		return CodeDuplicateID, http.StatusConflict
+	case errors.Is(err, market.ErrAlreadyAcquired):
+		return CodeAlreadyAcquired, http.StatusConflict
+	case errors.Is(err, market.ErrDatasetInUse):
+		return CodeDatasetInUse, http.StatusConflict
+	case errors.Is(err, market.ErrBadBid):
+		return CodeBadBid, http.StatusBadRequest
+	case errors.Is(err, market.ErrEmptyID), errors.Is(err, auth.ErrEmptyID):
+		return CodeEmptyID, http.StatusBadRequest
+	case errors.Is(err, market.ErrBidTooSoon):
+		return CodeBidTooSoon, http.StatusTooManyRequests
+	case errors.Is(err, market.ErrWaitActive):
+		return CodeBlockedUntil, http.StatusTooManyRequests
+	case errors.Is(err, auth.ErrBadSignature), errors.Is(err, auth.ErrReplay):
+		return CodeUnauthorized, http.StatusUnauthorized
+	case errors.Is(err, command.ErrNotMarket), errors.Is(err, command.ErrMalformed), errors.Is(err, command.ErrUnknownOp):
+		// Codec-level rejections and commands that do not target market
+		// state (Settle) are client mistakes, not server faults.
+		return CodeBadRequest, http.StatusBadRequest
+	default:
+		return CodeInternal, http.StatusInternalServerError
+	}
+}

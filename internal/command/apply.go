@@ -61,6 +61,21 @@ func Apply(st *State, cmd Command) ([]Event, error) {
 	return ApplyInto(st, cmd, nil)
 }
 
+// ApplyBid is the typed fast path for SubmitBid: semantically identical
+// to ApplyInto(st, c, buf), but the concrete command never boxes into
+// the Command interface — that conversion is a heap allocation per
+// call, and the bid path is the one place the market makes millions of
+// Apply calls a second. Serialization requirements match SubmitBid's
+// (see State).
+func ApplyBid(st *State, c SubmitBid, buf []Event) ([]Event, error) {
+	evs := buf[:0]
+	ev, err := st.applyBid(c.Buyer, c.Dataset, c.Amount)
+	if err != nil {
+		return evs, err
+	}
+	return append(evs, ev), nil
+}
+
 // ApplyInto is Apply appending into buf (sliced to zero length) so a
 // hot caller can reuse one scratch buffer per serialization domain.
 // Events may alias buf's backing array; the caller owns their lifetime

@@ -1,39 +1,35 @@
 package httpapi
 
 import (
-	"errors"
 	"net/http"
 
-	"github.com/datamarket/shield/internal/auth"
-	"github.com/datamarket/shield/internal/market"
+	"github.com/datamarket/shield/internal/apierr"
 )
 
 // Stable machine-readable error codes. Every error response carries one
 // in the versioned envelope {"error":{"code":"...","message":"..."}};
 // clients should branch on the code, never on the message text. The
-// codes are part of the v1 API contract and are re-exported from the
-// shield facade.
+// codes live in internal/apierr (they are shared with the binary wire
+// transport) and stay re-exported here and from the shield facade, so
+// existing callers compile unchanged.
 const (
-	CodeDuplicateID     = "duplicate_id"
-	CodeUnknownBuyer    = "unknown_buyer"
-	CodeUnknownSeller   = "unknown_seller"
-	CodeUnknownDataset  = "unknown_dataset"
-	CodeBadBid          = "bad_bid"
-	CodeBidTooSoon      = "bid_too_soon"
-	CodeBlockedUntil    = "blocked_until"
-	CodeAlreadyAcquired = "already_acquired"
-	CodeDatasetInUse    = "dataset_in_use"
-	CodeEmptyID         = "empty_id"
-	CodeUnauthorized    = "unauthorized"
-	CodeBadRequest      = "bad_request"
-	CodeInternal        = "internal"
+	CodeDuplicateID     = apierr.CodeDuplicateID
+	CodeUnknownBuyer    = apierr.CodeUnknownBuyer
+	CodeUnknownSeller   = apierr.CodeUnknownSeller
+	CodeUnknownDataset  = apierr.CodeUnknownDataset
+	CodeBadBid          = apierr.CodeBadBid
+	CodeBidTooSoon      = apierr.CodeBidTooSoon
+	CodeBlockedUntil    = apierr.CodeBlockedUntil
+	CodeAlreadyAcquired = apierr.CodeAlreadyAcquired
+	CodeDatasetInUse    = apierr.CodeDatasetInUse
+	CodeEmptyID         = apierr.CodeEmptyID
+	CodeUnauthorized    = apierr.CodeUnauthorized
+	CodeBadRequest      = apierr.CodeBadRequest
+	CodeInternal        = apierr.CodeInternal
 )
 
 // APIError is the body of the "error" envelope field.
-type APIError struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
+type APIError = apierr.APIError
 
 type errorEnvelope struct {
 	Error APIError `json:"error"`
@@ -41,32 +37,7 @@ type errorEnvelope struct {
 
 // classify maps an error to its stable code and HTTP status.
 func classify(err error) (code string, status int) {
-	switch {
-	case errors.Is(err, market.ErrUnknownBuyer), errors.Is(err, auth.ErrUnknownBuyer):
-		return CodeUnknownBuyer, http.StatusNotFound
-	case errors.Is(err, market.ErrUnknownSeller):
-		return CodeUnknownSeller, http.StatusNotFound
-	case errors.Is(err, market.ErrUnknownDataset):
-		return CodeUnknownDataset, http.StatusNotFound
-	case errors.Is(err, market.ErrDuplicateID), errors.Is(err, auth.ErrDuplicate):
-		return CodeDuplicateID, http.StatusConflict
-	case errors.Is(err, market.ErrAlreadyAcquired):
-		return CodeAlreadyAcquired, http.StatusConflict
-	case errors.Is(err, market.ErrDatasetInUse):
-		return CodeDatasetInUse, http.StatusConflict
-	case errors.Is(err, market.ErrBadBid):
-		return CodeBadBid, http.StatusBadRequest
-	case errors.Is(err, market.ErrEmptyID), errors.Is(err, auth.ErrEmptyID):
-		return CodeEmptyID, http.StatusBadRequest
-	case errors.Is(err, market.ErrBidTooSoon):
-		return CodeBidTooSoon, http.StatusTooManyRequests
-	case errors.Is(err, market.ErrWaitActive):
-		return CodeBlockedUntil, http.StatusTooManyRequests
-	case errors.Is(err, auth.ErrBadSignature), errors.Is(err, auth.ErrReplay):
-		return CodeUnauthorized, http.StatusUnauthorized
-	default:
-		return CodeInternal, http.StatusInternalServerError
-	}
+	return apierr.Classify(err)
 }
 
 // writeError maps market and auth errors to HTTP statuses and writes

@@ -44,6 +44,7 @@ type mutator interface {
 //	POST   /v1/bids               {"buyer": "bob", "dataset": "sales", "amount": 120.5}
 //	POST   /v1/bids/batch         {"bids": [{"buyer": "bob", "dataset": "sales", "amount": 120.5}, ...]}
 //	POST   /v1/tick               {}
+//	GET    /v1/period
 //	GET    /v1/datasets
 //	GET    /v1/datasets/{id}/stats
 //	GET    /v1/sellers/{id}/balance
@@ -133,6 +134,7 @@ func (s *Server) Routes() http.Handler {
 	mux.HandleFunc("POST /v1/bids", s.handleBid)
 	mux.HandleFunc("POST /v1/bids/batch", s.handleBidBatch)
 	mux.HandleFunc("POST /v1/tick", s.handleTick)
+	mux.HandleFunc("GET /v1/period", s.handlePeriod)
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("GET /v1/datasets/{id}/stats", s.operatorOnly(s.handleDatasetStats))
 	mux.HandleFunc("GET /v1/sellers/{id}/balance", s.handleSellerBalance)
@@ -383,6 +385,10 @@ func (s *Server) handleTick(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"period": period})
+}
+
+func (s *Server) handlePeriod(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]int{"period": s.m.Period()})
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {

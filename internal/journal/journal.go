@@ -155,12 +155,37 @@ func WithFsync() Option {
 	return func(w *Writer) { w.fsync = true }
 }
 
+// WithGroupCommit coalesces concurrent appends into one sink Write and
+// one fsync. An append joins the writer's pending group (creating it
+// when there is none); the record that created the group — the leader —
+// waits up to window for followers to pile on, then hands the whole
+// group to the sink as a single Write call, syncs it (WithFsync), and
+// wakes every member. Each member is acknowledged only after its
+// group's sync, so the durability guarantee per acknowledged operation
+// is unchanged — only the latency (bounded by window plus one flush)
+// and the fsync amortization differ. A window of 0 still batches: every
+// record that arrives while the previous group is flushing joins the
+// next group, so group size tracks the append parallelism.
+//
+// A group that fails to reach the sink fails every member with the same
+// error and poisons the writer — never a prefix of the group silently.
+// Groups flush in formation order, so the log remains an unbroken
+// sequence of complete records plus at most one torn tail, exactly as
+// in per-record mode.
+func WithGroupCommit(window time.Duration) Option {
+	return func(w *Writer) {
+		w.grouped = true
+		w.groupWindow = window
+	}
+}
+
 // WithTelemetry instruments the writer: append and fsync latency
-// histograms, a per-record size histogram, and counters for appended
-// bytes and failed appends, all registered on t's registry. Register at
-// most one writer per registry (families panic on double registration
-// by design); short-lived internal writers, like the one Compact
-// builds, stay uninstrumented.
+// histograms, a per-record size histogram, a group-size histogram
+// (WithGroupCommit), and counters for appended bytes and failed
+// appends, all registered on t's registry. Register at most one writer
+// per registry (families panic on double registration by design);
+// short-lived internal writers, like the one Compact builds, stay
+// uninstrumented.
 func WithTelemetry(t *obs.Telemetry) Option {
 	return func(w *Writer) {
 		r := t.Registry
@@ -174,6 +199,9 @@ func WithTelemetry(t *obs.Telemetry) Option {
 			recordBytes: r.Histogram("shield_journal_record_bytes",
 				"Encoded size of one journal record.",
 				obs.SizeBuckets()),
+			groupSize: r.Histogram("shield_journal_group_records",
+				"Records coalesced into one group-commit flush (WithGroupCommit).",
+				[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
 			bytesTotal: r.Counter("shield_journal_appended_bytes_total",
 				"Bytes appended to the journal."),
 			appendErrors: r.Counter("shield_journal_append_errors_total",
@@ -188,6 +216,7 @@ type writerTelemetry struct {
 	appendLatency *obs.Histogram
 	fsyncLatency  *obs.Histogram
 	recordBytes   *obs.Histogram
+	groupSize     *obs.Histogram
 	bytesTotal    *obs.Counter
 	appendErrors  *obs.Counter
 }
@@ -210,6 +239,31 @@ type Writer struct {
 	started bool
 	closed  bool
 	err     error // sticky append failure
+
+	// Group commit (WithGroupCommit). cur is the forming group
+	// concurrent appends pile onto (guarded by mu); flushMu serializes
+	// group flushes so groups reach the sink in formation order — the
+	// lock order is flushMu before mu. groups and maxGroup are
+	// diagnostics (tests read them; telemetry exports the histogram).
+	grouped     bool
+	groupWindow time.Duration
+	cur         *commitGroup
+	flushMu     sync.Mutex
+	groups      int64
+	maxGroup    int
+}
+
+// commitGroup is one batch of records bound for a single sink Write
+// (plus one fsync). Members append their encoded records to buf under
+// the writer mutex; the member that created the group leads the flush.
+// done closes once the group's fate is decided, and err is the shared
+// outcome every member returns — the whole group succeeds or the whole
+// group fails, never a silent prefix.
+type commitGroup struct {
+	buf  bytes.Buffer
+	n    int
+	done chan struct{}
+	err  error
 }
 
 // NewWriter wraps w. Call Genesis before any other append.
@@ -257,6 +311,9 @@ func (w *Writer) Append(e Event) error {
 // obs trace, the record's sink write and fsync land as journal.append
 // and journal.fsync spans on it.
 func (w *Writer) AppendCtx(ctx context.Context, e Event) error {
+	if w.grouped {
+		return w.appendGrouped(ctx, e)
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
@@ -269,6 +326,138 @@ func (w *Writer) AppendCtx(ctx context.Context, e Event) error {
 		return ErrDoubleStart
 	}
 	return w.append(ctx, e)
+}
+
+// appendGrouped enqueues one record onto the pending commit group and
+// returns once the group's flush decides its fate. The sequence number
+// advances at enqueue time: groups flush in formation order and a
+// failed flush poisons the writer, so no later record can ever occupy
+// a failed record's slot.
+func (w *Writer) appendGrouped(ctx context.Context, e Event) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	if !w.started {
+		w.mu.Unlock()
+		return ErrNoGenesis
+	}
+	if e.Op == OpGenesis || e.Op == OpSnapshot {
+		w.mu.Unlock()
+		return ErrDoubleStart
+	}
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	e.Seq = w.seq + 1
+	w.scratch.Reset()
+	if err := w.enc.Encode(e); err != nil {
+		// Nothing was enqueued; the writer stays usable.
+		w.mu.Unlock()
+		return fmt.Errorf("journal: encoding event %d: %w", e.Seq, err)
+	}
+	w.seq = e.Seq
+	if w.tel != nil {
+		w.tel.recordBytes.Observe(float64(w.scratch.Len()))
+	}
+	g := w.cur
+	leader := g == nil
+	if leader {
+		g = &commitGroup{done: make(chan struct{})}
+		w.cur = g
+	}
+	g.buf.Write(w.scratch.Bytes())
+	g.n++
+	w.mu.Unlock()
+
+	if !leader {
+		endWait := obs.StartSpan(ctx, "journal.groupwait")
+		<-g.done
+		endWait()
+		return g.err
+	}
+	// Leader: give followers the commit window to pile on, then flush.
+	// The sleep happens before taking flushMu, so it overlaps the
+	// previous group's sink write instead of adding to it.
+	if w.groupWindow > 0 {
+		time.Sleep(w.groupWindow)
+	}
+	w.flushGroup(ctx, g)
+	return g.err
+}
+
+// flushGroup detaches g from the writer and commits it: one sink Write,
+// one fsync (WithFsync), one shared outcome. flushMu serializes flushes
+// in group-formation order; a sticky writer error fails the group
+// without touching the sink.
+func (w *Writer) flushGroup(ctx context.Context, g *commitGroup) {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	w.mu.Lock()
+	if w.cur == g {
+		w.cur = nil // no further members may join
+	}
+	if w.err != nil {
+		// An earlier group tore the sink; writing after the tear would
+		// turn a recoverable torn tail into mid-log corruption.
+		g.err = w.err
+		w.mu.Unlock()
+		close(g.done)
+		return
+	}
+	w.mu.Unlock()
+
+	endAppend := obs.StartSpan(ctx, "journal.append")
+	var start time.Time
+	if w.tel != nil {
+		start = time.Now()
+	}
+	n, err := w.sink.Write(g.buf.Bytes())
+	if w.tel != nil {
+		w.tel.appendLatency.ObserveSince(start)
+	}
+	endAppend()
+	if err != nil {
+		err = fmt.Errorf("journal: writing group of %d records: %w", g.n, err)
+	} else if w.fsync {
+		if s, ok := w.sink.(syncer); ok {
+			endFsync := obs.StartSpan(ctx, "journal.fsync")
+			if w.tel != nil {
+				start = time.Now()
+			}
+			serr := s.Sync()
+			if w.tel != nil {
+				w.tel.fsyncLatency.ObserveSince(start)
+			}
+			endFsync()
+			if serr != nil {
+				err = fmt.Errorf("journal: syncing group of %d records: %w", g.n, serr)
+			}
+		}
+	}
+
+	w.mu.Lock()
+	if err != nil {
+		if w.tel != nil {
+			w.tel.appendErrors.Inc()
+		}
+		w.err = err
+	} else {
+		w.groups++
+		if g.n > w.maxGroup {
+			w.maxGroup = g.n
+		}
+		if w.tel != nil {
+			w.tel.bytesTotal.Add(uint64(n))
+			w.tel.groupSize.Observe(float64(g.n))
+		}
+	}
+	w.mu.Unlock()
+	g.err = err
+	close(g.done)
 }
 
 func (w *Writer) append(ctx context.Context, e Event) error {
@@ -343,15 +532,27 @@ func (w *Writer) Healthy() error {
 
 // Close marks the writer closed and syncs syncable sinks, so a graceful
 // shutdown is durable even without WithFsync. Further appends fail with
-// ErrClosed. Close does not close the sink; callers that opened a file
-// own closing it (Market.Close does both).
+// ErrClosed. In group-commit mode Close first drains the pending group
+// — its members were promised an answer and get a real one. Close does
+// not close the sink; callers that opened a file own closing it
+// (Market.Close does both).
 func (w *Writer) Close() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.closed {
-		return w.err
+		err := w.err
+		w.mu.Unlock()
+		return err
 	}
 	w.closed = true
+	g := w.cur
+	w.mu.Unlock()
+	if g != nil {
+		<-g.done // the group's leader is mid-window or mid-flush; let it finish
+	}
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.err != nil {
 		return w.err
 	}
@@ -662,6 +863,54 @@ func record(cmd command.Command) Event {
 		panic(err)
 	}
 	return e
+}
+
+// Apply routes one command through the market and journals it; see
+// ApplyCtx. It shadows the embedded market's Apply so command-level
+// callers (the wire server, replay tooling) cannot accidentally mutate
+// state without persisting it.
+func (m *Market) Apply(cmd command.Command) ([]command.Event, error) {
+	return m.ApplyCtx(context.Background(), cmd)
+}
+
+// ApplyCtx executes cmd against the embedded market and journals the
+// applied state change. For every command but BidBatch that means
+// journaling on success only. A BidBatch may partially apply — the
+// core stops at the first failing bid — so the journal records exactly
+// the applied prefix (as an OpBidBatch of the succeeded bids); the
+// original command error, if any, is still returned. A journal failure
+// takes precedence: the operation applied but did not persist, and the
+// caller must know the log is behind the in-memory state.
+func (m *Market) ApplyCtx(ctx context.Context, cmd command.Command) ([]command.Event, error) {
+	evs, err := m.Market.ApplyCtx(ctx, cmd)
+	switch cmd.(type) {
+	case command.BidBatch:
+		if len(evs) == 0 {
+			return evs, err
+		}
+		bids := make([]command.SubmitBid, len(evs))
+		for i, ev := range evs {
+			bids[i] = command.SubmitBid{Buyer: ev.Buyer, Dataset: ev.Dataset, Amount: ev.Amount}
+		}
+		e := record(command.BidBatch{Bids: bids})
+		e.Trace = obs.RequestIDFrom(ctx)
+		if jerr := m.w.AppendCtx(ctx, e); jerr != nil {
+			return evs, jerr
+		}
+		return evs, err
+	case command.Settle:
+		return evs, err // never applies; nothing to journal
+	default:
+		if err != nil {
+			return evs, err
+		}
+		e := record(cmd)
+		e.Trace = obs.RequestIDFrom(ctx)
+		if jerr := m.w.AppendCtx(ctx, e); jerr != nil {
+			return evs, jerr
+		}
+		return evs, nil
+	}
 }
 
 // RegisterBuyer journals on success.

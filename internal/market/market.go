@@ -278,7 +278,8 @@ func (m *Market) applyBidCtx(ctx context.Context, c command.SubmitBid) (command.
 		return command.Event{}, err
 	}
 
-	locked := m.lockSet(c.Dataset, leaves)
+	var lockBuf [maxStackLocks]int
+	locked := m.lockSet(c.Dataset, leaves, lockBuf[:0])
 	endLockSpan := obs.StartSpan(ctx, "shard.lock_wait")
 	m.lockShards(locked)
 	endLockSpan()
@@ -296,7 +297,9 @@ func (m *Market) applyBidCtx(ctx context.Context, c command.SubmitBid) (command.
 	}
 	// The scratch buffer is owned by the primary shard, whose lock we
 	// hold; the event is copied out by value before the locks drop.
-	evs, err := command.ApplyInto(m.st, c, primary.evbuf)
+	// ApplyBid (not ApplyInto) keeps the command out of the Command
+	// interface — boxing it would allocate on every bid.
+	evs, err := command.ApplyBid(m.st, c, primary.evbuf)
 	primary.evbuf = evs[:0]
 	endEvalSpan()
 	if m.tel != nil {
@@ -398,7 +401,7 @@ func (m *Market) Stats(dataset DatasetID) (DatasetStats, error) {
 	if !ok {
 		return DatasetStats{}, fmt.Errorf("%w: %s", ErrUnknownDataset, dataset)
 	}
-	return *cell.Load(), nil
+	return cell.load(), nil
 }
 
 // SellerDatasets returns the base datasets a seller has uploaded.

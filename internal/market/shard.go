@@ -1,8 +1,6 @@
 package market
 
 import (
-	"hash/fnv"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,27 +46,54 @@ func newShards(n int) []*shard {
 	return out
 }
 
+// fnv1a hashes a dataset ID with FNV-1a inlined as a pure function.
+// hash/fnv's New64a hands back a heap-allocated hash.Hash64, which
+// would cost the bid hot path an interface allocation per lookup; the
+// constants match hash/fnv exactly, so shard placement is unchanged.
+func fnv1a(id DatasetID) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return h
+}
+
 // shardIndex maps a dataset to its shard by FNV-1a hash.
 func (m *Market) shardIndex(id DatasetID) int {
-	h := fnv.New64a()
-	h.Write([]byte(id))
-	return int(h.Sum64() % uint64(len(m.shards)))
+	return int(fnv1a(id) % uint64(len(m.shards)))
 }
 
 func (m *Market) shardFor(id DatasetID) *shard {
 	return m.shards[m.shardIndex(id)]
 }
 
+// maxStackLocks is the lock-set fan-out the bid path resolves without
+// touching the heap: a bid on a base dataset needs one shard, and a
+// derived dataset needs one per distinct leaf shard. Larger sets spill
+// to an ordinary allocation via append.
+const maxStackLocks = 8
+
 // lockSet returns the sorted, deduplicated shard indices a bid on
 // dataset must hold: the dataset's own shard plus, for derived
 // datasets, the shards of every leaf engine the demand signal
-// propagates to. Callers must hold the registry read lock.
-func (m *Market) lockSet(dataset DatasetID, leaves []string) []int {
-	idx := []int{m.shardIndex(dataset)}
+// propagates to. The result is built in buf (the caller passes a
+// stack-backed slice of capacity maxStackLocks, so the common fan-outs
+// never allocate). Callers must hold the registry read lock.
+func (m *Market) lockSet(dataset DatasetID, leaves []string, buf []int) []int {
+	idx := append(buf[:0], m.shardIndex(dataset))
 	for _, leaf := range leaves {
 		idx = append(idx, m.shardIndex(DatasetID(leaf)))
 	}
-	sort.Ints(idx)
+	// Insertion sort: n is the bid's engine fan-out (1 for base
+	// datasets, a handful for derived ones) and sort.Ints would cost an
+	// interface conversion per call.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && idx[j] < idx[j-1]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
 	uniq := idx[:1]
 	for _, i := range idx[1:] {
 		if i != uniq[len(uniq)-1] {

@@ -129,7 +129,7 @@ func (m *Market) StatsAll() []DatasetStats {
 	stats := *m.vw.stats.Load()
 	out := make([]DatasetStats, 0, len(stats))
 	for _, cell := range stats {
-		out = append(out, *cell.Load())
+		out = append(out, cell.load())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Dataset < out[j].Dataset })
 	return out

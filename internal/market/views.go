@@ -1,6 +1,8 @@
 package market
 
 import (
+	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -33,9 +35,11 @@ type views struct {
 
 	// stats maps each priced dataset to its diagnostic cell. The outer
 	// map is copy-on-write (cloned under the registry write lock on
-	// upload/compose/withdraw); cells are swapped under the dataset's
-	// shard lock on every bid that touches its engine.
-	stats atomic.Pointer[map[DatasetID]*atomic.Pointer[DatasetStats]]
+	// upload/compose/withdraw); each cell is overwritten in place — a
+	// seqlock over per-field atomics, so the per-bid publication
+	// allocates nothing — under the dataset's shard lock on every bid
+	// that touches its engine.
+	stats atomic.Pointer[map[DatasetID]*statsCell]
 
 	// buyers maps each registered buyer to its view cell. The outer map
 	// is copy-on-write (cloned under the registry write lock on
@@ -49,6 +53,65 @@ type views struct {
 	// only Load.
 	booksMu sync.Mutex
 	books   atomic.Pointer[booksView]
+}
+
+// statsCell publishes one dataset's DatasetStats without allocating: a
+// seqlock over per-field atomics instead of a freshly heap-allocated
+// value behind an atomic pointer. Writers — bid publication under the
+// dataset's shard lock, structural publication under the registry
+// write lock, rebuild before sharing — are already mutually serialized
+// per cell, so the sequence only has to make torn reads detectable:
+// store flips it odd, writes every field, flips it even; load retries
+// until it reads the same even sequence on both sides of the copy.
+type statsCell struct {
+	seq atomic.Uint64 // odd while a store is in flight
+
+	bids        atomic.Int64
+	allocations atomic.Int64
+	epochs      atomic.Int64
+	revenue     atomic.Uint64 // float64 bits
+	posting     atomic.Uint64 // float64 bits
+	mostLikely  atomic.Uint64 // float64 bits
+
+	dataset DatasetID // immutable after creation
+}
+
+func newStatsCell(ds DatasetStats) *statsCell {
+	c := &statsCell{dataset: ds.Dataset}
+	c.store(ds)
+	return c
+}
+
+func (c *statsCell) store(ds DatasetStats) {
+	c.seq.Add(1)
+	c.bids.Store(int64(ds.Bids))
+	c.allocations.Store(int64(ds.Allocations))
+	c.epochs.Store(int64(ds.Epochs))
+	c.revenue.Store(math.Float64bits(ds.Revenue))
+	c.posting.Store(math.Float64bits(ds.PostingPrice))
+	c.mostLikely.Store(math.Float64bits(ds.MostLikelyPrice))
+	c.seq.Add(1)
+}
+
+func (c *statsCell) load() DatasetStats {
+	for {
+		s := c.seq.Load()
+		if s&1 == 0 {
+			ds := DatasetStats{
+				Dataset:         c.dataset,
+				Bids:            int(c.bids.Load()),
+				Allocations:     int(c.allocations.Load()),
+				Epochs:          int(c.epochs.Load()),
+				Revenue:         math.Float64frombits(c.revenue.Load()),
+				PostingPrice:    math.Float64frombits(c.posting.Load()),
+				MostLikelyPrice: math.Float64frombits(c.mostLikely.Load()),
+			}
+			if c.seq.Load() == s {
+				return ds
+			}
+		}
+		runtime.Gosched() // a store is in flight; yield and retry
+	}
 }
 
 // buyerView is one buyer's immutable read view.
@@ -69,7 +132,7 @@ type booksView struct {
 }
 
 func (m *Market) initViews() {
-	stats := make(map[DatasetID]*atomic.Pointer[DatasetStats])
+	stats := make(map[DatasetID]*statsCell)
 	buyers := make(map[BuyerID]*atomic.Pointer[buyerView])
 	m.vw.stats.Store(&stats)
 	m.vw.buyers.Store(&buyers)
@@ -82,15 +145,13 @@ func (m *Market) rebuildViews() {
 	m.vw.clock.Store(int64(m.st.Period()))
 
 	ids := m.st.DatasetIDs()
-	stats := make(map[DatasetID]*atomic.Pointer[DatasetStats], len(ids))
+	stats := make(map[DatasetID]*statsCell, len(ids))
 	for _, id := range ids {
 		ds, err := m.st.Stats(id)
 		if err != nil {
 			continue
 		}
-		cell := new(atomic.Pointer[DatasetStats])
-		cell.Store(&ds)
-		stats[id] = cell
+		stats[id] = newStatsCell(ds)
 	}
 	m.vw.stats.Store(&stats)
 
@@ -148,18 +209,16 @@ func (m *Market) publishStructural(evs []command.Event) {
 				continue
 			}
 			old := *m.vw.stats.Load()
-			next := make(map[DatasetID]*atomic.Pointer[DatasetStats], len(old)+1)
+			next := make(map[DatasetID]*statsCell, len(old)+1)
 			for k, v := range old {
 				next[k] = v
 			}
-			cell := new(atomic.Pointer[DatasetStats])
-			cell.Store(&ds)
-			next[ev.Dataset] = cell
+			next[ev.Dataset] = newStatsCell(ds)
 			m.vw.stats.Store(&next)
 
 		case command.EvDatasetRemoved:
 			old := *m.vw.stats.Load()
-			next := make(map[DatasetID]*atomic.Pointer[DatasetStats], len(old))
+			next := make(map[DatasetID]*statsCell, len(old))
 			for k, v := range old {
 				if k != ev.Dataset {
 					next[k] = v
@@ -207,10 +266,11 @@ func (m *Market) publishBid(ev command.Event) {
 	}
 }
 
-// publishStats republishes one dataset's stats cell. The caller holds
-// the dataset's shard lock (serializing against every other publisher
-// of the same cell) and the registry read lock (so the dataset cannot
-// be withdrawn mid-publication).
+// publishStats republishes one dataset's stats cell, in place and
+// without allocating (the seqlock store). The caller holds the
+// dataset's shard lock (serializing against every other publisher of
+// the same cell) and the registry read lock (so the dataset cannot be
+// withdrawn mid-publication).
 func (m *Market) publishStats(id DatasetID) {
 	cell, ok := (*m.vw.stats.Load())[id]
 	if !ok {
@@ -220,7 +280,7 @@ func (m *Market) publishStats(id DatasetID) {
 	if err != nil {
 		return
 	}
-	cell.Store(&ds)
+	cell.store(ds)
 }
 
 func sortDatasetIDs(ids []DatasetID) {

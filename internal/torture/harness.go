@@ -13,7 +13,9 @@ package torture
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"net"
 
 	"github.com/datamarket/shield/internal/auction"
 	"github.com/datamarket/shield/internal/core"
@@ -21,6 +23,7 @@ import (
 	"github.com/datamarket/shield/internal/journal"
 	"github.com/datamarket/shield/internal/market"
 	"github.com/datamarket/shield/internal/obs"
+	"github.com/datamarket/shield/internal/wire"
 )
 
 // Config configures one torture run.
@@ -121,15 +124,22 @@ type opResult struct {
 	stats market.DatasetStats
 }
 
-// replica is one real journaled market under test.
+// replica is one real journaled market under test. When conn is set,
+// every op reaches the market through the binary wire protocol instead
+// of direct method calls — the codec round trip must be invisible.
 type replica struct {
 	name   string
 	shards int
 	jm     *journal.Market
 	buf    *bytes.Buffer
+	conn   *wire.Conn
+	close  func()
 }
 
 func (r *replica) apply(op Op) opResult {
+	if r.conn != nil {
+		return r.applyWire(op)
+	}
 	switch op.Kind {
 	case OpRegisterBuyer:
 		return opResult{err: r.jm.RegisterBuyer(op.Buyer)}
@@ -151,6 +161,40 @@ func (r *replica) apply(op Op) opResult {
 		return opResult{batch: r.jm.SubmitBids(bidRequests(op))}
 	case OpQuery:
 		s, err := r.jm.Stats(op.Dataset)
+		return opResult{stats: s, err: err}
+	default:
+		return opResult{}
+	}
+}
+
+// applyWire drives one op through the replica's wire connection. The
+// wire transport reports failures as *apierr.APIError whose Error() is
+// the server-side message verbatim, so errString comparison against the
+// reference still holds exactly.
+func (r *replica) applyWire(op Op) opResult {
+	ctx := context.Background()
+	switch op.Kind {
+	case OpRegisterBuyer:
+		return opResult{err: r.conn.RegisterBuyer(ctx, op.Buyer)}
+	case OpRegisterSeller:
+		return opResult{err: r.conn.RegisterSeller(ctx, op.Seller)}
+	case OpUpload:
+		return opResult{err: r.conn.UploadDataset(ctx, op.Seller, op.Dataset)}
+	case OpCompose:
+		return opResult{err: r.conn.ComposeDataset(ctx, op.Dataset, op.Constituents...)}
+	case OpWithdraw:
+		return opResult{err: r.conn.WithdrawDataset(ctx, op.Seller, op.Dataset)}
+	case OpTick:
+		n, err := r.conn.Tick(ctx)
+		return opResult{tick: n, err: err}
+	case OpBid:
+		d, err := r.conn.SubmitBid(ctx, op.Buyer, op.Dataset, op.Amount)
+		return opResult{dec: d, err: err}
+	case OpBatch:
+		batch, err := r.conn.SubmitBids(ctx, bidRequests(op))
+		return opResult{batch: batch, err: err}
+	case OpQuery:
+		s, err := r.conn.Stats(ctx, op.Dataset)
 		return opResult{stats: s, err: err}
 	default:
 		return opResult{}
@@ -266,6 +310,21 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	h.replicas = append(h.replicas, twin)
+	// The wire twin reaches its journaled market only through the binary
+	// wire protocol: every decision, error string, journal record and
+	// snapshot must still match the in-process replicas byte for byte.
+	wt, err := newWireReplica(cfg, cfg.Shards[0])
+	if err != nil {
+		return nil, err
+	}
+	h.replicas = append(h.replicas, wt)
+	defer func() {
+		for _, r := range h.replicas {
+			if r.close != nil {
+				r.close()
+			}
+		}
+	}()
 
 	// Two identically-seeded ex-post arbiters: the settle stream must be
 	// bit-for-bit deterministic across instances.
@@ -323,6 +382,37 @@ func newReplica(name string, cfg Config, shards int, instrument bool) (*replica,
 		jm.Market.TestPerturbPrices(cfg.canaryPerturb)
 	}
 	return &replica{name: name, shards: shards, jm: jm, buf: buf}, nil
+}
+
+// newWireReplica builds a journaled replica reached exclusively through
+// the wire protocol: a wire client over an in-memory pipe to an
+// uninstrumented wire server backed by the journaled market. The server
+// mints no request IDs, so journaled events carry empty traces exactly
+// like the direct-call replicas and the tails stay comparable.
+func newWireReplica(cfg Config, shards int) (*replica, error) {
+	buf := &bytes.Buffer{}
+	jm, err := journal.NewMarket(market.Config{Engine: cfg.Engine, Seed: cfg.Seed, Shards: shards}, buf)
+	if err != nil {
+		return nil, fmt.Errorf("torture: wire replica: %w", err)
+	}
+	if cfg.canaryPerturb != nil {
+		jm.Market.TestPerturbPrices(cfg.canaryPerturb)
+	}
+	srvConn, cliConn := net.Pipe()
+	go func() { _ = wire.NewServer(jm).ServeConn(srvConn) }()
+	conn, err := wire.NewConn(cliConn)
+	if err != nil {
+		srvConn.Close()
+		return nil, fmt.Errorf("torture: wire replica handshake: %w", err)
+	}
+	return &replica{
+		name:   fmt.Sprintf("wire shards=%d", shards),
+		shards: shards,
+		jm:     jm,
+		buf:    buf,
+		conn:   conn,
+		close:  func() { _ = conn.Close() },
+	}, nil
 }
 
 func (h *harness) fail(opIdx int, op Op, format string, args ...any) *Failure {

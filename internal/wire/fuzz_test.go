@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"context"
+	"encoding/binary"
+	"testing"
+
+	"github.com/datamarket/shield/internal/apierr"
+	"github.com/datamarket/shield/internal/command"
+)
+
+// validCodes is the closed set of error codes a wire response may
+// carry; FuzzWireDecode pins that no input invents a new one.
+var validCodes = map[string]bool{
+	apierr.CodeDuplicateID:     true,
+	apierr.CodeUnknownBuyer:    true,
+	apierr.CodeUnknownSeller:   true,
+	apierr.CodeUnknownDataset:  true,
+	apierr.CodeBadBid:          true,
+	apierr.CodeBidTooSoon:      true,
+	apierr.CodeBlockedUntil:    true,
+	apierr.CodeAlreadyAcquired: true,
+	apierr.CodeDatasetInUse:    true,
+	apierr.CodeEmptyID:         true,
+	apierr.CodeUnauthorized:    true,
+	apierr.CodeBadRequest:      true,
+	apierr.CodeInternal:        true,
+}
+
+// FuzzWireDecode throws arbitrary request payloads at the server's
+// frame handler and pins its safety contract: it never panics, always
+// produces a parseable response envelope, and every error envelope
+// carries a code from the closed apierr set. Seeds cover each request
+// kind, every query opcode, and each command opcode so mutation starts
+// from structurally valid frames.
+func FuzzWireDecode(f *testing.F) {
+	seed := func(parts ...[]byte) {
+		var p []byte
+		for _, b := range parts {
+			p = append(p, b...)
+		}
+		f.Add(p)
+	}
+	reqID := binary.AppendUvarint(nil, 9)
+
+	// Every query opcode, with and without plausible arguments.
+	for op := byte(0); op <= qTransactions+1; op++ {
+		seed(reqID, []byte{kindQuery, op})
+		seed(reqID, []byte{kindQuery, op}, appendString(nil, "d"))
+		seed(reqID, []byte{kindQuery, op}, appendString(nil, "b"), appendString(nil, "d"))
+	}
+
+	// Every command through the real encoder.
+	for _, cmd := range []command.Command{
+		command.RegisterBuyer{Buyer: "b"},
+		command.RegisterSeller{Seller: "s"},
+		command.UploadDataset{Seller: "s", Dataset: "d"},
+		command.ComposeDataset{Dataset: "c", Constituents: []command.DatasetID{"d"}},
+		command.WithdrawDataset{Seller: "s", Dataset: "d"},
+		command.SubmitBid{Buyer: "b", Dataset: "d", Amount: 42},
+		command.BidBatch{Bids: []command.SubmitBid{{Buyer: "b", Dataset: "d", Amount: 1}}},
+		command.Tick{},
+		command.Settle{Buyer: "b", Dataset: "d", Amount: 1},
+	} {
+		enc, err := command.EncodeBinary(cmd)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seed(reqID, []byte{kindCommand}, enc)
+	}
+
+	// Degenerate headers.
+	seed(nil)
+	seed([]byte{0x80}) // unterminated uvarint
+	seed(reqID, []byte{0xFF})
+
+	m := testMarket(f)
+	if err := m.RegisterSeller("s"); err != nil {
+		f.Fatal(err)
+	}
+	if err := m.UploadDataset("s", "d"); err != nil {
+		f.Fatal(err)
+	}
+	if err := m.RegisterBuyer("b"); err != nil {
+		f.Fatal(err)
+	}
+	s := NewServer(m)
+	ctx := context.Background()
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		resp := s.handle(ctx, payload, nil)
+		r := &payloadReader{data: resp}
+		r.uvarint() // request id (possibly 0 when the header was garbage)
+		status := r.byte()
+		if r.err != nil {
+			t.Fatalf("unparseable response envelope for %x", payload)
+		}
+		switch status {
+		case statusOK:
+		case statusErr:
+			code := r.str()
+			r.str() // message
+			if r.err != nil {
+				t.Fatalf("unparseable error envelope for %x", payload)
+			}
+			if !validCodes[code] {
+				t.Fatalf("error code %q outside the closed set (payload %x)", code, payload)
+			}
+		default:
+			t.Fatalf("response status %d for %x", status, payload)
+		}
+	})
+}

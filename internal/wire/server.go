@@ -1,0 +1,391 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"time"
+
+	"github.com/datamarket/shield/internal/apierr"
+	"github.com/datamarket/shield/internal/command"
+	"github.com/datamarket/shield/internal/market"
+	"github.com/datamarket/shield/internal/obs"
+)
+
+// Backend is the market surface the wire server drives. Both
+// *market.Market and *journal.Market satisfy it: commands flow through
+// ApplyCtx (journaled on a journaled backend), batches through
+// SubmitBidsCtx (per-entry results, journaled successes), and queries
+// through the lock-free read views.
+type Backend interface {
+	ApplyCtx(ctx context.Context, cmd command.Command) ([]command.Event, error)
+	SubmitBidsCtx(ctx context.Context, reqs []market.BidRequest) []market.BidResult
+
+	Period() int
+	Datasets() []market.DatasetID
+	Stats(dataset market.DatasetID) (market.DatasetStats, error)
+	SellerBalance(id market.SellerID) (market.Money, error)
+	WaitRemaining(buyer market.BuyerID, dataset market.DatasetID) (int, error)
+	Transactions() []market.Transaction
+}
+
+// Server serves the wire protocol over persistent connections.
+type Server struct {
+	b Backend
+
+	tel     *obs.Telemetry
+	latency *obs.Vec[*obs.Histogram]
+	conns   *obs.Gauge
+}
+
+// NewServer returns a wire server over b.
+func NewServer(b Backend) *Server {
+	return &Server{b: b}
+}
+
+// WithTelemetry instruments the server on t: per-request latency by
+// operation and status, and the live connection count. It also turns on
+// request-id minting — each frame's command executes under a fresh
+// request id, which a journaled backend records as the entry's trace.
+// Must be called before the server accepts connections; an
+// uninstrumented server adds nothing to the request context, so its
+// journal entries carry no trace ids (the torture harness relies on
+// this to keep wire-driven journals byte-identical to in-process ones).
+func (s *Server) WithTelemetry(t *obs.Telemetry) *Server {
+	s.tel = t
+	s.latency = t.Registry.HistogramVec("shield_wire_request_seconds",
+		"Wire request latency by operation and status.",
+		obs.LatencyBuckets(), "op", "status")
+	s.conns = t.Registry.Gauge("shield_wire_connections",
+		"Open wire-protocol connections.")
+	return s
+}
+
+// Serve accepts connections on l until it closes, running each
+// connection on its own goroutine. It always returns a non-nil error
+// (net.ErrClosed after a clean shutdown).
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() { _ = s.ServeConn(conn) }()
+	}
+}
+
+// ServeConn serves one connection to completion: handshake, then frames
+// until the peer closes or the stream turns malformed. It closes conn
+// before returning and reports why the connection ended (nil for a
+// clean peer close).
+//
+// Execution is pipelined: a reader goroutine decodes frames while this
+// goroutine executes them strictly in order, and responses are flushed
+// only when the pipeline drains — a burst of N requests costs one write
+// syscall, not N.
+func (s *Server) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	if s.conns != nil {
+		s.conns.Add(1)
+		defer s.conns.Add(-1)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+
+	if err := s.handshake(br, bw); err != nil {
+		return err
+	}
+
+	type frame struct {
+		payload []byte
+		err     error
+	}
+	// The channel depth bounds how far the reader runs ahead of
+	// execution; beyond it, backpressure propagates to the client
+	// through TCP flow control.
+	frames := make(chan frame, 64)
+	go func() {
+		defer close(frames)
+		for {
+			// Payload buffers cross a channel, so each frame needs its
+			// own; the reader cannot reuse one.
+			p, err := readFrame(br, nil)
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					frames <- frame{err: err}
+				}
+				return
+			}
+			frames <- frame{payload: p}
+		}
+	}()
+
+	ctx := context.Background()
+	var resp []byte
+	for f := range frames {
+		if f.err != nil {
+			return f.err
+		}
+		resp = s.handle(ctx, f.payload, resp[:0])
+		if err := writeFrame(bw, resp); err != nil {
+			return err
+		}
+		if len(frames) == 0 {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// handshake validates the client hello and answers it. On a version
+// mismatch the server answers version 0 and reports ErrHandshake; on a
+// bad magic it answers nothing (the peer is not speaking this
+// protocol).
+func (s *Server) handshake(br *bufio.Reader, bw *bufio.Writer) error {
+	var hello [4]byte
+	if _, err := io.ReadFull(br, hello[:]); err != nil {
+		return err
+	}
+	if [3]byte(hello[:3]) != magic {
+		return ErrHandshake
+	}
+	answer := [4]byte{magic[0], magic[1], magic[2], Version}
+	if hello[3] < Version {
+		answer[3] = 0
+	}
+	if _, err := bw.Write(answer[:]); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if answer[3] == 0 {
+		return ErrHandshake
+	}
+	return nil
+}
+
+// handle executes one request payload and appends the response payload
+// to resp. It never panics on malformed input and never closes the
+// connection: every per-request failure becomes an error envelope whose
+// code is drawn from the closed apierr set, leaving the stream usable
+// for the requests pipelined behind it.
+func (s *Server) handle(ctx context.Context, payload, resp []byte) []byte {
+	r := &payloadReader{data: payload}
+	reqID := r.uvarint()
+	kind := r.byte()
+	if r.err != nil {
+		// The request id itself was unreadable; echo id 0 so the
+		// envelope still parses as a response.
+		return appendError(binary.AppendUvarint(resp, reqID),
+			apierr.CodeBadRequest, "malformed request header")
+	}
+
+	op := "unknown"
+	start := time.Time{}
+	if s.tel != nil {
+		start = time.Now()
+		id := s.tel.Tracer.NewRequestID()
+		ctx = obs.WithRequestID(ctx, id)
+	}
+
+	resp = binary.AppendUvarint(resp, reqID)
+	switch kind {
+	case kindCommand:
+		op, resp = s.handleCommand(ctx, r.rest(), resp)
+	case kindQuery:
+		op, resp = s.handleQuery(r, resp)
+	default:
+		resp = appendError(resp, apierr.CodeBadRequest, "unknown request kind")
+	}
+
+	if s.tel != nil {
+		status := "ok"
+		// The status byte follows the uvarint request id; scanning from
+		// the front of this response is cheaper than threading a flag
+		// through every arm above.
+		if _, n := binary.Uvarint(resp); n > 0 && n < len(resp) && resp[n] == statusErr {
+			status = "error"
+		}
+		s.latency.With(op, status).Observe(time.Since(start).Seconds())
+	}
+	return resp
+}
+
+// handleCommand decodes and executes one binary command, returning its
+// op name (for telemetry) and the response.
+func (s *Server) handleCommand(ctx context.Context, body, resp []byte) (string, []byte) {
+	cmd, err := command.DecodeBinary(body)
+	if err != nil {
+		return "bad_command", appendError(resp, apierr.CodeBadRequest, err.Error())
+	}
+	op := string(cmd.Op())
+
+	// Batches take the per-entry path: one failed bid must not abort the
+	// rest, and each entry gets its own envelope, exactly like the HTTP
+	// batch endpoint and the in-process SubmitBids.
+	if batch, ok := cmd.(command.BidBatch); ok {
+		reqs := make([]market.BidRequest, len(batch.Bids))
+		for i, b := range batch.Bids {
+			reqs[i] = market.BidRequest{Buyer: b.Buyer, Dataset: b.Dataset, Amount: b.Amount}
+		}
+		results := s.b.SubmitBidsCtx(ctx, reqs)
+		resp = append(resp, statusOK)
+		resp = binary.AppendUvarint(resp, uint64(len(results)))
+		for _, res := range results {
+			if res.Err != nil {
+				resp = append(resp, statusErr)
+				code, _ := apierr.Classify(res.Err)
+				resp = appendString(resp, code)
+				resp = appendString(resp, res.Err.Error())
+				continue
+			}
+			resp = append(resp, statusOK)
+			resp = appendDecision(resp, res.Decision)
+		}
+		return op, resp
+	}
+
+	evs, err := s.b.ApplyCtx(ctx, cmd)
+	if err != nil {
+		code, _ := apierr.Classify(err)
+		return op, appendError(resp, code, err.Error())
+	}
+	resp = append(resp, statusOK)
+	switch cmd.(type) {
+	case command.SubmitBid:
+		ev := evs[0]
+		resp = appendDecision(resp, market.Decision{
+			Allocated:   ev.Decision.Allocated,
+			PricePaid:   ev.Decision.PricePaid,
+			WaitPeriods: ev.Decision.WaitPeriods,
+		})
+	case command.Tick:
+		resp = binary.AppendUvarint(resp, uint64(evs[0].Period))
+	}
+	return op, resp
+}
+
+// handleQuery executes one read. Queries bypass the command codec and
+// read the market's lock-free views; they are never journaled.
+func (s *Server) handleQuery(r *payloadReader, resp []byte) (string, []byte) {
+	opByte := r.byte()
+	if r.err != nil {
+		return "bad_query", appendError(resp, apierr.CodeBadRequest, "missing query opcode")
+	}
+	switch opByte {
+	case qPing:
+		if !r.done() {
+			return "ping", appendError(resp, apierr.CodeBadRequest, "trailing bytes")
+		}
+		return "ping", append(resp, statusOK)
+
+	case qPeriod:
+		if !r.done() {
+			return "period", appendError(resp, apierr.CodeBadRequest, "trailing bytes")
+		}
+		resp = append(resp, statusOK)
+		return "period", binary.AppendUvarint(resp, uint64(s.b.Period()))
+
+	case qDatasets:
+		if !r.done() {
+			return "datasets", appendError(resp, apierr.CodeBadRequest, "trailing bytes")
+		}
+		ids := s.b.Datasets()
+		resp = append(resp, statusOK)
+		resp = binary.AppendUvarint(resp, uint64(len(ids)))
+		for _, id := range ids {
+			resp = appendString(resp, string(id))
+		}
+		return "datasets", resp
+
+	case qStats:
+		ds := r.str()
+		if !r.done() {
+			return "stats", appendError(resp, apierr.CodeBadRequest, "malformed stats query")
+		}
+		st, err := s.b.Stats(market.DatasetID(ds))
+		if err != nil {
+			code, _ := apierr.Classify(err)
+			return "stats", appendError(resp, code, err.Error())
+		}
+		resp = append(resp, statusOK)
+		resp = appendString(resp, string(st.Dataset))
+		resp = binary.AppendUvarint(resp, uint64(st.Bids))
+		resp = binary.AppendUvarint(resp, uint64(st.Allocations))
+		resp = binary.AppendUvarint(resp, uint64(st.Epochs))
+		resp = appendFloat(resp, st.Revenue)
+		resp = appendFloat(resp, st.PostingPrice)
+		resp = appendFloat(resp, st.MostLikelyPrice)
+		return "stats", resp
+
+	case qBalance:
+		seller := r.str()
+		if !r.done() {
+			return "balance", appendError(resp, apierr.CodeBadRequest, "malformed balance query")
+		}
+		bal, err := s.b.SellerBalance(market.SellerID(seller))
+		if err != nil {
+			code, _ := apierr.Classify(err)
+			return "balance", appendError(resp, code, err.Error())
+		}
+		resp = append(resp, statusOK)
+		return "balance", appendInt64(resp, int64(bal))
+
+	case qWait:
+		buyer := r.str()
+		ds := r.str()
+		if !r.done() {
+			return "wait", appendError(resp, apierr.CodeBadRequest, "malformed wait query")
+		}
+		periods, err := s.b.WaitRemaining(market.BuyerID(buyer), market.DatasetID(ds))
+		if err != nil {
+			code, _ := apierr.Classify(err)
+			return "wait", appendError(resp, code, err.Error())
+		}
+		resp = append(resp, statusOK)
+		return "wait", binary.AppendUvarint(resp, uint64(periods))
+
+	case qTransactions:
+		if !r.done() {
+			return "transactions", appendError(resp, apierr.CodeBadRequest, "trailing bytes")
+		}
+		txs := s.b.Transactions()
+		resp = append(resp, statusOK)
+		resp = binary.AppendUvarint(resp, uint64(len(txs)))
+		for _, tx := range txs {
+			resp = binary.AppendUvarint(resp, uint64(tx.Seq))
+			resp = appendString(resp, string(tx.Buyer))
+			resp = appendString(resp, string(tx.Dataset))
+			resp = appendInt64(resp, int64(tx.Price))
+			resp = binary.AppendUvarint(resp, uint64(tx.Period))
+		}
+		return "transactions", resp
+
+	default:
+		return "bad_query", appendError(resp, apierr.CodeBadRequest, "unknown query opcode")
+	}
+}
+
+// appendError appends a statusErr envelope.
+func appendError(resp []byte, code, msg string) []byte {
+	resp = append(resp, statusErr)
+	resp = appendString(resp, code)
+	return appendString(resp, msg)
+}
+
+// appendDecision appends a bid decision result body.
+func appendDecision(resp []byte, d market.Decision) []byte {
+	if d.Allocated {
+		resp = append(resp, 1)
+	} else {
+		resp = append(resp, 0)
+	}
+	resp = appendInt64(resp, int64(d.PricePaid))
+	return binary.AppendUvarint(resp, uint64(d.WaitPeriods))
+}

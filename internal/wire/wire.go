@@ -1,0 +1,242 @@
+// Package wire is the market's binary transport: length-prefixed,
+// version-stamped frames over one persistent connection, carrying the
+// command core's canonical binary encodings (command.EncodeBinary)
+// straight into Market.Apply with none of HTTP's per-request framing,
+// header parsing, or JSON marshalling.
+//
+// # Protocol
+//
+// A connection opens with a 4-byte handshake in each direction: the
+// client sends the 3-byte magic "SHW" plus the highest protocol version
+// it speaks; the server answers with the same magic plus the version
+// the connection will use, or version 0 (followed by close) if it
+// cannot serve the client's version. Today there is exactly one
+// version, 1.
+//
+// After the handshake the stream is a sequence of frames in each
+// direction. A frame is a uint32 little-endian payload length (at least
+// 1, at most MaxFrame) followed by that many payload bytes.
+//
+// A request payload is:
+//
+//	request id (uvarint) | kind (1 byte) | body
+//
+// where kind is kindCommand (1, body is one command.EncodeBinary
+// encoding) or kindQuery (2, body is a query opcode byte followed by
+// its arguments). A response payload is:
+//
+//	request id (uvarint, echoed) | status (1 byte) | body
+//
+// with status statusOK (0, body is the result whose shape the request
+// kind determines) or statusErr (1, body is an error envelope: code
+// then message, both uvarint-length-prefixed strings, the code drawn
+// from the same closed set internal/apierr defines for the HTTP API and
+// the root package re-exports as shield.ErrCode*).
+//
+// Scalars reuse the command codec's conventions: strings are uvarint
+// length + bytes, floats are little-endian IEEE-754 bits, money is the
+// int64 micro count as little-endian uint64, counters are uvarints.
+//
+// # Pipelining
+//
+// Requests on one connection execute strictly in order and responses
+// are written in the same order, so a client may stream any number of
+// frames before reading the first response; request ids exist so a
+// pipelining client can match responses without counting. The server
+// decouples reading from execution and batches response flushes, so a
+// deep pipeline pays for one syscall per burst, not per frame.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Version is the protocol version this package speaks.
+const Version byte = 1
+
+// MaxFrame bounds a frame's payload length in both directions. It
+// comfortably exceeds the largest legitimate frame (a multi-thousand-bid
+// batch or a long transaction log) while keeping a hostile length prefix
+// from provoking a giant allocation.
+const MaxFrame = 1 << 20
+
+// magic opens the handshake in both directions.
+var magic = [3]byte{'S', 'H', 'W'}
+
+// Request kinds.
+const (
+	kindCommand byte = 1
+	kindQuery   byte = 2
+)
+
+// Response statuses.
+const (
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+// Query opcodes. Queries are reads: they bypass the command codec (reads
+// are not commands and are never journaled) and address the market's
+// lock-free views directly.
+const (
+	qPing         byte = 1
+	qPeriod       byte = 2
+	qDatasets     byte = 3
+	qStats        byte = 4
+	qBalance      byte = 5
+	qWait         byte = 6
+	qTransactions byte = 7
+)
+
+// ErrFrameTooLarge reports a frame whose length prefix exceeds MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// ErrHandshake reports a malformed or version-incompatible handshake.
+var ErrHandshake = errors.New("wire: handshake failed")
+
+// writeFrame writes one length-prefixed frame. The caller flushes.
+func writeFrame(w *bufio.Writer, payload []byte) error {
+	if len(payload) == 0 || len(payload) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame's payload, appending into buf (sliced to
+// zero length) so a long-lived connection reuses one buffer. A zero or
+// oversized length prefix is a protocol error that poisons the stream;
+// the caller must close the connection.
+func readFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// --- scalar codec (the command binary codec's conventions) ---
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func appendInt64(b []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(v))
+}
+
+// errTruncated is the closed parse error for wire payloads.
+var errTruncated = errors.New("wire: truncated payload")
+
+// payloadReader cursors over one frame payload. Every read is bounded
+// by the remaining input, mirroring the command codec's binReader: a
+// corrupted length never provokes a large allocation, and the first
+// failure sticks.
+type payloadReader struct {
+	data []byte
+	err  error
+}
+
+func (r *payloadReader) fail() {
+	if r.err == nil {
+		r.err = errTruncated
+	}
+}
+
+func (r *payloadReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *payloadReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data) < 1 {
+		r.fail()
+		return 0
+	}
+	b := r.data[0]
+	r.data = r.data[1:]
+	return b
+}
+
+func (r *payloadReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.data)) {
+		r.fail()
+		return ""
+	}
+	s := string(r.data[:n])
+	r.data = r.data[n:]
+	return s
+}
+
+func (r *payloadReader) float() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data) < 8 {
+		r.fail()
+		return 0
+	}
+	f := math.Float64frombits(binary.LittleEndian.Uint64(r.data))
+	r.data = r.data[8:]
+	return f
+}
+
+func (r *payloadReader) int64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data) < 8 {
+		r.fail()
+		return 0
+	}
+	v := int64(binary.LittleEndian.Uint64(r.data))
+	r.data = r.data[8:]
+	return v
+}
+
+// rest returns the unconsumed remainder of the payload.
+func (r *payloadReader) rest() []byte { return r.data }
+
+// done reports whether the payload parsed cleanly to its end.
+func (r *payloadReader) done() bool { return r.err == nil && len(r.data) == 0 }

@@ -46,6 +46,7 @@ import (
 	"github.com/datamarket/shield/internal/auction"
 	"github.com/datamarket/shield/internal/auth"
 	"github.com/datamarket/shield/internal/buyers"
+	"github.com/datamarket/shield/internal/client"
 	"github.com/datamarket/shield/internal/core"
 	"github.com/datamarket/shield/internal/dp"
 	"github.com/datamarket/shield/internal/experiments"
@@ -371,6 +372,49 @@ func NewJournaledMarketHandler(m *JournaledMarket, verifier *BidVerifier) http.H
 		s = s.WithAuth(verifier)
 	}
 	return s.Routes()
+}
+
+// ---- Unified client ----
+
+// Client is the typed client for a marketd server: one interface, two
+// interchangeable transports (HTTP/JSON and the binary wire protocol).
+// Server-reported failures surface as *APIError carrying a stable
+// ErrCode* value; semantics are identical on either transport.
+type Client = client.Client
+
+// ClientOption configures the client's HTTP transport at dial time.
+type ClientOption = client.Option
+
+// DatasetStats is the diagnostic snapshot Client.Stats returns.
+type DatasetStats = market.DatasetStats
+
+// Dial connects to a marketd server and selects the transport from the
+// target's scheme: "http://" or "https://" for the JSON API, "wire://"
+// or a bare "host:port" for the binary wire protocol (marketd
+// -wire-addr).
+func Dial(target string, opts ...ClientOption) (Client, error) {
+	return client.Dial(target, opts...)
+}
+
+// NewHTTPClient returns a Client over the HTTP/JSON API at base.
+func NewHTTPClient(base string, opts ...ClientOption) Client {
+	return client.NewHTTP(base, opts...)
+}
+
+// DialWireClient returns a Client speaking the binary wire protocol to
+// addr ("host:port").
+func DialWireClient(addr string) (Client, error) { return client.DialWire(addr) }
+
+// WithClientCredential makes the HTTP transport sign every bid with the
+// hex secret issued by Client.RegisterBuyer, starting at nonce.
+func WithClientCredential(secret string, nonce uint64) ClientOption {
+	return client.WithCredential(secret, nonce)
+}
+
+// WithClientOperatorToken sends token as a bearer token on every HTTP
+// request, unlocking the operator endpoints under auth.
+func WithClientOperatorToken(token string) ClientOption {
+	return client.WithOperatorToken(token)
 }
 
 // ---- Workloads, panels and experiments ----
