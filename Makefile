@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench bench-save bench-save-smoke fuzz-smoke torture torture-smoke torture-long cover
+.PHONY: ci fmt-check vet build test race bench bench-save bench-save-smoke fuzz-smoke torture torture-smoke torture-long slo-smoke slo-full cover
 
-ci: fmt-check vet build race test fuzz-smoke torture-smoke torture bench-save-smoke
+ci: fmt-check vet build race test fuzz-smoke torture-smoke torture slo-smoke bench-save-smoke
 
 # Fails (and lists the offenders) if any file is not gofmt-clean.
 fmt-check:
@@ -22,7 +22,7 @@ build:
 # journal (crash-recovery harness appends concurrently), and the
 # telemetry registry/tracer (scraped while updated).
 race:
-	$(GO) test -race ./internal/market/... ./internal/httpapi/... ./internal/journal/... ./internal/obs/... ./internal/wire/... ./internal/client/...
+	$(GO) test -race ./internal/market/... ./internal/httpapi/... ./internal/journal/... ./internal/obs/... ./internal/wire/... ./internal/client/... ./internal/loadrig/...
 
 test:
 	$(GO) test ./...
@@ -67,13 +67,34 @@ cover:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
+# Cluster-in-process load rig with SLO gates (cmd/shieldload): one
+# process boots a real marketd-equivalent server (HTTP + wire over a
+# group-commit journaled market), drives 1k+ persona clients open-loop,
+# and fails on an SLO, money-conservation, or journal-replay violation.
+# The smoke thresholds are deliberately loose — they gate against order-
+# of-magnitude regressions and broken accounting, not CI-machine noise.
+slo-smoke:
+	$(GO) run ./cmd/shieldload -transport both -clients 1024 -rate 1500 \
+		-ops 9000 -tick-every 400 \
+		-slo 'bid.p99<1s,query.p99<1s,error_rate<0.1%,throughput>=500'
+
+# Longer gate for local perf work: more clients, more load, a tighter
+# tail budget and a real throughput floor.
+slo-full:
+	$(GO) run ./cmd/shieldload -transport both -clients 2048 -rate 2500 \
+		-ops 50000 -tick-every 500 \
+		-slo 'bid.p99<500ms,bid.p999<2s,query.p99<500ms,error_rate<0.1%,throughput>=2000'
+
 # Runs the journal-durability and transport benchmarks and records them
 # (with the derived group-commit and wire-vs-HTTP speedups) in
-# BENCH_6.json, keeping the performance claims in DESIGN.md reproducible.
+# BENCH_6.json, then the load rig's whole-system measurement in
+# BENCH_7.json, keeping the performance claims in DESIGN.md reproducible.
 bench-save:
 	$(GO) run ./cmd/benchsave -benchtime 1s
 
-# CI variant: a short benchtime keeps the gate fast while still proving
-# the benchmarks run and the artifact pipeline works end to end.
+# CI variant: a short benchtime and a small rig keep the gate fast while
+# still proving the benchmarks run and both artifact pipelines work end
+# to end.
 bench-save-smoke:
-	$(GO) run ./cmd/benchsave -benchtime 50ms -out /tmp/bench_smoke.json
+	$(GO) run ./cmd/benchsave -benchtime 50ms -out /tmp/bench_smoke.json \
+		-rig-out /tmp/bench7_smoke.json -rig-clients 128 -rig-ops 3000

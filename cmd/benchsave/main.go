@@ -6,10 +6,18 @@
 // Usage:
 //
 //	benchsave [-out BENCH_6.json] [-benchtime 1s] [-count 1]
+//	          [-rig-out BENCH_7.json] [-rig-clients 1024]
+//	          [-rig-rate 4000] [-rig-ops 16000]
 //
 // The artifact records ns/op, B/op and allocs/op per benchmark plus the
 // two derived headline ratios: group-commit speedup over per-record
 // fsync, and wire-protocol speedup over HTTP per bid.
+//
+// After the microbenchmarks, benchsave runs the cluster-in-process load
+// rig (cmd/shieldload) and records its whole-system measurement —
+// open-loop tail latencies per op class, achieved throughput, server
+// histogram quantiles, and the invariant summary — as a second artifact
+// (-rig-out, BENCH_7.json by default; empty skips the rig).
 package main
 
 import (
@@ -58,6 +66,11 @@ func main() {
 		out       = flag.String("out", "BENCH_6.json", "artifact path")
 		benchtime = flag.String("benchtime", "1s", "go test -benchtime per benchmark")
 		count     = flag.Int("count", 1, "go test -count (last measurement wins)")
+
+		rigOut     = flag.String("rig-out", "BENCH_7.json", "load-rig artifact path (empty = skip the rig)")
+		rigClients = flag.Int("rig-clients", 1024, "load-rig concurrent client connections")
+		rigRate    = flag.Float64("rig-rate", 4000, "load-rig open-loop rate, ops/second")
+		rigOps     = flag.Int("rig-ops", 16000, "load-rig total operations")
 	)
 	flag.Parse()
 
@@ -112,6 +125,23 @@ func main() {
 		log.Fatalf("benchsave: %v", err)
 	}
 	fmt.Printf("benchsave: wrote %s (%d results)\n", *out, len(art.Results))
+
+	if *rigOut != "" {
+		// The rig artifact's schema lives with cmd/shieldload; running
+		// the binary (rather than importing internal/loadrig here)
+		// keeps the measurement identical to what `make slo-smoke`
+		// gates on.
+		rig := exec.Command("go", "run", "./cmd/shieldload",
+			"-clients", strconv.Itoa(*rigClients),
+			"-rate", strconv.FormatFloat(*rigRate, 'g', -1, 64),
+			"-ops", strconv.Itoa(*rigOps),
+			"-json", *rigOut)
+		rig.Stdout = os.Stdout
+		rig.Stderr = os.Stderr
+		if err := rig.Run(); err != nil {
+			log.Fatalf("benchsave: load rig: %v", err)
+		}
+	}
 }
 
 // parse extracts benchmark lines from `go test -bench` output. A line

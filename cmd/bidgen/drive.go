@@ -12,6 +12,7 @@ import (
 
 	"github.com/datamarket/shield/internal/apierr"
 	api "github.com/datamarket/shield/internal/client"
+	"github.com/datamarket/shield/internal/loadrig"
 	"github.com/datamarket/shield/internal/market"
 	"github.com/datamarket/shield/internal/timeseries"
 )
@@ -27,11 +28,21 @@ type driveConfig struct {
 	workers   int     // concurrent in-flight bids
 }
 
-// drive replays stream open-loop: bids are dispatched on the -rate
-// schedule regardless of how fast the server answers, so server-side
-// slowdowns surface as growing in-flight counts and latency, not as a
-// silently reduced offered load. With rate <= 0 it degenerates to a
-// closed loop saturating the worker pool.
+// job is one bid with its open-loop scheduled send time (zero in
+// closed-loop mode).
+type job struct {
+	bid timeseries.Bid
+	due time.Time
+}
+
+// drive replays stream open-loop on a loadrig.Pacer schedule: bids are
+// dispatched at -rate regardless of how fast the server answers, and
+// latency is measured from each bid's scheduled send time — not from
+// the moment a worker picked it up — so a server slowdown surfaces as
+// queueing delay in the tail percentiles instead of silently reducing
+// the offered load (coordinated omission; see internal/loadrig). With
+// rate <= 0 it degenerates to a closed loop saturating the worker pool,
+// measuring from actual send.
 func drive(cfg driveConfig, stream []timeseries.Bid) error {
 	cl, err := api.Dial(cfg.target)
 	if err != nil {
@@ -53,16 +64,19 @@ func drive(cfg driveConfig, stream []timeseries.Bid) error {
 		mu                       sync.Mutex
 		latencies                = make([]time.Duration, 0, len(stream))
 	)
-	jobs := make(chan timeseries.Bid, len(stream))
+	jobs := make(chan job, len(stream))
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for b := range jobs {
-				buyer := market.BuyerID(fmt.Sprintf("gen-%d", b.Buyer))
-				start := time.Now()
-				d, err := cl.SubmitBid(ctx, buyer, market.DatasetID(cfg.dataset), b.Amount)
+			for j := range jobs {
+				buyer := market.BuyerID(fmt.Sprintf("gen-%d", j.bid.Buyer))
+				start := j.due
+				if start.IsZero() {
+					start = time.Now()
+				}
+				d, err := cl.SubmitBid(ctx, buyer, market.DatasetID(cfg.dataset), j.bid.Amount)
 				elapsed := time.Since(start)
 				mu.Lock()
 				latencies = append(latencies, elapsed)
@@ -86,16 +100,19 @@ func drive(cfg driveConfig, stream []timeseries.Bid) error {
 
 	begin := time.Now()
 	if cfg.rate > 0 {
-		interval := time.Duration(float64(time.Second) / cfg.rate)
-		ticker := time.NewTicker(interval)
-		for _, b := range stream {
-			<-ticker.C
-			jobs <- b
+		pacer, err := loadrig.NewPacer(cfg.rate)
+		if err != nil {
+			return err
 		}
-		ticker.Stop()
+		// The channel holds the whole stream, so the dispatcher never
+		// blocks on busy workers: falling behind ages the scheduled
+		// times in the queue instead of shifting the schedule.
+		for _, b := range stream {
+			jobs <- job{bid: b, due: pacer.Next()}
+		}
 	} else {
 		for _, b := range stream {
-			jobs <- b
+			jobs <- job{bid: b}
 		}
 	}
 	close(jobs)
@@ -113,7 +130,7 @@ func drive(cfg driveConfig, stream []timeseries.Bid) error {
 	fmt.Fprintf(os.Stderr, "bidgen: drove %d bids in %v (%.1f bids/s): %d won, %d lost, %d errors, %d ticks\n",
 		len(stream), elapsed.Round(time.Millisecond), float64(len(stream))/elapsed.Seconds(),
 		won.Load(), lost.Load(), failed.Load(), ticks.Load())
-	fmt.Fprintf(os.Stderr, "bidgen: latency p50 %v p99 %v max %v\n",
+	fmt.Fprintf(os.Stderr, "bidgen: latency p50 %v p99 %v max %v (from scheduled send with -rate)\n",
 		pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
 	return nil
 }

@@ -1,0 +1,240 @@
+// Command shieldload is the cluster-in-process load rig: it boots a
+// real marketd-equivalent server — HTTP and wire transports over one
+// journaled, group-commit market with full telemetry — inside this
+// process, seeds a catalog, and drives thousands of concurrent
+// persona-driven client connections at an open-loop target rate.
+// Latency is measured from each operation's scheduled send time
+// (coordinated omission cannot hide queueing delay), cross-checked
+// against the server's own latency histograms, and the run is gated on
+// a declarative SLO plus the market's whole-system invariants: money
+// conservation and journal-replay fidelity. A violated gate exits
+// nonzero naming the violation, so `make slo-smoke` fails CI on a
+// latency or correctness regression.
+//
+// Usage:
+//
+//	shieldload [-transport both] [-clients 1024] [-rate 4000] [-ops 16000]
+//	           [-bid-fraction 0.8] [-tick-every 400] [-seed 2022]
+//	           [-datasets 16] [-group-commit=true]
+//	           [-slo 'bid.p99<250ms,error_rate<0.1%']
+//	           [-inject 'bid=2.5s'] [-json BENCH_7.json] [-q]
+//
+// -slo is a comma-separated list of clauses over the measured report:
+// per-class latency bounds (bid.p99<5ms, query.p999<20ms, bid.max<1s),
+// error-rate ceilings (error_rate<0.1%, bid.error_rate<0.5%) and a
+// throughput floor (throughput>=3000). Business rejections — Time-Shield
+// waits, per-period bid limits — are the market working as designed and
+// never count toward error rates.
+//
+// -inject adds an artificial latency to every recorded sample of an op
+// class ('bid=2.5s'). It exists so the gate can be proven to fail: the
+// mutation-canary test injects a regression and asserts shieldload
+// exits nonzero naming the violated clause.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"github.com/datamarket/shield/internal/loadrig"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// artifact is the -json schema (BENCH_7.json under make bench-save).
+type artifact struct {
+	GeneratedAt string                `json:"generated_at"`
+	GoVersion   string                `json:"go_version"`
+	Transport   string                `json:"transport"`
+	Clients     int                   `json:"clients"`
+	TargetRate  float64               `json:"target_rate"`
+	Ops         int                   `json:"ops"`
+	Seed        uint64                `json:"seed"`
+	Throughput  float64               `json:"throughput_ops_per_sec"`
+	DurationSec float64               `json:"duration_sec"`
+	Errors      int                   `json:"errors"`
+	Classes     map[string]classStats `json:"classes"`
+	ServerP99   map[string]float64    `json:"server_quantiles_sec"`
+	Invariants  string                `json:"invariants"`
+	SLO         string                `json:"slo,omitempty"`
+	Violations  []string              `json:"violations,omitempty"`
+}
+
+// classStats is one op class in the artifact, latencies in seconds.
+type classStats struct {
+	Count   int     `json:"count"`
+	Errors  int     `json:"errors"`
+	Rejects int     `json:"rejects"`
+	Won     int     `json:"won,omitempty"`
+	Lost    int     `json:"lost,omitempty"`
+	P50     float64 `json:"p50_sec"`
+	P99     float64 `json:"p99_sec"`
+	P999    float64 `json:"p999_sec"`
+	Max     float64 `json:"max_sec"`
+}
+
+// run is main minus the process exit, for tests: 0 = gate passed,
+// 1 = SLO or invariant violation, 2 = usage or setup failure.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("shieldload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		transport   = fs.String("transport", loadrig.TransportBoth, "http, wire, or both (clients split evenly)")
+		clients     = fs.Int("clients", 1024, "concurrent client connections")
+		rate        = fs.Float64("rate", 4000, "open-loop offered load, ops/second across all clients")
+		ops         = fs.Int("ops", 16000, "total operations to schedule")
+		bidFraction = fs.Float64("bid-fraction", 0.8, "fraction of ops that are bids (rest are reads)")
+		tickEvery   = fs.Int("tick-every", 400, "advance the market period every N ops (0 = never)")
+		seed        = fs.Uint64("seed", 2022, "scenario seed (workload replays bit-identically)")
+		datasets    = fs.Int("datasets", 16, "catalog size to seed")
+		groupCommit = fs.Bool("group-commit", true, "journal group commit (the production configuration)")
+		sloSpec     = fs.String("slo", "", "SLO gate, e.g. 'bid.p99<250ms,error_rate<0.1%' (empty = report only)")
+		inject      = fs.String("inject", "", "artificial latency per op class, e.g. 'bid=2.5s' (gate self-test)")
+		jsonOut     = fs.String("json", "", "also write the report as a JSON artifact")
+		quiet       = fs.Bool("q", false, "suppress the report table (violations still print)")
+		timeout     = fs.Duration("timeout", 5*time.Second, "per-operation deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	slo, err := loadrig.ParseSLO(*sloSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "shieldload: %v\n", err)
+		return 2
+	}
+	injected, err := parseInject(*inject)
+	if err != nil {
+		fmt.Fprintf(stderr, "shieldload: %v\n", err)
+		return 2
+	}
+
+	rig, err := loadrig.StartRig(loadrig.RigConfig{
+		Datasets:    *datasets,
+		Buyers:      *clients,
+		Seed:        *seed,
+		GroupCommit: *groupCommit,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "shieldload: %v\n", err)
+		return 2
+	}
+	defer rig.Close()
+
+	rep, err := loadrig.Run(rig, loadrig.Scenario{
+		Transport:     *transport,
+		Clients:       *clients,
+		Rate:          *rate,
+		Ops:           *ops,
+		BidFraction:   *bidFraction,
+		TickEvery:     *tickEvery,
+		Seed:          *seed,
+		Timeout:       *timeout,
+		InjectLatency: injected,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "shieldload: %v\n", err)
+		return 2
+	}
+
+	code := 0
+	inv, invErr := rig.CheckInvariants()
+	if invErr != nil {
+		fmt.Fprintf(stderr, "shieldload: INVARIANT VIOLATED: %v\n", invErr)
+		inv = invErr.Error()
+		code = 1
+	}
+	rep.Invariants = inv
+
+	violations := slo.Evaluate(rep)
+	if !*quiet {
+		fmt.Fprint(stdout, rep)
+		if invErr == nil {
+			fmt.Fprintf(stdout, "invariants: %s\n", inv)
+		}
+	}
+	for _, v := range violations {
+		fmt.Fprintf(stderr, "shieldload: SLO %s\n", v)
+		code = 1
+	}
+	if code == 0 && *sloSpec != "" {
+		fmt.Fprintf(stdout, "SLO satisfied: %s\n", *sloSpec)
+	}
+
+	if *jsonOut != "" {
+		if err := writeArtifact(*jsonOut, rep, *transport, *clients, *rate, *ops, *seed, *sloSpec, violations); err != nil {
+			fmt.Fprintf(stderr, "shieldload: %v\n", err)
+			if code == 0 {
+				code = 2
+			}
+		} else {
+			fmt.Fprintf(stdout, "shieldload: wrote %s\n", *jsonOut)
+		}
+	}
+	return code
+}
+
+// parseInject parses 'class=dur[,class=dur]' fault-injection specs.
+func parseInject(spec string) (map[string]time.Duration, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	out := map[string]time.Duration{}
+	for _, term := range strings.Split(spec, ",") {
+		class, val, ok := strings.Cut(strings.TrimSpace(term), "=")
+		if !ok || class == "" {
+			return nil, fmt.Errorf("bad -inject term %q (want class=duration)", term)
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("bad -inject duration in %q", term)
+		}
+		out[class] = d
+	}
+	return out, nil
+}
+
+func writeArtifact(path string, rep *loadrig.Report, transport string, clients int, rate float64, ops int, seed uint64, slo string, violations []loadrig.Violation) error {
+	art := artifact{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Transport:   transport,
+		Clients:     clients,
+		TargetRate:  rate,
+		Ops:         ops,
+		Seed:        seed,
+		Throughput:  rep.Throughput,
+		DurationSec: rep.Duration.Seconds(),
+		Errors:      rep.Errors,
+		Classes:     map[string]classStats{},
+		ServerP99:   rep.ServerQuantiles,
+		Invariants:  rep.Invariants,
+		SLO:         slo,
+	}
+	if v, err := exec.Command("go", "version").Output(); err == nil {
+		art.GoVersion = strings.TrimSpace(string(v))
+	}
+	for name, st := range rep.Classes {
+		art.Classes[name] = classStats{
+			Count: st.Count, Errors: st.Errors, Rejects: st.Rejects,
+			Won: st.Won, Lost: st.Lost,
+			P50: st.P50.Seconds(), P99: st.P99.Seconds(),
+			P999: st.P999.Seconds(), Max: st.Max.Seconds(),
+		}
+	}
+	for _, v := range violations {
+		art.Violations = append(art.Violations, v.String())
+	}
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -11,7 +11,12 @@
 // Error() returns the server-side error's exact message. Both
 // transports produce the same codes and the same messages for the same
 // operations; clients branch on the code, never the text. Transport
-// failures (connection refused, timeouts) pass through unwrapped.
+// failures (connection refused, timeouts) pass through unwrapped, with
+// one refinement on the wire transport: once its stream fails — the
+// server hung up mid-pipeline, a deadline expired, the frames
+// desynchronized — every in-flight and subsequent call returns an error
+// wrapping ErrConnClosed (and the causing context error, when there was
+// one), so pools can detect a dead connection and redial.
 //
 // # Dialing
 //

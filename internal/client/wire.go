@@ -7,6 +7,12 @@ import (
 	"github.com/datamarket/shield/internal/wire"
 )
 
+// ErrConnClosed is the wire transport's dead-connection sentinel: every
+// call on a wire client whose stream has failed returns an error
+// wrapping it. Re-exported so client users never import the transport
+// package to branch on it.
+var ErrConnClosed = wire.ErrConnClosed
+
 // wireClient is the binary-protocol transport: a thin adapter over
 // wire.Conn that satisfies Client. The conn serializes round trips;
 // open several clients for connection-level parallelism.

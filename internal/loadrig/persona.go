@@ -1,0 +1,66 @@
+package loadrig
+
+import "github.com/datamarket/shield/internal/rng"
+
+// A Persona is a deterministic bidding disposition a rig worker plays.
+// Unlike the full strategies in internal/buyers — which need the
+// engine-side posted-price Context the server never reveals to losers —
+// personas are pure client-side policies: given the worker's private
+// RNG stream they emit the next bid amount. That is exactly what a load
+// rig needs: a realistic mix of winning, losing, and shield-triggering
+// traffic, reproducible bit-for-bit from the scenario seed.
+type Persona struct {
+	// Name labels the persona in reports.
+	Name string
+	// Bid returns the next bid amount. Amounts are on the default
+	// catalog's valuation scale (mean ~100), so a freshly seeded engine
+	// allocates to aggressive bids and shields lowball ones.
+	Bid func(r *rng.RNG) float64
+}
+
+// Personas is the rig's persona mix, assigned to workers round-robin so
+// every run carries winners, losers, and strategic-looking probers.
+var Personas = []Persona{
+	{
+		// truthful bids a private valuation with small period-to-period
+		// noise — the paper's baseline buyer.
+		Name: "truthful",
+		Bid:  func(r *rng.RNG) float64 { return clampBid(r.Normal(100, 8)) },
+	},
+	{
+		// lowball probes far under valuation, the strategic opening
+		// move Time-Shield punishes with waits.
+		Name: "lowball",
+		Bid:  func(r *rng.RNG) float64 { return clampBid(r.Uniform(5, 45)) },
+	},
+	{
+		// aggressive overbids to acquire quickly, exercising the
+		// allocation and settlement path.
+		Name: "aggressive",
+		Bid:  func(r *rng.RNG) float64 { return clampBid(r.Uniform(110, 160)) },
+	},
+	{
+		// swinger alternates regimes, stressing the engine's posted
+		// price with a heavy-tailed mixture.
+		Name: "swinger",
+		Bid: func(r *rng.RNG) float64 {
+			if r.Bool(0.3) {
+				return clampBid(r.Uniform(10, 60))
+			}
+			return clampBid(r.Normal(105, 20))
+		},
+	},
+}
+
+// clampBid keeps amounts positive and finite; the market rejects
+// non-positive bids and the rig wants rejections to come from market
+// semantics (shield waits), not input validation.
+func clampBid(v float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	if v > 1000 {
+		return 1000
+	}
+	return v
+}

@@ -1,0 +1,200 @@
+package loadrig
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Op classes the rig drives and reports on. Every operation the driver
+// issues is exactly one class; SLO clauses scope to these names.
+const (
+	ClassBid   = "bid"   // SubmitBid
+	ClassQuery = "query" // read-side ops: Datasets, WaitRemaining, SellerBalance, Period
+	ClassTick  = "tick"  // period advances
+)
+
+// sample is one completed operation, latency measured from its
+// open-loop scheduled send time.
+type sample struct {
+	class   string
+	latency time.Duration
+	err     bool // transport/server error (not a business rejection)
+	reject  bool // business rejection: wait active, bid too soon, already acquired
+	won     bool // bid accepted
+}
+
+// recorder accumulates samples for one worker; workers each own one so
+// the hot path takes no locks, and Run merges them afterwards.
+type recorder struct {
+	samples []sample
+}
+
+func (r *recorder) record(s sample) { r.samples = append(r.samples, s) }
+
+// ClassStats is the per-op-class slice of a Report.
+type ClassStats struct {
+	Count   int // operations issued
+	Errors  int // transport/server errors
+	Rejects int // business rejections (shield waits, duplicate bids)
+	Won     int // bids accepted (ClassBid only)
+	Lost    int // bids priced out (ClassBid only)
+
+	P50, P99, P999, Max time.Duration
+}
+
+// ErrorRate is Errors/Count (0 for an empty class).
+func (c ClassStats) ErrorRate() float64 {
+	if c.Count == 0 {
+		return 0
+	}
+	return float64(c.Errors) / float64(c.Count)
+}
+
+// Report is the measured outcome of one rig run.
+type Report struct {
+	Classes  map[string]*ClassStats
+	Ops      int           // total operations issued
+	Errors   int           // total transport/server errors
+	Duration time.Duration // first scheduled send to last completion
+	// Throughput is completed operations per second of wall time.
+	Throughput float64
+
+	// ServerQuantiles maps "histogram{labels} pXX" descriptions to the
+	// server-side histogram estimate in seconds, for cross-checking the
+	// client-side percentiles above. Populated by Run when the rig's
+	// telemetry carries the matching series.
+	ServerQuantiles map[string]float64
+
+	// Invariants holds the post-run invariant summary (money
+	// conservation, journal replay); empty until CheckInvariants runs.
+	Invariants string
+}
+
+// buildReport merges per-worker recorders into a Report.
+func buildReport(recs []*recorder, duration time.Duration) *Report {
+	byClass := map[string][]time.Duration{}
+	rep := &Report{Classes: map[string]*ClassStats{}, Duration: duration}
+	for _, rec := range recs {
+		for _, s := range rec.samples {
+			st := rep.Classes[s.class]
+			if st == nil {
+				st = &ClassStats{}
+				rep.Classes[s.class] = st
+			}
+			st.Count++
+			rep.Ops++
+			switch {
+			case s.err:
+				st.Errors++
+				rep.Errors++
+			case s.reject:
+				st.Rejects++
+			case s.class == ClassBid && s.won:
+				st.Won++
+			case s.class == ClassBid:
+				st.Lost++
+			}
+			byClass[s.class] = append(byClass[s.class], s.latency)
+		}
+	}
+	for class, lats := range byClass {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		st := rep.Classes[class]
+		st.P50 = percentile(lats, 0.50)
+		st.P99 = percentile(lats, 0.99)
+		st.P999 = percentile(lats, 0.999)
+		st.Max = lats[len(lats)-1]
+	}
+	if duration > 0 {
+		rep.Throughput = float64(rep.Ops) / duration.Seconds()
+	}
+	return rep
+}
+
+// percentile returns the nearest-rank percentile of sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// metric resolves one SLO clause target against the report. The bool
+// is false when the metric cannot be measured (unknown class, empty
+// class, unknown metric) — Evaluate treats that as a violation.
+func (r *Report) metric(class, metric string) (float64, bool) {
+	if class == "" {
+		switch metric {
+		case "error_rate":
+			if r.Ops == 0 {
+				return 0, false
+			}
+			return float64(r.Errors) / float64(r.Ops), true
+		case "throughput":
+			return r.Throughput, r.Ops > 0
+		}
+		return 0, false
+	}
+	st := r.Classes[class]
+	if st == nil || st.Count == 0 {
+		return 0, false
+	}
+	switch metric {
+	case "p50":
+		return st.P50.Seconds(), true
+	case "p99":
+		return st.P99.Seconds(), true
+	case "p999":
+		return st.P999.Seconds(), true
+	case "max":
+		return st.Max.Seconds(), true
+	case "error_rate":
+		return st.ErrorRate(), true
+	}
+	return 0, false
+}
+
+// String renders the report as an aligned operator-facing table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %8s %7s %7s %6s %6s %10s %10s %10s %10s\n",
+		"class", "count", "errors", "rejects", "won", "lost", "p50", "p99", "p999", "max")
+	classes := make([]string, 0, len(r.Classes))
+	for c := range r.Classes {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		st := r.Classes[c]
+		fmt.Fprintf(&b, "%-6s %8d %7d %7d %6d %6d %10s %10s %10s %10s\n",
+			c, st.Count, st.Errors, st.Rejects, st.Won, st.Lost,
+			roundLat(st.P50), roundLat(st.P99), roundLat(st.P999), roundLat(st.Max))
+	}
+	fmt.Fprintf(&b, "total: %d ops in %s (%.0f ops/sec), %d errors\n",
+		r.Ops, r.Duration.Round(time.Millisecond), r.Throughput, r.Errors)
+	if len(r.ServerQuantiles) > 0 {
+		keys := make([]string, 0, len(r.ServerQuantiles))
+		for k := range r.ServerQuantiles {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "server %s = %s\n", k,
+				time.Duration(r.ServerQuantiles[k]*float64(time.Second)).Round(time.Microsecond))
+		}
+	}
+	return b.String()
+}
+
+func roundLat(d time.Duration) time.Duration {
+	return d.Round(10 * time.Microsecond)
+}

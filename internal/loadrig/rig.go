@@ -1,0 +1,273 @@
+package loadrig
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"github.com/datamarket/shield/internal/auction"
+	"github.com/datamarket/shield/internal/core"
+	"github.com/datamarket/shield/internal/httpapi"
+	"github.com/datamarket/shield/internal/journal"
+	"github.com/datamarket/shield/internal/market"
+	"github.com/datamarket/shield/internal/obs"
+	"github.com/datamarket/shield/internal/wire"
+)
+
+// RigConfig sizes the in-process cluster a rig boots.
+type RigConfig struct {
+	// Datasets is the catalog size to seed (default 16).
+	Datasets int
+	// Buyers is the number of buyer accounts to register (default 64);
+	// scenarios map workers onto these accounts.
+	Buyers int
+	// Seed derives the market's pricing randomness and the seeded
+	// catalog (default 2022).
+	Seed uint64
+	// GroupCommit turns on journal group commit, the production
+	// configuration for concurrent load.
+	GroupCommit bool
+	// JournalPath is the journal file to create; empty means a
+	// temporary directory the rig owns and removes on Close.
+	JournalPath string
+	// WireBufferSize overrides the wire server's per-connection buffer
+	// (bytes). Rigs default to 4KiB so a thousand connections do not
+	// cost 128MiB of idle buffers.
+	WireBufferSize int
+}
+
+// Rig is a marketd-equivalent server running entirely in-process: one
+// journaled, group-commit market behind both transports — an HTTP API
+// listener and a wire-protocol listener on 127.0.0.1 — sharing one
+// telemetry registry, exactly the production topology minus the network
+// between machines. Tests and cmd/shieldload boot one, point thousands
+// of clients at the two addresses, and interrogate the same registry
+// the /metrics endpoint serves.
+type Rig struct {
+	// Market is the journaled market both listeners share.
+	Market *journal.Market
+	// Tel is the process-wide telemetry; server histograms
+	// (shield_http_request_seconds, shield_wire_request_seconds) live
+	// in Tel.Registry.
+	Tel *obs.Telemetry
+	// HTTPAddr is the HTTP transport's dial target ("http://127.0.0.1:port").
+	HTTPAddr string
+	// WireAddr is the wire transport's dial target ("host:port").
+	WireAddr string
+	// Datasets is the seeded catalog.
+	Datasets []market.DatasetID
+	// Buyers is the registered buyer accounts.
+	Buyers []market.BuyerID
+	// JournalPath is the journal file backing Market.
+	JournalPath string
+
+	httpSrv *http.Server
+	httpLn  net.Listener
+	wireLn  net.Listener
+	tmpDir  string // non-empty when the rig owns the journal's directory
+}
+
+// Seller is the account owning every seeded dataset.
+const Seller = market.SellerID("rig-seller")
+
+// StartRig boots the in-process cluster: journaled market (group commit
+// per rc), HTTP and wire listeners on ephemeral localhost ports, shared
+// telemetry, and a seeded catalog of rc.Datasets datasets and rc.Buyers
+// registered buyers. Callers must Close the rig.
+func StartRig(rc RigConfig) (*Rig, error) {
+	if rc.Datasets <= 0 {
+		rc.Datasets = 16
+	}
+	if rc.Buyers <= 0 {
+		rc.Buyers = 64
+	}
+	if rc.Seed == 0 {
+		rc.Seed = 2022
+	}
+	if rc.WireBufferSize == 0 {
+		rc.WireBufferSize = 4 << 10
+	}
+
+	r := &Rig{JournalPath: rc.JournalPath}
+	if r.JournalPath == "" {
+		dir, err := os.MkdirTemp("", "shieldload-")
+		if err != nil {
+			return nil, fmt.Errorf("loadrig: journal dir: %w", err)
+		}
+		r.tmpDir = dir
+		r.JournalPath = filepath.Join(dir, "rig.journal")
+	}
+
+	// The engine configuration mirrors marketd's defaults: a linear
+	// candidate grid spanning the personas' bid range, so lowball bids
+	// shield and aggressive bids allocate.
+	cfg := market.Config{
+		Engine: core.Config{
+			Candidates:    auction.LinearGrid(1, 200, 40),
+			EpochSize:     8,
+			BidsPerPeriod: 1,
+			MinBid:        1,
+		},
+		Seed:   rc.Seed,
+		Shards: market.DefaultShards,
+	}
+
+	r.Tel = &obs.Telemetry{
+		Registry: obs.NewRegistry(),
+		Tracer:   obs.NewTracer(256, 0, rc.Seed), // tracing off: the rig measures, it does not sample
+	}
+
+	opts := []journal.Option{journal.WithTelemetry(r.Tel)}
+	if rc.GroupCommit {
+		opts = append(opts, journal.WithGroupCommit(0))
+	}
+	jm, _, err := journal.OpenFile(cfg, r.JournalPath, opts...)
+	if err != nil {
+		r.cleanupTmp()
+		return nil, fmt.Errorf("loadrig: opening journal: %w", err)
+	}
+	r.Market = jm
+
+	if err := r.seed(rc); err != nil {
+		_ = jm.Close()
+		r.cleanupTmp()
+		return nil, err
+	}
+
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = jm.Close()
+		r.cleanupTmp()
+		return nil, fmt.Errorf("loadrig: http listener: %w", err)
+	}
+	wireLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = httpLn.Close()
+		_ = jm.Close()
+		r.cleanupTmp()
+		return nil, fmt.Errorf("loadrig: wire listener: %w", err)
+	}
+	r.httpLn, r.wireLn = httpLn, wireLn
+	r.HTTPAddr = "http://" + httpLn.Addr().String()
+	r.WireAddr = wireLn.Addr().String()
+
+	api := httpapi.NewJournaled(jm).WithTelemetry(r.Tel)
+	r.httpSrv = &http.Server{Handler: api.Routes()}
+	go func() { _ = r.httpSrv.Serve(httpLn) }()
+
+	ws := wire.NewServer(jm).WithTelemetry(r.Tel).WithBufferSize(rc.WireBufferSize)
+	go func() { _ = ws.Serve(wireLn) }()
+
+	return r, nil
+}
+
+// seed registers the seller, catalog and buyer accounts directly on the
+// journaled market, so every run starts from the same journaled state.
+func (r *Rig) seed(rc RigConfig) error {
+	if err := r.Market.RegisterSeller(Seller); err != nil {
+		return fmt.Errorf("loadrig: seeding seller: %w", err)
+	}
+	r.Datasets = make([]market.DatasetID, rc.Datasets)
+	for i := range r.Datasets {
+		id := market.DatasetID(fmt.Sprintf("ds-%03d", i))
+		if err := r.Market.UploadDataset(Seller, id); err != nil {
+			return fmt.Errorf("loadrig: seeding dataset %s: %w", id, err)
+		}
+		r.Datasets[i] = id
+	}
+	r.Buyers = make([]market.BuyerID, rc.Buyers)
+	for i := range r.Buyers {
+		id := market.BuyerID(fmt.Sprintf("buyer-%04d", i))
+		if err := r.Market.RegisterBuyer(id); err != nil {
+			return fmt.Errorf("loadrig: seeding buyer %s: %w", id, err)
+		}
+		r.Buyers[i] = id
+	}
+	return nil
+}
+
+// Close stops both listeners, closes the journal (final sync), and
+// removes the rig-owned journal directory.
+func (r *Rig) Close() error {
+	var errs []error
+	if r.httpSrv != nil {
+		errs = append(errs, r.httpSrv.Close())
+	}
+	if r.wireLn != nil {
+		errs = append(errs, r.wireLn.Close())
+	}
+	if r.Market != nil {
+		errs = append(errs, r.Market.Close())
+	}
+	r.cleanupTmp()
+	// Listener-close races with in-flight accepts surface as
+	// net.ErrClosed; a rig teardown is not a failure.
+	var real []error
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, net.ErrClosed) {
+			real = append(real, err)
+		}
+	}
+	return errors.Join(real...)
+}
+
+func (r *Rig) cleanupTmp() {
+	if r.tmpDir != "" {
+		_ = os.RemoveAll(r.tmpDir)
+	}
+}
+
+// CheckInvariants verifies the two whole-system invariants after a run,
+// while the rig is still serving:
+//
+//  1. Money conservation — market revenue equals total buyer spend,
+//     equals total seller balances, equals the sum of transaction-log
+//     prices. A lost or double-counted sale under concurrent load
+//     breaks at least one equality.
+//  2. Journal replay — restoring the on-disk journal rebuilds a market
+//     whose canonical snapshot is byte-identical to the live one, so
+//     everything the rig acknowledged is durably reconstructible.
+//
+// It returns a human-readable summary for the report, or an error
+// naming the violated invariant.
+func (r *Rig) CheckInvariants() (string, error) {
+	revenue, spent, balances := r.Market.Totals()
+	var txSum market.Money
+	txs := r.Market.Transactions()
+	for _, tx := range txs {
+		txSum += tx.Price
+	}
+	if revenue != spent || revenue != balances || revenue != txSum {
+		return "", fmt.Errorf("loadrig: money not conserved: revenue=%v spent=%v balances=%v txsum=%v",
+			revenue, spent, balances, txSum)
+	}
+
+	// The journal's group-commit writer acknowledges only written
+	// records, so the file read back here covers every operation the
+	// clients saw succeed.
+	raw, err := os.ReadFile(r.JournalPath)
+	if err != nil {
+		return "", fmt.Errorf("loadrig: reading journal: %w", err)
+	}
+	restored, err := journal.Restore(bytes.NewReader(raw))
+	if err != nil {
+		return "", fmt.Errorf("loadrig: journal replay: %w", err)
+	}
+	liveBytes, err := r.Market.Snapshot().Canonical()
+	if err != nil {
+		return "", fmt.Errorf("loadrig: live snapshot: %w", err)
+	}
+	restoredBytes, err := restored.Snapshot().Canonical()
+	if err != nil {
+		return "", fmt.Errorf("loadrig: restored snapshot: %w", err)
+	}
+	if !bytes.Equal(liveBytes, restoredBytes) {
+		return "", errors.New("loadrig: journal replay does not rebuild live state")
+	}
+	return fmt.Sprintf("money conserved (revenue=%v over %d transactions); journal replay rebuilds live state (%d bytes)",
+		revenue, len(txs), len(raw)), nil
+}

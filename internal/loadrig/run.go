@@ -1,0 +1,340 @@
+package loadrig
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/datamarket/shield/internal/apierr"
+	"github.com/datamarket/shield/internal/client"
+	"github.com/datamarket/shield/internal/market"
+	"github.com/datamarket/shield/internal/rng"
+	"github.com/datamarket/shield/internal/wire"
+)
+
+// Transports a scenario can drive.
+const (
+	TransportHTTP = "http"
+	TransportWire = "wire"
+	TransportBoth = "both" // clients split evenly across both listeners
+)
+
+// Scenario describes one load run against a Rig.
+type Scenario struct {
+	// Transport is "http", "wire", or "both".
+	Transport string
+	// Clients is the number of concurrent client connections (each a
+	// worker with its own persona and RNG stream).
+	Clients int
+	// Rate is the open-loop offered load in operations per second,
+	// across all clients.
+	Rate float64
+	// Ops is the total number of operations to schedule.
+	Ops int
+	// BidFraction is the fraction of scheduled ops that are bids
+	// (default 0.8); the rest are read queries.
+	BidFraction float64
+	// TickEvery advances the market period every N scheduled ops
+	// (0 = never), so Time-Shield waits expire and buyers re-enter.
+	TickEvery int
+	// Seed derives every worker's RNG stream; a scenario replays
+	// bit-identically from (Seed, Clients, Ops).
+	Seed uint64
+	// Timeout bounds each operation (default 5s). Timed-out ops count
+	// as errors.
+	Timeout time.Duration
+	// InjectLatency adds an artificial delay to the measured latency of
+	// every op of a class before it is recorded — a fault-injection
+	// hook that lets a canary prove the SLO gate actually trips on a
+	// latency regression (the measurement, evaluation, and exit-code
+	// path all run for real).
+	InjectLatency map[string]time.Duration
+}
+
+// job is one scheduled operation.
+type job struct {
+	due  time.Time
+	kind string // ClassBid, ClassQuery, ClassTick
+}
+
+// Run drives the scenario against the rig and returns the measured
+// report. The dispatcher paces jobs on the open-loop schedule into a
+// queue deep enough to never block, so when workers fall behind the
+// scheduled times age in the queue and the measured latency includes
+// every queued microsecond (see the package comment on coordinated
+// omission). Server-side histogram quantiles for the bid path are
+// attached for cross-checking.
+func Run(rig *Rig, sc Scenario) (*Report, error) {
+	if sc.Clients <= 0 || sc.Ops <= 0 {
+		return nil, fmt.Errorf("loadrig: scenario needs positive Clients and Ops (got %d, %d)", sc.Clients, sc.Ops)
+	}
+	if sc.BidFraction == 0 {
+		sc.BidFraction = 0.8
+	}
+	if sc.BidFraction < 0 || sc.BidFraction > 1 {
+		return nil, fmt.Errorf("loadrig: BidFraction %v outside [0, 1]", sc.BidFraction)
+	}
+	if sc.Timeout <= 0 {
+		sc.Timeout = 5 * time.Second
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	pacer, err := NewPacer(sc.Rate)
+	if err != nil {
+		return nil, err
+	}
+
+	clients, err := dialClients(rig, sc)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, cl := range clients {
+			_ = cl.Close()
+		}
+	}()
+	if err := warm(clients, sc.Timeout); err != nil {
+		return nil, err
+	}
+
+	// The jobs queue holds the whole schedule so the dispatcher never
+	// blocks on slow workers — blocking would silently convert the rig
+	// to a closed loop.
+	jobs := make(chan job, sc.Ops)
+	root := rng.New(sc.Seed)
+	dispatchRNG := root.Fork("dispatch")
+
+	recs := make([]*recorder, sc.Clients)
+	var wg sync.WaitGroup
+	for i := 0; i < sc.Clients; i++ {
+		recs[i] = &recorder{}
+		w := &worker{
+			cl:       clients[i],
+			buyer:    rig.Buyers[i%len(rig.Buyers)],
+			persona:  Personas[i%len(Personas)],
+			rng:      root.Fork(fmt.Sprintf("worker-%d", i)),
+			datasets: rig.Datasets,
+			timeout:  sc.Timeout,
+			inject:   sc.InjectLatency,
+			rec:      recs[i],
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.loop(jobs)
+		}()
+	}
+
+	start := time.Now()
+	for i := 0; i < sc.Ops; i++ {
+		kind := ClassQuery
+		switch {
+		case sc.TickEvery > 0 && i > 0 && i%sc.TickEvery == 0:
+			kind = ClassTick
+		case dispatchRNG.Float64() < sc.BidFraction:
+			kind = ClassBid
+		}
+		jobs <- job{due: pacer.Next(), kind: kind}
+	}
+	close(jobs)
+	wg.Wait()
+	duration := time.Since(start)
+
+	rep := buildReport(recs, duration)
+	rep.ServerQuantiles = serverQuantiles(rig)
+	return rep, nil
+}
+
+// dialClients opens the scenario's connections, split across transports
+// for TransportBoth. Wire connections use small buffers: at thousands
+// of connections the default 64KiB pairs dominate the rig's footprint.
+func dialClients(rig *Rig, sc Scenario) ([]client.Client, error) {
+	httpCount := 0
+	switch sc.Transport {
+	case TransportHTTP:
+		httpCount = sc.Clients
+	case TransportWire:
+	case TransportBoth:
+		httpCount = sc.Clients / 2
+	default:
+		return nil, fmt.Errorf("loadrig: unknown transport %q (want http, wire, or both)", sc.Transport)
+	}
+
+	// One transport sized to the client count, so every HTTP worker
+	// keeps a persistent connection instead of churning through
+	// http.DefaultClient's two idle slots per host.
+	var doer *http.Client
+	if httpCount > 0 {
+		doer = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        httpCount + 8,
+			MaxIdleConnsPerHost: httpCount + 8,
+		}}
+	}
+
+	clients := make([]client.Client, sc.Clients)
+	errs := make([]error, sc.Clients)
+	// Dialing serially at 1k+ connections takes whole seconds; a
+	// bounded dial pool keeps startup off the measured clock.
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 64)
+	for i := range clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if i < httpCount {
+				clients[i], errs[i] = client.Dial(rig.HTTPAddr, client.WithHTTPDoer(doer))
+				return
+			}
+			conn, err := wire.DialSize(rig.WireAddr, 4<<10)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			clients[i] = client.NewWire(conn)
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		for _, cl := range clients {
+			if cl != nil {
+				_ = cl.Close()
+			}
+		}
+		return nil, fmt.Errorf("loadrig: dialing %d clients: %w", sc.Clients, err)
+	}
+	return clients, nil
+}
+
+// warm pings every client before the schedule's clock starts. The HTTP
+// transport connects lazily, so without this the first schedule slots
+// pay the whole fleet's TCP setup and the startup transient reads as
+// server tail latency in the report.
+func warm(clients []client.Client, timeout time.Duration) error {
+	errs := make([]error, len(clients))
+	var wg sync.WaitGroup
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(i int, cl client.Client) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			errs[i] = cl.Ping(ctx)
+		}(i, cl)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return fmt.Errorf("loadrig: warming %d clients: %w", len(clients), err)
+	}
+	return nil
+}
+
+// worker executes jobs on one connection, as one buyer, under one
+// persona.
+type worker struct {
+	cl       client.Client
+	buyer    market.BuyerID
+	persona  Persona
+	rng      *rng.RNG
+	datasets []market.DatasetID
+	timeout  time.Duration
+	inject   map[string]time.Duration
+	rec      *recorder
+}
+
+func (w *worker) loop(jobs <-chan job) {
+	for j := range jobs {
+		w.execute(j)
+	}
+}
+
+// execute runs one scheduled op and records its sample. Latency is
+// measured from the job's scheduled send time, not from now: the gap
+// between the two is exactly the queueing delay coordinated omission
+// would hide.
+func (w *worker) execute(j job) {
+	ctx, cancel := context.WithTimeout(context.Background(), w.timeout)
+	defer cancel()
+
+	s := sample{class: j.kind}
+	switch j.kind {
+	case ClassBid:
+		ds := w.datasets[w.rng.Intn(len(w.datasets))]
+		d, err := w.cl.SubmitBid(ctx, w.buyer, ds, w.persona.Bid(w.rng))
+		s.err, s.reject = classify(err)
+		s.won = err == nil && d.Allocated
+	case ClassTick:
+		_, err := w.cl.Tick(ctx)
+		s.err, s.reject = classify(err)
+	default:
+		err := w.query(ctx)
+		s.err, s.reject = classify(err)
+	}
+
+	s.latency = time.Since(j.due)
+	if d := w.inject[j.kind]; d > 0 {
+		s.latency += d
+	}
+	w.rec.record(s)
+}
+
+// query issues one read op, rotating deterministically through the
+// read surface.
+func (w *worker) query(ctx context.Context) error {
+	ds := w.datasets[w.rng.Intn(len(w.datasets))]
+	switch w.rng.Intn(4) {
+	case 0:
+		_, err := w.cl.Period(ctx)
+		return err
+	case 1:
+		_, err := w.cl.Datasets(ctx)
+		return err
+	case 2:
+		_, err := w.cl.WaitRemaining(ctx, w.buyer, ds)
+		return err
+	default:
+		_, err := w.cl.SellerBalance(ctx, Seller)
+		return err
+	}
+}
+
+// classify buckets an op error: business rejections — Time-Shield
+// waits, per-period bid limits, datasets the buyer already owns — are
+// the market doing its job and must not trip an error-rate SLO;
+// everything else (transport failures, timeouts, internal errors) is a
+// real error.
+func classify(err error) (isErr, isReject bool) {
+	if err == nil {
+		return false, false
+	}
+	var ae *apierr.APIError
+	if errors.As(err, &ae) {
+		switch ae.Code {
+		case apierr.CodeBlockedUntil, apierr.CodeBidTooSoon, apierr.CodeAlreadyAcquired:
+			return false, true
+		}
+	}
+	return true, false
+}
+
+// serverQuantiles pulls the server-side latency estimates for the bid
+// path from the rig's registry — the same histograms /metrics exports —
+// so reports can cross-check client-measured percentiles against
+// server-observed ones.
+func serverQuantiles(rig *Rig) map[string]float64 {
+	out := map[string]float64{}
+	if h, ok := rig.Tel.Registry.FindHistogram("shield_http_request_seconds", "POST /v1/bids", "200"); ok {
+		out[`shield_http_request_seconds{route="POST /v1/bids",status="200"} p99`] = h.Quantile(0.99)
+		out[`shield_http_request_seconds{route="POST /v1/bids",status="200"} p50`] = h.Quantile(0.50)
+	}
+	if h, ok := rig.Tel.Registry.FindHistogram("shield_wire_request_seconds", "bid", "ok"); ok {
+		out[`shield_wire_request_seconds{op="bid",status="ok"} p99`] = h.Quantile(0.99)
+		out[`shield_wire_request_seconds{op="bid",status="ok"} p50`] = h.Quantile(0.50)
+	}
+	return out
+}

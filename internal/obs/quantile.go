@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// Quantile estimates the p-quantile (p in [0, 1]) of the observed
+// distribution with the same semantics Prometheus's histogram_quantile
+// uses: the owning bucket is found from the cumulative counts and the
+// value is linearly interpolated between the bucket's bounds, treating
+// observations as uniformly distributed inside it. The first bucket
+// interpolates from zero. A quantile that lands in the +Inf overflow
+// bucket clamps to the highest finite upper bound — the histogram
+// cannot resolve beyond its ladder. An empty histogram, a NaN p, or a
+// p outside [0, 1] returns NaN.
+//
+// Reading races benignly with concurrent Observe calls: the snapshot is
+// monotone per bucket, so a mid-scrape quantile is bracketed by the
+// before and after distributions.
+func (h *Histogram) Quantile(p float64) float64 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	cum, count, _ := h.snapshot()
+	if count == 0 {
+		return math.NaN()
+	}
+	rank := p * float64(count)
+	// First non-empty bucket whose cumulative count reaches the rank
+	// (the non-empty condition makes p=0 land in the first bucket with
+	// mass and interpolate to its lower bound).
+	i := sort.Search(len(cum), func(i int) bool { return cum[i] > 0 && float64(cum[i]) >= rank })
+	if i >= len(h.upper) {
+		// Overflow (+Inf) bucket: the ladder cannot resolve the value.
+		return h.upper[len(h.upper)-1]
+	}
+	lower, prev := 0.0, uint64(0)
+	if i > 0 {
+		lower = h.upper[i-1]
+		prev = cum[i-1]
+	}
+	inBucket := cum[i] - prev
+	if inBucket == 0 {
+		return h.upper[i]
+	}
+	return lower + (h.upper[i]-lower)*(rank-float64(prev))/float64(inBucket)
+}
+
+// FindHistogram returns the histogram series registered under the
+// family name with exactly the given label values, or false when the
+// family does not exist, is not an instrument histogram family, or the
+// series has never been touched. It never creates the series — reading
+// a quantile must not invent an empty latency series.
+func (r *Registry) FindHistogram(name string, labelValues ...string) (*Histogram, bool) {
+	r.mu.Lock()
+	f := r.byName[name]
+	r.mu.Unlock()
+	if f == nil || f.kind != KindHistogram || f.collect != nil {
+		return nil, false
+	}
+	key := strings.Join(labelValues, "\xff")
+	f.mu.Lock()
+	s, ok := f.series[key]
+	f.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	h, ok := s.(*Histogram)
+	return h, ok
+}

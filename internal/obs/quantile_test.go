@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// quantileHist builds a bare histogram over the given ladder.
+func quantileHist(upper ...float64) *Histogram {
+	return newHistogram(upper)
+}
+
+func TestQuantileKnownDistribution(t *testing.T) {
+	h := quantileHist(1, 2, 4)
+	// 50 observations at exactly 1.0 (a bucket edge: le="1" owns it,
+	// mirroring Observe's SearchFloat64s) and 50 at 2.0.
+	for i := 0; i < 50; i++ {
+		h.Observe(1.0)
+		h.Observe(2.0)
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0.25, 0.5}, // rank 25 inside [0,1]: 25/50 of the way up
+		{0.5, 1.0},  // rank 50 lands exactly on the first bucket edge
+		{0.75, 1.5}, // rank 75: halfway through (1,2]
+		{1.0, 2.0},  // rank 100 exhausts the second bucket
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestQuantileFirstBucketInterpolatesFromZero(t *testing.T) {
+	h := quantileHist(10, 20)
+	for i := 0; i < 100; i++ {
+		h.Observe(3) // all mass in (0, 10]
+	}
+	if got := h.Quantile(0.5); math.Abs(got-5.0) > 1e-9 {
+		t.Errorf("Quantile(0.5) = %v, want 5 (uniform within the first bucket)", got)
+	}
+}
+
+func TestQuantileOverflowClampsToHighestFiniteBound(t *testing.T) {
+	h := quantileHist(1, 2, 4)
+	h.Observe(100) // +Inf bucket
+	h.Observe(100)
+	for _, p := range []float64{0.0, 0.5, 1.0} {
+		if got := h.Quantile(p); got != 4 {
+			t.Errorf("Quantile(%v) = %v, want the highest finite bound 4", p, got)
+		}
+	}
+	// Mixed: 9 fast observations, 1 in overflow. p99 cannot resolve
+	// beyond the ladder, p50 still interpolates normally.
+	h2 := quantileHist(1, 2, 4)
+	for i := 0; i < 9; i++ {
+		h2.Observe(0.5)
+	}
+	h2.Observe(1e9)
+	if got := h2.Quantile(0.99); got != 4 {
+		t.Errorf("overflow p99 = %v, want 4", got)
+	}
+	if got := h2.Quantile(0.5); got <= 0 || got > 1 {
+		t.Errorf("p50 = %v, want inside the first bucket", got)
+	}
+}
+
+func TestQuantileEmptyAndBadInputs(t *testing.T) {
+	h := quantileHist(1, 2)
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram Quantile = %v, want NaN", got)
+	}
+	h.Observe(1)
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if got := h.Quantile(p); !math.IsNaN(got) {
+			t.Errorf("Quantile(%v) = %v, want NaN", p, got)
+		}
+	}
+}
+
+func TestFindHistogram(t *testing.T) {
+	r := NewRegistry()
+	vec := r.HistogramVec("test_latency_seconds", "h", []float64{1, 2}, "op", "status")
+	vec.With("bid", "ok").Observe(1.5)
+
+	if h, ok := r.FindHistogram("test_latency_seconds", "bid", "ok"); !ok {
+		t.Fatal("registered series not found")
+	} else if h.Count() != 1 {
+		t.Fatalf("found series has count %d, want 1", h.Count())
+	}
+	// Never invent a series: an untouched label set stays absent.
+	if _, ok := r.FindHistogram("test_latency_seconds", "bid", "error"); ok {
+		t.Error("FindHistogram created or found an untouched series")
+	}
+	if _, ok := r.FindHistogram("no_such_family", "bid", "ok"); ok {
+		t.Error("FindHistogram found a family that was never registered")
+	}
+	// Non-histogram families are not findable as histograms.
+	r.Counter("test_total", "c")
+	if _, ok := r.FindHistogram("test_total"); ok {
+		t.Error("FindHistogram matched a counter family")
+	}
+}

@@ -19,7 +19,10 @@ import (
 // are safe for concurrent use; concurrent calls serialize on the
 // connection (one request-response round trip at a time). A Conn whose
 // underlying stream fails is dead — every later call returns the same
-// error — and should be closed and redialed.
+// sticky error, which wraps ErrConnClosed — and should be closed and
+// redialed. Calls respect their context: a deadline bounds the round
+// trip via the socket's I/O deadline, and cancellation of a
+// deadline-less context interrupts an in-flight call promptly.
 type Conn struct {
 	mu     sync.Mutex
 	nc     net.Conn
@@ -31,14 +34,27 @@ type Conn struct {
 	broken error  // sticky stream failure
 }
 
+// DefaultBufferSize is the per-direction buffered-I/O size a connection
+// uses unless overridden: generous enough to absorb a deep pipeline or
+// a large batch in one syscall.
+const DefaultBufferSize = 64 << 10
+
 // Dial connects to a wire server at addr ("host:port") and performs the
 // handshake.
 func Dial(addr string) (*Conn, error) {
+	return DialSize(addr, DefaultBufferSize)
+}
+
+// DialSize is Dial with an explicit per-direction buffer size. Rigs
+// holding thousands of mostly idle connections in one process shrink
+// the buffers to keep memory linear in connections, not in
+// connections × DefaultBufferSize.
+func DialSize(addr string, bufSize int) (*Conn, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c, err := NewConn(nc)
+	c, err := NewConnSize(nc, bufSize)
 	if err != nil {
 		nc.Close()
 		return nil, err
@@ -49,10 +65,18 @@ func Dial(addr string) (*Conn, error) {
 // NewConn wraps an established stream (a TCP connection, a net.Pipe
 // end) as a client connection, performing the handshake.
 func NewConn(nc net.Conn) (*Conn, error) {
+	return NewConnSize(nc, DefaultBufferSize)
+}
+
+// NewConnSize is NewConn with an explicit per-direction buffer size.
+func NewConnSize(nc net.Conn, bufSize int) (*Conn, error) {
+	if bufSize <= 0 {
+		bufSize = DefaultBufferSize
+	}
 	c := &Conn{
 		nc: nc,
-		br: bufio.NewReaderSize(nc, 64<<10),
-		bw: bufio.NewWriterSize(nc, 64<<10),
+		br: bufio.NewReaderSize(nc, bufSize),
+		bw: bufio.NewWriterSize(nc, bufSize),
 	}
 	hello := [4]byte{magic[0], magic[1], magic[2], Version}
 	if _, err := c.bw.Write(hello[:]); err != nil {
@@ -89,72 +113,110 @@ func (c *Conn) roundTrip(ctx context.Context, build func(req []byte) []byte, dec
 		return c.broken
 	}
 
-	if deadline, ok := ctx.Deadline(); ok {
+	// A context that was dead before anything hit the stream costs
+	// nothing: the connection stays usable.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	if hasDeadline {
+		// The I/O deadline alone bounds every blocking call below, so no
+		// watcher goroutine is needed on this, the common timeout path.
 		if err := c.nc.SetDeadline(deadline); err != nil {
-			return c.fail(err)
+			return c.fail(ctx, err)
 		}
 		defer c.nc.SetDeadline(time.Time{})
+	} else if done := ctx.Done(); done != nil {
+		// Cancelable but unbounded: a watcher expires the I/O deadline
+		// the moment the context dies, so an in-flight call against a
+		// stalled or half-closed server returns promptly instead of
+		// blocking forever. The watcher always exits before roundTrip
+		// returns — it cannot leak or poke a later round trip.
+		stop := make(chan struct{})
+		watched := make(chan struct{})
+		go func() {
+			defer close(watched)
+			select {
+			case <-done:
+				c.nc.SetDeadline(time.Unix(1, 0))
+			case <-stop:
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-watched
+			c.nc.SetDeadline(time.Time{})
+		}()
 	}
 
 	c.nextID++
 	id := c.nextID
 	c.req = build(binary.AppendUvarint(c.req[:0], id))
 	if err := writeFrame(c.bw, c.req); err != nil {
-		return c.fail(err)
+		return c.fail(ctx, err)
 	}
 	if err := c.bw.Flush(); err != nil {
-		return c.fail(err)
+		return c.fail(ctx, err)
 	}
 
 	var err error
 	c.resp, err = readFrame(c.br, c.resp)
 	if err != nil {
-		return c.fail(err)
+		return c.fail(ctx, err)
 	}
 	r := &payloadReader{data: c.resp}
 	gotID := r.uvarint()
 	status := r.byte()
 	if r.err != nil {
-		return c.fail(fmt.Errorf("wire: malformed response envelope"))
+		return c.fail(ctx, fmt.Errorf("wire: malformed response envelope"))
 	}
 	if gotID != id {
 		// Responses come back in request order on a serialized
 		// connection; a mismatch means the stream is desynchronized.
-		return c.fail(fmt.Errorf("wire: response id %d for request %d", gotID, id))
+		return c.fail(ctx, fmt.Errorf("wire: response id %d for request %d", gotID, id))
 	}
 	switch status {
 	case statusOK:
 		if decode == nil {
 			if len(r.rest()) != 0 {
-				return c.fail(fmt.Errorf("wire: unexpected result body"))
+				return c.fail(ctx, fmt.Errorf("wire: unexpected result body"))
 			}
 			return nil
 		}
 		if err := decode(r); err != nil {
-			return c.fail(err)
+			return c.fail(ctx, err)
 		}
 		if !r.done() {
-			return c.fail(fmt.Errorf("wire: malformed result body"))
+			return c.fail(ctx, fmt.Errorf("wire: malformed result body"))
 		}
 		return nil
 	case statusErr:
 		code := r.str()
 		msg := r.str()
 		if r.err != nil {
-			return c.fail(fmt.Errorf("wire: malformed error envelope"))
+			return c.fail(ctx, fmt.Errorf("wire: malformed error envelope"))
 		}
 		return &apierr.APIError{Code: code, Message: msg}
 	default:
-		return c.fail(fmt.Errorf("wire: unknown response status %d", status))
+		return c.fail(ctx, fmt.Errorf("wire: unknown response status %d", status))
 	}
 }
 
-// fail marks the connection dead and returns err.
-func (c *Conn) fail(err error) error {
+// fail marks the connection dead with a sticky error wrapping
+// ErrConnClosed and returns it. When the context expired or was
+// canceled — the deadline broke the blocking I/O, or the watcher did —
+// the context's error is recorded as the cause, so callers can
+// distinguish their own timeout from a server hangup with errors.Is.
+// Every caller from now on, including the ones already queued on the
+// connection mutex mid-pipeline, observes the same typed error.
+func (c *Conn) fail(ctx context.Context, err error) error {
 	if c.broken == nil {
-		c.broken = err
+		if cerr := ctx.Err(); cerr != nil {
+			err = fmt.Errorf("%v: %w", err, cerr)
+		}
+		c.broken = fmt.Errorf("%w: %w", ErrConnClosed, err)
 	}
-	return err
+	return c.broken
 }
 
 // apply sends one command, decoding any result body with decode.

@@ -1,0 +1,227 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/datamarket/shield/internal/market"
+)
+
+// stallServer accepts wire connections, completes the handshake, then
+// reads and discards frames without ever answering — a server that
+// hangs mid-pipeline.
+func stallServer(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				var hello [4]byte
+				if _, err := io.ReadFull(conn, hello[:]); err != nil {
+					return
+				}
+				answer := [4]byte{magic[0], magic[1], magic[2], Version}
+				if _, err := conn.Write(answer[:]); err != nil {
+					return
+				}
+				buf := make([]byte, 4<<10)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return l.Addr().String()
+}
+
+// TestConnDeadlineBoundsStalledCall proves an in-flight request against
+// a stalled server returns within its context deadline with an error
+// that is both ErrConnClosed and context.DeadlineExceeded.
+func TestConnDeadlineBoundsStalledCall(t *testing.T) {
+	c, err := Dial(stallServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.SubmitBid(ctx, "b", "d", 10)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("bid against a stalled server succeeded")
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("call took %v, want bounded by the 100ms deadline", elapsed)
+	}
+	if !errors.Is(err, ErrConnClosed) {
+		t.Errorf("error %v does not wrap ErrConnClosed", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+	// The connection is sticky-dead with the same typed error.
+	if err := c.Ping(context.Background()); !errors.Is(err, ErrConnClosed) {
+		t.Errorf("follow-up call error %v, want sticky ErrConnClosed", err)
+	}
+}
+
+// TestConnCancelInterruptsStalledCall proves cancellation of a
+// deadline-less context interrupts an in-flight call promptly — the
+// watcher path — without leaking its goroutine.
+func TestConnCancelInterruptsStalledCall(t *testing.T) {
+	c, err := Dial(stallServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// The second connection backs the pre-canceled-context check below;
+	// dialed up front so the server goroutines it spawns are part of the
+	// goroutine baseline.
+	c2, err := Dial(stallServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err = c.Ping(ctx)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("ping against a stalled server succeeded")
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("call took %v, want prompt return after the 50ms cancel", elapsed)
+	}
+	if !errors.Is(err, ErrConnClosed) || !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v, want ErrConnClosed wrapping context.Canceled", err)
+	}
+	// An already-dead context never touches the stream and does not
+	// kill the connection.
+	dead, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if err := c2.Ping(dead); !errors.Is(err, context.Canceled) || errors.Is(err, ErrConnClosed) {
+		t.Errorf("pre-canceled context error %v, want bare context.Canceled", err)
+	}
+
+	// No watcher goroutines survive the calls.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines grew from %d to %d: watcher leak", before, n)
+	}
+}
+
+// TestConnServerClosesMidPipeline hammers one shared connection from
+// many goroutines while the server answers a few requests and then
+// hangs up. Every in-flight and queued request must return promptly
+// with an error wrapping ErrConnClosed (or a decided result), and no
+// goroutine may be left behind.
+func TestConnServerClosesMidPipeline(t *testing.T) {
+	m := testMarket(t)
+	if err := m.RegisterSeller("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UploadDataset("s", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterBuyer("b"); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(m)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		// Serve normally for a moment, then hang up mid-pipeline.
+		go func() {
+			time.Sleep(30 * time.Millisecond)
+			conn.Close()
+		}()
+		_ = s.ServeConn(conn)
+	}()
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const callers = 32
+	errs := make(chan error, callers)
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			for {
+				if _, err := c.SubmitBid(ctx, "b", market.DatasetID("d"), 10); err != nil {
+					var decided bool
+					// Market-level rejections keep the connection alive;
+					// keep going until the stream itself dies.
+					if !errors.Is(err, ErrConnClosed) {
+						decided = true
+					}
+					if !decided {
+						errs <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("callers still blocked 10s after the server hung up")
+	}
+	close(errs)
+	n := 0
+	for err := range errs {
+		n++
+		if !errors.Is(err, ErrConnClosed) {
+			t.Errorf("caller error %v does not wrap ErrConnClosed", err)
+		}
+	}
+	if n != callers {
+		t.Errorf("%d callers reported a typed error, want %d", n, callers)
+	}
+}

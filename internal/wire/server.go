@@ -36,6 +36,8 @@ type Backend interface {
 type Server struct {
 	b Backend
 
+	bufSize int
+
 	tel     *obs.Telemetry
 	latency *obs.Vec[*obs.Histogram]
 	conns   *obs.Gauge
@@ -43,7 +45,21 @@ type Server struct {
 
 // NewServer returns a wire server over b.
 func NewServer(b Backend) *Server {
-	return &Server{b: b}
+	return &Server{b: b, bufSize: DefaultBufferSize}
+}
+
+// WithBufferSize sets the per-connection read and write buffer size in
+// bytes (default DefaultBufferSize). Rigs holding thousands of
+// connections in one process shrink it — two 64KiB buffers per
+// connection is 128MiB at 1k connections before a single frame flows.
+// Sizes below one frame header still work; bufio grows reads as needed
+// and large frames bypass the write buffer. Must be called before the
+// server accepts connections.
+func (s *Server) WithBufferSize(n int) *Server {
+	if n > 0 {
+		s.bufSize = n
+	}
+	return s
 }
 
 // WithTelemetry instruments the server on t: per-request latency by
@@ -92,8 +108,12 @@ func (s *Server) ServeConn(conn net.Conn) error {
 		s.conns.Add(1)
 		defer s.conns.Add(-1)
 	}
-	br := bufio.NewReaderSize(conn, 64<<10)
-	bw := bufio.NewWriterSize(conn, 64<<10)
+	bufSize := s.bufSize
+	if bufSize <= 0 {
+		bufSize = DefaultBufferSize
+	}
+	br := bufio.NewReaderSize(conn, bufSize)
+	bw := bufio.NewWriterSize(conn, bufSize)
 
 	if err := s.handshake(br, bw); err != nil {
 		return err

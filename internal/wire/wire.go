@@ -96,6 +96,16 @@ const (
 // ErrFrameTooLarge reports a frame whose length prefix exceeds MaxFrame.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 
+// ErrConnClosed reports a client connection whose stream has failed —
+// the server closed it (shutdown, crash, mid-pipeline hangup), an I/O
+// deadline expired, or the response stream desynchronized. Every call
+// on the connection from the first failure on, including calls already
+// queued behind the failing one, returns an error wrapping this
+// sentinel (and, when a context deadline or cancellation caused the
+// failure, that context's error too): the connection must be closed
+// and redialed.
+var ErrConnClosed = errors.New("wire: connection unusable")
+
 // ErrHandshake reports a malformed or version-incompatible handshake.
 var ErrHandshake = errors.New("wire: handshake failed")
 

@@ -401,6 +401,12 @@ func NewHTTPClient(base string, opts ...ClientOption) Client {
 	return client.NewHTTP(base, opts...)
 }
 
+// ErrClientConnClosed is the wire transport's dead-connection sentinel:
+// once a wire client's stream fails (server hangup, expired deadline,
+// desynchronized frames), every in-flight and later call returns an
+// error wrapping it. Close the client and redial.
+var ErrClientConnClosed = client.ErrConnClosed
+
 // DialWireClient returns a Client speaking the binary wire protocol to
 // addr ("host:port").
 func DialWireClient(addr string) (Client, error) { return client.DialWire(addr) }
