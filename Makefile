@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench bench-save bench-save-smoke fuzz-smoke torture torture-smoke torture-long slo-smoke slo-full cover
+.PHONY: ci fmt-check vet build test race bench bench-save bench-save-smoke fuzz-smoke metrics-lint torture torture-smoke torture-long slo-smoke slo-full cover
 
-ci: fmt-check vet build race test fuzz-smoke torture-smoke torture slo-smoke bench-save-smoke
+ci: fmt-check vet metrics-lint build race test fuzz-smoke torture-smoke torture slo-smoke bench-save-smoke
 
 # Fails (and lists the offenders) if any file is not gofmt-clean.
 fmt-check:
@@ -14,15 +14,22 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# Static check over every metric the binaries register: naming
+# conventions (shield_ prefix, unit suffixes), label hygiene, and
+# histogram bucket sanity. Catches drift before a dashboard does.
+metrics-lint:
+	$(GO) run ./cmd/metricslint
+
 build:
 	$(GO) build ./...
 
 # The concurrency-sensitive packages run under the race detector: the
 # sharded market arbiter, the HTTP layer that fans batches into it, the
-# journal (crash-recovery harness appends concurrently), and the
-# telemetry registry/tracer (scraped while updated).
+# journal (crash-recovery harness appends concurrently), the
+# telemetry registry/tracer (scraped while updated), and the shieldtop
+# poller (refresh loop racing terminal resize/teardown).
 race:
-	$(GO) test -race ./internal/market/... ./internal/httpapi/... ./internal/journal/... ./internal/obs/... ./internal/wire/... ./internal/client/... ./internal/loadrig/...
+	$(GO) test -race ./internal/market/... ./internal/httpapi/... ./internal/journal/... ./internal/obs/... ./internal/wire/... ./internal/client/... ./internal/loadrig/... ./cmd/shieldtop/... ./cmd/metricslint/...
 
 test:
 	$(GO) test ./...
@@ -87,14 +94,16 @@ slo-full:
 
 # Runs the journal-durability and transport benchmarks and records them
 # (with the derived group-commit and wire-vs-HTTP speedups) in
-# BENCH_6.json, then the load rig's whole-system measurement in
-# BENCH_7.json, keeping the performance claims in DESIGN.md reproducible.
+# BENCH_6.json, the load rig's whole-system measurement in BENCH_7.json,
+# and the tracing-overhead-per-bid measurement in BENCH_8.json, keeping
+# the performance claims in DESIGN.md reproducible.
 bench-save:
 	$(GO) run ./cmd/benchsave -benchtime 1s
 
 # CI variant: a short benchtime and a small rig keep the gate fast while
-# still proving the benchmarks run and both artifact pipelines work end
-# to end.
+# still proving the benchmarks run and all three artifact pipelines work
+# end to end.
 bench-save-smoke:
 	$(GO) run ./cmd/benchsave -benchtime 50ms -out /tmp/bench_smoke.json \
-		-rig-out /tmp/bench7_smoke.json -rig-clients 128 -rig-ops 3000
+		-rig-out /tmp/bench7_smoke.json -rig-clients 128 -rig-ops 3000 \
+		-trace-out /tmp/bench8_smoke.json

@@ -8,6 +8,7 @@
 //	benchsave [-out BENCH_6.json] [-benchtime 1s] [-count 1]
 //	          [-rig-out BENCH_7.json] [-rig-clients 1024]
 //	          [-rig-rate 4000] [-rig-ops 16000]
+//	          [-trace-out BENCH_8.json]
 //
 // The artifact records ns/op, B/op and allocs/op per benchmark plus the
 // two derived headline ratios: group-commit speedup over per-record
@@ -18,6 +19,20 @@
 // open-loop tail latencies per op class, achieved throughput, server
 // histogram quantiles, and the invariant summary — as a second artifact
 // (-rig-out, BENCH_7.json by default; empty skips the rig).
+//
+// -trace-out records the tracing overhead on the wire bid path as a
+// third artifact (BENCH_8.json by default; empty skips it): the
+// per-request delta between BenchmarkWireBidPathInstrumented (metrics
+// hot, tracing off — the PR-7 shape of the server) and
+// BenchmarkWireBidPathTraced (every request carries a sampled trace
+// field: span breakdown, exemplars, ring commit). These drive the
+// server-side handle path directly — no loopback socket — because the
+// socket term is identical in both variants and subtracting two
+// socket-bound measurements drowns a sub-microsecond delta in
+// scheduler noise. The budget is 2x the PR-3 instrumentation figure
+// (~260 ns/bid → 520 ns). An over-budget measurement still writes the
+// artifact but prints a warning — single-run nanosecond deltas on
+// shared CI hardware are evidence, not a verdict.
 package main
 
 import (
@@ -36,11 +51,12 @@ import (
 
 // result is one benchmark's parsed measurement.
 type result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name          string  `json:"name"`
+	Iterations    int64   `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp   int64   `json:"allocs_per_op,omitempty"`
+	RequestsPerOp float64 `json:"requests_per_op,omitempty"`
 }
 
 // artifact is the BENCH_6.json schema.
@@ -58,7 +74,7 @@ var suites = []struct {
 	pattern string
 }{
 	{"./internal/journal/", "^BenchmarkBidAppendFsync"},
-	{"./internal/wire/", "^BenchmarkTransport"},
+	{"./internal/wire/", "^BenchmarkTransport|^BenchmarkWireBidPath"},
 }
 
 func main() {
@@ -71,6 +87,8 @@ func main() {
 		rigClients = flag.Int("rig-clients", 1024, "load-rig concurrent client connections")
 		rigRate    = flag.Float64("rig-rate", 4000, "load-rig open-loop rate, ops/second")
 		rigOps     = flag.Int("rig-ops", 16000, "load-rig total operations")
+
+		traceOut = flag.String("trace-out", "BENCH_8.json", "tracing-overhead artifact path (empty = skip)")
 	)
 	flag.Parse()
 
@@ -126,6 +144,12 @@ func main() {
 	}
 	fmt.Printf("benchsave: wrote %s (%d results)\n", *out, len(art.Results))
 
+	if *traceOut != "" {
+		if err := writeTraceArtifact(*traceOut, art.GeneratedAt, art.GoVersion, *benchtime, byName); err != nil {
+			log.Fatalf("benchsave: %v", err)
+		}
+	}
+
 	if *rigOut != "" {
 		// The rig artifact's schema lives with cmd/shieldload; running
 		// the binary (rather than importing internal/loadrig here)
@@ -142,6 +166,68 @@ func main() {
 			log.Fatalf("benchsave: load rig: %v", err)
 		}
 	}
+}
+
+// tracingBudgetNs is the ceiling on acceptable tracing overhead per
+// wire bid: 2x the PR-3 metrics-instrumentation figure (~260 ns/bid,
+// EXPERIMENTS.md X8). Full-pipeline tracing that costs much more than
+// the instrument set it extends is mismeasuring the system.
+const tracingBudgetNs = 520
+
+// traceArtifact is the BENCH_8.json schema: the cost of full-pipeline
+// tracing on the server-side wire bid path, as the per-request delta
+// between the traced and tracing-off (PR-7 baseline) bid-path
+// benchmarks. Each benchmark op is one bid plus one tick
+// (requests_per_op), every request fully traced in the traced variant.
+type traceArtifact struct {
+	GeneratedAt         string  `json:"generated_at"`
+	GoVersion           string  `json:"go_version"`
+	Benchtime           string  `json:"benchtime"`
+	InstrumentedNsPerOp float64 `json:"instrumented_ns_per_op"`
+	TracedNsPerOp       float64 `json:"traced_ns_per_op"`
+	RequestsPerOp       float64 `json:"requests_per_op"`
+	OverheadNsPerBid    float64 `json:"tracing_overhead_ns_per_bid"`
+	BudgetNsPerBid      float64 `json:"budget_ns_per_bid"`
+	WithinBudget        bool    `json:"within_budget"`
+}
+
+// writeTraceArtifact derives the tracing-overhead artifact from the
+// already-captured bid-path benchmarks.
+func writeTraceArtifact(path, generatedAt, goVersion, benchtime string, byName map[string]result) error {
+	base, okBase := byName["BenchmarkWireBidPathInstrumented"]
+	traced, okTraced := byName["BenchmarkWireBidPathTraced"]
+	if !okBase || !okTraced {
+		return fmt.Errorf("tracing artifact needs BenchmarkWireBidPathInstrumented and BenchmarkWireBidPathTraced (have %v, %v)", okBase, okTraced)
+	}
+	requests := traced.RequestsPerOp
+	if requests <= 0 {
+		requests = 1
+	}
+	art := traceArtifact{
+		GeneratedAt:         generatedAt,
+		GoVersion:           goVersion,
+		Benchtime:           benchtime,
+		InstrumentedNsPerOp: base.NsPerOp,
+		TracedNsPerOp:       traced.NsPerOp,
+		RequestsPerOp:       requests,
+		OverheadNsPerBid:    (traced.NsPerOp - base.NsPerOp) / requests,
+		BudgetNsPerBid:      tracingBudgetNs,
+	}
+	art.WithinBudget = art.OverheadNsPerBid <= tracingBudgetNs
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchsave: wrote %s (tracing overhead %.0f ns/bid, budget %d)\n",
+		path, art.OverheadNsPerBid, tracingBudgetNs)
+	if !art.WithinBudget {
+		fmt.Printf("benchsave: WARNING: tracing overhead %.0f ns/bid exceeds the %d ns budget\n",
+			art.OverheadNsPerBid, tracingBudgetNs)
+	}
+	return nil
 }
 
 // parse extracts benchmark lines from `go test -bench` output. A line
@@ -174,6 +260,8 @@ func parse(out []byte) []result {
 				r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
 			case "allocs/op":
 				r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "requests/op":
+				r.RequestsPerOp, _ = strconv.ParseFloat(val, 64)
 			}
 		}
 		rs = append(rs, r)

@@ -8,7 +8,8 @@
 //	marketd [-addr :8080] [-epoch 8] [-candidates 40] [-min 1] [-max 200]
 //	        [-seed 2022] [-shards 16] [-journal market.log] [-fsync] [-auth]
 //	        [-group-commit] [-group-commit-window 0s] [-wire-addr :9090]
-//	        [-operator-token secret] [-trace-sample 1] [-debug-addr 127.0.0.1:6060]
+//	        [-operator-token secret] [-trace-sample 1] [-slow-op 50ms]
+//	        [-debug-addr 127.0.0.1:6060]
 //
 // With -journal, every successful operation is appended to an event log
 // and the full market state is rebuilt from it on restart; -fsync
@@ -35,7 +36,11 @@
 // The daemon is fully instrumented (see internal/obs): every request
 // gets an ID and a structured log line, bids leave sampled lifecycle
 // traces (-trace-sample records 1 in N; 0 disables), and /metrics
-// serves the shared registry. With -auth the operator endpoints
+// serves the shared registry plus process self-metrics (goroutines,
+// heap, GC pauses, open connections). -slow-op logs a structured
+// warning with the full per-stage breakdown (wire.read, decode,
+// group_commit.fsync, apply, ...) for every sampled request slower
+// than the threshold. With -auth the operator endpoints
 // (/metrics, /debug/traces, dataset stats) require the bearer token
 // from -operator-token; if -auth is set without a token one is
 // generated and logged at startup so the operator surface never silently
@@ -88,6 +93,7 @@ func main() {
 		useAuth     = flag.Bool("auth", false, "require HMAC-signed bids")
 		opToken     = flag.String("operator-token", "", "bearer token for operator endpoints (auto-generated with -auth when empty)")
 		traceSample = flag.Int("trace-sample", 1, "record 1 in N bid-lifecycle traces (0 disables tracing)")
+		slowOp      = flag.Duration("slow-op", 0, "log a structured stage breakdown for sampled requests slower than this (0 disables)")
 		debugAddr   = flag.String("debug-addr", "", "operator-only debug listener with pprof, metrics and traces (off when empty; bind to localhost)")
 		wireAddr    = flag.String("wire-addr", "", "binary wire-protocol listener (off when empty; incompatible with -auth)")
 		groupCommit = flag.Bool("group-commit", false, "coalesce concurrent journal appends into one write (and one fsync with -fsync)")
@@ -116,6 +122,21 @@ func main() {
 	tel := &obs.Telemetry{
 		Registry: obs.NewRegistry(),
 		Tracer:   obs.NewTracer(256, *traceSample, *seed),
+	}
+	obs.RegisterRuntimeMetrics(tel.Registry)
+	if *slowOp > 0 {
+		// Every sampled request slower than -slow-op logs its full stage
+		// breakdown (wire.read=... group_commit.fsync=... apply=...), so
+		// a tail-latency spike names the stage that caused it without a
+		// second scrape. Coverage follows the sampling rate.
+		tel.Tracer.OnSlow(*slowOp, func(ts obs.TraceSnapshot) {
+			logger.Warn("marketd: slow op",
+				"id", ts.ID,
+				"op", ts.Name,
+				"elapsed", time.Duration(ts.DurationUS)*time.Microsecond,
+				"stages", ts.StageSummary(),
+			)
+		})
 	}
 
 	cfg := market.Config{
@@ -220,6 +241,8 @@ func main() {
 		Addr:              *addr,
 		Handler:           srvHandler.Routes(),
 		ReadHeaderTimeout: 5 * time.Second,
+		ConnState: httpapi.ConnCountHook(tel.Registry.Gauge("shield_http_connections",
+			"Open HTTP connections.")),
 	}
 	// Graceful shutdown: stop accepting requests, drain in-flight ones,
 	// then close the journal — Close syncs the log to disk, so a clean

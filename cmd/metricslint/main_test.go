@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLintPassesOnLiveStack runs the whole gate: instrumented rig,
+// traffic over both transports, HTTP scrape, lint. A conformant
+// exposition with exemplars present exits 0.
+func TestLintPassesOnLiveStack(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run(&out, &errw); code != 0 {
+		t.Fatalf("metricslint = %d\nstderr:\n%s", code, errw.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "metricslint: OK") {
+		t.Fatalf("no OK line: %q", got)
+	}
+	// The gate is only meaningful if the traffic actually produced
+	// exemplars to lint.
+	if strings.Contains(got, " 0 exemplars") {
+		t.Fatalf("scrape carried no exemplars — sampling wiring broke: %q", got)
+	}
+}

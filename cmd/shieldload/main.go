@@ -15,16 +15,19 @@
 //
 //	shieldload [-transport both] [-clients 1024] [-rate 4000] [-ops 16000]
 //	           [-bid-fraction 0.8] [-tick-every 400] [-seed 2022]
-//	           [-datasets 16] [-group-commit=true]
+//	           [-datasets 16] [-group-commit=true] [-fsync] [-trace-sample 1]
 //	           [-slo 'bid.p99<250ms,error_rate<0.1%']
 //	           [-inject 'bid=2.5s'] [-json BENCH_7.json] [-q]
 //
 // -slo is a comma-separated list of clauses over the measured report:
 // per-class latency bounds (bid.p99<5ms, query.p999<20ms, bid.max<1s),
-// error-rate ceilings (error_rate<0.1%, bid.error_rate<0.5%) and a
-// throughput floor (throughput>=3000). Business rejections — Time-Shield
-// waits, per-period bid limits — are the market working as designed and
-// never count toward error rates.
+// error-rate ceilings (error_rate<0.1%, bid.error_rate<0.5%), a
+// throughput floor (throughput>=3000), and server-side stage bounds
+// (bid.fsync.p99<2ms, bid.queue_wait.p99<5ms) read from the server's
+// own shield_stage_seconds histograms — so a gate can distinguish "the
+// disk got slow" from "the market got slow". Business rejections —
+// Time-Shield waits, per-period bid limits — are the market working as
+// designed and never count toward error rates.
 //
 // -inject adds an artificial latency to every recorded sample of an op
 // class ('bid=2.5s'). It exists so the gate can be proven to fail: the
@@ -63,9 +66,12 @@ type artifact struct {
 	Errors      int                   `json:"errors"`
 	Classes     map[string]classStats `json:"classes"`
 	ServerP99   map[string]float64    `json:"server_quantiles_sec"`
-	Invariants  string                `json:"invariants"`
-	SLO         string                `json:"slo,omitempty"`
-	Violations  []string              `json:"violations,omitempty"`
+	// ServerStages is the server-side bid-path decomposition (queue
+	// wait vs fsync vs apply), keyed by stage class.
+	ServerStages map[string]loadrig.StageStats `json:"server_stages,omitempty"`
+	Invariants   string                        `json:"invariants"`
+	SLO          string                        `json:"slo,omitempty"`
+	Violations   []string                      `json:"violations,omitempty"`
 }
 
 // classStats is one op class in the artifact, latencies in seconds.
@@ -96,6 +102,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed        = fs.Uint64("seed", 2022, "scenario seed (workload replays bit-identically)")
 		datasets    = fs.Int("datasets", 16, "catalog size to seed")
 		groupCommit = fs.Bool("group-commit", true, "journal group commit (the production configuration)")
+		fsync       = fs.Bool("fsync", false, "fsync every journal flush (durable production configuration)")
+		traceSample = fs.Int("trace-sample", 0, "trace every Nth request (0 = tracing off; 1 = every request)")
 		sloSpec     = fs.String("slo", "", "SLO gate, e.g. 'bid.p99<250ms,error_rate<0.1%' (empty = report only)")
 		inject      = fs.String("inject", "", "artificial latency per op class, e.g. 'bid=2.5s' (gate self-test)")
 		jsonOut     = fs.String("json", "", "also write the report as a JSON artifact")
@@ -122,6 +130,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Buyers:      *clients,
 		Seed:        *seed,
 		GroupCommit: *groupCommit,
+		Fsync:       *fsync,
+		TraceSample: *traceSample,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "shieldload: %v\n", err)
@@ -204,19 +214,20 @@ func parseInject(spec string) (map[string]time.Duration, error) {
 
 func writeArtifact(path string, rep *loadrig.Report, transport string, clients int, rate float64, ops int, seed uint64, slo string, violations []loadrig.Violation) error {
 	art := artifact{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		Transport:   transport,
-		Clients:     clients,
-		TargetRate:  rate,
-		Ops:         ops,
-		Seed:        seed,
-		Throughput:  rep.Throughput,
-		DurationSec: rep.Duration.Seconds(),
-		Errors:      rep.Errors,
-		Classes:     map[string]classStats{},
-		ServerP99:   rep.ServerQuantiles,
-		Invariants:  rep.Invariants,
-		SLO:         slo,
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		Transport:    transport,
+		Clients:      clients,
+		TargetRate:   rate,
+		Ops:          ops,
+		Seed:         seed,
+		Throughput:   rep.Throughput,
+		DurationSec:  rep.Duration.Seconds(),
+		Errors:       rep.Errors,
+		Classes:      map[string]classStats{},
+		ServerP99:    rep.ServerQuantiles,
+		ServerStages: rep.ServerStages,
+		Invariants:   rep.Invariants,
+		SLO:          slo,
 	}
 	if v, err := exec.Command("go", "version").Output(); err == nil {
 		art.GoVersion = strings.TrimSpace(string(v))

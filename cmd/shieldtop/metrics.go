@@ -1,0 +1,320 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// sample is one parsed line of the Prometheus text exposition, plus the
+// trace ID from an OpenMetrics-style exemplar suffix when the line
+// carries one.
+type sample struct {
+	name     string
+	labels   map[string]string
+	value    float64
+	exemplar string
+}
+
+// bucket is one cumulative histogram bucket.
+type bucket struct {
+	le       float64
+	cum      float64
+	exemplar string
+}
+
+// hist is one reassembled histogram series (family + label set minus
+// le), with buckets in ascending le order.
+type hist struct {
+	labels  map[string]string
+	buckets []bucket
+	sum     float64
+	count   float64
+}
+
+// snapshot is one /metrics scrape, indexed for the dashboard: scalar
+// series (counters, gauges) by rendered series name, histograms by
+// family name then label key.
+type snapshot struct {
+	at      time.Time
+	scalars map[string]float64
+	hists   map[string]map[string]*hist
+}
+
+// scalar returns a counter/gauge value by its rendered series name,
+// e.g. "shield_runtime_goroutines" or a labeled form.
+func (s *snapshot) scalar(name string) (float64, bool) {
+	v, ok := s.scalars[name]
+	return v, ok
+}
+
+// histograms returns the family's series sorted by label key, so render
+// order is stable across refreshes.
+func (s *snapshot) histograms(family string) []*hist {
+	m := s.hists[family]
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*hist, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}
+
+// quantile estimates the p-quantile in the histogram's native unit by
+// linear interpolation inside the first bucket whose cumulative count
+// reaches rank p*count. The +Inf bucket clamps to the last finite edge.
+func (h *hist) quantile(p float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := p * h.count
+	lower, prevCum := 0.0, 0.0
+	for _, b := range h.buckets {
+		if b.cum >= target {
+			if math.IsInf(b.le, 1) {
+				return lower
+			}
+			inBucket := b.cum - prevCum
+			if inBucket <= 0 {
+				return b.le
+			}
+			return lower + (b.le-lower)*(target-prevCum)/inBucket
+		}
+		if !math.IsInf(b.le, 1) {
+			lower = b.le
+		}
+		prevCum = b.cum
+	}
+	return lower
+}
+
+// tailExemplar returns the trace ID on the highest-le bucket that
+// carries one — the request that explains the distribution's tail.
+func (h *hist) tailExemplar() string {
+	for i := len(h.buckets) - 1; i >= 0; i-- {
+		if h.buckets[i].exemplar != "" {
+			return h.buckets[i].exemplar
+		}
+	}
+	return ""
+}
+
+// merge folds other into h: bucket-by-bucket cumulative counts (both
+// sides share the registry's fixed bucket layout), sums and counts.
+// Used to collapse per-status series into one per-op-class histogram.
+func (h *hist) merge(other *hist) {
+	h.sum += other.sum
+	h.count += other.count
+	if len(h.buckets) == 0 {
+		h.buckets = append([]bucket(nil), other.buckets...)
+		return
+	}
+	for i := range h.buckets {
+		if i < len(other.buckets) {
+			h.buckets[i].cum += other.buckets[i].cum
+			if other.buckets[i].exemplar != "" {
+				h.buckets[i].exemplar = other.buckets[i].exemplar
+			}
+		}
+	}
+}
+
+// parseExposition parses the dialect internal/obs emits — Prometheus
+// text format plus "# {trace_id=\"...\"} value ts" bucket exemplars —
+// into an indexed snapshot. Unparseable lines are skipped: a live
+// dashboard degrades, it does not crash.
+func parseExposition(text string, at time.Time) *snapshot {
+	snap := &snapshot{at: at, scalars: map[string]float64{}, hists: map[string]map[string]*hist{}}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			family := strings.TrimSuffix(s.name, "_bucket")
+			le, err := parseLe(s.labels["le"])
+			if err != nil {
+				continue
+			}
+			delete(s.labels, "le")
+			h := snap.histSeries(family, s.labels)
+			h.buckets = append(h.buckets, bucket{le: le, cum: s.value, exemplar: s.exemplar})
+		case strings.HasSuffix(s.name, "_sum"):
+			snap.histSeries(strings.TrimSuffix(s.name, "_sum"), s.labels).sum = s.value
+		case strings.HasSuffix(s.name, "_count"):
+			snap.histSeries(strings.TrimSuffix(s.name, "_count"), s.labels).count = s.value
+		default:
+			snap.scalars[seriesName(s.name, s.labels)] = s.value
+		}
+	}
+	for _, m := range snap.hists {
+		for _, h := range m {
+			sort.Slice(h.buckets, func(i, j int) bool { return h.buckets[i].le < h.buckets[j].le })
+		}
+	}
+	return snap
+}
+
+// histSeries finds or creates the histogram for (family, labels).
+func (s *snapshot) histSeries(family string, labels map[string]string) *hist {
+	m := s.hists[family]
+	if m == nil {
+		m = map[string]*hist{}
+		s.hists[family] = m
+	}
+	key := labelKey(labels)
+	h := m[key]
+	if h == nil {
+		h = &hist{labels: labels}
+		m[key] = h
+	}
+	return h
+}
+
+func labelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte('\xff')
+	}
+	return b.String()
+}
+
+func seriesName(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseSampleLine parses one sample:
+//
+//	name[{labels}] value [# {trace_id="..."} value timestamp]
+func parseSampleLine(line string) (sample, error) {
+	s := sample{labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return s, fmt.Errorf("no name in %q", line)
+	}
+	s.name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.labels, rest = labels, tail
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.value = v
+	if len(fields) >= 2 && fields[1] == "#" {
+		ex, _, err := parseLabels(strings.TrimSpace(strings.TrimPrefix(strings.Join(fields[1:], " "), "#")))
+		if err == nil {
+			s.exemplar = ex["trace_id"]
+		}
+	}
+	return s, nil
+}
+
+// parseLabels parses a leading {k="v",...} group and returns the rest
+// of the line after the closing brace.
+func parseLabels(in string) (map[string]string, string, error) {
+	if in == "" || in[0] != '{' {
+		return nil, "", fmt.Errorf("no label block in %q", in)
+	}
+	out := map[string]string{}
+	i := 1
+	for {
+		if i >= len(in) {
+			return nil, "", fmt.Errorf("unterminated labels in %q", in)
+		}
+		if in[i] == '}' {
+			return out, in[i+1:], nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("no = in labels of %q", in)
+		}
+		key := in[i : i+eq]
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return nil, "", fmt.Errorf("unquoted label value in %q", in)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(in) {
+				return nil, "", fmt.Errorf("unterminated label value in %q", in)
+			}
+			c := in[i]
+			if c == '\\' && i+1 < len(in) {
+				switch in[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(in[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		out[key] = val.String()
+		if i < len(in) && in[i] == ',' {
+			i++
+		}
+	}
+}

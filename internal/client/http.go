@@ -13,6 +13,7 @@ import (
 	"github.com/datamarket/shield/internal/apierr"
 	"github.com/datamarket/shield/internal/auth"
 	"github.com/datamarket/shield/internal/market"
+	"github.com/datamarket/shield/internal/obs"
 )
 
 // httpDoer is the slice of *http.Client the transport uses.
@@ -77,6 +78,15 @@ func (c *httpClient) do(ctx context.Context, method, path string, body, dst any)
 	}
 	if c.token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	// A context carrying an obs request ID propagates the trace the same
+	// way the wire transport's v2 trace field does: the server executes
+	// (and journals) under the caller's ID, continuing a sampled trace.
+	if id := obs.RequestIDFrom(ctx); id != "" {
+		req.Header.Set("X-Trace-ID", id)
+		if obs.TraceFrom(ctx) != nil {
+			req.Header.Set("X-Trace-Sampled", "1")
+		}
 	}
 	resp, err := c.doer.Do(req)
 	if err != nil {

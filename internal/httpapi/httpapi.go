@@ -432,7 +432,7 @@ func (s *Server) handleTransactions(w http.ResponseWriter, _ *http.Request) {
 }
 
 func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
-	defer obs.StartSpan(r.Context(), "http.parse")()
+	defer obs.StartSpan(r.Context(), "http.parse").End()
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {

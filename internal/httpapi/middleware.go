@@ -3,6 +3,7 @@ package httpapi
 import (
 	"crypto/subtle"
 	"log/slog"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -76,17 +77,28 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// instrument is the outermost middleware: it mints the request ID,
-// echoes it as X-Request-ID, begins the (possibly sampled-out) trace,
-// threads both through the request context, and on completion records
-// the route/status latency sample and one structured log line. The
-// route label is the mux pattern that matched — a bounded set — never
-// the raw URL.
+// instrument is the outermost middleware: it establishes the request
+// ID, echoes it as X-Request-ID, begins the (possibly sampled-out)
+// trace, threads both through the request context, and on completion
+// records the route/status latency sample (exemplar-stamped when
+// sampled) and one structured log line. A request arriving with an
+// X-Trace-ID header executes under the caller's propagated ID instead
+// of a minted one, and X-Trace-Sampled: 1 continues the caller's
+// sampled trace here regardless of the local sampling rate — the
+// HTTP-side twin of the wire protocol's v2 trace field. The route
+// label is the mux pattern that matched — a bounded set — never the
+// raw URL.
 func (s *Server) instrument(mux *http.ServeMux) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := s.tel.Tracer.NewRequestID()
-		tr := s.tel.Tracer.Begin(id, r.Method+" "+r.URL.Path)
-		ctx := obs.WithTrace(obs.WithRequestID(r.Context(), id), tr)
+		var tr *obs.Trace
+		id := r.Header.Get("X-Trace-ID")
+		if id == "" {
+			id = s.tel.Tracer.NewRequestID()
+			tr = s.tel.Tracer.Begin(id, r.Method+" "+r.URL.Path)
+		} else if r.Header.Get("X-Trace-Sampled") == "1" {
+			tr = s.tel.Tracer.Adopt(id, r.Method+" "+r.URL.Path, time.Now())
+		}
+		ctx := obs.WithRequestTrace(r.Context(), id, tr)
 		w.Header().Set("X-Request-ID", id)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
@@ -104,7 +116,7 @@ func (s *Server) instrument(mux *http.ServeMux) http.Handler {
 			sw.status = http.StatusOK
 		}
 		elapsed := time.Since(start)
-		s.httpLatency.With(route, strconv.Itoa(sw.status)).Observe(elapsed.Seconds())
+		s.httpLatency.With(route, strconv.Itoa(sw.status)).ObserveTrace(elapsed.Seconds(), obs.ExemplarID(ctx))
 		s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
 			slog.String("id", id),
 			slog.String("route", route),
@@ -161,9 +173,37 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 // handleTraces serves the most recent completed bid-lifecycle traces,
 // newest first, with the count of traces already evicted from the ring.
-func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+// With ?id=req-... it instead resolves one request ID to its full
+// stage breakdown — the lookup that /metrics histogram exemplars link
+// to.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("id"); id != "" {
+		snap, ok := s.tel.Tracer.Find(id)
+		if !ok {
+			writeAPIError(w, http.StatusNotFound, CodeBadRequest,
+				"no completed trace for id "+id+" (evicted, unsampled, or never seen)")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"trace": snap})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"dropped": s.tel.Tracer.Dropped(),
 		"traces":  s.tel.Tracer.Recent(64),
 	})
+}
+
+// ConnCountHook returns an http.Server.ConnState hook that tracks the
+// live connection count in g — the HTTP-side twin of the wire server's
+// shield_wire_connections gauge. Wire it as srv.ConnState when building
+// the daemon's http.Server.
+func ConnCountHook(g *obs.Gauge) func(net.Conn, http.ConnState) {
+	return func(_ net.Conn, st http.ConnState) {
+		switch st {
+		case http.StateNew:
+			g.Add(1)
+		case http.StateClosed, http.StateHijacked:
+			g.Add(-1)
+		}
+	}
 }

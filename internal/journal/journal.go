@@ -123,9 +123,10 @@ type Event struct {
 	Bids         []BatchBid       `json:"bids,omitempty"`
 	Config       *market.Config   `json:"config,omitempty"`
 	Snapshot     *market.Snapshot `json:"snapshot,omitempty"`
-	// Trace is the request ID of the HTTP request that produced this
-	// event, when one was in flight — it joins a journal record to the
-	// bid-lifecycle trace and the structured request log. Replay
+	// Trace is the request ID of the HTTP or wire request that produced
+	// this event, when one was in flight — it joins a journal record to
+	// the bid-lifecycle trace and the structured request log, across
+	// process boundaries when the transport propagated the ID. Replay
 	// ignores it.
 	Trace string `json:"trace,omitempty"`
 }
@@ -180,12 +181,16 @@ func WithGroupCommit(window time.Duration) Option {
 }
 
 // WithTelemetry instruments the writer: append and fsync latency
-// histograms, a per-record size histogram, a group-size histogram
-// (WithGroupCommit), and counters for appended bytes and failed
-// appends, all registered on t's registry. Register at most one writer
-// per registry (families panic on double registration by design);
-// short-lived internal writers, like the one Compact builds, stay
-// uninstrumented.
+// histograms, a per-record size histogram, group-size and leader-wait
+// histograms (WithGroupCommit), counters for appended bytes and failed
+// appends, and the journal's stages on the shared shield_stage_seconds
+// family (group_commit.queue_wait/append/fsync when grouped,
+// journal.append/fsync otherwise), all registered on t's registry.
+// Latency observations stamp the requesting trace's ID as a bucket
+// exemplar, so a slow fsync on /metrics links to its full trace on
+// /debug/traces. Register at most one writer per registry (families
+// panic on double registration by design); short-lived internal
+// writers, like the one Compact builds, stay uninstrumented.
 func WithTelemetry(t *obs.Telemetry) Option {
 	return func(w *Writer) {
 		r := t.Registry
@@ -202,23 +207,39 @@ func WithTelemetry(t *obs.Telemetry) Option {
 			groupSize: r.Histogram("shield_journal_group_records",
 				"Records coalesced into one group-commit flush (WithGroupCommit).",
 				[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
+			leaderWait: r.Histogram("shield_journal_group_leader_wait_seconds",
+				"Time a group leader spends in the commit window plus waiting for the previous group's flush (WithGroupCommit).",
+				obs.LatencyBuckets()),
 			bytesTotal: r.Counter("shield_journal_appended_bytes_total",
 				"Bytes appended to the journal."),
 			appendErrors: r.Counter("shield_journal_append_errors_total",
 				"Appends that failed and poisoned the writer."),
+			stQueueWait:   t.Stage("group_commit.queue_wait"),
+			stGroupAppend: t.Stage("group_commit.append"),
+			stGroupFsync:  t.Stage("group_commit.fsync"),
+			stAppend:      t.Stage("journal.append"),
+			stFsync:       t.Stage("journal.fsync"),
 		}
 	}
 }
 
 // writerTelemetry holds a writer's pre-bound instruments; nil on
-// uninstrumented writers.
+// uninstrumented writers. The st* cells are this writer's stages on the
+// shared shield_stage_seconds family.
 type writerTelemetry struct {
 	appendLatency *obs.Histogram
 	fsyncLatency  *obs.Histogram
 	recordBytes   *obs.Histogram
 	groupSize     *obs.Histogram
+	leaderWait    *obs.Histogram
 	bytesTotal    *obs.Counter
 	appendErrors  *obs.Counter
+
+	stQueueWait   *obs.Histogram // group_commit.queue_wait
+	stGroupAppend *obs.Histogram // group_commit.append
+	stGroupFsync  *obs.Histogram // group_commit.fsync
+	stAppend      *obs.Histogram // journal.append (per-record mode)
+	stFsync       *obs.Histogram // journal.fsync (per-record mode)
 }
 
 // Writer appends events to a log. Safe for concurrent use.
@@ -308,8 +329,11 @@ func (w *Writer) Append(e Event) error {
 }
 
 // AppendCtx is Append with request context: when ctx carries a sampled
-// obs trace, the record's sink write and fsync land as journal.append
-// and journal.fsync spans on it.
+// obs trace, the record's sink write and fsync land as spans on it —
+// journal.append and journal.fsync in per-record mode, or
+// group_commit.queue_wait/append/fsync under WithGroupCommit (the
+// flush spans land on the group leader's trace; a follower sees only
+// its queue wait).
 func (w *Writer) AppendCtx(ctx context.Context, e Event) error {
 	if w.grouped {
 		return w.appendGrouped(ctx, e)
@@ -374,28 +398,45 @@ func (w *Writer) appendGrouped(ctx context.Context, e Event) error {
 	w.mu.Unlock()
 
 	if !leader {
-		endWait := obs.StartSpan(ctx, "journal.groupwait")
+		// A follower's queue wait runs from enqueue to the group's fate;
+		// it is the price of riding someone else's fsync.
+		waitStart := time.Now()
 		<-g.done
-		endWait()
+		wait := time.Since(waitStart)
+		obs.TraceFrom(ctx).AddSpan("group_commit.queue_wait", waitStart, wait)
+		if w.tel != nil {
+			w.tel.stQueueWait.ObserveTrace(wait.Seconds(), obs.ExemplarID(ctx))
+		}
 		return g.err
 	}
 	// Leader: give followers the commit window to pile on, then flush.
 	// The sleep happens before taking flushMu, so it overlaps the
-	// previous group's sink write instead of adding to it.
+	// previous group's sink write instead of adding to it. The leader's
+	// queue wait — window plus flushMu acquisition — is measured inside
+	// flushGroup, where the wait actually ends.
+	waitStart := time.Now()
 	if w.groupWindow > 0 {
 		time.Sleep(w.groupWindow)
 	}
-	w.flushGroup(ctx, g)
+	w.flushGroup(ctx, g, waitStart)
 	return g.err
 }
 
 // flushGroup detaches g from the writer and commits it: one sink Write,
 // one fsync (WithFsync), one shared outcome. flushMu serializes flushes
 // in group-formation order; a sticky writer error fails the group
-// without touching the sink.
-func (w *Writer) flushGroup(ctx context.Context, g *commitGroup) {
+// without touching the sink. waitStart is when the leader began waiting
+// (window start); the span and histograms charge everything up to the
+// flushMu acquisition to group_commit.queue_wait.
+func (w *Writer) flushGroup(ctx context.Context, g *commitGroup, waitStart time.Time) {
 	w.flushMu.Lock()
 	defer w.flushMu.Unlock()
+	wait := time.Since(waitStart)
+	obs.TraceFrom(ctx).AddSpan("group_commit.queue_wait", waitStart, wait)
+	if w.tel != nil {
+		w.tel.leaderWait.Observe(wait.Seconds())
+		w.tel.stQueueWait.ObserveTrace(wait.Seconds(), obs.ExemplarID(ctx))
+	}
 	w.mu.Lock()
 	if w.cur == g {
 		w.cur = nil // no further members may join
@@ -410,29 +451,33 @@ func (w *Writer) flushGroup(ctx context.Context, g *commitGroup) {
 	}
 	w.mu.Unlock()
 
-	endAppend := obs.StartSpan(ctx, "journal.append")
+	endAppend := obs.StartSpan(ctx, "group_commit.append")
 	var start time.Time
 	if w.tel != nil {
 		start = time.Now()
 	}
 	n, err := w.sink.Write(g.buf.Bytes())
 	if w.tel != nil {
-		w.tel.appendLatency.ObserveSince(start)
+		id := obs.ExemplarID(ctx)
+		w.tel.appendLatency.ObserveSinceTrace(start, id)
+		w.tel.stGroupAppend.ObserveSinceTrace(start, id)
 	}
-	endAppend()
+	endAppend.End()
 	if err != nil {
 		err = fmt.Errorf("journal: writing group of %d records: %w", g.n, err)
 	} else if w.fsync {
 		if s, ok := w.sink.(syncer); ok {
-			endFsync := obs.StartSpan(ctx, "journal.fsync")
+			endFsync := obs.StartSpan(ctx, "group_commit.fsync")
 			if w.tel != nil {
 				start = time.Now()
 			}
 			serr := s.Sync()
 			if w.tel != nil {
-				w.tel.fsyncLatency.ObserveSince(start)
+				id := obs.ExemplarID(ctx)
+				w.tel.fsyncLatency.ObserveSinceTrace(start, id)
+				w.tel.stGroupFsync.ObserveSinceTrace(start, id)
 			}
-			endFsync()
+			endFsync.End()
 			if serr != nil {
 				err = fmt.Errorf("journal: syncing group of %d records: %w", g.n, serr)
 			}
@@ -477,9 +522,11 @@ func (w *Writer) append(ctx context.Context, e Event) error {
 	}
 	n, err := w.sink.Write(w.scratch.Bytes())
 	if w.tel != nil {
-		w.tel.appendLatency.ObserveSince(start)
+		id := obs.ExemplarID(ctx)
+		w.tel.appendLatency.ObserveSinceTrace(start, id)
+		w.tel.stAppend.ObserveSinceTrace(start, id)
 	}
-	endAppend()
+	endAppend.End()
 	if err != nil {
 		if w.tel != nil {
 			w.tel.appendErrors.Inc()
@@ -499,9 +546,11 @@ func (w *Writer) append(ctx context.Context, e Event) error {
 			}
 			serr := s.Sync()
 			if w.tel != nil {
-				w.tel.fsyncLatency.ObserveSince(start)
+				id := obs.ExemplarID(ctx)
+				w.tel.fsyncLatency.ObserveSinceTrace(start, id)
+				w.tel.stFsync.ObserveSinceTrace(start, id)
 			}
-			endFsync()
+			endFsync.End()
 			if serr != nil {
 				if w.tel != nil {
 					w.tel.appendErrors.Inc()

@@ -67,9 +67,46 @@ type Report struct {
 	// telemetry carries the matching series.
 	ServerQuantiles map[string]float64
 
+	// ServerStages is the server-side decomposition of the durable bid
+	// path, keyed by stage class (see StageClasses): where a bid's
+	// latency went — queue wait vs fsync vs apply — next to the
+	// client-side percentiles above. Populated by Run from the rig's
+	// shield_stage_seconds histograms; stages the run never exercised
+	// (e.g. group-commit stages without GroupCommit) are absent. SLO
+	// clauses can bound these directly: bid.fsync.p99<2ms.
+	ServerStages map[string]StageStats
+
 	// Invariants holds the post-run invariant summary (money
 	// conservation, journal replay); empty until CheckInvariants runs.
 	Invariants string
+}
+
+// StageStats summarizes one server-side write-path stage from its
+// shield_stage_seconds histogram. Quantiles are histogram estimates in
+// seconds (bucket-edge interpolated, so up to one doubling above the
+// true value — same error bar as ServerQuantiles).
+type StageStats struct {
+	// Stage is the shield_stage_seconds label the class maps to, e.g.
+	// "group_commit.fsync".
+	Stage string `json:"stage"`
+	// Count is the number of operations the stage observed.
+	Count uint64 `json:"count"`
+	// P50, P99, P999 are quantile estimates in seconds.
+	P50  float64 `json:"p50_sec"`
+	P99  float64 `json:"p99_sec"`
+	P999 float64 `json:"p999_sec"`
+}
+
+// StageClasses maps the SLO-visible stage class names to the
+// shield_stage_seconds stage labels they read. An SLO clause like
+// "bid.fsync.p99<2ms" bounds the server-side fsync stage of the bid
+// path the same way "bid.p99<5ms" bounds the client-observed whole.
+var StageClasses = map[string]string{
+	"bid.queue_wait": "group_commit.queue_wait",
+	"bid.append":     "group_commit.append",
+	"bid.fsync":      "group_commit.fsync",
+	"bid.apply":      "apply",
+	"bid.publish":    "publish",
 }
 
 // buildReport merges per-worker recorders into a Report.
@@ -144,6 +181,22 @@ func (r *Report) metric(class, metric string) (float64, bool) {
 		}
 		return 0, false
 	}
+	// Stage classes (bid.fsync, bid.apply, ...) resolve against the
+	// server-side stage breakdown instead of client samples.
+	if sg, ok := r.ServerStages[class]; ok {
+		if sg.Count == 0 {
+			return 0, false
+		}
+		switch metric {
+		case "p50":
+			return sg.P50, true
+		case "p99":
+			return sg.P99, true
+		case "p999":
+			return sg.P999, true
+		}
+		return 0, false
+	}
 	st := r.Classes[class]
 	if st == nil || st.Count == 0 {
 		return 0, false
@@ -192,9 +245,30 @@ func (r *Report) String() string {
 				time.Duration(r.ServerQuantiles[k]*float64(time.Second)).Round(time.Microsecond))
 		}
 	}
+	if len(r.ServerStages) > 0 {
+		fmt.Fprintf(&b, "server stage breakdown (where the bid path's time went):\n")
+		fmt.Fprintf(&b, "  %-15s %-24s %9s %10s %10s %10s\n",
+			"class", "stage", "count", "p50", "p99", "p999")
+		classes := make([]string, 0, len(r.ServerStages))
+		for c := range r.ServerStages {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			sg := r.ServerStages[c]
+			fmt.Fprintf(&b, "  %-15s %-24s %9d %10s %10s %10s\n",
+				c, sg.Stage, sg.Count,
+				secLat(sg.P50), secLat(sg.P99), secLat(sg.P999))
+		}
+	}
 	return b.String()
 }
 
 func roundLat(d time.Duration) time.Duration {
 	return d.Round(10 * time.Microsecond)
+}
+
+// secLat renders a seconds-valued histogram estimate as a duration.
+func secLat(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second)).Round(time.Microsecond)
 }

@@ -31,6 +31,15 @@ type RigConfig struct {
 	// GroupCommit turns on journal group commit, the production
 	// configuration for concurrent load.
 	GroupCommit bool
+	// Fsync makes the journal fsync every flush, the durable production
+	// configuration. Off by default: most rig runs measure the software
+	// stack, not the disk.
+	Fsync bool
+	// TraceSample is the rig tracer's sampling interval: 1 traces every
+	// request, N every Nth, 0 (the default) disables tracing so the
+	// measured path stays unperturbed. Turn it on to exercise the
+	// /metrics exemplar → /debug/traces lookup under load.
+	TraceSample int
 	// JournalPath is the journal file to create; empty means a
 	// temporary directory the rig owns and removes on Close.
 	JournalPath string
@@ -116,14 +125,20 @@ func StartRig(rc RigConfig) (*Rig, error) {
 		Shards: market.DefaultShards,
 	}
 
+	// Tracing defaults off (every=0): the rig measures, it does not
+	// sample. RigConfig.TraceSample opts in for runs that verify the
+	// tracing pipeline itself.
 	r.Tel = &obs.Telemetry{
 		Registry: obs.NewRegistry(),
-		Tracer:   obs.NewTracer(256, 0, rc.Seed), // tracing off: the rig measures, it does not sample
+		Tracer:   obs.NewTracer(256, rc.TraceSample, rc.Seed),
 	}
 
 	opts := []journal.Option{journal.WithTelemetry(r.Tel)}
 	if rc.GroupCommit {
 		opts = append(opts, journal.WithGroupCommit(0))
+	}
+	if rc.Fsync {
+		opts = append(opts, journal.WithFsync())
 	}
 	jm, _, err := journal.OpenFile(cfg, r.JournalPath, opts...)
 	if err != nil {

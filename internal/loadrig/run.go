@@ -146,6 +146,7 @@ func Run(rig *Rig, sc Scenario) (*Report, error) {
 
 	rep := buildReport(recs, duration)
 	rep.ServerQuantiles = serverQuantiles(rig)
+	rep.ServerStages = serverStages(rig)
 	return rep, nil
 }
 
@@ -335,6 +336,30 @@ func serverQuantiles(rig *Rig) map[string]float64 {
 	if h, ok := rig.Tel.Registry.FindHistogram("shield_wire_request_seconds", "bid", "ok"); ok {
 		out[`shield_wire_request_seconds{op="bid",status="ok"} p99`] = h.Quantile(0.99)
 		out[`shield_wire_request_seconds{op="bid",status="ok"} p50`] = h.Quantile(0.50)
+	}
+	return out
+}
+
+// serverStages reads the write-path stage decomposition out of the
+// rig's shield_stage_seconds family, one entry per StageClasses class
+// the run exercised. This is the server's own answer to "where did the
+// bid's latency go" — queue wait vs fsync vs apply — reported next to
+// the client-observed percentiles and boundable by SLO clauses like
+// bid.fsync.p99<2ms.
+func serverStages(rig *Rig) map[string]StageStats {
+	out := map[string]StageStats{}
+	for class, stage := range StageClasses {
+		h, ok := rig.Tel.Registry.FindHistogram("shield_stage_seconds", stage)
+		if !ok || h.Count() == 0 {
+			continue
+		}
+		out[class] = StageStats{
+			Stage: stage,
+			Count: h.Count(),
+			P50:   h.Quantile(0.50),
+			P99:   h.Quantile(0.99),
+			P999:  h.Quantile(0.999),
+		}
 	}
 	return out
 }

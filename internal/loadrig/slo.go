@@ -23,6 +23,11 @@ import (
 //	                                                 (0.001 or 0.1%)
 //	throughput                                       achieved ops/sec
 //
+// CLASS is a client op class (bid, query, tick) or a server-side stage
+// class from StageClasses — bid.fsync.p99<2ms bounds the p99 of the
+// group-commit fsync stage as the server measured it, not the
+// client-observed round trip. Stage classes support p50/p99/p999 only.
+//
 // Ops are <, <=, >, >= — latency and error-rate clauses use < or <=,
 // throughput floors use > or >=, but any pairing parses.
 type SLO struct {

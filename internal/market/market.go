@@ -263,6 +263,10 @@ func (m *Market) applyBidCtx(ctx context.Context, c command.SubmitBid) (command.
 	if !(c.Amount > 0) {
 		return command.Event{}, ErrBadBid
 	}
+	var applyH, publishH *obs.Histogram
+	if m.tel != nil {
+		applyH, publishH = m.tel.applyStage, m.tel.publishStage
+	}
 	m.reg.RLock()
 	defer m.reg.RUnlock()
 
@@ -278,11 +282,17 @@ func (m *Market) applyBidCtx(ctx context.Context, c command.SubmitBid) (command.
 		return command.Event{}, err
 	}
 
+	// The apply stage covers the whole engine interaction — lock
+	// acquisition, pricing, books — up to but excluding view
+	// publication, which is its own stage below. Failed pre-resolution
+	// above is request validation, not pipeline work, so it stays
+	// outside the stage.
+	endApply := obs.StageTimer(ctx, applyH, "apply")
 	var lockBuf [maxStackLocks]int
 	locked := m.lockSet(c.Dataset, leaves, lockBuf[:0])
 	endLockSpan := obs.StartSpan(ctx, "shard.lock_wait")
 	m.lockShards(locked)
-	endLockSpan()
+	endLockSpan.End()
 	defer m.unlockShards(locked)
 
 	primary := m.shardFor(c.Dataset)
@@ -301,15 +311,19 @@ func (m *Market) applyBidCtx(ctx context.Context, c command.SubmitBid) (command.
 	// interface — boxing it would allocate on every bid.
 	evs, err := command.ApplyBid(m.st, c, primary.evbuf)
 	primary.evbuf = evs[:0]
-	endEvalSpan()
+	endEvalSpan.End()
 	if m.tel != nil {
-		m.tel.priceEval.ObserveSince(evalStart)
+		m.tel.priceEval.ObserveSinceTrace(evalStart, obs.ExemplarID(ctx))
 	}
 	if err != nil {
+		endApply.End()
 		return command.Event{}, err
 	}
 	ev := evs[0]
+	endApply.End()
+	endPublish := obs.StageTimer(ctx, publishH, "publish")
 	m.publishBid(ev)
+	endPublish.End()
 	return ev, nil
 }
 

@@ -30,6 +30,11 @@ type telemetry struct {
 	// scrapeErrors counts metric families whose collector failed
 	// mid-scrape instead of silently dropping their samples.
 	scrapeErrors *obs.Counter
+	// applyStage and publishStage are the market's stages on the shared
+	// shield_stage_seconds family: applying one bid to the engine state
+	// (locks, pricing, books) and publishing the invalidated read views.
+	applyStage   *obs.Histogram
+	publishStage *obs.Histogram
 }
 
 // Instrument registers the market's metric families on t and binds the
@@ -54,6 +59,8 @@ func (m *Market) Instrument(t *obs.Telemetry) {
 			"Batch bids that found every worker busy and had to queue."),
 		scrapeErrors: r.Counter("shield_metrics_scrape_errors_total",
 			"Metric families whose collector failed during a scrape (samples would otherwise be silently dropped)."),
+		applyStage:   t.Stage("apply"),
+		publishStage: t.Stage("publish"),
 	}
 	lockWaitVec := r.HistogramVec("shield_shard_lock_wait_seconds",
 		"Shard-lock acquisition wait per shard (0 for uncontended takes; _count is total acquisitions).",

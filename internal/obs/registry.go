@@ -236,29 +236,86 @@ func addFloatBits(bits *atomic.Uint64, v float64) {
 // Histogram counts observations into fixed buckets. Each bucket is one
 // atomic counter (observations hit exactly one), cumulated only at
 // exposition time; the total count is derived from the buckets, so
-// _count and the +Inf bucket agree even mid-scrape.
+// _count and the +Inf bucket agree even mid-scrape. Each bucket also
+// holds one exemplar slot: the last sampled request that landed there
+// (ObserveTrace), exposed OpenMetrics-style so a tail bucket on
+// /metrics links straight to its trace in /debug/traces.
 type Histogram struct {
-	upper   []float64       // shared, immutable
-	buckets []atomic.Uint64 // len(upper)+1, last = overflow (+Inf)
-	sumBits atomic.Uint64
+	upper     []float64       // shared, immutable
+	buckets   []atomic.Uint64 // len(upper)+1, last = overflow (+Inf)
+	sumBits   atomic.Uint64
+	exemplars []atomic.Pointer[Exemplar] // parallel to buckets
+}
+
+// Exemplar links one concrete observation to the trace that produced
+// it: the observed value, the request/trace ID, and when it happened.
+type Exemplar struct {
+	Value   float64
+	TraceID string
+	Time    time.Time
 }
 
 func newHistogram(upper []float64) *Histogram {
-	return &Histogram{upper: upper, buckets: make([]atomic.Uint64, len(upper)+1)}
+	return &Histogram{
+		upper:     upper,
+		buckets:   make([]atomic.Uint64, len(upper)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(upper)+1),
+	}
 }
 
 // Observe records one observation.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveTrace(v, "") }
+
+// exemplarEvery gates how often a bucket's exemplar slot is even
+// considered for a rewrite: an empty slot fills on the first sampled
+// hit, after that only every 16th hit to that bucket re-reads the
+// clock. An exemplar only has to stay fresh enough that its trace
+// still resolves in /debug/traces (the ring holds hundreds of traces),
+// and skipping the rewrite keeps the sampled observation path
+// allocation-free — and nearly clock-free — in steady state.
+const exemplarEvery = 16
+
+// exemplarRefresh additionally bounds rewrites in time, so a hot
+// bucket doesn't churn its exemplar pointer on every 16th hit.
+const exemplarRefresh = time.Millisecond
+
+// ObserveTrace records one observation and, when traceID is non-empty,
+// pins it as the owning bucket's exemplar (last writer wins, refreshed
+// at most once per exemplarEvery hits and exemplarRefresh elapsed).
+// Pass the ID only for sampled requests — obs.ExemplarID(ctx) encodes
+// that rule — so every exemplar on /metrics resolves in /debug/traces.
+func (h *Histogram) ObserveTrace(v float64, traceID string) {
 	// Binary search for the first bucket whose upper bound holds v.
 	i := sort.SearchFloat64s(h.upper, v)
-	h.buckets[i].Add(1)
+	n := h.buckets[i].Add(1)
 	addFloatBits(&h.sumBits, v)
+	if traceID != "" {
+		if old := h.exemplars[i].Load(); old == nil ||
+			(n%exemplarEvery == 0 && time.Since(old.Time) >= exemplarRefresh) {
+			h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now()})
+		}
+	}
 }
 
 // ObserveSince records the seconds elapsed since start — the idiom for
 // latency instruments.
 func (h *Histogram) ObserveSince(start time.Time) {
 	h.Observe(time.Since(start).Seconds())
+}
+
+// ObserveSinceTrace is ObserveSince with an exemplar trace ID (see
+// ObserveTrace).
+func (h *Histogram) ObserveSinceTrace(start time.Time, traceID string) {
+	h.ObserveTrace(time.Since(start).Seconds(), traceID)
+}
+
+// BucketExemplar returns bucket i's current exemplar (i indexes the
+// ascending upper bounds, len(buckets)-1 being +Inf), or nil.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // Count returns the total number of observations.
@@ -388,9 +445,9 @@ func (f *family) writeSeries(b *strings.Builder) {
 		case *Histogram:
 			cum, count, sum := s.snapshot()
 			for j, ub := range f.buckets {
-				f.sample(b, "_bucket", labelString(f.labels, values, "le", formatValue(ub)), float64(cum[j]))
+				f.sampleEx(b, "_bucket", labelString(f.labels, values, "le", formatValue(ub)), float64(cum[j]), s.exemplars[j].Load())
 			}
-			f.sample(b, "_bucket", labelString(f.labels, values, "le", "+Inf"), float64(cum[len(cum)-1]))
+			f.sampleEx(b, "_bucket", labelString(f.labels, values, "le", "+Inf"), float64(cum[len(cum)-1]), s.exemplars[len(cum)-1].Load())
 			f.sample(b, "_sum", labelString(f.labels, values, "", ""), sum)
 			f.sample(b, "_count", labelString(f.labels, values, "", ""), float64(count))
 		}
@@ -398,11 +455,28 @@ func (f *family) writeSeries(b *strings.Builder) {
 }
 
 func (f *family) sample(b *strings.Builder, suffix, labels string, v float64) {
+	f.sampleEx(b, suffix, labels, v, nil)
+}
+
+// sampleEx writes one sample line, appending an OpenMetrics-style
+// exemplar suffix (" # {trace_id=\"...\"} value timestamp") when e is
+// non-nil. Plain Prometheus-text consumers that split on the first
+// space still parse the series name and value; OpenMetrics-aware ones
+// (shieldtop, the metrics linter) get the trace link.
+func (f *family) sampleEx(b *strings.Builder, suffix, labels string, v float64, e *Exemplar) {
 	b.WriteString(f.name)
 	b.WriteString(suffix)
 	b.WriteString(labels)
 	b.WriteByte(' ')
 	b.WriteString(formatValue(v))
+	if e != nil {
+		b.WriteString(" # {trace_id=")
+		fmt.Fprintf(b, "%q", escapeLabel(e.TraceID))
+		b.WriteString("} ")
+		b.WriteString(formatValue(e.Value))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatFloat(float64(e.Time.UnixMilli())/1000, 'f', 3, 64))
+	}
 	b.WriteByte('\n')
 }
 

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntimeMetrics registers process self-metrics on r: live
+// goroutines, heap size and object count, and cumulative GC pause time
+// and cycle count. They are collector families read at scrape time;
+// runtime.ReadMemStats stops the world briefly, so one read is cached
+// and shared across the memory families of a single scrape (and any
+// scrape bursts within the cache window).
+func RegisterRuntimeMetrics(r *Registry) {
+	var mu sync.Mutex
+	var ms runtime.MemStats
+	var last time.Time
+	memstats := func() *runtime.MemStats {
+		mu.Lock()
+		defer mu.Unlock()
+		if last.IsZero() || time.Since(last) > 250*time.Millisecond {
+			runtime.ReadMemStats(&ms)
+			last = time.Now()
+		}
+		return &ms
+	}
+
+	r.Collect("shield_runtime_goroutines", "Live goroutines.",
+		KindGauge, func(emit func(float64, ...string)) {
+			emit(float64(runtime.NumGoroutine()))
+		})
+	r.Collect("shield_runtime_heap_bytes", "Bytes of allocated heap objects (MemStats.HeapAlloc).",
+		KindGauge, func(emit func(float64, ...string)) {
+			emit(float64(memstats().HeapAlloc))
+		})
+	r.Collect("shield_runtime_heap_objects", "Live heap objects (MemStats.HeapObjects).",
+		KindGauge, func(emit func(float64, ...string)) {
+			emit(float64(memstats().HeapObjects))
+		})
+	r.Collect("shield_runtime_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.",
+		KindCounter, func(emit func(float64, ...string)) {
+			emit(float64(memstats().PauseTotalNs) / 1e9)
+		})
+	r.Collect("shield_runtime_gc_cycles_total", "Completed GC cycles.",
+		KindCounter, func(emit func(float64, ...string)) {
+			emit(float64(memstats().NumGC))
+		})
+}

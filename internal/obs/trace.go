@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +24,15 @@ type Tracer struct {
 	every   int    // record 1 in every sampled requests; <=0 disables
 	rng     uint64 // xorshift64* state for sampling jitter
 	dropped uint64 // traces evicted from the ring so far
+
+	slow atomic.Pointer[slowHook] // slow-op threshold + callback
+}
+
+// slowHook is the installed slow-op policy: any finished trace at least
+// threshold long is handed to fn.
+type slowHook struct {
+	threshold time.Duration
+	fn        func(TraceSnapshot)
 }
 
 // NewTracer builds a tracer keeping the last capacity traces and
@@ -40,9 +50,21 @@ func NewTracer(capacity, every int, seed uint64) *Tracer {
 }
 
 // NewRequestID mints a unique request identifier. Every request gets
-// one, sampled or not.
+// one, sampled or not. The format is fmt.Sprintf("req-%08x", n),
+// hand-rolled because this runs once per request on the hot path.
 func (t *Tracer) NewRequestID() string {
-	return fmt.Sprintf("req-%08x", t.seq.Add(1))
+	n := t.seq.Add(1)
+	if n > 0xffffffff {
+		return fmt.Sprintf("req-%08x", n)
+	}
+	const hexdigits = "0123456789abcdef"
+	var buf [12]byte
+	copy(buf[:4], "req-")
+	for i := 11; i >= 4; i-- {
+		buf[i] = hexdigits[n&0xf]
+		n >>= 4
+	}
+	return string(buf[:])
 }
 
 // sampled draws the seeded sampling decision.
@@ -67,10 +89,53 @@ func (t *Tracer) sampled() bool {
 // sampled; it returns nil otherwise. A nil *Trace is safe to use —
 // every method no-ops — so callers thread it unconditionally.
 func (t *Tracer) Begin(id, name string) *Trace {
+	return t.BeginAt(id, name, time.Now())
+}
+
+// BeginAt is Begin with an explicit start time, for callers that learn
+// about a request after some of its wall time has already elapsed (the
+// wire server starts the trace after the frame has been read off the
+// socket and backdates it by the read duration).
+func (t *Tracer) BeginAt(id, name string, start time.Time) *Trace {
 	if !t.sampled() {
 		return nil
 	}
-	return &Trace{ID: id, Name: name, start: time.Now()}
+	return newTrace(id, name, start)
+}
+
+// Adopt starts a trace for a request whose sampling decision was made
+// by the peer that propagated it (the wire/HTTP trace field's sampled
+// bit). It bypasses the local sampler — the originator already spent
+// the sampling budget, and dropping its trace here would leave the
+// propagated ID dangling — but still respects a fully disabled tracer
+// (every <= 0), which is the torture harness's determinism guarantee.
+func (t *Tracer) Adopt(id, name string, start time.Time) *Trace {
+	if t.every <= 0 { // immutable after NewTracer, same as sampled()
+		return nil
+	}
+	return newTrace(id, name, start)
+}
+
+// newTrace allocates a trace with its span slice aimed at the inline
+// buffer, so the typical request (a handful of spans) costs exactly one
+// allocation.
+func newTrace(id, name string, start time.Time) *Trace {
+	tr := &Trace{ID: id, Name: name, start: start}
+	tr.spans = tr.spanBuf[:0]
+	return tr
+}
+
+// OnSlow installs the slow-op hook: every trace whose total duration
+// reaches threshold is handed to fn (as a snapshot, after it commits to
+// the ring). fn runs on the finishing request's goroutine and must not
+// block. A zero threshold or nil fn uninstalls the hook. Only sampled
+// requests carry traces, so full slow-op coverage needs sampling 1.
+func (t *Tracer) OnSlow(threshold time.Duration, fn func(TraceSnapshot)) {
+	if threshold <= 0 || fn == nil {
+		t.slow.Store(nil)
+		return
+	}
+	t.slow.Store(&slowHook{threshold: threshold, fn: fn})
 }
 
 // Finish completes a trace and commits it to the ring. Finishing a nil
@@ -81,6 +146,7 @@ func (t *Tracer) Finish(tr *Trace) {
 	}
 	tr.mu.Lock()
 	tr.duration = time.Since(tr.start)
+	dur := tr.duration
 	tr.mu.Unlock()
 	t.mu.Lock()
 	if t.ring[t.next] != nil {
@@ -93,6 +159,9 @@ func (t *Tracer) Finish(tr *Trace) {
 		t.filled = true
 	}
 	t.mu.Unlock()
+	if hook := t.slow.Load(); hook != nil && dur >= hook.threshold {
+		hook.fn(tr.Snapshot())
+	}
 }
 
 // Dropped returns how many completed traces have been evicted from the
@@ -126,6 +195,31 @@ func (t *Tracer) Recent(n int) []TraceSnapshot {
 	return out
 }
 
+// Find returns the completed trace with the given request ID, scanning
+// the ring newest-first (so a reused ID resolves to its latest trace).
+// It backs the /debug/traces?id= lookup that histogram exemplars link
+// to.
+func (t *Tracer) Find(id string) (TraceSnapshot, bool) {
+	t.mu.Lock()
+	var found *Trace
+	count := t.next
+	if t.filled {
+		count = len(t.ring)
+	}
+	for i := 0; i < count; i++ {
+		idx := (t.next - 1 - i + len(t.ring)) % len(t.ring)
+		if tr := t.ring[idx]; tr != nil && tr.ID == id {
+			found = tr
+			break
+		}
+	}
+	t.mu.Unlock()
+	if found == nil {
+		return TraceSnapshot{}, false
+	}
+	return found.Snapshot(), true
+}
+
 // Trace is one request's span record. Methods are safe for concurrent
 // use (batch bids fan one request out across workers) and safe on a nil
 // receiver (unsampled requests).
@@ -138,6 +232,10 @@ type Trace struct {
 	mu       sync.Mutex
 	spans    []Span
 	duration time.Duration
+
+	// spanBuf backs spans for the common case (the durable-bid path
+	// records ~7 stages); append only heap-allocates past 8 spans.
+	spanBuf [8]Span
 }
 
 // Span is one named, timed section of a trace.
@@ -164,6 +262,21 @@ func (tr *Trace) StartSpan(name string) func() {
 		})
 		tr.mu.Unlock()
 	}
+}
+
+// AddSpan records a span that was timed externally — a stage measured
+// before the trace existed (the wire server's frame read happens on the
+// reader goroutine, before the request is even parsed) or on a
+// goroutine that has no context to carry the trace. start is absolute;
+// the span's offset is computed against the trace's own start. No-op on
+// a nil trace.
+func (tr *Trace) AddSpan(name string, start time.Time, d time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.spans = append(tr.spans, Span{Name: name, Start: start.Sub(tr.start), Duration: d})
+	tr.mu.Unlock()
 }
 
 // SetName renames the trace (the HTTP middleware starts a trace before
@@ -214,16 +327,49 @@ func (tr *Trace) Snapshot() TraceSnapshot {
 	return out
 }
 
+// StageSummary renders the snapshot's spans as one "name=duration"
+// per stage, space-separated in span order — the payload of the
+// structured slow-op log line.
+func (ts TraceSnapshot) StageSummary() string {
+	var b strings.Builder
+	for i, s := range ts.Spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s.Name)
+		b.WriteByte('=')
+		b.WriteString((time.Duration(s.DurationUS) * time.Microsecond).String())
+	}
+	return b.String()
+}
+
 // ---- context propagation ----
 
 type ctxKey int
 
-const (
-	traceKey ctxKey = iota
-	requestIDKey
-)
+// traceKey holds the request's identity as ONE context link: a *Trace
+// when the request is sampled (a trace carries its own ID), a plain
+// string ID otherwise. One link instead of two halves the context
+// allocations on the per-request hot path.
+const traceKey ctxKey = iota
 
-// WithTrace attaches a trace (possibly nil) to the context.
+// WithRequestTrace attaches a request's identity to the context in a
+// single link: the trace when the request is sampled (tr non-nil, its
+// ID becomes the context's request ID), the bare ID otherwise. This is
+// the transport servers' per-request entry point.
+func WithRequestTrace(ctx context.Context, id string, tr *Trace) context.Context {
+	if tr != nil {
+		return context.WithValue(ctx, traceKey, tr)
+	}
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey, id)
+}
+
+// WithTrace attaches a trace (possibly nil) to the context. The
+// trace's own ID becomes the context's request ID, superseding any
+// WithRequestID link below it.
 func WithTrace(ctx context.Context, tr *Trace) context.Context {
 	if tr == nil {
 		return ctx
@@ -237,20 +383,37 @@ func TraceFrom(ctx context.Context) *Trace {
 	return tr
 }
 
-// StartSpan opens a named span on the context's trace and returns its
-// close function; a no-op when the context carries no trace, so
-// instrumented code needs no sampling checks.
-func StartSpan(ctx context.Context, name string) func() {
-	return TraceFrom(ctx).StartSpan(name)
+// StartSpan opens a named span on the context's trace; a no-op when
+// the context carries no trace, so instrumented code needs no sampling
+// checks. Close it with .End().
+func StartSpan(ctx context.Context, name string) StageEnd {
+	return StageTimer(ctx, nil, name)
 }
 
-// WithRequestID attaches a request ID to the context.
+// WithRequestID attaches a request ID to the context (for requests
+// that carry no sampled trace; a later WithTrace supersedes it).
 func WithRequestID(ctx context.Context, id string) context.Context {
-	return context.WithValue(ctx, requestIDKey, id)
+	return context.WithValue(ctx, traceKey, id)
 }
 
 // RequestIDFrom returns the context's request ID, or "".
 func RequestIDFrom(ctx context.Context) string {
-	id, _ := ctx.Value(requestIDKey).(string)
-	return id
+	switch v := ctx.Value(traceKey).(type) {
+	case *Trace:
+		return v.ID
+	case string:
+		return v
+	}
+	return ""
+}
+
+// ExemplarID returns the context's request ID when the request is
+// sampled (a trace rides the context) and "" otherwise — the rule for
+// stamping histogram exemplars: only IDs that resolve in /debug/traces
+// are worth linking from /metrics.
+func ExemplarID(ctx context.Context) string {
+	if tr := TraceFrom(ctx); tr != nil {
+		return tr.ID
+	}
+	return ""
 }

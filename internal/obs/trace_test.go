@@ -22,9 +22,9 @@ func TestTraceSpansThroughContext(t *testing.T) {
 
 	end := StartSpan(ctx, "shard.lock_wait")
 	time.Sleep(time.Millisecond)
-	end()
+	end.End()
 	end = StartSpan(ctx, "price.evaluate")
-	end()
+	end.End()
 	tr.Finish(trace)
 
 	recent := tr.Recent(10)
@@ -54,7 +54,7 @@ func TestSpanOnUnsampledRequestIsFree(t *testing.T) {
 		t.Fatal("disabled tracer sampled a request")
 	}
 	end := StartSpan(context.Background(), "anything")
-	end() // must not panic
+	end.End() // must not panic
 	var nilTrace *Trace
 	nilTrace.SetName("still fine")
 	nilTrace.StartSpan("noop")()

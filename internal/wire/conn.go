@@ -13,6 +13,7 @@ import (
 	"github.com/datamarket/shield/internal/apierr"
 	"github.com/datamarket/shield/internal/command"
 	"github.com/datamarket/shield/internal/market"
+	"github.com/datamarket/shield/internal/obs"
 )
 
 // Conn is a client connection speaking the wire protocol. All methods
@@ -24,14 +25,15 @@ import (
 // trip via the socket's I/O deadline, and cancellation of a
 // deadline-less context interrupts an in-flight call promptly.
 type Conn struct {
-	mu     sync.Mutex
-	nc     net.Conn
-	br     *bufio.Reader
-	bw     *bufio.Writer
-	nextID uint64
-	req    []byte // scratch request payload
-	resp   []byte // scratch response payload
-	broken error  // sticky stream failure
+	mu      sync.Mutex
+	nc      net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	version byte // negotiated protocol version
+	nextID  uint64
+	req     []byte // scratch request payload
+	resp    []byte // scratch response payload
+	broken  error  // sticky stream failure
 }
 
 // DefaultBufferSize is the per-direction buffered-I/O size a connection
@@ -92,21 +94,28 @@ func NewConnSize(nc net.Conn, bufSize int) (*Conn, error) {
 	if [3]byte(answer[:3]) != magic || answer[3] == 0 || answer[3] > Version {
 		return nil, ErrHandshake
 	}
+	c.version = answer[3]
 	return c, nil
 }
+
+// ProtocolVersion returns the version the handshake negotiated for this
+// connection (at most Version; lower against an older server).
+func (c *Conn) ProtocolVersion() byte { return c.version }
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.nc.Close() }
 
-// roundTrip sends one request payload (built by build, which appends
-// kind and body after the request id) and, on a statusOK response,
-// decodes the result body with decode while still holding the
-// connection lock — the body aliases the connection's scratch buffer,
-// which the next round trip overwrites. A statusErr envelope comes back
-// as an *apierr.APIError, whose Error() is the server-side error's
-// exact message; decode never runs for it. A nil decode requires an
-// empty result body.
-func (c *Conn) roundTrip(ctx context.Context, build func(req []byte) []byte, decode func(r *payloadReader) error) error {
+// roundTrip sends one request payload of the given kind (body appends
+// the payload after the header) and, on a statusOK response, decodes
+// the result body with decode while still holding the connection lock —
+// the body aliases the connection's scratch buffer, which the next
+// round trip overwrites. On a version >= 2 connection, a context
+// carrying an obs request ID gets the trace field: the server journals
+// and logs under the caller's ID, and a sampled trace continues
+// server-side. A statusErr envelope comes back as an *apierr.APIError,
+// whose Error() is the server-side error's exact message; decode never
+// runs for it. A nil decode requires an empty result body.
+func (c *Conn) roundTrip(ctx context.Context, kind byte, body func(req []byte) []byte, decode func(r *payloadReader) error) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.broken != nil {
@@ -151,7 +160,23 @@ func (c *Conn) roundTrip(ctx context.Context, build func(req []byte) []byte, dec
 
 	c.nextID++
 	id := c.nextID
-	c.req = build(binary.AppendUvarint(c.req[:0], id))
+	req := binary.AppendUvarint(c.req[:0], id)
+	traceID := ""
+	if c.version >= 2 {
+		traceID = obs.RequestIDFrom(ctx)
+	}
+	if traceID == "" {
+		req = append(req, kind)
+	} else {
+		req = append(req, kind|kindTraceFlag)
+		req = appendString(req, traceID)
+		if obs.TraceFrom(ctx) != nil {
+			req = append(req, 1)
+		} else {
+			req = append(req, 0)
+		}
+	}
+	c.req = body(req)
 	if err := writeFrame(c.bw, c.req); err != nil {
 		return c.fail(ctx, err)
 	}
@@ -225,8 +250,7 @@ func (c *Conn) apply(ctx context.Context, cmd command.Command, decode func(r *pa
 	if err != nil {
 		return err
 	}
-	return c.roundTrip(ctx, func(req []byte) []byte {
-		req = append(req, kindCommand)
+	return c.roundTrip(ctx, kindCommand, func(req []byte) []byte {
 		return append(req, enc...)
 	}, decode)
 }
@@ -338,8 +362,8 @@ func (c *Conn) Tick(ctx context.Context) (int, error) {
 
 // query sends one query frame, decoding the result body with decode.
 func (c *Conn) query(ctx context.Context, op byte, args func(req []byte) []byte, decode func(r *payloadReader) error) error {
-	return c.roundTrip(ctx, func(req []byte) []byte {
-		req = append(req, kindQuery, op)
+	return c.roundTrip(ctx, kindQuery, func(req []byte) []byte {
+		req = append(req, op)
 		if args != nil {
 			req = args(req)
 		}

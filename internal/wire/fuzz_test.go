@@ -88,7 +88,7 @@ func FuzzWireDecode(f *testing.F) {
 	ctx := context.Background()
 
 	f.Fuzz(func(t *testing.T, payload []byte) {
-		resp := s.handle(ctx, payload, nil)
+		resp, _ := s.handle(ctx, payload, nil, Version, 0)
 		r := &payloadReader{data: resp}
 		r.uvarint() // request id (possibly 0 when the header was garbage)
 		status := r.byte()

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"time"
@@ -41,6 +42,17 @@ type Server struct {
 	tel     *obs.Telemetry
 	latency *obs.Vec[*obs.Histogram]
 	conns   *obs.Gauge
+
+	// latencyBy pre-binds the latency series for the closed op/status
+	// set, so the per-request lookup is one map read instead of a label
+	// join through the Vec.
+	latencyBy map[opStatus]*obs.Histogram
+
+	// Pre-bound shield_stage_seconds series for the wire stages of the
+	// durable-bid pipeline; nil on an uninstrumented server.
+	stageRead   *obs.Histogram // wire.read: frame payload off the socket
+	stageDecode *obs.Histogram // decode: binary command decode
+	stageFlush  *obs.Histogram // ack.flush: response buffer to the socket
 }
 
 // NewServer returns a wire server over b.
@@ -63,13 +75,19 @@ func (s *Server) WithBufferSize(n int) *Server {
 }
 
 // WithTelemetry instruments the server on t: per-request latency by
-// operation and status, and the live connection count. It also turns on
-// request-id minting — each frame's command executes under a fresh
-// request id, which a journaled backend records as the entry's trace.
-// Must be called before the server accepts connections; an
-// uninstrumented server adds nothing to the request context, so its
-// journal entries carry no trace ids (the torture harness relies on
-// this to keep wire-driven journals byte-identical to in-process ones).
+// operation and status (tail buckets carry the last sampled request's
+// ID as an exemplar), the wire stages of the durable-bid pipeline
+// (wire.read, decode, ack.flush on shield_stage_seconds), and the live
+// connection count. It also turns on request IDs and tracing — a frame
+// carrying the v2 trace field executes under the client's propagated
+// ID (continuing its trace when the sampled bit is set), any other
+// frame under a freshly minted, locally sampled ID — and a journaled
+// backend records that ID as the entry's trace, closing the gap where
+// wire-journaled commands had no trace at all. Must be called before
+// the server accepts connections; an uninstrumented server adds
+// nothing to the request context, so its journal entries carry no
+// trace ids (the torture harness relies on this to keep wire-driven
+// journals byte-identical to in-process ones).
 func (s *Server) WithTelemetry(t *obs.Telemetry) *Server {
 	s.tel = t
 	s.latency = t.Registry.HistogramVec("shield_wire_request_seconds",
@@ -77,7 +95,29 @@ func (s *Server) WithTelemetry(t *obs.Telemetry) *Server {
 		obs.LatencyBuckets(), "op", "status")
 	s.conns = t.Registry.Gauge("shield_wire_connections",
 		"Open wire-protocol connections.")
+	s.stageRead = t.Stage("wire.read")
+	s.stageDecode = t.Stage("decode")
+	s.stageFlush = t.Stage("ack.flush")
+	s.latencyBy = map[opStatus]*obs.Histogram{}
+	for op := range traceNames {
+		for _, status := range []string{"ok", "error"} {
+			s.latencyBy[opStatus{op, status}] = s.latency.With(op, status)
+		}
+	}
 	return s
+}
+
+// opStatus keys the pre-bound latency series.
+type opStatus struct{ op, status string }
+
+// latencyFor returns the latency series for op/status without the
+// per-request Vec label join; an op outside the closed set (there are
+// none today) falls through to the Vec.
+func (s *Server) latencyFor(op, status string) *obs.Histogram {
+	if h, ok := s.latencyBy[opStatus{op, status}]; ok {
+		return h
+	}
+	return s.latency.With(op, status)
 }
 
 // Serve accepts connections on l until it closes, running each
@@ -115,31 +155,55 @@ func (s *Server) ServeConn(conn net.Conn) error {
 	br := bufio.NewReaderSize(conn, bufSize)
 	bw := bufio.NewWriterSize(conn, bufSize)
 
-	if err := s.handshake(br, bw); err != nil {
+	version, err := s.handshake(br, bw)
+	if err != nil {
 		return err
 	}
 
 	type frame struct {
 		payload []byte
+		readDur time.Duration // payload transfer time (0 when untimed)
 		err     error
 	}
 	// The channel depth bounds how far the reader runs ahead of
 	// execution; beyond it, backpressure propagates to the client
 	// through TCP flow control.
 	frames := make(chan frame, 64)
+	timed := s.tel != nil
 	go func() {
 		defer close(frames)
 		for {
 			// Payload buffers cross a channel, so each frame needs its
-			// own; the reader cannot reuse one.
-			p, err := readFrame(br, nil)
-			if err != nil {
+			// own; the reader cannot reuse one. The length header is read
+			// untimed — the wait for it is idle time between requests, not
+			// part of any request — and only the payload transfer is
+			// charged to the wire.read stage.
+			var hdr [4]byte
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
 				if !errors.Is(err, io.EOF) {
 					frames <- frame{err: err}
 				}
 				return
 			}
-			frames <- frame{payload: p}
+			n := binary.LittleEndian.Uint32(hdr[:])
+			if n == 0 || n > MaxFrame {
+				frames <- frame{err: fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)}
+				return
+			}
+			var start time.Time
+			if timed {
+				start = time.Now()
+			}
+			p := make([]byte, n)
+			if _, err := io.ReadFull(br, p); err != nil {
+				frames <- frame{err: err}
+				return
+			}
+			var d time.Duration
+			if timed {
+				d = time.Since(start)
+			}
+			frames <- frame{payload: p, readDur: d}
 		}
 	}()
 
@@ -149,53 +213,103 @@ func (s *Server) ServeConn(conn net.Conn) error {
 		if f.err != nil {
 			return f.err
 		}
-		resp = s.handle(ctx, f.payload, resp[:0])
-		if err := writeFrame(bw, resp); err != nil {
-			return err
-		}
-		if len(frames) == 0 {
-			if err := bw.Flush(); err != nil {
-				return err
+		var tr *obs.Trace
+		resp, tr = s.handle(ctx, f.payload, resp[:0], version, f.readDur)
+		err := writeFrame(bw, resp)
+		if err == nil && len(frames) == 0 {
+			// The pipeline drained: this flush is the write that makes
+			// the acknowledgment visible to the client, so it is charged
+			// to the request as the ack.flush stage.
+			start := time.Now()
+			err = bw.Flush()
+			if s.tel != nil {
+				d := time.Since(start)
+				tr.AddSpan("ack.flush", start, d)
+				s.stageFlush.ObserveTrace(d.Seconds(), exemplarOf(tr))
 			}
+		}
+		if s.tel != nil {
+			s.tel.Tracer.Finish(tr)
+		}
+		if err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// handshake validates the client hello and answers it. On a version
-// mismatch the server answers version 0 and reports ErrHandshake; on a
-// bad magic it answers nothing (the peer is not speaking this
-// protocol).
-func (s *Server) handshake(br *bufio.Reader, bw *bufio.Writer) error {
+// handshake validates the client hello and answers it with the
+// negotiated version — the smaller of the client's and this package's —
+// so older clients keep connecting to newer servers. On an unusable
+// hello (version 0) the server answers version 0 and reports
+// ErrHandshake; on a bad magic it answers nothing (the peer is not
+// speaking this protocol).
+func (s *Server) handshake(br *bufio.Reader, bw *bufio.Writer) (byte, error) {
 	var hello [4]byte
 	if _, err := io.ReadFull(br, hello[:]); err != nil {
-		return err
+		return 0, err
 	}
 	if [3]byte(hello[:3]) != magic {
-		return ErrHandshake
+		return 0, ErrHandshake
 	}
-	answer := [4]byte{magic[0], magic[1], magic[2], Version}
-	if hello[3] < Version {
-		answer[3] = 0
+	version := hello[3]
+	if version > Version {
+		version = Version
 	}
+	answer := [4]byte{magic[0], magic[1], magic[2], version}
 	if _, err := bw.Write(answer[:]); err != nil {
-		return err
+		return 0, err
 	}
 	if err := bw.Flush(); err != nil {
-		return err
+		return 0, err
 	}
-	if answer[3] == 0 {
-		return ErrHandshake
+	if version == 0 {
+		return 0, ErrHandshake
 	}
-	return nil
+	return version, nil
+}
+
+// exemplarOf returns the trace's ID when the request is sampled (tr
+// non-nil) — the exemplar stamped onto wire histograms.
+func exemplarOf(tr *obs.Trace) string {
+	if tr == nil {
+		return ""
+	}
+	return tr.ID
+}
+
+// traceNames precomputes "wire."+op for the closed op set so the
+// per-request trace rename doesn't allocate; an op outside the set
+// (there are none today) falls back to the concatenation.
+var traceNames = func() map[string]string {
+	m := map[string]string{}
+	for _, op := range []string{
+		"register_buyer", "register_seller", "upload", "compose",
+		"withdraw", "bid", "bid_batch", "tick", "settle",
+		"ping", "period", "datasets", "stats", "balance",
+		"wait", "transactions",
+		"unknown", "bad_command", "bad_query",
+	} {
+		m[op] = "wire." + op
+	}
+	return m
+}()
+
+func traceName(op string) string {
+	if n, ok := traceNames[op]; ok {
+		return n
+	}
+	return "wire." + op
 }
 
 // handle executes one request payload and appends the response payload
-// to resp. It never panics on malformed input and never closes the
-// connection: every per-request failure becomes an error envelope whose
-// code is drawn from the closed apierr set, leaving the stream usable
-// for the requests pipelined behind it.
-func (s *Server) handle(ctx context.Context, payload, resp []byte) []byte {
+// to resp, returning the request's trace (nil when unsampled or
+// uninstrumented) so ServeConn can attach the ack.flush stage before
+// finishing it. handle never panics on malformed input and never closes
+// the connection: every per-request failure becomes an error envelope
+// whose code is drawn from the closed apierr set, leaving the stream
+// usable for the requests pipelined behind it.
+func (s *Server) handle(ctx context.Context, payload, resp []byte, version byte, readDur time.Duration) ([]byte, *obs.Trace) {
 	r := &payloadReader{data: payload}
 	reqID := r.uvarint()
 	kind := r.byte()
@@ -203,15 +317,47 @@ func (s *Server) handle(ctx context.Context, payload, resp []byte) []byte {
 		// The request id itself was unreadable; echo id 0 so the
 		// envelope still parses as a response.
 		return appendError(binary.AppendUvarint(resp, reqID),
-			apierr.CodeBadRequest, "malformed request header")
+			apierr.CodeBadRequest, "malformed request header"), nil
+	}
+
+	// The v2 trace field sits between the kind byte and the body,
+	// flagged on the kind byte. A v1 connection has no such flag: the
+	// bit falls through to the unknown-kind envelope below.
+	traceID, sampled := "", false
+	if version >= 2 && kind&kindTraceFlag != 0 {
+		kind &^= kindTraceFlag
+		traceID = r.str()
+		sampled = r.byte() == 1
+		if r.err != nil {
+			return appendError(binary.AppendUvarint(resp, reqID),
+				apierr.CodeBadRequest, "malformed trace field"), nil
+		}
 	}
 
 	op := "unknown"
 	start := time.Time{}
+	var tr *obs.Trace
 	if s.tel != nil {
-		start = time.Now()
-		id := s.tel.Tracer.NewRequestID()
-		ctx = obs.WithRequestID(ctx, id)
+		// Backdate the request to when its payload began arriving, so
+		// the trace covers the read and the latency histogram charges
+		// transfer time to the request that caused it.
+		start = time.Now().Add(-readDur)
+		id := traceID
+		if id == "" {
+			// No propagated context: mint a local ID and let the local
+			// sampler decide.
+			id = s.tel.Tracer.NewRequestID()
+			tr = s.tel.Tracer.BeginAt(id, "wire", start)
+		} else if sampled {
+			// The client sampled this request; continue its trace here
+			// regardless of the local sampling rate.
+			tr = s.tel.Tracer.Adopt(id, "wire", start)
+		}
+		ctx = obs.WithRequestTrace(ctx, id, tr)
+		if tr != nil {
+			tr.AddSpan("wire.read", start, readDur)
+		}
+		s.stageRead.ObserveTrace(readDur.Seconds(), exemplarOf(tr))
 	}
 
 	resp = binary.AppendUvarint(resp, reqID)
@@ -225,6 +371,7 @@ func (s *Server) handle(ctx context.Context, payload, resp []byte) []byte {
 	}
 
 	if s.tel != nil {
+		tr.SetName(traceName(op))
 		status := "ok"
 		// The status byte follows the uvarint request id; scanning from
 		// the front of this response is cheaper than threading a flag
@@ -232,15 +379,17 @@ func (s *Server) handle(ctx context.Context, payload, resp []byte) []byte {
 		if _, n := binary.Uvarint(resp); n > 0 && n < len(resp) && resp[n] == statusErr {
 			status = "error"
 		}
-		s.latency.With(op, status).Observe(time.Since(start).Seconds())
+		s.latencyFor(op, status).ObserveTrace(time.Since(start).Seconds(), exemplarOf(tr))
 	}
-	return resp
+	return resp, tr
 }
 
 // handleCommand decodes and executes one binary command, returning its
 // op name (for telemetry) and the response.
 func (s *Server) handleCommand(ctx context.Context, body, resp []byte) (string, []byte) {
+	endDecode := obs.StageTimer(ctx, s.stageDecode, "decode")
 	cmd, err := command.DecodeBinary(body)
+	endDecode.End()
 	if err != nil {
 		return "bad_command", appendError(resp, apierr.CodeBadRequest, err.Error())
 	}

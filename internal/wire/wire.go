@@ -9,9 +9,10 @@
 // A connection opens with a 4-byte handshake in each direction: the
 // client sends the 3-byte magic "SHW" plus the highest protocol version
 // it speaks; the server answers with the same magic plus the version
-// the connection will use, or version 0 (followed by close) if it
-// cannot serve the client's version. Today there is exactly one
-// version, 1.
+// the connection will use — the smaller of the two sides' versions — or
+// version 0 (followed by close) if it cannot serve the client at all.
+// A v1 client therefore still connects to a v2 server (the connection
+// runs v1), and a v2 client accepts a v1 server's answer.
 //
 // After the handshake the stream is a sequence of frames in each
 // direction. A frame is a uint32 little-endian payload length (at least
@@ -19,11 +20,21 @@
 //
 // A request payload is:
 //
-//	request id (uvarint) | kind (1 byte) | body
+//	request id (uvarint) | kind (1 byte) | [trace] | body
 //
-// where kind is kindCommand (1, body is one command.EncodeBinary
-// encoding) or kindQuery (2, body is a query opcode byte followed by
-// its arguments). A response payload is:
+// where kind's low bits are kindCommand (1, body is one
+// command.EncodeBinary encoding) or kindQuery (2, body is a query
+// opcode byte followed by its arguments). On a version >= 2 connection
+// the kind byte may carry the kindTraceFlag bit (0x80): the optional
+// trace field then sits between kind and body —
+//
+//	trace id (uvarint-length string) | sampled (1 byte, 0 or 1)
+//
+// — propagating the caller's request ID and sampling decision so the
+// server journals the same trace ID the client logged and continues a
+// sampled trace across the process boundary. Requests without a trace
+// context omit the field entirely, byte-identical to v1. A response
+// payload is:
 //
 //	request id (uvarint, echoed) | status (1 byte) | body
 //
@@ -56,8 +67,11 @@ import (
 	"math"
 )
 
-// Version is the protocol version this package speaks.
-const Version byte = 1
+// Version is the highest protocol version this package speaks. The
+// handshake negotiates down to the smaller of the two sides' versions:
+// v1 framing is a strict subset of v2 (v2 adds only the optional trace
+// field, flagged on the kind byte), so either side can run v1.
+const Version byte = 2
 
 // MaxFrame bounds a frame's payload length in both directions. It
 // comfortably exceeds the largest legitimate frame (a multi-thousand-bid
@@ -68,10 +82,15 @@ const MaxFrame = 1 << 20
 // magic opens the handshake in both directions.
 var magic = [3]byte{'S', 'H', 'W'}
 
-// Request kinds.
+// Request kinds. The high bit of the kind byte is the version >= 2
+// trace flag; the low bits select the kind.
 const (
 	kindCommand byte = 1
 	kindQuery   byte = 2
+
+	// kindTraceFlag marks a request carrying the optional trace field
+	// (trace id + sampled bit) between the kind byte and the body.
+	kindTraceFlag byte = 0x80
 )
 
 // Response statuses.

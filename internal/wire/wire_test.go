@@ -380,8 +380,8 @@ func TestMalformedFrameKeepsConnection(t *testing.T) {
 	c := pipeClient(t, NewServer(m))
 	ctx := context.Background()
 
-	if err := c.roundTrip(ctx, func(req []byte) []byte {
-		return append(req, 0xFF, 0xDE, 0xAD)
+	if err := c.roundTrip(ctx, 0xFF, func(req []byte) []byte {
+		return append(req, 0xDE, 0xAD)
 	}, nil); err == nil {
 		t.Fatal("garbage request succeeded")
 	} else {
