@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench bench-save bench-save-smoke fuzz-smoke metrics-lint torture torture-smoke torture-long slo-smoke slo-full cover
+.PHONY: ci fmt-check vet build test race bench bench-save bench-save-smoke fuzz-smoke metrics-lint torture torture-smoke torture-long slo-smoke slo-full replica-smoke cover
 
-ci: fmt-check vet metrics-lint build race test fuzz-smoke torture-smoke torture slo-smoke bench-save-smoke
+ci: fmt-check vet metrics-lint build race test fuzz-smoke torture-smoke torture slo-smoke replica-smoke bench-save-smoke
 
 # Fails (and lists the offenders) if any file is not gofmt-clean.
 fmt-check:
@@ -26,10 +26,11 @@ build:
 # The concurrency-sensitive packages run under the race detector: the
 # sharded market arbiter, the HTTP layer that fans batches into it, the
 # journal (crash-recovery harness appends concurrently), the
-# telemetry registry/tracer (scraped while updated), and the shieldtop
-# poller (refresh loop racing terminal resize/teardown).
+# telemetry registry/tracer (scraped while updated), the replication
+# feed/follower (commit hook racing subscribers and kills), and the
+# shieldtop poller (refresh loop racing terminal resize/teardown).
 race:
-	$(GO) test -race ./internal/market/... ./internal/httpapi/... ./internal/journal/... ./internal/obs/... ./internal/wire/... ./internal/client/... ./internal/loadrig/... ./cmd/shieldtop/... ./cmd/metricslint/...
+	$(GO) test -race ./internal/market/... ./internal/httpapi/... ./internal/journal/... ./internal/obs/... ./internal/wire/... ./internal/client/... ./internal/replica/... ./internal/loadrig/... ./cmd/shieldtop/... ./cmd/metricslint/...
 
 test:
 	$(GO) test ./...
@@ -47,6 +48,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzBidBatchDecode$$' -fuzztime $(FUZZ_TIME) ./internal/httpapi/
 	$(GO) test -run xxx -fuzz '^FuzzCommandDecode$$' -fuzztime $(FUZZ_TIME) ./internal/command/
 	$(GO) test -run xxx -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZ_TIME) ./internal/wire/
+	$(GO) test -run xxx -fuzz '^FuzzReplicateDecode$$' -fuzztime $(FUZZ_TIME) ./internal/wire/
 
 # Model-based torture: seeded workloads differentially tested against the
 # sequential reference model at shard counts {1,4,16} (~30s). Failures
@@ -84,6 +86,18 @@ slo-smoke:
 	$(GO) run ./cmd/shieldload -transport both -clients 1024 -rate 1500 \
 		-ops 9000 -tick-every 400 \
 		-slo 'bid.p99<1s,query.p99<1s,error_rate<0.1%,throughput>=500'
+
+# Replication smoke: the leader plus two in-process read replicas, a
+# tenth of the traffic served by the replicas, one follower killed and
+# redialing at the schedule midpoint. Gates on the replica read tail,
+# the worst replication staleness any follower showed (including the
+# kill's reconnect window), and the post-run invariant that every
+# follower snapshot converges byte-identical to the leader's.
+replica-smoke:
+	$(GO) run ./cmd/shieldload -transport both -clients 512 -rate 1500 \
+		-ops 6000 -tick-every 400 -followers 2 -replica-fraction 0.1 \
+		-replica-kill \
+		-slo 'bid.p99<1s,replica.p99<1s,replica.lag<5s,error_rate<0.1%'
 
 # Longer gate for local perf work: more clients, more load, a tighter
 # tail budget and a real throughput floor.

@@ -8,6 +8,7 @@
 //	marketd [-addr :8080] [-epoch 8] [-candidates 40] [-min 1] [-max 200]
 //	        [-seed 2022] [-shards 16] [-journal market.log] [-fsync] [-auth]
 //	        [-group-commit] [-group-commit-window 0s] [-wire-addr :9090]
+//	        [-follow wire://leader:9090] [-max-lag 5s]
 //	        [-operator-token secret] [-trace-sample 1] [-slow-op 50ms]
 //	        [-debug-addr 127.0.0.1:6060]
 //
@@ -32,6 +33,19 @@
 // shield.Dial("wire://host:port") or marketctl -server wire://host:port.
 // The wire protocol carries no bid signatures, so -wire-addr refuses to
 // start under -auth.
+//
+// A journaled daemon with -wire-addr is also a replication leader: read
+// replicas started with
+//
+//	marketd -follow wire://leader:9090 -addr :8081
+//
+// catch up from a state snapshot, then apply the leader's committed
+// command stream live. A replica serves every read endpoint from its
+// local state, answers all writes with 403 read_only_replica, reports
+// its staleness on /readyz (applied_seq, leader_seq, lag_seconds) and
+// as shield_replica_* gauges, and reconnects with backoff when the
+// leader goes away. -max-lag bounds how stale a replica may grow before
+// /readyz turns 503 and a load balancer should rotate it out.
 //
 // The daemon is fully instrumented (see internal/obs): every request
 // gets an ID and a structured log line, bids leave sampled lifecycle
@@ -64,6 +78,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -74,6 +89,7 @@ import (
 	"github.com/datamarket/shield/internal/journal"
 	"github.com/datamarket/shield/internal/market"
 	"github.com/datamarket/shield/internal/obs"
+	"github.com/datamarket/shield/internal/replica"
 	"github.com/datamarket/shield/internal/wire"
 )
 
@@ -98,6 +114,8 @@ func main() {
 		wireAddr    = flag.String("wire-addr", "", "binary wire-protocol listener (off when empty; incompatible with -auth)")
 		groupCommit = flag.Bool("group-commit", false, "coalesce concurrent journal appends into one write (and one fsync with -fsync)")
 		gcWindow    = flag.Duration("group-commit-window", 0, "how long a group leader waits for followers with -group-commit (0 batches only what is already queued)")
+		follow      = flag.String("follow", "", "run as a read replica of the leader at wire://host:port (read-only HTTP; incompatible with -journal, -wire-addr and -auth)")
+		maxLag      = flag.Duration("max-lag", replica.DefaultMaxLag, "with -follow: /readyz turns 503 when the replica has not proven currency for this long")
 	)
 	flag.Parse()
 
@@ -108,6 +126,12 @@ func main() {
 		// The wire protocol carries no bid signatures; serving it beside
 		// an auth-gated HTTP API would silently bypass -auth.
 		logger.Error("marketd: -wire-addr is incompatible with -auth (the wire protocol has no bid signing)")
+		os.Exit(1)
+	}
+	if *follow != "" && (*journalPath != "" || *wireAddr != "" || *useAuth) {
+		// A replica owns no journal (its state is the leader's), serves no
+		// wire protocol, and cannot enroll buyers (writes are rejected).
+		logger.Error("marketd: -follow is incompatible with -journal, -wire-addr and -auth")
 		os.Exit(1)
 	}
 
@@ -152,8 +176,29 @@ func main() {
 
 	var srvHandler *httpapi.Server
 	var backend wire.Backend
+	var jm *journal.Market
+	var follower *replica.Follower
 	closeJournal := func() error { return nil }
 	switch {
+	case *follow != "":
+		target, ok := strings.CutPrefix(*follow, "wire://")
+		if !ok || target == "" {
+			logger.Error("marketd: -follow must be wire://host:port", "value", *follow)
+			os.Exit(1)
+		}
+		f, err := replica.Start(replica.Config{
+			Dial:      func() (net.Conn, error) { return net.Dial("tcp", target) },
+			Name:      "marketd",
+			MaxLag:    *maxLag,
+			Telemetry: tel,
+		})
+		if err != nil {
+			logger.Error("marketd: starting follower", "leader", *follow, "err", err)
+			os.Exit(1)
+		}
+		follower = f
+		srvHandler = httpapi.NewReplica(f)
+		logger.Info("marketd: read replica following leader", "leader", *follow, "max_lag", *maxLag)
 	case *journalPath == "":
 		m, err := market.New(cfg)
 		if err != nil {
@@ -177,11 +222,12 @@ func main() {
 		if *groupCommit {
 			opts = append(opts, journal.WithGroupCommit(*gcWindow))
 		}
-		jm, replayed, err := journal.OpenFile(cfg, *journalPath, opts...)
+		opened, replayed, err := journal.OpenFile(cfg, *journalPath, opts...)
 		if err != nil {
 			logger.Error("marketd: opening journal", "path", *journalPath, "err", err)
 			os.Exit(1)
 		}
+		jm = opened
 		closeJournal = jm.Close
 		if replayed > 0 {
 			logger.Info("marketd: replayed journal", "events", replayed, "path", *journalPath)
@@ -229,6 +275,19 @@ func main() {
 		}
 		wireListener = l
 		ws := wire.NewServer(backend).WithTelemetry(tel)
+		if jm != nil {
+			// A journaled leader with a wire listener is a replication
+			// source: followers subscribe to the committed command stream
+			// over the same port (kind=replicate frames). The feed must
+			// attach before any traffic so it never misses a commit.
+			feed, err := replica.NewFeed(jm, 0)
+			if err != nil {
+				logger.Error("marketd: building replication feed", "err", err)
+				os.Exit(1)
+			}
+			ws = ws.WithReplication(feed)
+			logger.Info("marketd: replication enabled", "addr", *wireAddr)
+		}
 		go func() {
 			logger.Info("marketd: wire protocol listening", "addr", *wireAddr)
 			if err := ws.Serve(l); err != nil && !errors.Is(err, net.ErrClosed) {
@@ -271,6 +330,9 @@ func main() {
 		os.Exit(1)
 	}
 	<-done
+	if follower != nil {
+		follower.Close()
+	}
 	if *journalPath != "" {
 		if err := closeJournal(); err != nil {
 			logger.Error("marketd: closing journal", "path", *journalPath, "err", err)

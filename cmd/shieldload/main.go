@@ -16,7 +16,8 @@
 //	shieldload [-transport both] [-clients 1024] [-rate 4000] [-ops 16000]
 //	           [-bid-fraction 0.8] [-tick-every 400] [-seed 2022]
 //	           [-datasets 16] [-group-commit=true] [-fsync] [-trace-sample 1]
-//	           [-slo 'bid.p99<250ms,error_rate<0.1%']
+//	           [-followers 2] [-replica-fraction 0.1] [-replica-kill]
+//	           [-slo 'bid.p99<250ms,error_rate<0.1%,replica.lag<2s']
 //	           [-inject 'bid=2.5s'] [-json BENCH_7.json] [-q]
 //
 // -slo is a comma-separated list of clauses over the measured report:
@@ -33,6 +34,15 @@
 // class ('bid=2.5s'). It exists so the gate can be proven to fail: the
 // mutation-canary test injects a regression and asserts shieldload
 // exits nonzero naming the violated clause.
+//
+// -followers boots N read replicas beside the leader, each streaming
+// the committed command log over the wire protocol and serving reads on
+// its own HTTP listener; -replica-fraction routes that share of ops to
+// them as the "replica" class, and -replica-kill drops one follower's
+// replication connection at the schedule's midpoint to prove catch-up
+// under load. A replica.lag<2s clause bounds the worst staleness any
+// follower showed (sampled at 25ms), and the post-run invariants pin
+// every follower snapshot byte-identical to the leader's.
 package main
 
 import (
@@ -69,9 +79,12 @@ type artifact struct {
 	// ServerStages is the server-side bid-path decomposition (queue
 	// wait vs fsync vs apply), keyed by stage class.
 	ServerStages map[string]loadrig.StageStats `json:"server_stages,omitempty"`
-	Invariants   string                        `json:"invariants"`
-	SLO          string                        `json:"slo,omitempty"`
-	Violations   []string                      `json:"violations,omitempty"`
+	// ReplicaMaxLagSec is the worst replication staleness any follower
+	// showed during the run (absent without -followers).
+	ReplicaMaxLagSec float64  `json:"replica_max_lag_sec,omitempty"`
+	Invariants       string   `json:"invariants"`
+	SLO              string   `json:"slo,omitempty"`
+	Violations       []string `json:"violations,omitempty"`
 }
 
 // classStats is one op class in the artifact, latencies in seconds.
@@ -109,6 +122,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut     = fs.String("json", "", "also write the report as a JSON artifact")
 		quiet       = fs.Bool("q", false, "suppress the report table (violations still print)")
 		timeout     = fs.Duration("timeout", 5*time.Second, "per-operation deadline")
+		followers   = fs.Int("followers", 0, "read replicas to boot beside the leader")
+		replicaFrac = fs.Float64("replica-fraction", 0, "fraction of ops served by replicas (carved from the read share; needs -followers)")
+		replicaKill = fs.Bool("replica-kill", false, "drop follower 0's replication connection at the schedule midpoint (needs -followers)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -132,6 +148,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		GroupCommit: *groupCommit,
 		Fsync:       *fsync,
 		TraceSample: *traceSample,
+		Followers:   *followers,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "shieldload: %v\n", err)
@@ -140,15 +157,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer rig.Close()
 
 	rep, err := loadrig.Run(rig, loadrig.Scenario{
-		Transport:     *transport,
-		Clients:       *clients,
-		Rate:          *rate,
-		Ops:           *ops,
-		BidFraction:   *bidFraction,
-		TickEvery:     *tickEvery,
-		Seed:          *seed,
-		Timeout:       *timeout,
-		InjectLatency: injected,
+		Transport:       *transport,
+		Clients:         *clients,
+		Rate:            *rate,
+		Ops:             *ops,
+		BidFraction:     *bidFraction,
+		TickEvery:       *tickEvery,
+		Seed:            *seed,
+		Timeout:         *timeout,
+		InjectLatency:   injected,
+		ReplicaFraction: *replicaFrac,
+		KillFollower:    *replicaKill,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "shieldload: %v\n", err)
@@ -214,20 +233,21 @@ func parseInject(spec string) (map[string]time.Duration, error) {
 
 func writeArtifact(path string, rep *loadrig.Report, transport string, clients int, rate float64, ops int, seed uint64, slo string, violations []loadrig.Violation) error {
 	art := artifact{
-		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
-		Transport:    transport,
-		Clients:      clients,
-		TargetRate:   rate,
-		Ops:          ops,
-		Seed:         seed,
-		Throughput:   rep.Throughput,
-		DurationSec:  rep.Duration.Seconds(),
-		Errors:       rep.Errors,
-		Classes:      map[string]classStats{},
-		ServerP99:    rep.ServerQuantiles,
-		ServerStages: rep.ServerStages,
-		Invariants:   rep.Invariants,
-		SLO:          slo,
+		GeneratedAt:      time.Now().UTC().Format(time.RFC3339),
+		Transport:        transport,
+		Clients:          clients,
+		TargetRate:       rate,
+		Ops:              ops,
+		Seed:             seed,
+		Throughput:       rep.Throughput,
+		DurationSec:      rep.Duration.Seconds(),
+		Errors:           rep.Errors,
+		Classes:          map[string]classStats{},
+		ServerP99:        rep.ServerQuantiles,
+		ServerStages:     rep.ServerStages,
+		ReplicaMaxLagSec: rep.ReplicaMaxLag,
+		Invariants:       rep.Invariants,
+		SLO:              slo,
 	}
 	if v, err := exec.Command("go", "version").Output(); err == nil {
 		art.GoVersion = strings.TrimSpace(string(v))

@@ -30,6 +30,24 @@ const (
 	CodeUnauthorized    = "unauthorized"
 	CodeBadRequest      = "bad_request"
 	CodeInternal        = "internal"
+	// CodeReadOnlyReplica rejects a mutating request sent to a read
+	// replica: the write path lives on the leader.
+	CodeReadOnlyReplica = "read_only_replica"
+	// CodeReplicaUnavailable rejects a read on a replica that has not
+	// completed its first catch-up (or has diverged) and so has no
+	// state to serve.
+	CodeReplicaUnavailable = "replica_unavailable"
+)
+
+// Replica-serving sentinels; transports classify them like any market
+// error.
+var (
+	// ErrReadOnlyReplica is returned for every mutating operation on a
+	// read replica.
+	ErrReadOnlyReplica = errors.New("read-only replica: send writes to the leader")
+	// ErrReplicaUnavailable is returned for reads before a replica's
+	// first catch-up completes.
+	ErrReplicaUnavailable = errors.New("replica has no state yet: first catch-up pending")
 )
 
 // APIError is one request's failure as the serving surface reports it:
@@ -74,6 +92,12 @@ func Classify(err error) (code string, status int) {
 		return CodeBlockedUntil, http.StatusTooManyRequests
 	case errors.Is(err, auth.ErrBadSignature), errors.Is(err, auth.ErrReplay):
 		return CodeUnauthorized, http.StatusUnauthorized
+	case errors.Is(err, ErrReadOnlyReplica):
+		// 403, not 405: the route exists and the method is right — this
+		// process simply never accepts writes.
+		return CodeReadOnlyReplica, http.StatusForbidden
+	case errors.Is(err, ErrReplicaUnavailable):
+		return CodeReplicaUnavailable, http.StatusServiceUnavailable
 	case errors.Is(err, command.ErrNotMarket), errors.Is(err, command.ErrMalformed), errors.Is(err, command.ErrUnknownOp):
 		// Codec-level rejections and commands that do not target market
 		// state (Settle) are client mistakes, not server faults.

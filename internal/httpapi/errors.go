@@ -26,6 +26,9 @@ const (
 	CodeUnauthorized    = apierr.CodeUnauthorized
 	CodeBadRequest      = apierr.CodeBadRequest
 	CodeInternal        = apierr.CodeInternal
+
+	CodeReadOnlyReplica    = apierr.CodeReadOnlyReplica
+	CodeReplicaUnavailable = apierr.CodeReplicaUnavailable
 )
 
 // APIError is the body of the "error" envelope field.

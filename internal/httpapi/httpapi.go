@@ -70,9 +70,13 @@ type mutator interface {
 // {"error":{"code":"...","message":"..."}} with a stable machine-readable
 // code (see errors.go).
 type Server struct {
-	m    *market.Market // reads
-	mut  mutator        // writes (possibly journaled)
+	m    *market.Market // reads (leader mode; nil on a replica)
+	mut  mutator        // writes (possibly journaled; read-only on a replica)
 	tick func() (int, error)
+	// replica, when set, makes this a read-replica server: reads resolve
+	// through the follower's current view (see market()), writes are
+	// rejected, and /readyz carries staleness.
+	replica ReplicaSource
 	// verifier, when set, requires every bid to carry a valid HMAC
 	// binding it to an enrolled buyer (false-name bidding deterrence,
 	// Section 2.1 of the paper). Buyer registration then returns the
@@ -388,15 +392,30 @@ func (s *Server) handleTick(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handlePeriod(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]int{"period": s.m.Period()})
+	m, err := s.market()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"period": m.Period()})
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.m.Datasets())
+	m, err := s.market()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, m.Datasets())
 }
 
 func (s *Server) handleDatasetStats(w http.ResponseWriter, r *http.Request) {
-	stats, err := s.m.Stats(market.DatasetID(r.PathValue("id")))
+	m, err := s.market()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	stats, err := m.Stats(market.DatasetID(r.PathValue("id")))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -405,7 +424,12 @@ func (s *Server) handleDatasetStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSellerBalance(w http.ResponseWriter, r *http.Request) {
-	bal, err := s.m.SellerBalance(market.SellerID(r.PathValue("id")))
+	m, err := s.market()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	bal, err := m.SellerBalance(market.SellerID(r.PathValue("id")))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -419,7 +443,12 @@ func (s *Server) handleBuyerWait(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, http.StatusBadRequest, CodeBadRequest, "missing dataset query parameter")
 		return
 	}
-	wait, err := s.m.WaitRemaining(market.BuyerID(r.PathValue("id")), market.DatasetID(dataset))
+	m, err := s.market()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	wait, err := m.WaitRemaining(market.BuyerID(r.PathValue("id")), market.DatasetID(dataset))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -428,7 +457,12 @@ func (s *Server) handleBuyerWait(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTransactions(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.m.Transactions())
+	m, err := s.market()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, m.Transactions())
 }
 
 func decode(w http.ResponseWriter, r *http.Request, dst any) bool {

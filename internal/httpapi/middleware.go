@@ -49,7 +49,12 @@ func (s *Server) ensureTelemetry() {
 		if s.tel == nil {
 			s.tel = obs.NewTelemetry()
 		}
-		s.m.Instrument(s.tel)
+		// A replica server has no fixed market to instrument: the
+		// follower's view is swapped wholesale on snapshot catch-up, and
+		// the follower registers its own shield_replica_* gauges instead.
+		if s.m != nil {
+			s.m.Instrument(s.tel)
+		}
 		s.httpLatency = s.tel.Registry.HistogramVec("shield_http_request_seconds",
 			"HTTP request latency by route pattern and status code.",
 			obs.LatencyBuckets(), "route", "status")
@@ -159,8 +164,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleReadyz is readiness: the market is restored and the journal
 // (when there is one) can still persist writes. A poisoned or closed
 // journal answers 503 — the daemon serves reads but must be rotated out
-// of write traffic.
+// of write traffic. Replicas answer with their staleness alongside the
+// verdict (see handleReplicaReadyz).
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.replica != nil {
+		s.handleReplicaReadyz(w)
+		return
+	}
 	if s.ready != nil {
 		if err := s.ready(); err != nil {
 			writeJSON(w, http.StatusServiceUnavailable,

@@ -1,0 +1,110 @@
+package httpapi
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+
+	"github.com/datamarket/shield/internal/apierr"
+	"github.com/datamarket/shield/internal/market"
+)
+
+// ReplicaSource is the state a read-replica server serves from: a
+// follower that maintains a local market by applying the leader's
+// replicated command stream (internal/replica.Follower implements it).
+// Market may return nil before the first catch-up completes; the server
+// answers such reads with CodeReplicaUnavailable rather than a panic.
+type ReplicaSource interface {
+	// Market returns the follower's current read view, or nil while no
+	// state has been restored yet.
+	Market() *market.Market
+	// Ready reports whether the replica should receive read traffic:
+	// non-nil when it has no state, has diverged, or its staleness
+	// exceeds the configured bound.
+	Ready() error
+	// Staleness reports the follower's applied seq, its best knowledge
+	// of the leader's seq, seconds since it last proved currency, and
+	// whether the replication stream is currently connected.
+	Staleness() (applied, leader int64, lagSeconds float64, connected bool)
+}
+
+// NewReplica builds a read-only Server over a replication follower.
+// Every read endpoint serves from the follower's local market — no
+// round-trip to the leader — and every mutating endpoint (including
+// /v1/tick) answers CodeReadOnlyReplica with 403. /readyz reports the
+// follower's staleness alongside its readiness so load balancers can
+// rotate a lagging replica out of the read pool.
+func NewReplica(src ReplicaSource) *Server {
+	return &Server{
+		replica: src,
+		mut:     readOnlyMutator{},
+		tick:    func() (int, error) { return 0, apierr.ErrReadOnlyReplica },
+		ready:   src.Ready,
+		logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+}
+
+// market resolves the read view for this request. On the leader that is
+// the fixed market the server was built over; on a replica it is the
+// follower's current view, which does not exist until the first
+// catch-up completes (and is swapped wholesale when a reconnect falls
+// back to snapshot mode — resolve once per request, never cache).
+func (s *Server) market() (*market.Market, error) {
+	if s.replica == nil {
+		return s.m, nil
+	}
+	if m := s.replica.Market(); m != nil {
+		return m, nil
+	}
+	return nil, apierr.ErrReplicaUnavailable
+}
+
+// readOnlyMutator rejects every write with the replica sentinel; the
+// generic error path classifies it to CodeReadOnlyReplica / 403.
+type readOnlyMutator struct{}
+
+func (readOnlyMutator) RegisterBuyer(market.BuyerID) error   { return apierr.ErrReadOnlyReplica }
+func (readOnlyMutator) RegisterSeller(market.SellerID) error { return apierr.ErrReadOnlyReplica }
+func (readOnlyMutator) UploadDataset(market.SellerID, market.DatasetID) error {
+	return apierr.ErrReadOnlyReplica
+}
+func (readOnlyMutator) WithdrawDataset(market.SellerID, market.DatasetID) error {
+	return apierr.ErrReadOnlyReplica
+}
+func (readOnlyMutator) ComposeDataset(market.DatasetID, ...market.DatasetID) error {
+	return apierr.ErrReadOnlyReplica
+}
+func (readOnlyMutator) SubmitBidCtx(context.Context, market.BuyerID, market.DatasetID, float64) (market.Decision, error) {
+	return market.Decision{}, apierr.ErrReadOnlyReplica
+}
+func (readOnlyMutator) SubmitBidsCtx(_ context.Context, reqs []market.BidRequest) []market.BidResult {
+	out := make([]market.BidResult, len(reqs))
+	for i := range out {
+		out[i].Err = apierr.ErrReadOnlyReplica
+	}
+	return out
+}
+
+// handleReplicaReadyz is /readyz on a replica: the usual ready/unready
+// verdict plus the staleness numbers operators alert on. The same
+// numbers are exported as shield_replica_* gauges; this endpoint is the
+// per-instance view a load balancer's health check reads.
+func (s *Server) handleReplicaReadyz(w http.ResponseWriter) {
+	applied, leader, lag, connected := s.replica.Staleness()
+	body := map[string]any{
+		"role":        "replica",
+		"applied_seq": applied,
+		"leader_seq":  leader,
+		"lag_seconds": lag,
+		"connected":   connected,
+	}
+	if err := s.replica.Ready(); err != nil {
+		body["status"] = "unready"
+		body["reason"] = err.Error()
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	body["status"] = "ready"
+	writeJSON(w, http.StatusOK, body)
+}

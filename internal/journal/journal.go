@@ -261,6 +261,12 @@ type Writer struct {
 	closed  bool
 	err     error // sticky append failure
 
+	// commit, when set (OnCommit), observes every durably committed
+	// record in strict sequence order — the hook behind the replication
+	// feed. It runs after the record's write (and fsync) succeeds and
+	// before the append is acknowledged to its caller.
+	commit func(Event)
+
 	// Group commit (WithGroupCommit). cur is the forming group
 	// concurrent appends pile onto (guarded by mu); flushMu serializes
 	// group flushes so groups reach the sink in formation order — the
@@ -285,6 +291,10 @@ type commitGroup struct {
 	n    int
 	done chan struct{}
 	err  error
+	// events retains the group's records, in sequence order, when a
+	// commit hook is installed — flushGroup replays them to the hook
+	// after the group reaches the sink.
+	events []Event
 }
 
 // NewWriter wraps w. Call Genesis before any other append.
@@ -295,6 +305,36 @@ func NewWriter(w io.Writer, opts ...Option) *Writer {
 		o(jw)
 	}
 	return jw
+}
+
+// OnCommit installs fn as the writer's commit hook: it is invoked once
+// per durably committed record, in strict sequence order, with the
+// record exactly as written (Seq assigned). Per-record mode calls it
+// after the write (and fsync) succeeds, before the append returns;
+// group-commit mode calls it per member after the group's flush
+// succeeds, before any member is woken. Failed appends never reach the
+// hook. fn must not call back into the writer and should return
+// quickly — it runs on the append path.
+//
+// Install the hook before traffic flows (records appended while no
+// hook is set are not replayed to a later hook), and install at most
+// one: this is the feed point for replication, not a general event
+// bus.
+func (w *Writer) OnCommit(fn func(Event)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.commit = fn
+}
+
+// LastSeq returns the sequence number of the last record the writer
+// accepted (head included), 0 when nothing has been written. In
+// group-commit mode the newest records may still be in flight to the
+// sink; quiesce appends before treating LastSeq as a durable high-water
+// mark.
+func (w *Writer) LastSeq() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
 }
 
 // Genesis writes the configuration header. Must be called exactly once,
@@ -395,6 +435,9 @@ func (w *Writer) appendGrouped(ctx context.Context, e Event) error {
 	}
 	g.buf.Write(w.scratch.Bytes())
 	g.n++
+	if w.commit != nil {
+		g.events = append(g.events, e)
+	}
 	w.mu.Unlock()
 
 	if !leader {
@@ -485,6 +528,7 @@ func (w *Writer) flushGroup(ctx context.Context, g *commitGroup, waitStart time.
 	}
 
 	w.mu.Lock()
+	var commit func(Event)
 	if err != nil {
 		if w.tel != nil {
 			w.tel.appendErrors.Inc()
@@ -499,8 +543,16 @@ func (w *Writer) flushGroup(ctx context.Context, g *commitGroup, waitStart time.
 			w.tel.bytesTotal.Add(uint64(n))
 			w.tel.groupSize.Observe(float64(g.n))
 		}
+		commit = w.commit
 	}
 	w.mu.Unlock()
+	if commit != nil {
+		// Still under flushMu, so groups reach the hook in flush ==
+		// formation == sequence order, and before any member is acked.
+		for _, e := range g.events {
+			commit(e)
+		}
+	}
 	g.err = err
 	close(g.done)
 }
@@ -561,6 +613,11 @@ func (w *Writer) append(ctx context.Context, e Event) error {
 		}
 	}
 	w.seq = e.Seq
+	if w.commit != nil {
+		// Under w.mu: per-record appends reach the hook in sequence
+		// order, after durability, before the caller is acked.
+		w.commit(e)
+	}
 	return nil
 }
 
@@ -1066,6 +1123,19 @@ func (m *Market) WithdrawDataset(seller market.SellerID, id market.DatasetID) er
 func (m *Market) Tick() (int, error) {
 	p := m.Market.Tick()
 	return p, m.w.Append(record(command.Tick{}))
+}
+
+// OnCommit installs fn as the journal's commit hook; see Writer.OnCommit.
+// It is the attachment point for the replication feed: install it after
+// building the market but before serving traffic.
+func (m *Market) OnCommit(fn func(Event)) {
+	m.w.OnCommit(fn)
+}
+
+// LastSeq returns the sequence number of the journal's newest record;
+// see Writer.LastSeq.
+func (m *Market) LastSeq() int64 {
+	return m.w.LastSeq()
 }
 
 // Healthy reports whether the market can still accept and persist

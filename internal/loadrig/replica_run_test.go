@@ -1,0 +1,116 @@
+package loadrig
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunWithReplicas is the acceptance scenario in-process: a leader
+// with two followers, a share of reads served by the replicas, one
+// follower killed at the schedule's midpoint, and an SLO spec with a
+// replica.lag clause — all of which must hold, along with the post-run
+// replica-convergence invariant (byte-identical snapshots).
+func TestRunWithReplicas(t *testing.T) {
+	rig := startTestRig(t, RigConfig{Datasets: 8, Buyers: 64, Followers: 2})
+	sc := Scenario{
+		Transport:       TransportBoth,
+		Clients:         64,
+		Rate:            4000,
+		Ops:             3000,
+		TickEvery:       200,
+		Seed:            7,
+		ReplicaFraction: 0.1,
+		KillFollower:    true,
+	}
+	rep, err := Run(rig, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d transport errors in a local replica run:\n%s", rep.Errors, rep)
+	}
+	reads := rep.Classes[ClassReplica]
+	if reads == nil || reads.Count == 0 {
+		t.Fatalf("no replica reads recorded:\n%s", rep)
+	}
+	if rep.ReplicaLagSamples == 0 {
+		t.Fatal("replica lag was never sampled")
+	}
+
+	inv, err := rig.CheckInvariants()
+	if err != nil {
+		t.Fatalf("invariants after replica run: %v", err)
+	}
+	if !strings.Contains(inv, "replicas converged byte-identical") {
+		t.Fatalf("invariant summary lacks replica convergence: %q", inv)
+	}
+
+	// The kill happens mid-run, so the lag bound must absorb one redial
+	// and catch-up; 10s is generous for a local pipe yet still proves
+	// the clause is measured, not vacuous.
+	slo, err := ParseSLO("bid.p99<10s,replica.p99<10s,replica.lag<10s,error_rate<0.1%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := slo.Evaluate(rep); len(v) != 0 {
+		t.Fatalf("replica SLO violated:\n%s\n%v", rep, v)
+	}
+}
+
+// TestReplicaLagClauseFailsWithoutFollowers pins the misconfigured-gate
+// behavior: a replica.lag clause over a run that never measured lag is
+// a violation, not a silent pass.
+func TestReplicaLagClauseFailsWithoutFollowers(t *testing.T) {
+	rig := startTestRig(t, RigConfig{Datasets: 4, Buyers: 16})
+	rep, err := Run(rig, Scenario{
+		Transport: TransportWire,
+		Clients:   16,
+		Rate:      4000,
+		Ops:       400,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo, err := ParseSLO("replica.lag<1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := slo.Evaluate(rep)
+	if len(v) != 1 || !strings.Contains(v[0].String(), "replica.lag<1s violated") {
+		t.Fatalf("unmeasured lag clause evaluated to %v, want one violation naming it", v)
+	}
+}
+
+// TestReplicaStallTripsLagClause is the replication twin of the
+// mutation canary: freeze one follower's apply loop mid-run and assert
+// the replica.lag clause trips by name while the others hold.
+func TestReplicaStallTripsLagClause(t *testing.T) {
+	rig := startTestRig(t, RigConfig{Datasets: 4, Buyers: 32, Followers: 1})
+	rig.Followers[0].TestStall()
+	rep, err := Run(rig, Scenario{
+		Transport:       TransportWire,
+		Clients:         32,
+		Rate:            2000,
+		Ops:             2000, // ≥1s of schedule, so the stalled lag clearly exceeds 500ms
+		Seed:            5,
+		ReplicaFraction: 0, // reads on a stalled follower would be errors; lag is the gate here
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo, err := ParseSLO("bid.p99<10s,replica.lag<500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := slo.Evaluate(rep)
+	if len(v) != 1 {
+		t.Fatalf("stalled follower produced %d violations, want exactly 1 (replica.lag): %v", len(v), v)
+	}
+	if !strings.Contains(v[0].String(), "replica.lag<500ms violated") {
+		t.Fatalf("violation %q does not name the lag clause", v[0])
+	}
+	// Release the stall so rig teardown (and any convergence waits) do
+	// not hang on a frozen apply loop.
+	rig.Followers[0].TestResume()
+}

@@ -10,9 +10,10 @@ import (
 // Op classes the rig drives and reports on. Every operation the driver
 // issues is exactly one class; SLO clauses scope to these names.
 const (
-	ClassBid   = "bid"   // SubmitBid
-	ClassQuery = "query" // read-side ops: Datasets, WaitRemaining, SellerBalance, Period
-	ClassTick  = "tick"  // period advances
+	ClassBid     = "bid"     // SubmitBid
+	ClassQuery   = "query"   // read-side ops: Datasets, WaitRemaining, SellerBalance, Period
+	ClassTick    = "tick"    // period advances
+	ClassReplica = "replica" // read-side ops served by a read replica's HTTP listener
 )
 
 // sample is one completed operation, latency measured from its
@@ -76,8 +77,17 @@ type Report struct {
 	// clauses can bound these directly: bid.fsync.p99<2ms.
 	ServerStages map[string]StageStats
 
+	// ReplicaMaxLag is the worst replication staleness (seconds) any
+	// follower reported while the run's 25ms lag poll sampled it —
+	// including any follower-kill reconnect windows. The replica.lag SLO
+	// clause bounds it. ReplicaLagSamples counts the polls; zero means
+	// lag was never measured (no followers), which fails any lag clause.
+	ReplicaMaxLag     float64
+	ReplicaLagSamples int
+
 	// Invariants holds the post-run invariant summary (money
-	// conservation, journal replay); empty until CheckInvariants runs.
+	// conservation, journal replay, replica convergence); empty until
+	// CheckInvariants runs.
 	Invariants string
 }
 
@@ -181,6 +191,15 @@ func (r *Report) metric(class, metric string) (float64, bool) {
 		}
 		return 0, false
 	}
+	// replica.lag resolves against the run's staleness sampling, not
+	// client latency samples; a run that never measured lag fails the
+	// clause rather than passing it silently.
+	if metric == "lag" {
+		if class != ClassReplica || r.ReplicaLagSamples == 0 {
+			return 0, false
+		}
+		return r.ReplicaMaxLag, true
+	}
 	// Stage classes (bid.fsync, bid.apply, ...) resolve against the
 	// server-side stage breakdown instead of client samples.
 	if sg, ok := r.ServerStages[class]; ok {
@@ -234,6 +253,10 @@ func (r *Report) String() string {
 	}
 	fmt.Fprintf(&b, "total: %d ops in %s (%.0f ops/sec), %d errors\n",
 		r.Ops, r.Duration.Round(time.Millisecond), r.Throughput, r.Errors)
+	if r.ReplicaLagSamples > 0 {
+		fmt.Fprintf(&b, "replica max lag: %s over %d staleness samples\n",
+			secLat(r.ReplicaMaxLag), r.ReplicaLagSamples)
+	}
 	if len(r.ServerQuantiles) > 0 {
 		keys := make([]string, 0, len(r.ServerQuantiles))
 		for k := range r.ServerQuantiles {

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"time"
 
 	"github.com/datamarket/shield/internal/auction"
 	"github.com/datamarket/shield/internal/core"
@@ -15,6 +16,7 @@ import (
 	"github.com/datamarket/shield/internal/journal"
 	"github.com/datamarket/shield/internal/market"
 	"github.com/datamarket/shield/internal/obs"
+	"github.com/datamarket/shield/internal/replica"
 	"github.com/datamarket/shield/internal/wire"
 )
 
@@ -47,6 +49,14 @@ type RigConfig struct {
 	// (bytes). Rigs default to 4KiB so a thousand connections do not
 	// cost 128MiB of idle buffers.
 	WireBufferSize int
+	// Followers boots this many read replicas beside the leader, each a
+	// replica.Follower streaming from the wire listener plus its own
+	// read-only HTTP listener (see Rig.FollowerAddrs). StartRig waits for
+	// every follower's first catch-up before returning.
+	Followers int
+	// FollowerMaxLag is each follower's readiness staleness bound
+	// (default replica.DefaultMaxLag).
+	FollowerMaxLag time.Duration
 }
 
 // Rig is a marketd-equivalent server running entirely in-process: one
@@ -73,11 +83,20 @@ type Rig struct {
 	Buyers []market.BuyerID
 	// JournalPath is the journal file backing Market.
 	JournalPath string
+	// Feed is the leader's replication feed, non-nil when the rig runs
+	// followers.
+	Feed *replica.Feed
+	// Followers are the read replicas, in boot order; FollowerAddrs are
+	// their read-only HTTP dial targets ("http://127.0.0.1:port").
+	Followers     []*replica.Follower
+	FollowerAddrs []string
 
-	httpSrv *http.Server
-	httpLn  net.Listener
-	wireLn  net.Listener
-	tmpDir  string // non-empty when the rig owns the journal's directory
+	httpSrv      *http.Server
+	httpLn       net.Listener
+	wireLn       net.Listener
+	followerSrvs []*http.Server
+	followerLns  []net.Listener
+	tmpDir       string // non-empty when the rig owns the journal's directory
 }
 
 // Seller is the account owning every seeded dataset.
@@ -175,9 +194,78 @@ func StartRig(rc RigConfig) (*Rig, error) {
 	go func() { _ = r.httpSrv.Serve(httpLn) }()
 
 	ws := wire.NewServer(jm).WithTelemetry(r.Tel).WithBufferSize(rc.WireBufferSize)
+	if rc.Followers > 0 {
+		// The feed must attach before the listener serves so no commit
+		// can slip between its shadow snapshot and the first subscriber.
+		feed, err := replica.NewFeed(jm, 0)
+		if err != nil {
+			_ = r.Close()
+			return nil, fmt.Errorf("loadrig: replication feed: %w", err)
+		}
+		r.Feed = feed
+		ws = ws.WithReplication(feed)
+	}
 	go func() { _ = ws.Serve(wireLn) }()
 
+	if err := r.startFollowers(rc); err != nil {
+		_ = r.Close()
+		return nil, err
+	}
 	return r, nil
+}
+
+// startFollowers boots rc.Followers read replicas — each a follower
+// streaming from the rig's wire listener plus a read-only HTTP listener
+// — and waits for their first catch-up, so runs never measure the boot
+// transient as replica read errors.
+func (r *Rig) startFollowers(rc RigConfig) error {
+	for i := 0; i < rc.Followers; i++ {
+		// One registry per follower: the shield_replica_* families refuse
+		// double registration by design.
+		ftel := obs.NewTelemetry()
+		f, err := replica.Start(replica.Config{
+			Dial:       func() (net.Conn, error) { return net.Dial("tcp", r.WireAddr) },
+			Name:       fmt.Sprintf("follower-%d", i),
+			MaxLag:     rc.FollowerMaxLag,
+			BackoffMin: 5 * time.Millisecond,
+			BackoffMax: 250 * time.Millisecond,
+			BufSize:    rc.WireBufferSize,
+			Telemetry:  ftel,
+		})
+		if err != nil {
+			return fmt.Errorf("loadrig: starting follower %d: %w", i, err)
+		}
+		r.Followers = append(r.Followers, f)
+
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("loadrig: follower %d listener: %w", i, err)
+		}
+		srv := &http.Server{Handler: httpapi.NewReplica(f).WithTelemetry(ftel).Routes()}
+		go func() { _ = srv.Serve(ln) }()
+		r.followerLns = append(r.followerLns, ln)
+		r.followerSrvs = append(r.followerSrvs, srv)
+		r.FollowerAddrs = append(r.FollowerAddrs, "http://"+ln.Addr().String())
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for _, f := range r.Followers {
+		for f.Ready() != nil {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("loadrig: follower never caught up: %v", f.Ready())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// KillFollower drops follower i's replication connection mid-run; the
+// follower redials with backoff and catches up from its applied seq.
+func (r *Rig) KillFollower(i int) {
+	if i >= 0 && i < len(r.Followers) {
+		r.Followers[i].Kill()
+	}
 }
 
 // seed registers the seller, catalog and buyer accounts directly on the
@@ -209,6 +297,12 @@ func (r *Rig) seed(rc RigConfig) error {
 // removes the rig-owned journal directory.
 func (r *Rig) Close() error {
 	var errs []error
+	for _, srv := range r.followerSrvs {
+		errs = append(errs, srv.Close())
+	}
+	for _, f := range r.Followers {
+		f.Close()
+	}
 	if r.httpSrv != nil {
 		errs = append(errs, r.httpSrv.Close())
 	}
@@ -246,6 +340,11 @@ func (r *Rig) cleanupTmp() {
 //  2. Journal replay — restoring the on-disk journal rebuilds a market
 //     whose canonical snapshot is byte-identical to the live one, so
 //     everything the rig acknowledged is durably reconstructible.
+//  3. Replica convergence (when the rig runs followers) — every
+//     follower catches up to the leader's newest committed seq within a
+//     bounded wait and its canonical snapshot is byte-identical to the
+//     leader's. A follower that skipped, duplicated, or misapplied one
+//     replicated command fails the byte comparison.
 //
 // It returns a human-readable summary for the report, or an error
 // naming the violated invariant.
@@ -283,6 +382,51 @@ func (r *Rig) CheckInvariants() (string, error) {
 	if !bytes.Equal(liveBytes, restoredBytes) {
 		return "", errors.New("loadrig: journal replay does not rebuild live state")
 	}
-	return fmt.Sprintf("money conserved (revenue=%v over %d transactions); journal replay rebuilds live state (%d bytes)",
-		revenue, len(txs), len(raw)), nil
+
+	summary := fmt.Sprintf("money conserved (revenue=%v over %d transactions); journal replay rebuilds live state (%d bytes)",
+		revenue, len(txs), len(raw))
+	if len(r.Followers) > 0 {
+		if err := r.checkReplicaConvergence(); err != nil {
+			return "", err
+		}
+		summary += fmt.Sprintf("; %d replicas converged byte-identical to the leader", len(r.Followers))
+	}
+	return summary, nil
+}
+
+// checkReplicaConvergence waits (bounded) for every follower to apply
+// the leader's newest seq, then pins each follower snapshot
+// byte-identical to the leader's canonical snapshot.
+func (r *Rig) checkReplicaConvergence() error {
+	want := r.Feed.LeaderSeq()
+	deadline := time.Now().Add(10 * time.Second)
+	for i, f := range r.Followers {
+		for f.Applied() < want {
+			if time.Now().After(deadline) {
+				applied, leader, lag, connected := f.Staleness()
+				return fmt.Errorf("loadrig: follower %d never converged: applied %d, leader %d (feed %d), lag %.2fs, connected %v",
+					i, applied, leader, want, lag, connected)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	leaderBytes, err := r.Market.Snapshot().Canonical()
+	if err != nil {
+		return fmt.Errorf("loadrig: leader snapshot: %w", err)
+	}
+	for i, f := range r.Followers {
+		fm := f.Market()
+		if fm == nil {
+			return fmt.Errorf("loadrig: follower %d has no state", i)
+		}
+		got, err := fm.Snapshot().Canonical()
+		if err != nil {
+			return fmt.Errorf("loadrig: follower %d snapshot: %w", i, err)
+		}
+		if !bytes.Equal(got, leaderBytes) {
+			return fmt.Errorf("loadrig: follower %d snapshot diverges from leader (%d vs %d bytes)",
+				i, len(got), len(leaderBytes))
+		}
+	}
+	return nil
 }

@@ -52,6 +52,14 @@ type Scenario struct {
 	// latency regression (the measurement, evaluation, and exit-code
 	// path all run for real).
 	InjectLatency map[string]time.Duration
+	// ReplicaFraction routes this fraction of scheduled ops to the rig's
+	// read replicas as ClassReplica reads (carved out of the query
+	// share, so bid volume is unchanged). Requires RigConfig.Followers.
+	ReplicaFraction float64
+	// KillFollower drops follower 0's replication connection at the
+	// schedule's midpoint; the follower must redial, catch up, and still
+	// satisfy the replica.lag SLO clause.
+	KillFollower bool
 }
 
 // job is one scheduled operation.
@@ -83,6 +91,13 @@ func Run(rig *Rig, sc Scenario) (*Report, error) {
 	if sc.Seed == 0 {
 		sc.Seed = 1
 	}
+	if sc.ReplicaFraction < 0 || sc.BidFraction+sc.ReplicaFraction > 1 {
+		return nil, fmt.Errorf("loadrig: BidFraction %v + ReplicaFraction %v outside [0, 1]",
+			sc.BidFraction, sc.ReplicaFraction)
+	}
+	if (sc.ReplicaFraction > 0 || sc.KillFollower) && len(rig.FollowerAddrs) == 0 {
+		return nil, errors.New("loadrig: scenario drives replicas but the rig has no followers (set RigConfig.Followers)")
+	}
 	pacer, err := NewPacer(sc.Rate)
 	if err != nil {
 		return nil, err
@@ -97,7 +112,16 @@ func Run(rig *Rig, sc Scenario) (*Report, error) {
 			_ = cl.Close()
 		}
 	}()
-	if err := warm(clients, sc.Timeout); err != nil {
+	replicaClients, err := dialReplicaClients(rig, sc)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, cl := range replicaClients {
+			_ = cl.Close()
+		}
+	}()
+	if err := warm(append(append([]client.Client(nil), clients...), replicaClients...), sc.Timeout); err != nil {
 		return nil, err
 	}
 
@@ -122,6 +146,9 @@ func Run(rig *Rig, sc Scenario) (*Report, error) {
 			inject:   sc.InjectLatency,
 			rec:      recs[i],
 		}
+		if len(replicaClients) > 0 {
+			w.replica = replicaClients[i%len(replicaClients)]
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -129,25 +156,89 @@ func Run(rig *Rig, sc Scenario) (*Report, error) {
 		}()
 	}
 
+	lagStop, lagResult := sampleReplicaLag(rig)
+	killAt := -1
+	if sc.KillFollower {
+		killAt = sc.Ops / 2
+	}
+
 	start := time.Now()
 	for i := 0; i < sc.Ops; i++ {
+		if i == killAt {
+			rig.KillFollower(0)
+		}
+		// One RNG draw per op keeps replays of replica-free scenarios
+		// bit-identical to earlier versions of the rig; replica reads
+		// carve their share out of the query band above BidFraction.
+		draw := dispatchRNG.Float64()
 		kind := ClassQuery
 		switch {
 		case sc.TickEvery > 0 && i > 0 && i%sc.TickEvery == 0:
 			kind = ClassTick
-		case dispatchRNG.Float64() < sc.BidFraction:
+		case draw < sc.BidFraction:
 			kind = ClassBid
+		case draw < sc.BidFraction+sc.ReplicaFraction:
+			kind = ClassReplica
 		}
 		jobs <- job{due: pacer.Next(), kind: kind}
 	}
 	close(jobs)
 	wg.Wait()
 	duration := time.Since(start)
+	close(lagStop)
+	lag := <-lagResult
 
 	rep := buildReport(recs, duration)
 	rep.ServerQuantiles = serverQuantiles(rig)
 	rep.ServerStages = serverStages(rig)
+	rep.ReplicaMaxLag = lag.max
+	rep.ReplicaLagSamples = lag.samples
 	return rep, nil
+}
+
+// lagSample is the result of one run's replica-lag polling.
+type lagSample struct {
+	max     float64
+	samples int
+}
+
+// sampleReplicaLag polls every follower's staleness on a 25ms cadence
+// for the run's duration and reports the worst lag observed — the
+// measurement behind the replica.lag SLO clause. The poll keeps running
+// through follower kills, so reconnect-and-catch-up time is charged to
+// the lag number a gate evaluates.
+func sampleReplicaLag(rig *Rig) (chan<- struct{}, <-chan lagSample) {
+	stop := make(chan struct{})
+	result := make(chan lagSample, 1)
+	go func() {
+		var out lagSample
+		defer func() { result <- out }()
+		if len(rig.Followers) == 0 {
+			return
+		}
+		poll := func() {
+			for _, f := range rig.Followers {
+				_, _, lag, _ := f.Staleness()
+				if lag > out.max {
+					out.max = lag
+				}
+				out.samples++
+			}
+		}
+		poll() // at least one sample even for sub-tick runs
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				poll() // the closing sample covers the schedule's tail
+				return
+			case <-tick.C:
+				poll()
+			}
+		}
+	}()
+	return stop, result
 }
 
 // dialClients opens the scenario's connections, split across transports
@@ -235,10 +326,47 @@ func warm(clients []client.Client, timeout time.Duration) error {
 	return nil
 }
 
+// dialReplicaClients opens one HTTP connection per worker to the rig's
+// followers, round-robin, when the scenario drives ClassReplica reads.
+func dialReplicaClients(rig *Rig, sc Scenario) ([]client.Client, error) {
+	if sc.ReplicaFraction <= 0 {
+		return nil, nil
+	}
+	doer := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        sc.Clients + 8,
+		MaxIdleConnsPerHost: sc.Clients + 8,
+	}}
+	clients := make([]client.Client, sc.Clients)
+	errs := make([]error, sc.Clients)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 64)
+	for i := range clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			addr := rig.FollowerAddrs[i%len(rig.FollowerAddrs)]
+			clients[i], errs[i] = client.Dial(addr, client.WithHTTPDoer(doer))
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		for _, cl := range clients {
+			if cl != nil {
+				_ = cl.Close()
+			}
+		}
+		return nil, fmt.Errorf("loadrig: dialing %d replica clients: %w", sc.Clients, err)
+	}
+	return clients, nil
+}
+
 // worker executes jobs on one connection, as one buyer, under one
 // persona.
 type worker struct {
 	cl       client.Client
+	replica  client.Client // read replica connection (nil without followers)
 	buyer    market.BuyerID
 	persona  Persona
 	rng      *rng.RNG
@@ -272,8 +400,11 @@ func (w *worker) execute(j job) {
 	case ClassTick:
 		_, err := w.cl.Tick(ctx)
 		s.err, s.reject = classify(err)
+	case ClassReplica:
+		err := w.queryOn(ctx, w.replica)
+		s.err, s.reject = classify(err)
 	default:
-		err := w.query(ctx)
+		err := w.queryOn(ctx, w.cl)
 		s.err, s.reject = classify(err)
 	}
 
@@ -284,22 +415,23 @@ func (w *worker) execute(j job) {
 	w.rec.record(s)
 }
 
-// query issues one read op, rotating deterministically through the
-// read surface.
-func (w *worker) query(ctx context.Context) error {
+// queryOn issues one read op against cl — the leader connection for
+// ClassQuery, a follower's read-only HTTP listener for ClassReplica —
+// rotating deterministically through the read surface.
+func (w *worker) queryOn(ctx context.Context, cl client.Client) error {
 	ds := w.datasets[w.rng.Intn(len(w.datasets))]
 	switch w.rng.Intn(4) {
 	case 0:
-		_, err := w.cl.Period(ctx)
+		_, err := cl.Period(ctx)
 		return err
 	case 1:
-		_, err := w.cl.Datasets(ctx)
+		_, err := cl.Datasets(ctx)
 		return err
 	case 2:
-		_, err := w.cl.WaitRemaining(ctx, w.buyer, ds)
+		_, err := cl.WaitRemaining(ctx, w.buyer, ds)
 		return err
 	default:
-		_, err := w.cl.SellerBalance(ctx, Seller)
+		_, err := cl.SellerBalance(ctx, Seller)
 		return err
 	}
 }

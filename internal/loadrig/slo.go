@@ -22,6 +22,10 @@ import (
 //	                                                 error fraction
 //	                                                 (0.001 or 0.1%)
 //	throughput                                       achieved ops/sec
+//	replica.lag                                      worst replication
+//	                                                 staleness any
+//	                                                 follower showed
+//	                                                 during the run
 //
 // CLASS is a client op class (bid, query, tick) or a server-side stage
 // class from StageClasses — bid.fsync.p99<2ms bounds the p99 of the
@@ -105,6 +109,15 @@ func parseClause(text string) (SLOClause, error) {
 	}
 
 	switch c.Metric {
+	case "lag":
+		if c.Class != ClassReplica {
+			return SLOClause{}, fmt.Errorf("loadrig: SLO clause %q: lag is a replica metric (write replica.lag)", text)
+		}
+		d, err := time.ParseDuration(value)
+		if err != nil {
+			return SLOClause{}, fmt.Errorf("loadrig: SLO clause %q: bad duration %q: %v", text, value, err)
+		}
+		c.Bound = d.Seconds()
 	case "p50", "p99", "p999", "max":
 		if c.Class == "" {
 			return SLOClause{}, fmt.Errorf("loadrig: SLO clause %q: latency metrics need an op class (e.g. bid.%s)", text, c.Metric)
@@ -130,7 +143,7 @@ func parseClause(text string) (SLOClause, error) {
 		}
 		c.Bound = f
 	default:
-		return SLOClause{}, fmt.Errorf("loadrig: SLO clause %q: unknown metric %q (want p50, p99, p999, max, error_rate, or throughput)", text, c.Metric)
+		return SLOClause{}, fmt.Errorf("loadrig: SLO clause %q: unknown metric %q (want p50, p99, p999, max, error_rate, throughput, or lag)", text, c.Metric)
 	}
 	return c, nil
 }
@@ -170,7 +183,7 @@ func (v Violation) String() string {
 
 func formatMeasured(metric string, val float64) string {
 	switch metric {
-	case "p50", "p99", "p999", "max":
+	case "p50", "p99", "p999", "max", "lag":
 		return time.Duration(val * float64(time.Second)).Round(time.Microsecond).String()
 	case "error_rate":
 		return fmt.Sprintf("%.4g%%", val*100)

@@ -1,0 +1,214 @@
+// Package replica implements leader/follower replication over the
+// journal's command log: a Feed on the leader observes every durably
+// committed record through the journal's commit hook and fans it out to
+// wire replication subscribers, and a Follower dials the leader,
+// catches up from a snapshot or the log tail, applies the identical
+// deterministic command core, and serves the market's lock-free read
+// views locally while tracking its staleness against the leader.
+//
+// The correctness contract is the command core's: the same command
+// sequence yields byte-identical canonical snapshots, so a follower
+// that has applied through seq N is provably in the leader's state at
+// seq N. Everything here reduces to delivering records in strict
+// sequence order exactly once — the wire layer rejects anything else.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/datamarket/shield/internal/command"
+	"github.com/datamarket/shield/internal/journal"
+	"github.com/datamarket/shield/internal/market"
+	"github.com/datamarket/shield/internal/wire"
+)
+
+// DefaultRingSize is how many recent records a Feed retains for tail
+// catch-up. A reconnecting follower whose gap fits the ring streams
+// just the missed records; a larger gap gets a snapshot instead.
+const DefaultRingSize = 4096
+
+// subSlack is the subscriber channel capacity beyond any preloaded
+// tail: the headroom a live subscriber has to absorb a commit burst
+// before the feed drops it as too slow.
+const subSlack = 1024
+
+// ErrFollowerAhead reports a subscriber claiming more history than the
+// leader has — a diverged follower or one talking to the wrong leader.
+var ErrFollowerAhead = errors.New("replica: follower ahead of leader")
+
+// Feed is the leader-side replication source (wire.ReplicationSource).
+// It maintains a shadow market advanced only by the journal's commit
+// hook, so its (snapshot, seq) pairs are exactly aligned — the live
+// market applies commands before journaling them, so snapshotting the
+// live market directly could capture state ahead of the log.
+//
+// Attach a Feed with NewFeed after building the journaled market and
+// before serving traffic: records committed while no hook is installed
+// are not replayable to subscribers.
+type Feed struct {
+	mu      sync.Mutex
+	shadow  *market.Market
+	lastSeq int64
+
+	ring     []wire.RepRecord
+	ringBase int64 // seq of ring[0] when the ring is non-empty
+	ringMax  int
+
+	subs map[chan wire.RepRecord]struct{}
+	err  error // sticky feed failure (a record the shadow could not apply)
+}
+
+// NewFeed builds a feed over jm and installs it as the journal's
+// commit hook. ringMax bounds the tail-catch-up ring (0 means
+// DefaultRingSize). Must be called before jm serves traffic.
+func NewFeed(jm *journal.Market, ringMax int) (*Feed, error) {
+	if ringMax <= 0 {
+		ringMax = DefaultRingSize
+	}
+	shadow, err := market.RestoreSnapshot(jm.Snapshot())
+	if err != nil {
+		return nil, fmt.Errorf("replica: building shadow market: %w", err)
+	}
+	f := &Feed{
+		shadow:   shadow,
+		lastSeq:  jm.LastSeq(),
+		ringMax:  ringMax,
+		subs:     make(map[chan wire.RepRecord]struct{}),
+		ringBase: jm.LastSeq() + 1,
+	}
+	jm.OnCommit(f.commit)
+	return f, nil
+}
+
+// commit is the journal's commit hook: one durably committed record,
+// in strict sequence order. It advances the shadow market, retains the
+// encoded record frame in the ring, and fans it out to subscribers —
+// dropping (closing) any subscriber whose channel is full, because a
+// blocked send here would stall the leader's append path.
+func (f *Feed) commit(e journal.Event) {
+	cmd, err := journal.CommandFromEvent(e)
+	var enc []byte
+	if err == nil {
+		enc, err = command.EncodeBinary(cmd)
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return
+	}
+	if err == nil && e.Seq != f.lastSeq+1 {
+		err = fmt.Errorf("replica: commit hook saw seq %d, want %d", e.Seq, f.lastSeq+1)
+	}
+	if err == nil {
+		// The journal only records operations that succeeded on the live
+		// market, and Apply is deterministic, so this cannot fail unless
+		// the shadow has diverged — which poisons the feed.
+		_, err = f.shadow.Apply(cmd)
+	}
+	if err != nil {
+		f.err = fmt.Errorf("replica: feed poisoned at seq %d (%s): %w", e.Seq, e.Op, err)
+		for ch := range f.subs {
+			close(ch)
+			delete(f.subs, ch)
+		}
+		return
+	}
+	f.lastSeq = e.Seq
+
+	rec := wire.RepRecord{Seq: e.Seq, Payload: wire.AppendRecordFrame(nil, e.Seq, enc)}
+	f.ring = append(f.ring, rec)
+	if len(f.ring) >= 2*f.ringMax {
+		// Amortized trim: keep the newest ringMax records.
+		n := copy(f.ring, f.ring[len(f.ring)-f.ringMax:])
+		f.ring = f.ring[:n]
+		f.ringBase = f.ring[0].Seq
+	}
+	for ch := range f.subs {
+		select {
+		case ch <- rec:
+		default:
+			// Too slow to keep a live stream; the wire server sees the
+			// close, drops the connection, and the follower resubscribes
+			// with a snapshot or tail catch-up.
+			close(ch)
+			delete(f.subs, ch)
+		}
+	}
+}
+
+// Subscribe implements wire.ReplicationSource: it attaches a consumer
+// that has applied through afterSeq. A gap that fits the ring is
+// served as a tail (the missed records are preloaded onto the
+// channel); anything older gets the shadow market's canonical snapshot
+// at the feed's current seq.
+func (f *Feed) Subscribe(afterSeq int64) (wire.Subscription, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return wire.Subscription{}, f.err
+	}
+	if afterSeq > f.lastSeq {
+		return wire.Subscription{}, fmt.Errorf("%w: follower at seq %d, leader at %d", ErrFollowerAhead, afterSeq, f.lastSeq)
+	}
+
+	var sub wire.Subscription
+	var pending []wire.RepRecord
+	if afterSeq == f.lastSeq {
+		sub.StartSeq = afterSeq
+	} else if len(f.ring) > 0 && afterSeq+1 >= f.ringBase {
+		sub.StartSeq = afterSeq
+		pending = f.ring[afterSeq+1-f.ringBase:]
+	} else {
+		// The gap predates the ring: snapshot catch-up. The shadow is at
+		// exactly lastSeq — that alignment is the reason it exists.
+		snap, err := f.shadow.Snapshot().Canonical()
+		if err != nil {
+			return wire.Subscription{}, fmt.Errorf("replica: encoding snapshot: %w", err)
+		}
+		sub.Snapshot = snap
+		sub.StartSeq = f.lastSeq
+	}
+
+	ch := make(chan wire.RepRecord, len(pending)+subSlack)
+	for _, rec := range pending {
+		ch <- rec
+	}
+	f.subs[ch] = struct{}{}
+	sub.Records = ch
+	sub.Cancel = func() {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if _, ok := f.subs[ch]; ok {
+			delete(f.subs, ch)
+			close(ch)
+		}
+	}
+	return sub, nil
+}
+
+// LeaderSeq implements wire.ReplicationSource: the newest committed
+// sequence number, for stream heartbeats.
+func (f *Feed) LeaderSeq() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastSeq
+}
+
+// Healthy returns nil while the feed can serve subscribers, and the
+// sticky poisoning error after a record failed to apply to the shadow.
+func (f *Feed) Healthy() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// Subscribers returns the number of attached replication consumers
+// (diagnostics and tests).
+func (f *Feed) Subscribers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs)
+}

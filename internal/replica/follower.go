@@ -1,0 +1,435 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/datamarket/shield/internal/market"
+	"github.com/datamarket/shield/internal/obs"
+	"github.com/datamarket/shield/internal/wire"
+)
+
+// Follower defaults.
+const (
+	DefaultMaxLag     = 5 * time.Second
+	DefaultBackoffMin = 50 * time.Millisecond
+	DefaultBackoffMax = 2 * time.Second
+)
+
+// errDiverged marks a fatal replication failure: a replicated command
+// the local market refused. The follower stops streaming — retrying
+// would reapply history onto provably wrong state.
+var errDiverged = errors.New("replica: follower diverged")
+
+// Config configures a Follower.
+type Config struct {
+	// Dial opens a stream to the leader's wire listener. Required.
+	// Production followers dial TCP; tests hand out net.Pipe ends.
+	Dial func() (net.Conn, error)
+	// Name labels log lines and errors (optional).
+	Name string
+	// MaxLag bounds staleness for readiness: a follower further behind
+	// than this (by time) reports unready. Default DefaultMaxLag.
+	MaxLag time.Duration
+	// BackoffMin/BackoffMax bound the reconnect backoff after a lost
+	// leader. Defaults DefaultBackoffMin/DefaultBackoffMax.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// BufSize is the wire connection buffer size (0 = default).
+	BufSize int
+	// Telemetry, when set, registers the shield_replica_* gauge
+	// families on its registry. Each follower needs its own registry
+	// (families refuse double registration by design).
+	Telemetry *obs.Telemetry
+}
+
+// Follower replicates a leader's market: it dials, subscribes from its
+// last applied sequence number, restores a snapshot when the leader
+// sends one, applies every record through the same deterministic
+// command core, and reconnects with exponential backoff when the
+// stream drops. All read views are served from the local market;
+// Staleness and Ready surface how far behind the leader they are.
+type Follower struct {
+	cfg Config
+
+	mu          sync.Mutex
+	m           *market.Market // nil until the first snapshot lands
+	applied     int64          // newest applied journal seq
+	leader      int64          // newest leader seq seen (records + heartbeats)
+	lastAdvance time.Time      // last time applied advanced or was proven current
+	connected   bool
+	nc          net.Conn // current transport, for Kill/Close interrupts
+	diverged    error    // sticky fatal apply failure
+	closed      bool
+
+	// Test hooks (the mutation canaries): dropSeq makes the follower
+	// acknowledge one seq without applying it — the snapshot
+	// differential must catch the divergence; stalled freezes the apply
+	// loop so the lag gate must trip.
+	dropSeq int64
+	stalled bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start launches a follower replicating through cfg.Dial. It returns
+// immediately; catch-up happens on the follower's own goroutine and
+// Ready reports unready until the first catch-up completes.
+func Start(cfg Config) (*Follower, error) {
+	if cfg.Dial == nil {
+		return nil, errors.New("replica: Config.Dial is required")
+	}
+	if cfg.MaxLag <= 0 {
+		cfg.MaxLag = DefaultMaxLag
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = DefaultBackoffMin
+	}
+	if cfg.BackoffMax < cfg.BackoffMin {
+		cfg.BackoffMax = DefaultBackoffMax
+	}
+	f := &Follower{
+		cfg:         cfg,
+		lastAdvance: time.Now(),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	if cfg.Telemetry != nil {
+		f.register(cfg.Telemetry.Registry)
+	}
+	go f.run()
+	return f, nil
+}
+
+// run is the follower's lifecycle: stream until the connection drops,
+// back off, redial — forever, until Close or divergence.
+func (f *Follower) run() {
+	defer close(f.done)
+	backoff := f.cfg.BackoffMin
+	for {
+		err := f.stream()
+		if f.isClosed() || errors.Is(err, errDiverged) {
+			return
+		}
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > f.cfg.BackoffMax {
+			backoff = f.cfg.BackoffMax
+		}
+	}
+}
+
+// stream runs one connection's lifetime: dial, subscribe from the
+// current applied seq, install a snapshot if the leader sent one, then
+// apply records until the stream ends.
+func (f *Follower) stream() error {
+	nc, err := f.cfg.Dial()
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		nc.Close()
+		return errors.New("replica: closed")
+	}
+	f.nc = nc
+	after := f.applied
+	f.mu.Unlock()
+	defer func() {
+		nc.Close()
+		f.mu.Lock()
+		f.connected = false
+		if f.nc == nc {
+			f.nc = nil
+		}
+		f.mu.Unlock()
+	}()
+
+	conn, err := wire.NewConnSize(nc, f.cfg.BufSize)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	st, err := conn.OpenReplication(ctx, after)
+	cancel()
+	if err != nil {
+		return err
+	}
+
+	if st.Snapshot != nil {
+		var snap market.Snapshot
+		if err := json.Unmarshal(st.Snapshot, &snap); err != nil {
+			return fmt.Errorf("replica: decoding leader snapshot: %w", err)
+		}
+		m, err := market.RestoreSnapshot(snap)
+		if err != nil {
+			return fmt.Errorf("replica: restoring leader snapshot: %w", err)
+		}
+		f.mu.Lock()
+		f.m = m
+		f.applied = st.StartSeq
+		if st.StartSeq > f.leader {
+			f.leader = st.StartSeq
+		}
+		f.lastAdvance = time.Now()
+		f.connected = true
+		f.mu.Unlock()
+	} else {
+		f.mu.Lock()
+		hasState := f.m != nil
+		if st.StartSeq > f.leader {
+			f.leader = st.StartSeq
+		}
+		f.connected = true
+		f.mu.Unlock()
+		if !hasState {
+			return errors.New("replica: leader offered tail catch-up to a stateless follower")
+		}
+		if st.StartSeq != after {
+			return fmt.Errorf("replica: tail catch-up from seq %d, subscribed at %d", st.StartSeq, after)
+		}
+	}
+
+	for {
+		fr, err := st.Next(context.Background())
+		if err != nil {
+			return err
+		}
+		if fr.Heartbeat {
+			f.observeLeader(fr.Seq)
+			continue
+		}
+		if err := f.applyRecord(fr); err != nil {
+			return err
+		}
+	}
+}
+
+// applyRecord applies one replicated command. An apply failure is
+// divergence — sticky and fatal, surfaced through Ready.
+func (f *Follower) applyRecord(fr wire.RepFrame) error {
+	// The stall canary: freeze here (applied stops advancing, lag
+	// grows) until released or closed.
+	for f.isStalled() {
+		if f.isClosed() {
+			return errors.New("replica: closed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	f.mu.Lock()
+	m := f.m
+	drop := f.dropSeq == fr.Seq
+	if drop {
+		f.dropSeq = 0
+	}
+	f.mu.Unlock()
+
+	if !drop {
+		if _, err := m.Apply(fr.Cmd); err != nil {
+			f.mu.Lock()
+			f.diverged = fmt.Errorf("%w: seq %d (%s): %v", errDiverged, fr.Seq, fr.Cmd.Op(), err)
+			err = f.diverged
+			f.mu.Unlock()
+			return err
+		}
+	}
+
+	f.mu.Lock()
+	f.applied = fr.Seq
+	if fr.Seq > f.leader {
+		f.leader = fr.Seq
+	}
+	f.lastAdvance = time.Now()
+	f.mu.Unlock()
+	return nil
+}
+
+// observeLeader folds a heartbeat's leader seq into the staleness
+// bookkeeping. A heartbeat proving the follower current refreshes
+// lastAdvance: "no news" is only staleness when there is news.
+func (f *Follower) observeLeader(seq int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if seq > f.leader {
+		f.leader = seq
+	}
+	if f.applied >= f.leader {
+		f.lastAdvance = time.Now()
+	}
+}
+
+// Market returns the follower's local market for read views — nil
+// until the first snapshot catch-up completes.
+func (f *Follower) Market() *market.Market {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.m
+}
+
+// Applied returns the newest journal sequence number the follower has
+// applied.
+func (f *Follower) Applied() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.applied
+}
+
+// Staleness reports the follower's replication position: applied and
+// leader sequence numbers, lag in seconds, and whether a stream is
+// currently established. Lag is the time since the follower last
+// proved itself current — it advanced past a record, or a heartbeat
+// confirmed applied >= leader. On a healthy stream it oscillates
+// between 0 and the leader's heartbeat interval; on a stalled,
+// disconnected, or diverged follower it grows without bound until the
+// next catch-up. Deliberately, the follower's own belief about the
+// leader's seq is not trusted for currency: a consumer that stopped
+// reading the stream also stopped learning how far behind it is.
+func (f *Follower) Staleness() (applied, leader int64, lagSeconds float64, connected bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.applied, f.leader, time.Since(f.lastAdvance).Seconds(), f.connected
+}
+
+// Ready implements the readiness contract (/readyz on a replica):
+// non-nil while the follower has no state yet, has diverged, or is
+// staler than Config.MaxLag.
+func (f *Follower) Ready() error {
+	f.mu.Lock()
+	diverged := f.diverged
+	hasState := f.m != nil
+	f.mu.Unlock()
+	if diverged != nil {
+		return diverged
+	}
+	if !hasState {
+		return errors.New("replica: no state yet (first catch-up pending)")
+	}
+	if _, _, lag, _ := f.Staleness(); lag > f.cfg.MaxLag.Seconds() {
+		return fmt.Errorf("replica: lag %.2fs exceeds bound %s", lag, f.cfg.MaxLag)
+	}
+	return nil
+}
+
+// Kill drops the follower's current connection, simulating a leader
+// restart or network fault; the run loop redials with backoff and
+// catches up from its applied seq (the torture harness's mid-stream
+// kill). State is retained — use a fresh Start for a cold restart.
+func (f *Follower) Kill() {
+	f.mu.Lock()
+	nc := f.nc
+	f.mu.Unlock()
+	if nc != nil {
+		nc.Close()
+	}
+}
+
+// Close permanently stops the follower and waits for its goroutine to
+// exit. The local market, if any, stays readable.
+func (f *Follower) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		<-f.done
+		return
+	}
+	f.closed = true
+	nc := f.nc
+	f.mu.Unlock()
+	close(f.stop)
+	if nc != nil {
+		nc.Close()
+	}
+	<-f.done
+}
+
+func (f *Follower) isClosed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
+}
+
+func (f *Follower) isStalled() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stalled
+}
+
+// TestDropSeq makes the follower acknowledge seq without applying it —
+// the replication mutation canary. The snapshot differential must
+// catch the resulting divergence; nothing else will, by design.
+func (f *Follower) TestDropSeq(seq int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dropSeq = seq
+}
+
+// TestStall freezes the apply loop (the lag-gate canary); TestResume
+// releases it.
+func (f *Follower) TestStall() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stalled = true
+}
+
+// TestResume releases a TestStall freeze.
+func (f *Follower) TestResume() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stalled = false
+}
+
+// register exposes the follower's replication position as scrape-time
+// gauges: applied/leader seq, lag in records and seconds, and stream
+// connectedness.
+func (f *Follower) register(r *obs.Registry) {
+	r.Collect("shield_replica_applied_seq",
+		"Newest journal sequence number this replica has applied.",
+		obs.KindGauge, func(emit func(float64, ...string)) {
+			applied, _, _, _ := f.Staleness()
+			emit(float64(applied))
+		})
+	r.Collect("shield_replica_leader_seq",
+		"Newest leader sequence number this replica has observed.",
+		obs.KindGauge, func(emit func(float64, ...string)) {
+			_, leader, _, _ := f.Staleness()
+			emit(float64(leader))
+		})
+	r.Collect("shield_replica_lag_records",
+		"Records the replica is behind the leader (observed leader seq minus applied seq).",
+		obs.KindGauge, func(emit func(float64, ...string)) {
+			applied, leader, _, _ := f.Staleness()
+			lag := leader - applied
+			if lag < 0 {
+				lag = 0
+			}
+			emit(float64(lag))
+		})
+	r.Collect("shield_replica_lag_seconds",
+		"Replication staleness: 0 while connected and current, else time since the replica last advanced.",
+		obs.KindGauge, func(emit func(float64, ...string)) {
+			_, _, lag, _ := f.Staleness()
+			emit(lag)
+		})
+	r.Collect("shield_replica_connected",
+		"Whether a replication stream to the leader is established (1) or down (0).",
+		obs.KindGauge, func(emit func(float64, ...string)) {
+			_, _, _, connected := f.Staleness()
+			if connected {
+				emit(1)
+			} else {
+				emit(0)
+			}
+		})
+}

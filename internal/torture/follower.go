@@ -1,0 +1,129 @@
+package torture
+
+import (
+	"bytes"
+	"net"
+	"time"
+
+	replication "github.com/datamarket/shield/internal/replica"
+	"github.com/datamarket/shield/internal/wire"
+)
+
+// followerTwin is the replication twin of a torture run: a
+// replica.Follower streaming the lead replica's committed command log
+// over the real wire protocol (net.Pipe transport), killed and
+// restarted at seeded points mid-stream. At every checkpoint it must
+// converge to the leader's newest committed seq within a bounded wait
+// (the lag gate) and its canonical snapshot must be byte-identical to
+// the leader's (the divergence gate) — a follower that skips,
+// duplicates, or misapplies one replicated command fails one of the
+// two, with the usual shieldstorm repro line.
+type followerTwin struct {
+	feed *replication.Feed
+	f    *replication.Follower
+	rcfg replication.Config
+	// kills counts injected chaos events; even events drop the
+	// connection (state retained, tail catch-up), odd events
+	// cold-restart the follower from nothing (snapshot catch-up).
+	kills int
+}
+
+// newFollowerTwin attaches a replication feed to the lead replica and
+// boots the follower. Must run before the first op so the feed's
+// commit hook never misses a record.
+func newFollowerTwin(cfg Config, leader *replica) (*followerTwin, error) {
+	feed, err := replication.NewFeed(leader.jm, 0)
+	if err != nil {
+		return nil, err
+	}
+	ws := wire.NewServer(leader.jm).WithReplication(feed).
+		WithHeartbeatInterval(10 * time.Millisecond)
+	rcfg := replication.Config{
+		Dial: func() (net.Conn, error) {
+			srv, cli := net.Pipe()
+			go func() { _ = ws.ServeConn(srv) }()
+			return cli, nil
+		},
+		Name:       "torture-follower",
+		BackoffMin: time.Millisecond,
+		BackoffMax: 20 * time.Millisecond,
+	}
+	f, err := replication.Start(rcfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.canaryFollowerDrop > 0 {
+		f.TestDropSeq(cfg.canaryFollowerDrop)
+	}
+	if cfg.canaryFollowerStall {
+		f.TestStall()
+	}
+	return &followerTwin{feed: feed, f: f, rcfg: rcfg}, nil
+}
+
+// chaos injects one seeded kill: alternately a connection drop (the
+// follower redials and tail-catches-up from its applied seq) and a cold
+// restart (a fresh follower with no state, forcing snapshot catch-up).
+func (t *followerTwin) chaos(logf func(string, ...any)) error {
+	defer func() { t.kills++ }()
+	if t.kills%2 == 0 {
+		if logf != nil {
+			logf("follower chaos %d: dropping replication connection", t.kills)
+		}
+		t.f.Kill()
+		return nil
+	}
+	if logf != nil {
+		logf("follower chaos %d: cold-restarting follower", t.kills)
+	}
+	t.f.Close()
+	f, err := replication.Start(t.rcfg)
+	if err != nil {
+		return err
+	}
+	t.f = f
+	return nil
+}
+
+func (t *followerTwin) close() {
+	t.f.Close()
+}
+
+// checkFollower is the checkpoint gate for the replication twin: wait
+// (bounded) for the follower to reach the leader's newest committed
+// seq, then pin its snapshot byte-identical to the leader's.
+func (h *harness) checkFollower(opIdx int) *Failure {
+	if h.twin == nil {
+		return nil
+	}
+	op := Op{Kind: OpTick}
+	want := h.twin.feed.LeaderSeq()
+	deadline := time.Now().Add(h.cfg.followerConverge)
+	for h.twin.f.Applied() < want {
+		if time.Now().After(deadline) {
+			applied, leader, lag, connected := h.twin.f.Staleness()
+			return h.fail(opIdx, op,
+				"follower twin: replication lag gate tripped: applied %d < leader %d after %s (observed leader %d, lag %.2fs, connected %v)",
+				applied, want, h.cfg.followerConverge, leader, lag, connected)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fm := h.twin.f.Market()
+	if fm == nil {
+		return h.fail(opIdx, op, "follower twin converged to seq %d with no state", want)
+	}
+	wantBytes, err := h.replicas[0].jm.Snapshot().Canonical()
+	if err != nil {
+		return h.fail(opIdx, op, "leader snapshot: %v", err)
+	}
+	gotBytes, err := fm.Snapshot().Canonical()
+	if err != nil {
+		return h.fail(opIdx, op, "follower twin snapshot: %v", err)
+	}
+	if !bytes.Equal(gotBytes, wantBytes) {
+		return h.fail(opIdx, op,
+			"follower twin snapshot diverges from leader at seq %d (%d vs %d bytes)",
+			want, len(gotBytes), len(wantBytes))
+	}
+	return nil
+}

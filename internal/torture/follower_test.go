@@ -1,0 +1,93 @@
+package torture
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFollowerTwinConvergesThroughKills is the replication torture
+// acceptance: the default run kills the follower twin at seeded points
+// mid-stream (one connection drop, one cold restart) and every
+// checkpoint still pins its snapshot byte-identical to the leader's.
+func TestFollowerTwinConvergesThroughKills(t *testing.T) {
+	rep, err := Run(small(11, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FollowerKills != 2 {
+		t.Errorf("expected 2 seeded follower kills, got %d", rep.FollowerKills)
+	}
+	if rep.Checkpoints < 4 {
+		t.Errorf("expected >= 4 follower-gated checkpoints, got %d", rep.Checkpoints)
+	}
+}
+
+// TestFollowerKillsSeeded pins that the chaos schedule is a pure
+// function of the seed: the same run repeated must inject the same
+// kills and land on the same report.
+func TestFollowerKillsSeeded(t *testing.T) {
+	cfg := small(13, 2000)
+	cfg.FollowerKills = 4
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FollowerKills != 4 || b.FollowerKills != 4 {
+		t.Fatalf("kill counts %d / %d, want 4", a.FollowerKills, b.FollowerKills)
+	}
+}
+
+// TestFollowerDropCanary proves the snapshot differential catches a
+// follower that skips exactly one replicated command: the twin
+// acknowledges the seq without applying it, and the next checkpoint
+// must report the divergence by name with a repro line.
+func TestFollowerDropCanary(t *testing.T) {
+	cfg := small(1, 2000)
+	cfg.FollowerKills = -1 // a cold restart would heal the canary
+	cfg.canaryFollowerDrop = 200
+	cfg.followerConverge = 2 * time.Second
+
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("skipped replicated command was not detected")
+	}
+	var f *Failure
+	if !asFailure(err, &f) {
+		t.Fatalf("expected *Failure, got %T: %v", err, err)
+	}
+	if !strings.Contains(err.Error(), "follower twin snapshot diverges") {
+		t.Errorf("failure does not name the snapshot diff: %v", err)
+	}
+	if !strings.Contains(err.Error(), "repro: shieldstorm -seed 1 -ops 2000") {
+		t.Errorf("failure lacks repro line: %v", err)
+	}
+}
+
+// TestFollowerStallCanary proves the lag gate trips by name when the
+// follower's apply loop freezes mid-stream.
+func TestFollowerStallCanary(t *testing.T) {
+	cfg := small(2, 2000)
+	cfg.FollowerKills = -1
+	cfg.canaryFollowerStall = true
+	cfg.followerConverge = 300 * time.Millisecond
+
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("stalled follower was not detected")
+	}
+	var f *Failure
+	if !asFailure(err, &f) {
+		t.Fatalf("expected *Failure, got %T: %v", err, err)
+	}
+	if !strings.Contains(err.Error(), "replication lag gate tripped") {
+		t.Errorf("failure does not name the lag gate: %v", err)
+	}
+	if !strings.Contains(err.Error(), "repro: shieldstorm -seed 2 -ops 2000") {
+		t.Errorf("failure lacks repro line: %v", err)
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sort"
+	"time"
 
 	"github.com/datamarket/shield/internal/auction"
 	"github.com/datamarket/shield/internal/core"
@@ -23,6 +25,7 @@ import (
 	"github.com/datamarket/shield/internal/journal"
 	"github.com/datamarket/shield/internal/market"
 	"github.com/datamarket/shield/internal/obs"
+	"github.com/datamarket/shield/internal/rng"
 	"github.com/datamarket/shield/internal/wire"
 )
 
@@ -47,6 +50,13 @@ type Config struct {
 	Engine core.Config
 	// Gen configures the workload generator.
 	Gen GenConfig
+	// FollowerKills is how many times the replication follower twin is
+	// killed mid-stream at seeded points: even-numbered events drop the
+	// connection (tail catch-up from the follower's applied seq), odd
+	// ones cold-restart the follower from nothing (snapshot catch-up).
+	// Zero means the default of 2; negative disables chaos (the twin
+	// still runs and is still gated at every checkpoint).
+	FollowerKills int
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 
@@ -55,6 +65,18 @@ type Config struct {
 	// mutation-canary test, which seeds a deliberate mispricing and
 	// asserts the differential catches it.
 	canaryPerturb func(price float64) float64
+
+	// canaryFollowerDrop makes the follower twin acknowledge one
+	// replicated seq without applying it; the checkpoint snapshot diff
+	// must catch the divergence. canaryFollowerStall freezes the twin's
+	// apply loop; the checkpoint lag gate must trip. Both are in-package
+	// test hooks, like canaryPerturb.
+	canaryFollowerDrop  int64
+	canaryFollowerStall bool
+	// followerConverge bounds the checkpoint wait for the follower twin
+	// to reach the leader's seq (default 10s; the canary tests shrink it
+	// so a deliberately stalled twin fails fast).
+	followerConverge time.Duration
 }
 
 // DefaultEngine is the engine template used when Config.Engine is zero.
@@ -86,6 +108,15 @@ func (c *Config) applyDefaults() {
 	if len(c.Engine.Candidates) == 0 {
 		c.Engine = DefaultEngine()
 	}
+	if c.FollowerKills == 0 {
+		c.FollowerKills = 2
+	}
+	if c.FollowerKills < 0 {
+		c.FollowerKills = 0
+	}
+	if c.followerConverge == 0 {
+		c.followerConverge = 10 * time.Second
+	}
 }
 
 // Report summarizes a passing run.
@@ -97,6 +128,9 @@ type Report struct {
 	Allocations int
 	Revenue     market.Money
 	Checkpoints int
+	// FollowerKills counts the chaos events injected into the
+	// replication follower twin (connection drops + cold restarts).
+	FollowerKills int
 }
 
 // Failure is a torture-harness failure. Error() includes a one-line
@@ -243,6 +277,11 @@ type harness struct {
 	ref      *refMarket
 	replicas []*replica
 
+	// twin is the replication follower streaming replicas[0]'s command
+	// log; killAt holds the seeded op indexes where chaos strikes it.
+	twin   *followerTwin
+	killAt []int
+
 	// maxWait bounds any legal Time-Shield wait, derived from the
 	// defaults-applied engine template.
 	maxWait int
@@ -325,6 +364,23 @@ func Run(cfg Config) (*Report, error) {
 			}
 		}
 	}()
+	// The replication follower twin streams replicas[0]'s committed
+	// command log over the real wire protocol; the feed attaches before
+	// the first op so no commit slips past it. Kill points are seeded,
+	// spread over the middle half of the run, and consumed in the op
+	// loop — reports stay deterministic per (seed, ops).
+	h.twin, err = newFollowerTwin(cfg, h.replicas[0])
+	if err != nil {
+		return nil, fmt.Errorf("torture: follower twin: %w", err)
+	}
+	defer h.twin.close()
+	if cfg.FollowerKills > 0 && cfg.Ops >= 4 {
+		chaos := rng.New(cfg.Seed).Fork("follower-chaos")
+		for k := 0; k < cfg.FollowerKills; k++ {
+			h.killAt = append(h.killAt, cfg.Ops/4+chaos.Intn(cfg.Ops/2))
+		}
+		sort.Ints(h.killAt)
+	}
 
 	// Two identically-seeded ex-post arbiters: the settle stream must be
 	// bit-for-bit deterministic across instances.
@@ -336,6 +392,13 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	for i := 0; i < cfg.Ops; i++ {
+		for len(h.killAt) > 0 && h.killAt[0] <= i {
+			h.killAt = h.killAt[1:]
+			if err := h.twin.chaos(cfg.Logf); err != nil {
+				return nil, fmt.Errorf("torture: follower chaos: %w", err)
+			}
+			h.report.FollowerKills++
+		}
 		op := gen.Next()
 		if f := h.step(i, op); f != nil {
 			return nil, f
@@ -547,6 +610,9 @@ func (h *harness) checkpoint(opIdx int) *Failure {
 	}
 	if reason := h.checkWaitMonotone(); reason != "" {
 		return h.fail(opIdx, op, "%s", reason)
+	}
+	if f := h.checkFollower(opIdx); f != nil {
+		return f
 	}
 	return nil
 }

@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -238,6 +240,12 @@ func (c *Conn) fail(ctx context.Context, err error) error {
 	if c.broken == nil {
 		if cerr := ctx.Err(); cerr != nil {
 			err = fmt.Errorf("%v: %w", err, cerr)
+		} else if _, ok := ctx.Deadline(); ok && errors.Is(err, os.ErrDeadlineExceeded) {
+			// The socket deadline was armed from the context's deadline,
+			// and the net poller can observe it a beat before the
+			// context's own timer flips ctx.Err() — the timeout is the
+			// context's either way.
+			err = fmt.Errorf("%v: %w", err, context.DeadlineExceeded)
 		}
 		c.broken = fmt.Errorf("%w: %w", ErrConnClosed, err)
 	}

@@ -1,0 +1,419 @@
+package wire
+
+// Replication stream (protocol version 3).
+//
+// A follower opens an ordinary connection, handshakes, and sends one
+// kindReplicate request:
+//
+//	request id (uvarint) | kindReplicate (1 byte) | afterSeq (uvarint)
+//
+// where afterSeq is the journal sequence number the follower has
+// applied through (0 for an empty follower). The response decides the
+// catch-up mode:
+//
+//	request id | statusOK | mode (1 byte) | startSeq (uvarint) | [snapshot]
+//
+// mode 1 (snapshot catch-up): the body carries the leader's canonical
+// market snapshot (command.Snapshot JSON) representing the state after
+// startSeq; the follower restores it and resumes from there. This is
+// the one frame in the protocol allowed past MaxFrame, bounded by
+// MaxSnapshotFrame. mode 0 (tail catch-up): no snapshot; startSeq
+// echoes afterSeq and the missed records stream as ordinary record
+// frames. A statusErr envelope (closed apierr code set) means the
+// subscription was refused — replication not enabled, or the follower
+// claims a seq ahead of the leader.
+//
+// After the response the stream is one-way, server to client, framed
+// exactly like every other frame:
+//
+//	record:    repRecord (1 byte)    | seq (uvarint) | command.EncodeBinary bytes
+//	heartbeat: repHeartbeat (1 byte) | leader seq (uvarint)
+//
+// Records carry strictly consecutive sequence numbers starting at
+// startSeq+1 — the follower rejects anything else (ErrReplicaSeq)
+// rather than guessing, because a gap or repeat means the stream can
+// no longer prove state equality. Heartbeats flow during write silence
+// so the follower can measure staleness against the leader's seq even
+// when no commands commit. The subscriber sends nothing after the
+// request; any client frame on an established stream is a protocol
+// error and closes the connection. A follower that falls too far
+// behind the source's buffer is dropped (its channel closes) and is
+// expected to redial and catch up from a fresh snapshot.
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/datamarket/shield/internal/apierr"
+	"github.com/datamarket/shield/internal/command"
+)
+
+// Replication stream frame types.
+const (
+	repRecord    byte = 1
+	repHeartbeat byte = 2
+)
+
+// DefaultHeartbeat is how often an idle replication stream emits a
+// leader-seq heartbeat unless the server overrides it.
+const DefaultHeartbeat = 250 * time.Millisecond
+
+// Closed decode error set for replication frames. Every failure of
+// DecodeReplicationFrame wraps exactly one of these.
+var (
+	// ErrReplicaPayload reports a malformed replication frame: unknown
+	// frame type, truncated header, or an undecodable command body.
+	ErrReplicaPayload = errors.New("wire: malformed replication frame")
+	// ErrReplicaSeq reports a sequencing violation: a record whose seq
+	// is not exactly the follower's last applied seq + 1 (duplicates and
+	// reorders both land here), or a heartbeat claiming the leader is
+	// behind the follower.
+	ErrReplicaSeq = errors.New("wire: replication sequence violation")
+)
+
+// RepRecord is one pre-encoded record a ReplicationSource hands the
+// server: Payload is the complete record frame payload (repRecord type
+// byte, seq, command bytes), encoded once and fanned out to every
+// subscriber.
+type RepRecord struct {
+	Seq     int64
+	Payload []byte
+}
+
+// RepFrame is one decoded replication stream frame. For records, Seq
+// is the record's journal sequence number and Cmd its command; for
+// heartbeats, Seq is the leader's current sequence number and Cmd nil.
+type RepFrame struct {
+	Heartbeat bool
+	Seq       int64
+	Cmd       command.Command
+}
+
+// Subscription is an attached replication consumer. Snapshot (nil in
+// tail mode) is the leader's canonical state through StartSeq; Records
+// delivers every record after StartSeq in order until Cancel is called
+// or the source drops the subscriber (channel close) for falling
+// behind.
+type Subscription struct {
+	Snapshot []byte
+	StartSeq int64
+	Records  <-chan RepRecord
+	Cancel   func()
+}
+
+// ReplicationSource is the leader-side feed the wire server streams
+// from; internal/replica.Feed implements it over the journal's commit
+// hook.
+type ReplicationSource interface {
+	// Subscribe attaches a consumer that has applied the log through
+	// afterSeq. The source decides tail versus snapshot catch-up; it
+	// must refuse (error) an afterSeq ahead of its own history.
+	Subscribe(afterSeq int64) (Subscription, error)
+	// LeaderSeq is the newest committed sequence number, for heartbeats.
+	LeaderSeq() int64
+}
+
+// AppendRecordFrame appends a record frame payload: cmd must be a
+// command.EncodeBinary encoding.
+func AppendRecordFrame(b []byte, seq int64, cmd []byte) []byte {
+	b = append(b, repRecord)
+	b = binary.AppendUvarint(b, uint64(seq))
+	return append(b, cmd...)
+}
+
+// AppendHeartbeatFrame appends a heartbeat frame payload.
+func AppendHeartbeatFrame(b []byte, leaderSeq int64) []byte {
+	b = append(b, repHeartbeat)
+	return binary.AppendUvarint(b, uint64(leaderSeq))
+}
+
+// DecodeReplicationFrame decodes one replication stream frame payload
+// against the follower's last applied sequence number. It never
+// panics, and every rejection wraps one of the closed error set:
+// ErrReplicaPayload for malformed bytes, ErrReplicaSeq for records
+// that are not exactly lastSeq+1 (out-of-order, duplicate, or gapped)
+// and for heartbeats placing the leader behind the follower.
+func DecodeReplicationFrame(payload []byte, lastSeq int64) (RepFrame, error) {
+	r := &payloadReader{data: payload}
+	switch t := r.byte(); {
+	case r.err != nil:
+		return RepFrame{}, fmt.Errorf("%w: empty frame", ErrReplicaPayload)
+	case t == repRecord:
+		seq := r.uvarint()
+		if r.err != nil {
+			return RepFrame{}, fmt.Errorf("%w: truncated record header", ErrReplicaPayload)
+		}
+		if seq > math.MaxInt64 {
+			return RepFrame{}, fmt.Errorf("%w: sequence number overflows int64", ErrReplicaPayload)
+		}
+		cmd, err := command.DecodeBinary(r.rest())
+		if err != nil {
+			return RepFrame{}, fmt.Errorf("%w: record %d: %v", ErrReplicaPayload, seq, err)
+		}
+		if int64(seq) != lastSeq+1 {
+			return RepFrame{}, fmt.Errorf("%w: got record seq %d, want %d", ErrReplicaSeq, seq, lastSeq+1)
+		}
+		return RepFrame{Seq: int64(seq), Cmd: cmd}, nil
+	case t == repHeartbeat:
+		seq := r.uvarint()
+		if r.err != nil || !r.done() {
+			return RepFrame{}, fmt.Errorf("%w: malformed heartbeat", ErrReplicaPayload)
+		}
+		if seq > math.MaxInt64 {
+			return RepFrame{}, fmt.Errorf("%w: sequence number overflows int64", ErrReplicaPayload)
+		}
+		if int64(seq) < lastSeq {
+			return RepFrame{}, fmt.Errorf("%w: heartbeat places leader at %d behind follower at %d", ErrReplicaSeq, seq, lastSeq)
+		}
+		return RepFrame{Heartbeat: true, Seq: int64(seq)}, nil
+	default:
+		return RepFrame{}, fmt.Errorf("%w: unknown frame type %d", ErrReplicaPayload, t)
+	}
+}
+
+// WithReplication enables the kindReplicate request on this server,
+// streaming from src. Must be called before the server accepts
+// connections.
+func (s *Server) WithReplication(src ReplicationSource) *Server {
+	s.repl = src
+	return s
+}
+
+// WithHeartbeatInterval overrides how often idle replication streams
+// heartbeat (default DefaultHeartbeat). Tests pin it high to capture
+// deterministic streams.
+func (s *Server) WithHeartbeatInterval(d time.Duration) *Server {
+	if d > 0 {
+		s.heartbeat = d
+	}
+	return s
+}
+
+// serveReplication converts an established connection into a one-way
+// replication stream, after ServeConn recognized a kindReplicate
+// request. r is positioned after the kind byte; the reader goroutine
+// keeps draining the socket so a peer close (or a protocol-violating
+// client frame) surfaces through frames and ends the stream. Any
+// return closes the connection — replication failures are never
+// per-request errors, the follower redials.
+func (s *Server) serveReplication(bw *bufio.Writer, frames <-chan frame, id uint64, r *payloadReader) error {
+	refuse := func(code, msg string) error {
+		resp := appendError(binary.AppendUvarint(nil, id), code, msg)
+		if err := writeFrame(bw, resp); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		return fmt.Errorf("wire: replication refused: %s", msg)
+	}
+	after := r.uvarint()
+	if r.err != nil || !r.done() || after > math.MaxInt64 {
+		return refuse(apierr.CodeBadRequest, "malformed replicate request")
+	}
+	if s.repl == nil {
+		return refuse(apierr.CodeBadRequest, "replication not enabled on this server")
+	}
+	sub, err := s.repl.Subscribe(int64(after))
+	if err != nil {
+		code, _ := apierr.Classify(err)
+		return refuse(code, err.Error())
+	}
+	defer sub.Cancel()
+
+	resp := binary.AppendUvarint(nil, id)
+	resp = append(resp, statusOK)
+	if sub.Snapshot != nil {
+		resp = append(resp, 1)
+	} else {
+		resp = append(resp, 0)
+	}
+	resp = binary.AppendUvarint(resp, uint64(sub.StartSeq))
+	resp = append(resp, sub.Snapshot...)
+	if err := writeFrameLimit(bw, resp, MaxSnapshotFrame); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+
+	hb := s.heartbeat
+	if hb <= 0 {
+		hb = DefaultHeartbeat
+	}
+	ticker := time.NewTicker(hb)
+	defer ticker.Stop()
+	var scratch []byte
+	for {
+		select {
+		case rec, ok := <-sub.Records:
+			if !ok {
+				return errors.New("wire: replication subscriber fell behind and was dropped")
+			}
+			if err := writeFrame(bw, rec.Payload); err != nil {
+				return err
+			}
+			// Drain the already-queued burst before paying for a flush.
+			for n := len(sub.Records); n > 0; n-- {
+				rec, ok = <-sub.Records
+				if !ok {
+					return errors.New("wire: replication subscriber fell behind and was dropped")
+				}
+				if err := writeFrame(bw, rec.Payload); err != nil {
+					return err
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		case <-ticker.C:
+			scratch = AppendHeartbeatFrame(scratch[:0], s.repl.LeaderSeq())
+			if err := writeFrame(bw, scratch); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		case f, ok := <-frames:
+			if !ok {
+				return nil // peer closed; clean end of stream
+			}
+			if f.err != nil {
+				return f.err
+			}
+			return errors.New("wire: unexpected frame from replication subscriber")
+		}
+	}
+}
+
+// ReplicationStream is the client end of a replication subscription.
+// After OpenReplication succeeds the connection belongs to the stream:
+// no other Conn method may be called on it, and the only way to stop
+// consuming is to close the connection.
+type ReplicationStream struct {
+	c *Conn
+	// Snapshot, when non-nil, is the leader's canonical state through
+	// StartSeq; the follower must restore it before applying records.
+	Snapshot []byte
+	// StartSeq is the stream's base: the first record frame carries
+	// StartSeq+1.
+	StartSeq int64
+	lastSeq  int64
+	buf      []byte
+}
+
+// OpenReplication subscribes this connection to the leader's
+// replication stream from afterSeq — the newest journal sequence
+// number the caller has applied, 0 for a fresh follower. The server
+// chooses tail or snapshot catch-up; see the stream grammar at the top
+// of this file. The context bounds only the subscribe round trip.
+func (c *Conn) OpenReplication(ctx context.Context, afterSeq int64) (*ReplicationStream, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken != nil {
+		return nil, c.broken
+	}
+	if c.version < 3 {
+		return nil, fmt.Errorf("%w: server negotiated v%d, replication needs v3", ErrHandshake, c.version)
+	}
+	if afterSeq < 0 {
+		return nil, fmt.Errorf("wire: negative afterSeq %d", afterSeq)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := c.nc.SetDeadline(deadline); err != nil {
+			return nil, c.fail(ctx, err)
+		}
+		defer c.nc.SetDeadline(time.Time{})
+	}
+
+	c.nextID++
+	id := c.nextID
+	req := binary.AppendUvarint(c.req[:0], id)
+	req = append(req, kindReplicate)
+	c.req = binary.AppendUvarint(req, uint64(afterSeq))
+	if err := writeFrame(c.bw, c.req); err != nil {
+		return nil, c.fail(ctx, err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, c.fail(ctx, err)
+	}
+
+	// A fresh buffer, not the scratch one: the snapshot escapes to the
+	// caller and may be large.
+	payload, err := readFrameLimit(c.br, nil, MaxSnapshotFrame)
+	if err != nil {
+		return nil, c.fail(ctx, err)
+	}
+	r := &payloadReader{data: payload}
+	gotID := r.uvarint()
+	status := r.byte()
+	if r.err != nil {
+		return nil, c.fail(ctx, errors.New("wire: malformed response envelope"))
+	}
+	if gotID != id {
+		return nil, c.fail(ctx, fmt.Errorf("wire: response id %d for request %d", gotID, id))
+	}
+	switch status {
+	case statusOK:
+		mode := r.byte()
+		start := r.uvarint()
+		if r.err != nil || mode > 1 || start > math.MaxInt64 {
+			return nil, c.fail(ctx, errors.New("wire: malformed replicate response"))
+		}
+		st := &ReplicationStream{c: c, StartSeq: int64(start), lastSeq: int64(start)}
+		if mode == 1 {
+			st.Snapshot = r.rest()
+		} else if !r.done() {
+			return nil, c.fail(ctx, errors.New("wire: unexpected body on tail-mode response"))
+		}
+		return st, nil
+	case statusErr:
+		code := r.str()
+		msg := r.str()
+		if r.err != nil {
+			return nil, c.fail(ctx, errors.New("wire: malformed error envelope"))
+		}
+		return nil, &apierr.APIError{Code: code, Message: msg}
+	default:
+		return nil, c.fail(ctx, fmt.Errorf("wire: unknown response status %d", status))
+	}
+}
+
+// Next blocks for the next stream frame, decoding and sequence-checking
+// it (DecodeReplicationFrame). A context deadline bounds the wait;
+// closing the connection from another goroutine unblocks it. Any error
+// — transport, ErrReplicaPayload, ErrReplicaSeq — ends the stream; the
+// caller closes the connection and redials to resubscribe.
+func (st *ReplicationStream) Next(ctx context.Context) (RepFrame, error) {
+	c := st.c
+	if err := ctx.Err(); err != nil {
+		return RepFrame{}, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := c.nc.SetDeadline(deadline); err != nil {
+			return RepFrame{}, err
+		}
+		defer c.nc.SetDeadline(time.Time{})
+	}
+	payload, err := readFrame(c.br, st.buf)
+	if err != nil {
+		return RepFrame{}, err
+	}
+	st.buf = payload
+	f, err := DecodeReplicationFrame(payload, st.lastSeq)
+	if err != nil {
+		return RepFrame{}, err
+	}
+	if !f.Heartbeat {
+		st.lastSeq = f.Seq
+	}
+	return f, nil
+}

@@ -1,0 +1,76 @@
+package wire_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/datamarket/shield/internal/command"
+	"github.com/datamarket/shield/internal/torture"
+	"github.com/datamarket/shield/internal/wire"
+)
+
+// FuzzReplicateDecode pins the replication stream decoder's safety
+// contract: DecodeReplicationFrame never panics, accepts only records
+// carrying exactly lastSeq+1 and heartbeats at or ahead of lastSeq, and
+// every rejection wraps exactly one of the closed error set —
+// ErrReplicaPayload for malformed bytes, ErrReplicaSeq for duplicates,
+// reorders, gaps, and regressing heartbeats. Seeds cover realistic
+// record frames built from the torture generator's command corpus plus
+// the interesting sequencing violations, so mutation starts from
+// structurally valid frames.
+func FuzzReplicateDecode(f *testing.F) {
+	corpus, err := torture.CommandCorpus(1, 200)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seq := int64(0)
+	for _, enc := range corpus {
+		// The corpus mixes JSON and binary encodings; record frames
+		// carry binary only, but both make useful seed bodies.
+		if _, err := command.DecodeBinary(enc); err == nil {
+			seq++
+			f.Add(wire.AppendRecordFrame(nil, seq, enc), seq-1) // in order: accepted
+			f.Add(wire.AppendRecordFrame(nil, seq, enc), seq)   // duplicate: ErrReplicaSeq
+			f.Add(wire.AppendRecordFrame(nil, seq, enc), seq-2) // gap: ErrReplicaSeq
+		} else {
+			f.Add(wire.AppendRecordFrame(nil, 1, enc), int64(0)) // undecodable body
+		}
+	}
+	f.Add(wire.AppendHeartbeatFrame(nil, 7), int64(7))               // current
+	f.Add(wire.AppendHeartbeatFrame(nil, 9), int64(7))               // ahead
+	f.Add(wire.AppendHeartbeatFrame(nil, 3), int64(7))               // regressing: ErrReplicaSeq
+	f.Add([]byte(nil), int64(0))                                     // empty
+	f.Add([]byte{0x7F}, int64(0))                                    // unknown frame type
+	f.Add([]byte{1, 0x80}, int64(0))                                 // unterminated seq uvarint
+	f.Add([]byte{2, 0x80}, int64(5))                                 // unterminated heartbeat
+	f.Add(binary.AppendUvarint([]byte{1}, math.MaxUint64), int64(0)) // seq overflows int64
+
+	f.Fuzz(func(t *testing.T, payload []byte, lastSeq int64) {
+		fr, err := wire.DecodeReplicationFrame(payload, lastSeq)
+		if err != nil {
+			pay := errors.Is(err, wire.ErrReplicaPayload)
+			seqv := errors.Is(err, wire.ErrReplicaSeq)
+			if pay == seqv {
+				t.Fatalf("error outside the closed set (payload=%t seq=%t): %v for %x", pay, seqv, err, payload)
+			}
+			return
+		}
+		if fr.Heartbeat {
+			if fr.Cmd != nil {
+				t.Fatalf("heartbeat carries a command: %+v for %x", fr, payload)
+			}
+			if fr.Seq < lastSeq {
+				t.Fatalf("accepted heartbeat regressing the leader to %d behind %d for %x", fr.Seq, lastSeq, payload)
+			}
+			return
+		}
+		if fr.Cmd == nil {
+			t.Fatalf("accepted record without a command: %+v for %x", fr, payload)
+		}
+		if fr.Seq != lastSeq+1 {
+			t.Fatalf("accepted record seq %d after %d (only +1 is legal) for %x", fr.Seq, lastSeq, payload)
+		}
+	})
+}

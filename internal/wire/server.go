@@ -39,6 +39,11 @@ type Server struct {
 
 	bufSize int
 
+	// repl, when set (WithReplication), serves kindReplicate requests;
+	// heartbeat overrides the idle stream heartbeat interval.
+	repl      ReplicationSource
+	heartbeat time.Duration
+
 	tel     *obs.Telemetry
 	latency *obs.Vec[*obs.Histogram]
 	conns   *obs.Gauge
@@ -120,6 +125,14 @@ func (s *Server) latencyFor(op, status string) *obs.Histogram {
 	return s.latency.With(op, status)
 }
 
+// frame is one decoded length-prefixed frame crossing from a
+// connection's reader goroutine to its execution loop.
+type frame struct {
+	payload []byte
+	readDur time.Duration // payload transfer time (0 when untimed)
+	err     error
+}
+
 // Serve accepts connections on l until it closes, running each
 // connection on its own goroutine. It always returns a non-nil error
 // (net.ErrClosed after a clean shutdown).
@@ -160,11 +173,6 @@ func (s *Server) ServeConn(conn net.Conn) error {
 		return err
 	}
 
-	type frame struct {
-		payload []byte
-		readDur time.Duration // payload transfer time (0 when untimed)
-		err     error
-	}
 	// The channel depth bounds how far the reader runs ahead of
 	// execution; beyond it, backpressure propagates to the client
 	// through TCP flow control.
@@ -212,6 +220,15 @@ func (s *Server) ServeConn(conn net.Conn) error {
 	for f := range frames {
 		if f.err != nil {
 			return f.err
+		}
+		// A v3 replicate request converts the connection into a one-way
+		// replication stream; it never returns to the request loop.
+		if version >= 3 {
+			r := &payloadReader{data: f.payload}
+			id := r.uvarint()
+			if kind := r.byte(); r.err == nil && kind == kindReplicate {
+				return s.serveReplication(bw, frames, id, r)
+			}
 		}
 		var tr *obs.Trace
 		resp, tr = s.handle(ctx, f.payload, resp[:0], version, f.readDur)

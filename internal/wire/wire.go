@@ -44,6 +44,11 @@
 // from the same closed set internal/apierr defines for the HTTP API and
 // the root package re-exports as shield.ErrCode*).
 //
+// Version 3 adds one request kind, kindReplicate (3), which converts
+// the connection into a one-way replication stream; see replicate.go
+// for the stream grammar, catch-up semantics, and the follower-facing
+// client API.
+//
 // Scalars reuse the command codec's conventions: strings are uvarint
 // length + bytes, floats are little-endian IEEE-754 bits, money is the
 // int64 micro count as little-endian uint64, counters are uvarints.
@@ -70,14 +75,21 @@ import (
 // Version is the highest protocol version this package speaks. The
 // handshake negotiates down to the smaller of the two sides' versions:
 // v1 framing is a strict subset of v2 (v2 adds only the optional trace
-// field, flagged on the kind byte), so either side can run v1.
-const Version byte = 2
+// field, flagged on the kind byte), and v3 adds only the kindReplicate
+// request, so either side can run the older grammar unchanged.
+const Version byte = 3
 
 // MaxFrame bounds a frame's payload length in both directions. It
 // comfortably exceeds the largest legitimate frame (a multi-thousand-bid
 // batch or a long transaction log) while keeping a hostile length prefix
 // from provoking a giant allocation.
 const MaxFrame = 1 << 20
+
+// MaxSnapshotFrame bounds the one oversized frame in the protocol: the
+// replication subscribe response, which may embed a full market
+// snapshot. Only that single response frame gets this limit; every
+// other frame in both directions stays under MaxFrame.
+const MaxSnapshotFrame = 64 << 20
 
 // magic opens the handshake in both directions.
 var magic = [3]byte{'S', 'H', 'W'}
@@ -87,6 +99,10 @@ var magic = [3]byte{'S', 'H', 'W'}
 const (
 	kindCommand byte = 1
 	kindQuery   byte = 2
+	// kindReplicate (version >= 3) converts the connection into a
+	// replication stream; its body is the subscriber's last applied
+	// sequence number as a uvarint. See replicate.go.
+	kindReplicate byte = 3
 
 	// kindTraceFlag marks a request carrying the optional trace field
 	// (trace id + sampled bit) between the kind byte and the body.
@@ -130,7 +146,14 @@ var ErrHandshake = errors.New("wire: handshake failed")
 
 // writeFrame writes one length-prefixed frame. The caller flushes.
 func writeFrame(w *bufio.Writer, payload []byte) error {
-	if len(payload) == 0 || len(payload) > MaxFrame {
+	return writeFrameLimit(w, payload, MaxFrame)
+}
+
+// writeFrameLimit is writeFrame with an explicit payload bound — the
+// replication subscribe response is the one frame allowed past
+// MaxFrame (up to MaxSnapshotFrame).
+func writeFrameLimit(w *bufio.Writer, payload []byte, limit int) error {
+	if len(payload) == 0 || len(payload) > limit {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
 	}
 	var hdr [4]byte
@@ -147,12 +170,18 @@ func writeFrame(w *bufio.Writer, payload []byte) error {
 // oversized length prefix is a protocol error that poisons the stream;
 // the caller must close the connection.
 func readFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
+	return readFrameLimit(r, buf, MaxFrame)
+}
+
+// readFrameLimit is readFrame with an explicit payload bound; see
+// writeFrameLimit.
+func readFrameLimit(r *bufio.Reader, buf []byte, limit int) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	if n == 0 || n > MaxFrame {
+	if n == 0 || n > uint32(limit) {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
 	if cap(buf) < int(n) {

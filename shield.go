@@ -216,6 +216,9 @@ const (
 	ErrCodeUnauthorized    = httpapi.CodeUnauthorized
 	ErrCodeBadRequest      = httpapi.CodeBadRequest
 	ErrCodeInternal        = httpapi.CodeInternal
+
+	ErrCodeReadOnlyReplica    = httpapi.CodeReadOnlyReplica
+	ErrCodeReplicaUnavailable = httpapi.CodeReplicaUnavailable
 )
 
 // APIError is the code/message body of the HTTP error envelope.
