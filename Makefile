@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench bench-save bench-save-smoke fuzz-smoke metrics-lint torture torture-smoke torture-long slo-smoke slo-full replica-smoke cover
+.PHONY: ci fmt-check vet build test race bench bench-save bench-save-smoke fuzz-smoke metrics-lint torture torture-smoke torture-long slo-smoke slo-full replica-smoke segment-smoke cover
 
-ci: fmt-check vet metrics-lint build race test fuzz-smoke torture-smoke torture slo-smoke replica-smoke bench-save-smoke
+ci: fmt-check vet metrics-lint build race test fuzz-smoke torture-smoke torture segment-smoke slo-smoke replica-smoke bench-save-smoke
 
 # Fails (and lists the offenders) if any file is not gofmt-clean.
 fmt-check:
@@ -67,6 +67,18 @@ torture-smoke:
 torture-long:
 	$(GO) run ./cmd/shieldstorm -seed $(TORTURE_SEED) -seeds 16 -ops 250000 -v
 
+# Segmented-store gate: a differential storm with the store twin riding
+# along — segment rotation, snapshot checkpoints, background compaction
+# and two seeded crash-cut recovery drills, all under a disk ceiling —
+# then the load rig's -compact-every scenario, where checkpointing and
+# compaction run against live load and the bid tail must hold the SLO.
+segment-smoke:
+	$(GO) run ./cmd/shieldstorm -seed $(TORTURE_SEED) -ops 20000 -shards 1,16 \
+		-store -segment-records 512 -checkpoint-every 2000 -disk-ceiling-mb 64
+	$(GO) run ./cmd/shieldload -transport both -clients 512 -rate 1500 \
+		-ops 6000 -tick-every 400 -store -compact-every 1000 -segment-records 512 \
+		-slo 'bid.p99<1s,error_rate<0.1%,throughput>=500'
+
 # Aggregate statement coverage across all packages; the closing line is
 # the figure recorded in EXPERIMENTS.md.
 cover:
@@ -109,15 +121,18 @@ slo-full:
 # Runs the journal-durability and transport benchmarks and records them
 # (with the derived group-commit and wire-vs-HTTP speedups) in
 # BENCH_6.json, the load rig's whole-system measurement in BENCH_7.json,
-# and the tracing-overhead-per-bid measurement in BENCH_8.json, keeping
-# the performance claims in DESIGN.md reproducible.
+# the tracing-overhead-per-bid measurement in BENCH_8.json, and the
+# segmented store's O(tail) recovery-ratio measurement in BENCH_10.json,
+# keeping the performance claims in DESIGN.md reproducible.
 bench-save:
 	$(GO) run ./cmd/benchsave -benchtime 1s
 
-# CI variant: a short benchtime and a small rig keep the gate fast while
-# still proving the benchmarks run and all three artifact pipelines work
-# end to end.
+# CI variant: a short benchtime, a small rig and scaled-down recovery
+# stores keep the gate fast while still proving the benchmarks run and
+# all four artifact pipelines work end to end.
 bench-save-smoke:
 	$(GO) run ./cmd/benchsave -benchtime 50ms -out /tmp/bench_smoke.json \
 		-rig-out /tmp/bench7_smoke.json -rig-clients 128 -rig-ops 3000 \
-		-trace-out /tmp/bench8_smoke.json
+		-trace-out /tmp/bench8_smoke.json \
+		-recovery-out /tmp/bench10_smoke.json -recovery-small 5000 \
+		-recovery-large 20000 -recovery-checkpoint-every 1000

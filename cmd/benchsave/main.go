@@ -9,6 +9,8 @@
 //	          [-rig-out BENCH_7.json] [-rig-clients 1024]
 //	          [-rig-rate 4000] [-rig-ops 16000]
 //	          [-trace-out BENCH_8.json]
+//	          [-recovery-out BENCH_10.json] [-recovery-small 100000]
+//	          [-recovery-large 1000000] [-recovery-checkpoint-every 10000]
 //
 // The artifact records ns/op, B/op and allocs/op per benchmark plus the
 // two derived headline ratios: group-commit speedup over per-record
@@ -33,6 +35,13 @@
 // (~260 ns/bid → 520 ns). An over-budget measurement still writes the
 // artifact but prints a warning — single-run nanosecond deltas on
 // shared CI hardware are evidence, not a verdict.
+//
+// -recovery-out records the segmented store's bounded-tail recovery
+// claim as a fourth artifact (BENCH_10.json by default; empty skips
+// it): two checkpointed stores an order of magnitude apart in history
+// length are built and cold-recovered, and with the same checkpoint
+// cadence the larger store must recover within 2x of the smaller one —
+// O(tail), not O(history).
 package main
 
 import (
@@ -89,6 +98,11 @@ func main() {
 		rigOps     = flag.Int("rig-ops", 16000, "load-rig total operations")
 
 		traceOut = flag.String("trace-out", "BENCH_8.json", "tracing-overhead artifact path (empty = skip)")
+
+		recoveryOut   = flag.String("recovery-out", "BENCH_10.json", "segmented-store recovery artifact path (empty = skip)")
+		recoverySmall = flag.Int64("recovery-small", 100_000, "commands in the smaller recovery store")
+		recoveryLarge = flag.Int64("recovery-large", 1_000_000, "commands in the larger recovery store")
+		recoveryCkpt  = flag.Int64("recovery-checkpoint-every", 10_000, "checkpoint cadence for both recovery stores")
 	)
 	flag.Parse()
 
@@ -146,6 +160,13 @@ func main() {
 
 	if *traceOut != "" {
 		if err := writeTraceArtifact(*traceOut, art.GeneratedAt, art.GoVersion, *benchtime, byName); err != nil {
+			log.Fatalf("benchsave: %v", err)
+		}
+	}
+
+	if *recoveryOut != "" {
+		if err := writeRecoveryArtifact(*recoveryOut, art.GeneratedAt, art.GoVersion,
+			*recoverySmall, *recoveryLarge, *recoveryCkpt); err != nil {
 			log.Fatalf("benchsave: %v", err)
 		}
 	}

@@ -92,6 +92,13 @@ func run(c *client, args []string, out io.Writer) error {
 			return err
 		}
 		return c.health(out)
+	case "journal-info":
+		// Offline: inspects a segmented journal directory on local disk,
+		// no server required.
+		if err := need(1, "journal-info <journal-dir>"); err != nil {
+			return err
+		}
+		return journalInfo(rest[0], out)
 	}
 
 	cl, err := c.dial()

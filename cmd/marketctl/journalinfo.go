@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/datamarket/shield/internal/journal"
+)
+
+// journalInfo prints a segmented journal directory's inventory: one
+// line per segment (base seq, record count, bytes, sealed/active,
+// whether the newest checkpoint covers it) and one per checkpoint,
+// plus the recovery summary an operator actually wants — where replay
+// would start and how many records it would touch.
+func journalInfo(dir string, out io.Writer) error {
+	inv, err := journal.InspectDir(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "journal %s\n", inv.Dir)
+	fmt.Fprintf(out, "  seqs %d..%d, newest checkpoint %d, %d bytes on disk\n",
+		inv.FirstSeq, inv.LastSeq, inv.LastCheckpoint, inv.TotalBytes)
+	fmt.Fprintf(out, "  segments (%d):\n", len(inv.Segments))
+	for _, s := range inv.Segments {
+		state := "active"
+		if s.Sealed {
+			state = "sealed"
+		}
+		covered := ""
+		if s.Covered {
+			covered = ", covered"
+		}
+		fmt.Fprintf(out, "    %s  base %d, %d records, %d bytes (%s%s)\n",
+			s.Name, s.Base, s.Records, s.Bytes, state, covered)
+	}
+	fmt.Fprintf(out, "  checkpoints (%d):\n", len(inv.Checkpoints))
+	for _, c := range inv.Checkpoints {
+		fmt.Fprintf(out, "    %s  seq %d, %d bytes\n", c.Name, c.Seq, c.Bytes)
+	}
+	tail := inv.LastSeq - inv.LastCheckpoint
+	if tail < 0 {
+		tail = 0
+	}
+	fmt.Fprintf(out, "  recovery: restore checkpoint %d, replay %d tail records\n",
+		inv.LastCheckpoint, tail)
+	return nil
+}

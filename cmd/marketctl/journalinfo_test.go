@@ -1,0 +1,61 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/datamarket/shield/internal/auction"
+	"github.com/datamarket/shield/internal/core"
+	"github.com/datamarket/shield/internal/journal"
+	"github.com/datamarket/shield/internal/market"
+)
+
+// TestJournalInfoCLI: journal-info inspects a store directory offline
+// and prints the segment/checkpoint inventory with a recovery summary.
+func TestJournalInfoCLI(t *testing.T) {
+	cfg := market.Config{
+		Engine: core.Config{
+			Candidates: auction.LinearGrid(10, 100, 10),
+			EpochSize:  4,
+			MinBid:     1,
+		},
+		Seed: 8,
+	}
+	dir := t.TempDir()
+	jm, _, err := journal.OpenStore(cfg, dir,
+		journal.StoreConfig{SegmentRecords: 8, CheckpointEvery: 12, RetainSegments: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := jm.RegisterBuyer(market.BuyerID(fmt.Sprintf("b%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := runCmd(t, &client{}, "journal-info", dir)
+	for _, want := range []string{"segments (", "checkpoints (", "00000000.seg", "recovery: restore checkpoint"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("journal-info output missing %q:\n%s", want, out)
+		}
+	}
+	inv, err := journal.InspectDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, fmt.Sprintf("seqs %d..%d", inv.FirstSeq, inv.LastSeq)) {
+		t.Fatalf("journal-info seq range missing:\n%s", out)
+	}
+	if inv.LastCheckpoint == 0 || !strings.Contains(out, fmt.Sprintf("newest checkpoint %d", inv.LastCheckpoint)) {
+		t.Fatalf("journal-info checkpoint %d missing:\n%s", inv.LastCheckpoint, out)
+	}
+
+	// A missing directory is a plain error, not a panic.
+	if err := run(&client{}, []string{"journal-info", dir + "-nope"}, &strings.Builder{}); err == nil {
+		t.Fatal("journal-info on a missing directory succeeded")
+	}
+}

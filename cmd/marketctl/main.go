@@ -33,6 +33,11 @@
 //	health                                 liveness + readiness; exits
 //	                                       nonzero when the server is
 //	                                       unready (e.g. poisoned journal)
+//	journal-info <journal-dir>             offline: segment/checkpoint
+//	                                       inventory of a segmented
+//	                                       journal directory (marketd
+//	                                       -journal-dir), with the
+//	                                       recovery replay summary
 //
 // Examples:
 //

@@ -7,6 +7,8 @@
 //
 //	marketd [-addr :8080] [-epoch 8] [-candidates 40] [-min 1] [-max 200]
 //	        [-seed 2022] [-shards 16] [-journal market.log] [-fsync] [-auth]
+//	        [-journal-dir market.d] [-checkpoint-every 10000]
+//	        [-retain-segments 0] [-segment-bytes 8388608]
 //	        [-group-commit] [-group-commit-window 0s] [-wire-addr :9090]
 //	        [-follow wire://leader:9090] [-max-lag 5s]
 //	        [-operator-token secret] [-trace-sample 1] [-slow-op 50ms]
@@ -18,6 +20,18 @@
 // latency for zero data loss on power failure (without it a crash of the
 // machine — not just the process — can lose recently buffered events;
 // recovery still works either way, replaying the longest durable prefix).
+//
+// -journal-dir selects the segmented store instead: the log rotates
+// across sealed segment files, a snapshot checkpoint lands every
+// -checkpoint-every records, restart replays only the records past the
+// newest checkpoint, and checkpoint-covered segments are deleted in the
+// background (-retain-segments spares; negative keeps all). Giving both
+// -journal and -journal-dir migrates the flat log into the directory
+// once, verbatim, then serves from the store (the flat file is left in
+// place). /readyz on a store-backed daemon reports the
+// segment/checkpoint inventory. With -follow, -journal-dir gives the
+// replica a local store so a cold restart resumes from its own disk
+// instead of re-downloading a leader snapshot.
 // -group-commit coalesces concurrent journal appends into one write and
 // one fsync without weakening the per-acknowledgment durability
 // guarantee; -group-commit-window bounds how long a group leader waits
@@ -103,7 +117,11 @@ func main() {
 		bpp         = flag.Int("bpp", 1, "expected bids per market period (Time-Shield conversion)")
 		seed        = flag.Uint64("seed", 2022, "pricing randomness seed")
 		shards      = flag.Int("shards", market.DefaultShards, "lock shards for concurrent bidding (pricing is shard-count independent)")
-		journalPath = flag.String("journal", "", "event-journal file (created, or replayed if present)")
+		journalPath = flag.String("journal", "", "flat event-journal file (created, or replayed if present); with -journal-dir it is instead the one-time migration source")
+		journalDir  = flag.String("journal-dir", "", "segmented journal directory: rotated segment files plus snapshot checkpoints, recovery replays only the tail past the newest checkpoint")
+		ckptEvery   = flag.Int64("checkpoint-every", 0, "with -journal-dir: write a snapshot checkpoint every N committed records (0 = default 10000, negative disables)")
+		retainSegs  = flag.Int("retain-segments", 0, "with -journal-dir: checkpoint-covered sealed segments to keep beyond what recovery needs (negative keeps all)")
+		segBytes    = flag.Int64("segment-bytes", 0, "with -journal-dir: rotate the active segment at this size (0 = default 8 MiB)")
 		fsync       = flag.Bool("fsync", false, "fsync the journal after every record (durable across power loss, slower appends)")
 		compact     = flag.Bool("compact", false, "compact the journal (snapshot head) before serving")
 		useAuth     = flag.Bool("auth", false, "require HMAC-signed bids")
@@ -129,9 +147,17 @@ func main() {
 		os.Exit(1)
 	}
 	if *follow != "" && (*journalPath != "" || *wireAddr != "" || *useAuth) {
-		// A replica owns no journal (its state is the leader's), serves no
-		// wire protocol, and cannot enroll buyers (writes are rejected).
+		// A replica owns no flat journal (its state is the leader's),
+		// serves no wire protocol, and cannot enroll buyers (writes are
+		// rejected). -journal-dir is the exception: a follower uses it as
+		// its local store, for cold restarts without a leader snapshot.
 		logger.Error("marketd: -follow is incompatible with -journal, -wire-addr and -auth")
+		os.Exit(1)
+	}
+	if *compact && *journalDir != "" {
+		// Store compaction is continuous (checkpoints retire covered
+		// segments); a one-shot -compact only makes sense on a flat file.
+		logger.Error("marketd: -compact applies to -journal only; -journal-dir compacts continuously")
 		os.Exit(1)
 	}
 
@@ -174,6 +200,11 @@ func main() {
 		Shards: *shards,
 	}
 
+	storeCfg := journal.StoreConfig{
+		SegmentBytes:    *segBytes,
+		CheckpointEvery: *ckptEvery,
+		RetainSegments:  *retainSegs,
+	}
 	var srvHandler *httpapi.Server
 	var backend wire.Backend
 	var jm *journal.Market
@@ -191,6 +222,8 @@ func main() {
 			Name:      "marketd",
 			MaxLag:    *maxLag,
 			Telemetry: tel,
+			Dir:       *journalDir,
+			Store:     storeCfg,
 		})
 		if err != nil {
 			logger.Error("marketd: starting follower", "leader", *follow, "err", err)
@@ -198,8 +231,11 @@ func main() {
 		}
 		follower = f
 		srvHandler = httpapi.NewReplica(f)
+		if *journalDir != "" {
+			logger.Info("marketd: replica persists locally", "dir", *journalDir)
+		}
 		logger.Info("marketd: read replica following leader", "leader", *follow, "max_lag", *maxLag)
-	case *journalPath == "":
+	case *journalPath == "" && *journalDir == "":
 		m, err := market.New(cfg)
 		if err != nil {
 			logger.Error("marketd: building market", "err", err)
@@ -222,15 +258,33 @@ func main() {
 		if *groupCommit {
 			opts = append(opts, journal.WithGroupCommit(*gcWindow))
 		}
-		opened, replayed, err := journal.OpenFile(cfg, *journalPath, opts...)
+		var (
+			opened   *journal.Market
+			replayed int
+			err      error
+		)
+		if *journalDir != "" {
+			// Segmented store; a -journal path alongside names a flat log
+			// to absorb as segment 0 if the directory is still empty.
+			storeCfg.MigrateFlat = *journalPath
+			opened, replayed, err = journal.OpenStore(cfg, *journalDir, storeCfg, opts...)
+		} else {
+			opened, replayed, err = journal.OpenFile(cfg, *journalPath, opts...)
+		}
 		if err != nil {
-			logger.Error("marketd: opening journal", "path", *journalPath, "err", err)
+			logger.Error("marketd: opening journal", "path", *journalPath, "dir", *journalDir, "err", err)
 			os.Exit(1)
 		}
 		jm = opened
 		closeJournal = jm.Close
 		if replayed > 0 {
-			logger.Info("marketd: replayed journal", "events", replayed, "path", *journalPath)
+			logger.Info("marketd: replayed journal", "events", replayed, "path", *journalPath, "dir", *journalDir)
+		}
+		if st := jm.Store(); st != nil {
+			inv := st.Inventory()
+			logger.Info("marketd: segmented journal open", "dir", *journalDir,
+				"segments", len(inv.Segments), "checkpoints", len(inv.Checkpoints),
+				"last_seq", inv.LastSeq, "last_checkpoint", inv.LastCheckpoint)
 		}
 		srvHandler = httpapi.NewJournaled(jm)
 		backend = jm
@@ -333,12 +387,12 @@ func main() {
 	if follower != nil {
 		follower.Close()
 	}
-	if *journalPath != "" {
+	if jm != nil {
 		if err := closeJournal(); err != nil {
-			logger.Error("marketd: closing journal", "path", *journalPath, "err", err)
+			logger.Error("marketd: closing journal", "path", *journalPath, "dir", *journalDir, "err", err)
 			os.Exit(1)
 		}
-		logger.Info("marketd: journal closed cleanly", "path", *journalPath)
+		logger.Info("marketd: journal closed cleanly", "path", *journalPath, "dir", *journalDir)
 	}
 }
 

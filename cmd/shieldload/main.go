@@ -16,6 +16,7 @@
 //	shieldload [-transport both] [-clients 1024] [-rate 4000] [-ops 16000]
 //	           [-bid-fraction 0.8] [-tick-every 400] [-seed 2022]
 //	           [-datasets 16] [-group-commit=true] [-fsync] [-trace-sample 1]
+//	           [-store] [-compact-every 2000] [-segment-records 4096]
 //	           [-followers 2] [-replica-fraction 0.1] [-replica-kill]
 //	           [-slo 'bid.p99<250ms,error_rate<0.1%,replica.lag<2s']
 //	           [-inject 'bid=2.5s'] [-json BENCH_7.json] [-q]
@@ -34,6 +35,15 @@
 // class ('bid=2.5s'). It exists so the gate can be proven to fail: the
 // mutation-canary test injects a regression and asserts shieldload
 // exits nonzero naming the violated clause.
+//
+// -store backs the rig with a segmented journal store (the marketd
+// -journal-dir configuration): rotated segment files, snapshot
+// checkpoints every -compact-every committed records, and background
+// compaction deleting covered segments — all while bids are measured
+// against the SLO, so a checkpoint pause that stalls the commit path
+// shows up as a bid.p99 violation. The post-run invariant check
+// recovers the store from disk (checkpoint + tail segments) and pins
+// it byte-identical to the live state.
 //
 // -followers boots N read replicas beside the leader, each streaming
 // the committed command log over the wire protocol and serving reads on
@@ -55,6 +65,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/datamarket/shield/internal/journal"
 	"github.com/datamarket/shield/internal/loadrig"
 )
 
@@ -106,25 +117,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("shieldload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		transport   = fs.String("transport", loadrig.TransportBoth, "http, wire, or both (clients split evenly)")
-		clients     = fs.Int("clients", 1024, "concurrent client connections")
-		rate        = fs.Float64("rate", 4000, "open-loop offered load, ops/second across all clients")
-		ops         = fs.Int("ops", 16000, "total operations to schedule")
-		bidFraction = fs.Float64("bid-fraction", 0.8, "fraction of ops that are bids (rest are reads)")
-		tickEvery   = fs.Int("tick-every", 400, "advance the market period every N ops (0 = never)")
-		seed        = fs.Uint64("seed", 2022, "scenario seed (workload replays bit-identically)")
-		datasets    = fs.Int("datasets", 16, "catalog size to seed")
-		groupCommit = fs.Bool("group-commit", true, "journal group commit (the production configuration)")
-		fsync       = fs.Bool("fsync", false, "fsync every journal flush (durable production configuration)")
-		traceSample = fs.Int("trace-sample", 0, "trace every Nth request (0 = tracing off; 1 = every request)")
-		sloSpec     = fs.String("slo", "", "SLO gate, e.g. 'bid.p99<250ms,error_rate<0.1%' (empty = report only)")
-		inject      = fs.String("inject", "", "artificial latency per op class, e.g. 'bid=2.5s' (gate self-test)")
-		jsonOut     = fs.String("json", "", "also write the report as a JSON artifact")
-		quiet       = fs.Bool("q", false, "suppress the report table (violations still print)")
-		timeout     = fs.Duration("timeout", 5*time.Second, "per-operation deadline")
-		followers   = fs.Int("followers", 0, "read replicas to boot beside the leader")
-		replicaFrac = fs.Float64("replica-fraction", 0, "fraction of ops served by replicas (carved from the read share; needs -followers)")
-		replicaKill = fs.Bool("replica-kill", false, "drop follower 0's replication connection at the schedule midpoint (needs -followers)")
+		transport    = fs.String("transport", loadrig.TransportBoth, "http, wire, or both (clients split evenly)")
+		clients      = fs.Int("clients", 1024, "concurrent client connections")
+		rate         = fs.Float64("rate", 4000, "open-loop offered load, ops/second across all clients")
+		ops          = fs.Int("ops", 16000, "total operations to schedule")
+		bidFraction  = fs.Float64("bid-fraction", 0.8, "fraction of ops that are bids (rest are reads)")
+		tickEvery    = fs.Int("tick-every", 400, "advance the market period every N ops (0 = never)")
+		seed         = fs.Uint64("seed", 2022, "scenario seed (workload replays bit-identically)")
+		datasets     = fs.Int("datasets", 16, "catalog size to seed")
+		groupCommit  = fs.Bool("group-commit", true, "journal group commit (the production configuration)")
+		fsync        = fs.Bool("fsync", false, "fsync every journal flush (durable production configuration)")
+		traceSample  = fs.Int("trace-sample", 0, "trace every Nth request (0 = tracing off; 1 = every request)")
+		sloSpec      = fs.String("slo", "", "SLO gate, e.g. 'bid.p99<250ms,error_rate<0.1%' (empty = report only)")
+		inject       = fs.String("inject", "", "artificial latency per op class, e.g. 'bid=2.5s' (gate self-test)")
+		jsonOut      = fs.String("json", "", "also write the report as a JSON artifact")
+		quiet        = fs.Bool("q", false, "suppress the report table (violations still print)")
+		timeout      = fs.Duration("timeout", 5*time.Second, "per-operation deadline")
+		store        = fs.Bool("store", false, "back the rig with a segmented journal store (marketd -journal-dir equivalent)")
+		compactEvery = fs.Int64("compact-every", 0, "store mode: snapshot-checkpoint and compact every N committed records (default 10000; negative disables)")
+		segRecords   = fs.Int64("segment-records", 0, "store mode: records per segment before rotation (default 65536)")
+		followers    = fs.Int("followers", 0, "read replicas to boot beside the leader")
+		replicaFrac  = fs.Float64("replica-fraction", 0, "fraction of ops served by replicas (carved from the read share; needs -followers)")
+		replicaKill  = fs.Bool("replica-kill", false, "drop follower 0's replication connection at the schedule midpoint (needs -followers)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -149,6 +163,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Fsync:       *fsync,
 		TraceSample: *traceSample,
 		Followers:   *followers,
+		Store:       *store,
+		StoreConfig: journal.StoreConfig{
+			SegmentRecords:  *segRecords,
+			CheckpointEvery: *compactEvery,
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "shieldload: %v\n", err)

@@ -48,6 +48,26 @@ func TestRunMutationCanary(t *testing.T) {
 	}
 }
 
+// TestRunStoreGate drives the -compact-every scenario: the rig backed
+// by the segmented store, checkpointing and compacting under load,
+// must hold the bid.p99 SLO and pass the store-recovery invariant.
+func TestRunStoreGate(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := append([]string{
+		"-store", "-compact-every", "300", "-segment-records", "128",
+		"-slo", "bid.p99<10s,error_rate<0.1%",
+	}, small...)
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "checkpointed recovery rebuilds live state") {
+		t.Errorf("stdout missing store recovery invariant:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "SLO satisfied") {
+		t.Errorf("stdout missing SLO confirmation:\n%s", out.String())
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-slo", "bid.p42<5ms"},

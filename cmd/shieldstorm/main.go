@@ -8,20 +8,31 @@
 //
 // Usage:
 //
+// With -store the fleet gains a segmented-store twin: a replica whose
+// journal is a directory of rotated segment files with snapshot
+// checkpoints and background compaction. The twin joins every
+// differential check, runs seeded crash-cut recovery drills mid-run,
+// and -disk-ceiling-mb turns the run into a bounded-footprint gate:
+// if compaction ever lets the store directory grow past the ceiling,
+// the run fails with a repro line.
+//
 //	shieldstorm -seed 1 -ops 100000
 //	shieldstorm -seed 1 -seeds 16 -ops 250000     # nightly soak
 //	shieldstorm -seed 7 -ops 100000 -shards 1,2,8 # custom shard matrix
+//	shieldstorm -seed 1 -ops 10000000 -store -checkpoint-every 500000 -disk-ceiling-mb 1024
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"github.com/datamarket/shield/internal/journal"
 	"github.com/datamarket/shield/internal/torture"
 )
 
@@ -33,6 +44,14 @@ func main() {
 		shards     = flag.String("shards", "", "comma-separated shard counts (default 1,4,16)")
 		checkEvery = flag.Int("check-every", 0, "ops between full-state checkpoints (default ops/16)")
 		verbose    = flag.Bool("v", false, "print per-checkpoint progress")
+
+		store      = flag.Bool("store", false, "add a segmented-store twin to the fleet")
+		storeDir   = flag.String("store-dir", "", "store twin directory (default a temp dir, removed after the run)")
+		segRecords = flag.Int64("segment-records", 0, "store twin: records per segment before rotation (default 65536)")
+		ckptEvery  = flag.Int64("checkpoint-every", 0, "store twin: commands between snapshot checkpoints (default 10000; negative disables)")
+		retainSegs = flag.Int("retain-segments", 0, "store twin: covered sealed segments to keep (default 0; negative keeps all)")
+		crashCuts  = flag.Int("crash-cuts", 0, "store twin: seeded mid-run crash-cut recovery drills (default 2; negative disables)")
+		ceilingMB  = flag.Int64("disk-ceiling-mb", 0, "store twin: fail if the store directory exceeds this many MiB (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -55,6 +74,32 @@ func main() {
 			Shards:     shardCounts,
 			CheckEvery: *checkEvery,
 		}
+		if *store || *storeDir != "" {
+			dir := *storeDir
+			if dir == "" {
+				tmp, err := os.MkdirTemp("", "shieldstorm-store-*")
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "shieldstorm:", err)
+					os.Exit(2)
+				}
+				defer os.RemoveAll(tmp)
+				dir = tmp
+			}
+			// One subdirectory per seed: a store directory is a
+			// journal, and each seed is a fresh history.
+			cfg.StoreDir = filepath.Join(dir, fmt.Sprintf("seed-%d", s))
+			if err := os.MkdirAll(cfg.StoreDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "shieldstorm:", err)
+				os.Exit(2)
+			}
+			cfg.Store = journal.StoreConfig{
+				SegmentRecords:  *segRecords,
+				CheckpointEvery: *ckptEvery,
+				RetainSegments:  *retainSegs,
+			}
+			cfg.StoreCrashCuts = *crashCuts
+			cfg.StoreDiskCeilingBytes = *ceilingMB << 20
+		}
 		if *verbose {
 			cfg.Logf = func(format string, args ...any) {
 				fmt.Printf("seed %d: "+format+"\n", append([]any{s}, args...)...)
@@ -69,6 +114,11 @@ func main() {
 		fmt.Printf("seed %d: PASS %d ops in %v — %d allocations, revenue %s, %d rejections, %d checkpoints\n",
 			s, rep.Ops, time.Since(start).Round(time.Millisecond),
 			rep.Allocations, rep.Revenue, rep.Rejections, rep.Checkpoints)
+		if cfg.StoreDir != "" {
+			fmt.Printf("seed %d: store twin %d segments, %d snapshot checkpoints, %d crash cuts, disk peak %.1f MiB\n",
+				s, rep.StoreSegments, rep.StoreCheckpoints, rep.StoreCrashCuts,
+				float64(rep.StoreDiskPeak)/(1<<20))
+		}
 		if *verbose {
 			kinds := make([]string, 0, len(rep.OpCounts))
 			for k := range rep.OpCounts {

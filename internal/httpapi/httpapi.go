@@ -85,6 +85,10 @@ type Server struct {
 	// ready, when set, gates /readyz (journaled servers report their
 	// writer's health here).
 	ready func() error
+	// store, when set, is the segmented journal store behind this
+	// server; /readyz's ready body then carries its segment/checkpoint
+	// inventory.
+	store *journal.Store
 
 	tel         *obs.Telemetry
 	telOnce     sync.Once
@@ -102,12 +106,14 @@ func NewServer(m *market.Market) *Server {
 }
 
 // NewJournaled routes writes through the journaling wrapper; /readyz
-// reports the journal writer's health.
+// reports the journal writer's health, plus the store's
+// segment/checkpoint inventory when the journal is segmented.
 func NewJournaled(jm *journal.Market) *Server {
 	return &Server{
 		m: jm.Market, mut: jm,
 		tick:   jm.Tick,
 		ready:  jm.Healthy,
+		store:  jm.Store(),
 		logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
 	}
 }

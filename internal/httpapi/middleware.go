@@ -178,6 +178,25 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 			return
 		}
 	}
+	if s.store != nil {
+		// Segmented journal: the ready body carries the store inventory,
+		// so an operator's probe shows segment and checkpoint rollover
+		// without a separate tool. The unready body above stays flat.
+		inv := s.store.Inventory()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ready",
+			"journal": map[string]any{
+				"dir":                 inv.Dir,
+				"segments":            len(inv.Segments),
+				"checkpoints":         len(inv.Checkpoints),
+				"first_seq":           inv.FirstSeq,
+				"last_seq":            inv.LastSeq,
+				"last_checkpoint_seq": inv.LastCheckpoint,
+				"total_bytes":         inv.TotalBytes,
+			},
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 

@@ -3,6 +3,7 @@ package httpapi
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -141,6 +142,38 @@ func TestReadyz(t *testing.T) {
 	}
 	if resp := get(t, jts, "/healthz", nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz after poison = %d, want 200 (liveness is not readiness)", resp.StatusCode)
+	}
+}
+
+// TestReadyzStoreInventory: a server over a segmented journal reports
+// the store's segment/checkpoint inventory in its ready body.
+func TestReadyzStoreInventory(t *testing.T) {
+	jm, _, err := journal.OpenStore(testConfig(), t.TempDir(),
+		journal.StoreConfig{SegmentRecords: 4, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jm.Close()
+	for i := 0; i < 10; i++ {
+		if err := jm.RegisterBuyer(market.BuyerID(fmt.Sprintf("b%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jts := httptest.NewServer(NewJournaled(jm).Routes())
+	defer jts.Close()
+	var out map[string]any
+	if resp := get(t, jts, "/readyz", &out); resp.StatusCode != http.StatusOK || out["status"] != "ready" {
+		t.Fatalf("store-backed readyz: %d %v", resp.StatusCode, out)
+	}
+	inv, ok := out["journal"].(map[string]any)
+	if !ok {
+		t.Fatalf("ready body has no journal inventory: %v", out)
+	}
+	if segs, _ := inv["segments"].(float64); segs < 2 {
+		t.Fatalf("inventory reports %v segments, want >= 2 after rotation", inv["segments"])
+	}
+	if last, _ := inv["last_seq"].(float64); int64(last) != jm.LastSeq() {
+		t.Fatalf("inventory last_seq %v, market at %d", inv["last_seq"], jm.LastSeq())
 	}
 }
 

@@ -671,42 +671,68 @@ func (w *Writer) Close() error {
 	return nil
 }
 
-// Recover scans a log, tolerating exactly one trailing torn record: a
-// final line without its newline terminator is dropped (a crash killed
-// the writer mid-record), and torn reports whether that happened. It
-// returns the parsed events and the byte length of the durable prefix —
-// the log up to and including the last complete record — which callers
-// resuming appends must truncate the file to. Any malformed or
-// out-of-sequence record before the tail is a hard error carrying the
-// expected sequence number and byte offset: crashes cannot produce
-// mid-log damage, so it is real corruption. Recover does not validate
-// the header; Read and Bootstrap do.
-func Recover(r io.Reader) (events []Event, durable int64, torn bool, err error) {
+// Scan streams a log record by record, tolerating exactly one trailing
+// torn record: a final line without its newline terminator is dropped
+// (a crash killed the writer mid-record), and torn reports whether that
+// happened. fn is invoked once per complete record, in order; a non-nil
+// fn error aborts the scan and is returned verbatim. Scan returns the
+// byte length of the durable prefix — the log up to and including the
+// last complete record — which callers resuming appends must truncate
+// the file to. Any malformed or out-of-sequence record before the tail
+// is a hard error carrying the expected sequence number and byte
+// offset, because crashes cannot produce mid-log damage: it is real
+// corruption. The first record's sequence number must be firstSeq
+// (records are contiguous from there); a whole-log scan passes 1, a
+// segment scan passes the segment's base. Scan does not validate the
+// header; Read and Bootstrap do.
+//
+// Scan is the O(1)-memory primitive under Recover, Restore, OpenFile
+// and the segmented Store: none of them materialize the history as a
+// slice, so recovery cost is bounded by the tail being replayed, not by
+// what it allocates.
+func Scan(r io.Reader, firstSeq int64, fn func(Event) error) (durable int64, torn bool, err error) {
 	br := bufio.NewReader(r)
-	var seq int64
+	seq := firstSeq - 1
 	for {
 		line, rerr := br.ReadBytes('\n')
 		if rerr == io.EOF {
 			if len(line) > 0 {
 				// Trailing bytes without a newline: the torn tail.
-				return events, durable, true, nil
+				return durable, true, nil
 			}
-			return events, durable, false, nil
+			return durable, false, nil
 		}
 		if rerr != nil {
-			return nil, 0, false, fmt.Errorf("journal: reading event %d at byte %d: %w", seq+1, durable, rerr)
+			return 0, false, fmt.Errorf("journal: reading event %d at byte %d: %w", seq+1, durable, rerr)
 		}
 		var e Event
 		if uerr := json.Unmarshal(line, &e); uerr != nil {
-			return nil, 0, false, fmt.Errorf("%w: event %d at byte %d: %v", ErrBadEvent, seq+1, durable, uerr)
+			return 0, false, fmt.Errorf("%w: event %d at byte %d: %v", ErrBadEvent, seq+1, durable, uerr)
 		}
 		seq++
 		if e.Seq != seq {
-			return nil, 0, false, fmt.Errorf("%w: got %d, want %d at byte %d", ErrSeqGap, e.Seq, seq, durable)
+			return 0, false, fmt.Errorf("%w: got %d, want %d at byte %d", ErrSeqGap, e.Seq, seq, durable)
 		}
-		events = append(events, e)
+		if ferr := fn(e); ferr != nil {
+			return 0, false, ferr
+		}
 		durable += int64(len(line))
 	}
+}
+
+// Recover is the slice-returning wrapper over Scan kept for tests and
+// small logs: it materializes every event in memory. Production
+// recovery paths (OpenFile, Restore, the segmented Store) stream
+// through Scan instead.
+func Recover(r io.Reader) (events []Event, durable int64, torn bool, err error) {
+	durable, torn, err = Scan(r, 1, func(e Event) error {
+		events = append(events, e)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return events, durable, torn, nil
 }
 
 // Read parses a log, validating sequence continuity and the header: the
@@ -742,32 +768,40 @@ func Bootstrap(events []Event) (*market.Market, error) {
 	if len(events) == 0 {
 		return nil, ErrNoGenesis
 	}
-	var m *market.Market
-	var err error
-	switch head := events[0]; head.Op {
-	case OpGenesis:
-		if head.Config == nil {
-			return nil, ErrNoGenesis
-		}
-		m, err = market.New(*head.Config)
-		if err != nil {
-			return nil, fmt.Errorf("journal: genesis config: %w", err)
-		}
-	case OpSnapshot:
-		if head.Snapshot == nil {
-			return nil, ErrNoGenesis
-		}
-		m, err = market.RestoreSnapshot(*head.Snapshot)
-		if err != nil {
-			return nil, fmt.Errorf("journal: snapshot head: %w", err)
-		}
-	default:
-		return nil, ErrNoGenesis
+	m, err := marketFromHead(events[0])
+	if err != nil {
+		return nil, err
 	}
 	if err := Replay(m, events[1:]); err != nil {
 		return nil, err
 	}
 	return m, nil
+}
+
+// marketFromHead builds the market a log head describes: a genesis
+// head seeds a fresh market from its recorded config, a snapshot head
+// restores full state. Heads carrying a format version this build does
+// not know fail with ErrVersion; anything that is not a well-formed
+// head fails with ErrNoGenesis.
+func marketFromHead(e Event) (*market.Market, error) {
+	if v := e.V; v != 0 && v != FormatVersion {
+		return nil, fmt.Errorf("%w: %d (this build reads 0 and %d)", ErrVersion, v, FormatVersion)
+	}
+	switch {
+	case e.Op == OpGenesis && e.Config != nil:
+		m, err := market.New(*e.Config)
+		if err != nil {
+			return nil, fmt.Errorf("journal: genesis config: %w", err)
+		}
+		return m, nil
+	case e.Op == OpSnapshot && e.Snapshot != nil:
+		m, err := market.RestoreSnapshot(*e.Snapshot)
+		if err != nil {
+			return nil, fmt.Errorf("journal: snapshot head: %w", err)
+		}
+		return m, nil
+	}
+	return nil, ErrNoGenesis
 }
 
 // Replay applies events to m in order: each record upgrades to its
@@ -779,24 +813,63 @@ func Bootstrap(events []Event) (*market.Market, error) {
 // configuration.
 func Replay(m *market.Market, events []Event) error {
 	for _, e := range events {
-		cmd, err := CommandFromEvent(e)
-		if err == nil {
-			_, err = m.Apply(cmd)
-		}
-		if err != nil {
-			return fmt.Errorf("%w: event %d (%s): %v", ErrReplay, e.Seq, e.Op, err)
+		if err := applyEvent(m, e); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// Restore reads a log and rebuilds the market it describes.
+// applyEvent replays one body record onto m; see Replay.
+func applyEvent(m *market.Market, e Event) error {
+	cmd, err := CommandFromEvent(e)
+	if err == nil {
+		_, err = m.Apply(cmd)
+	}
+	if err != nil {
+		return fmt.Errorf("%w: event %d (%s): %v", ErrReplay, e.Seq, e.Op, err)
+	}
+	return nil
+}
+
+// restoreStream rebuilds a market from a log in one streaming pass: the
+// head seeds the market and every subsequent record applies as it is
+// scanned, so the whole-log []Event slice Recover would build never
+// exists. It returns the market (nil when not even the head survived —
+// a crash during the very first append), the sequence number of the
+// last replayed record, the durable byte prefix, and whether a torn
+// tail was dropped.
+func restoreStream(r io.Reader) (m *market.Market, lastSeq, durable int64, torn bool, err error) {
+	durable, torn, err = Scan(r, 1, func(e Event) error {
+		if m == nil {
+			var herr error
+			m, herr = marketFromHead(e)
+			if herr != nil {
+				return herr
+			}
+		} else if aerr := applyEvent(m, e); aerr != nil {
+			return aerr
+		}
+		lastSeq = e.Seq
+		return nil
+	})
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	return m, lastSeq, durable, torn, nil
+}
+
+// Restore reads a log and rebuilds the market it describes, streaming
+// one record at a time.
 func Restore(r io.Reader) (*market.Market, error) {
-	events, err := Read(r)
+	m, _, _, _, err := restoreStream(r)
 	if err != nil {
 		return nil, err
 	}
-	return Bootstrap(events)
+	if m == nil {
+		return nil, ErrNoGenesis
+	}
+	return m, nil
 }
 
 // Compact reads a log from r and writes an equivalent single-snapshot
@@ -860,6 +933,38 @@ func compactFile(path string, wrap func(io.Writer) io.Writer) error {
 	return syncDir(filepath.Dir(path))
 }
 
+// syncFileHook is the post-truncation fsync; crash tests swap it to
+// inject a failure at exactly that point. Production always points at
+// (*os.File).Sync.
+var syncFileHook = (*os.File).Sync
+
+// repairTornTail truncates path to its durable prefix and makes the
+// repair itself durable: the file is fsynced, then its parent
+// directory. A bare truncate only reaches the page cache, so a crash
+// immediately after recovery could resurrect the torn bytes and the
+// writer would then append after the tear — mid-log corruption the next
+// recovery cannot repair.
+func repairTornTail(path string, durable int64) error {
+	if err := os.Truncate(path, durable); err != nil {
+		return fmt.Errorf("journal: truncating torn tail of %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("journal: reopening %s after tail repair: %w", path, err)
+	}
+	err = syncFileHook(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("journal: syncing repaired tail of %s: %w", path, err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("journal: syncing directory after tail repair of %s: %w", path, err)
+	}
+	return nil
+}
+
 // syncDir fsyncs a directory so a just-renamed file's directory entry is
 // durable.
 func syncDir(dir string) error {
@@ -879,10 +984,17 @@ func syncDir(dir string) error {
 type Market struct {
 	*market.Market
 	w *Writer
-	// sink, when the journal owns its file (OpenFile), is closed by
-	// Close after the final sync.
+	// sink, when the journal owns its file (OpenFile) or store
+	// (OpenStore), is closed by Close after the final sync.
 	sink io.Closer
+	// store is set on store-backed markets (OpenStore): the segmented
+	// sink that owns rotation, checkpoints and compaction.
+	store *Store
 }
+
+// Store returns the segmented store backing this market, nil for flat
+// single-file (OpenFile) and plain-sink (NewMarket) journals.
+func (m *Market) Store() *Store { return m.store }
 
 // NewMarket builds a market from cfg and a journal writing to sink,
 // writing the genesis record immediately.
@@ -911,28 +1023,24 @@ func OpenFile(cfg market.Config, path string, opts ...Option) (*Market, int, err
 		if err != nil {
 			return nil, 0, err
 		}
-		events, durable, torn, err := Recover(f)
+		m, lastSeq, durable, torn, err := restoreStream(f)
 		f.Close()
 		if err != nil {
 			return nil, 0, err
 		}
 		if torn {
-			if err := os.Truncate(path, durable); err != nil {
-				return nil, 0, fmt.Errorf("journal: truncating torn tail of %s: %w", path, err)
-			}
-		}
-		if len(events) > 0 {
-			m, err := Bootstrap(events)
-			if err != nil {
+			if err := repairTornTail(path, durable); err != nil {
 				return nil, 0, err
 			}
+		}
+		if m != nil {
 			sink, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
 				return nil, 0, err
 			}
-			jm := Resume(m, sink, int64(len(events)), opts...)
+			jm := Resume(m, sink, lastSeq, opts...)
 			jm.sink = sink
-			return jm, len(events) - 1, nil
+			return jm, int(lastSeq) - 1, nil
 		}
 		// The crash hit the very first record: nothing durable, start
 		// a fresh log below.
@@ -1127,8 +1235,14 @@ func (m *Market) Tick() (int, error) {
 
 // OnCommit installs fn as the journal's commit hook; see Writer.OnCommit.
 // It is the attachment point for the replication feed: install it after
-// building the market but before serving traffic.
+// building the market but before serving traffic. On a store-backed
+// market the store owns the Writer's hook (it drives checkpoints), so
+// fn chains after the store's bookkeeping — same ordering guarantees.
 func (m *Market) OnCommit(fn func(Event)) {
+	if m.store != nil {
+		m.store.OnCommit(fn)
+		return
+	}
 	m.w.OnCommit(fn)
 }
 
@@ -1142,9 +1256,17 @@ func (m *Market) LastSeq() int64 {
 // operations: nil while the journal writer is open and unpoisoned, the
 // writer's error otherwise. It backs the daemon's readiness probe — a
 // market whose journal is poisoned serves reads but must not be sent
-// writes.
+// writes. On a store-backed market a failed background checkpoint also
+// surfaces here: appends still succeed, but recovery is no longer
+// bounded, which is an operational fault.
 func (m *Market) Healthy() error {
-	return m.w.Healthy()
+	if err := m.w.Healthy(); err != nil {
+		return err
+	}
+	if m.store != nil {
+		return m.store.Err()
+	}
+	return nil
 }
 
 // Close syncs the journal and, when the journal owns its file, closes

@@ -1,0 +1,662 @@
+// Segmented journal storage: a directory of sealed segment files plus
+// snapshot checkpoints, replacing the single flat log for production
+// retention. The journal Writer above it is unchanged — the Store is an
+// io.Writer sink that rotates the file under the Writer's single-Write
+// record discipline — so group commit, fsync policy, telemetry and the
+// commit hook all work identically over a store.
+//
+// # Layout
+//
+//	dir/00000000.seg        segment files, monotone indexes
+//	dir/00000001.seg        first line: seghead record (version + base seq)
+//	dir/...                 then ordinary journal records, contiguous seq
+//	dir/00000000000047.ckpt snapshot checkpoints, named by covered seq
+//	dir/*.tmp               in-flight checkpoint/migration; removed on open
+//
+// A segment's records are exactly the journal byte format the flat log
+// uses — concatenating every segment's body (head lines stripped)
+// reproduces the flat log byte for byte. The seghead line is store
+// metadata, not an Event: it carries the format version and the
+// sequence number of the segment's first record, so recovery can chain
+// segments and skip sealed ones without scanning them.
+//
+// # Rotation and durability
+//
+// The active segment rotates once it holds at least SegmentRecords
+// records or SegmentBytes bytes: the old file is fsynced and closed
+// (sealed segments therefore never hold a torn tail — a tear before
+// the final segment is real corruption), and the new file is created,
+// its seghead written, the file and directory fsynced, before the
+// record that triggered rotation is written. A group-commit batch is
+// one Write, so a group never splits across segments; segments may
+// overshoot the thresholds by at most one batch.
+//
+// # Checkpoints and compaction
+//
+// Every CheckpointEvery committed records the store snapshots its
+// shadow market (advanced by the Writer's commit hook, so the snapshot
+// is exactly the state at a committed seq) and writes it to a
+// checkpoint file with the temp+rename+dir-fsync discipline — a crash
+// leaves either the old checkpoint set or the new one, never a torn
+// checkpoint. The file write runs on a background goroutine; only the
+// in-memory snapshot extraction happens on the commit path. After a
+// checkpoint lands, compaction deletes sealed segments wholly covered
+// by it (keeping RetainSegments spares) and old checkpoint files,
+// while appends keep flowing.
+//
+// # Recovery
+//
+// Recovery is O(tail): open the newest checkpoint, restore its
+// snapshot, and stream only the segments holding records past the
+// checkpoint seq through Apply — sealed segments wholly covered by the
+// checkpoint are skipped using seghead chaining alone, and no
+// whole-history []Event slice is ever built. A torn tail in the final
+// segment is truncated and the repair fsynced (file then directory); a
+// final segment whose own seghead was torn mid-rotation is rebuilt in
+// place. A missing segment — compaction gone wrong, operator error —
+// fails recovery with the missing file's name.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/datamarket/shield/internal/market"
+)
+
+// Store layout constants.
+const (
+	segSuffix  = ".seg"
+	ckptSuffix = ".ckpt"
+	tmpSuffix  = ".tmp"
+	opSegHead  = "seghead"
+)
+
+// Store-specific sentinel errors.
+var (
+	// ErrSegmentMissing marks a gap in the segment chain: a segment
+	// recovery still needs is gone. The wrapping error names the file.
+	ErrSegmentMissing = errors.New("journal: segment missing")
+	// ErrStoreCorrupt marks damage no crash can produce: a torn sealed
+	// segment, a malformed seghead, an undecodable checkpoint.
+	ErrStoreCorrupt = errors.New("journal: store corrupt")
+)
+
+// StoreConfig tunes a segmented store. Zero values select defaults.
+type StoreConfig struct {
+	// SegmentBytes rotates the active segment once it reaches this many
+	// bytes (default 8 MiB).
+	SegmentBytes int64
+	// SegmentRecords rotates the active segment once it holds this many
+	// records (default 65536).
+	SegmentRecords int64
+	// CheckpointEvery writes a snapshot checkpoint every N committed
+	// records (default 10000). Negative disables checkpointing (and
+	// therefore compaction).
+	CheckpointEvery int64
+	// RetainSegments is how many checkpoint-covered sealed segments to
+	// keep beyond what recovery needs (default 0: delete them all).
+	// Negative keeps every segment forever.
+	RetainSegments int
+	// MigrateFlat, when the directory holds no segments yet and this
+	// path names an existing flat journal, absorbs that log verbatim as
+	// segment 0 — the upgrade path from -journal to -journal-dir. The
+	// flat file itself is left untouched.
+	MigrateFlat string
+}
+
+func (sc *StoreConfig) applyDefaults() {
+	if sc.SegmentBytes == 0 {
+		sc.SegmentBytes = 8 << 20
+	}
+	if sc.SegmentRecords == 0 {
+		sc.SegmentRecords = 1 << 16
+	}
+	if sc.CheckpointEvery == 0 {
+		sc.CheckpointEvery = 10000
+	}
+}
+
+// segHead is the first line of every segment file. It is store
+// metadata, not a journal Event: Base is the sequence number of the
+// segment's first record, so recovery can chain segments and compute a
+// sealed segment's coverage without scanning its body.
+type segHead struct {
+	Op    string `json:"op"` // always "seghead"
+	V     int    `json:"v"`
+	Base  int64  `json:"base"`
+	Index int64  `json:"index"`
+}
+
+// checkpointFile is the on-disk checkpoint format: the full market
+// state as of Seq, written atomically (temp+rename+dir-fsync).
+type checkpointFile struct {
+	V        int             `json:"v"`
+	Seq      int64           `json:"seq"`
+	Snapshot market.Snapshot `json:"snapshot"`
+}
+
+// segMeta is the store's in-memory bookkeeping for one segment.
+type segMeta struct {
+	index   int64
+	base    int64 // seq of the first record
+	records int64
+	bytes   int64
+}
+
+func (m segMeta) maxSeq() int64 { return m.base + m.records - 1 }
+
+func segName(index int64) string { return fmt.Sprintf("%08d%s", index, segSuffix) }
+func ckptName(seq int64) string  { return fmt.Sprintf("%014d%s", seq, ckptSuffix) }
+
+// Store is a segmented, checkpointed journal sink. It implements
+// io.Writer (with Sync) so a journal Writer appends through it
+// unchanged, plus the commit-hook bookkeeping that drives checkpoints.
+// Safe for concurrent use.
+type Store struct {
+	dir string
+	sc  StoreConfig
+
+	mu     sync.Mutex
+	segs   []segMeta // ascending by index; last is the active segment
+	active *os.File
+	err    error // sticky store failure
+	closed bool
+
+	// Checkpoint state. In leader mode shadow is the store's own
+	// market, advanced by the commit hook so snapshots land exactly at
+	// a committed seq. In replica mode (replicaShadow) shadow is the
+	// follower's serving market, already advanced by the apply loop
+	// before each append.
+	shadow        *market.Market
+	replicaShadow bool
+	appliedSeq    int64
+	lastCkpt      int64   // newest durable checkpoint seq, 0 = none
+	ckpts         []int64 // durable checkpoint seqs, ascending
+	sinceCkpt     int64
+	ckptBusy      bool
+
+	// downstream is the chained commit observer (the replication
+	// feed); called outside mu, in commit order — the Writer
+	// serializes commits.
+	downstream func(Event)
+
+	wg sync.WaitGroup // in-flight checkpoint writes
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Err returns the store's sticky failure, nil while healthy. A failed
+// rotation poisons the Writer through the normal sink-error path; a
+// failed checkpoint write poisons only the store — appends still
+// succeed, but recovery cost is no longer bounded, so readiness probes
+// must surface it.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// LastCheckpoint returns the newest durable checkpoint's seq, 0 when
+// none has been written yet.
+func (s *Store) LastCheckpoint() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastCkpt
+}
+
+// Checkpoint writes a snapshot checkpoint of the current committed
+// state synchronously — the same artifact the background cadence
+// produces, followed by the same compaction pass. Operational tooling
+// calls it to bound the recovery tail at a known point: before a
+// backup, a measured restart, or a benchmark run. An in-flight
+// background checkpoint is waited out first; a checkpoint that is
+// already current is a no-op.
+func (s *Store) Checkpoint() error {
+	for {
+		s.mu.Lock()
+		if s.err != nil {
+			defer s.mu.Unlock()
+			return s.err
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return ErrClosed
+		}
+		if !s.ckptBusy {
+			break // mu still held
+		}
+		s.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	if s.shadow == nil || s.appliedSeq == 0 || s.lastCkpt == s.appliedSeq {
+		s.mu.Unlock()
+		return nil
+	}
+	snap := s.shadow.Snapshot()
+	seq := s.appliedSeq
+	s.ckptBusy = true
+	s.sinceCkpt = 0
+	s.mu.Unlock()
+	s.wg.Add(1)
+	s.checkpoint(snap, seq)
+	return s.Err()
+}
+
+// OnCommit chains fn after the store's own commit bookkeeping: fn sees
+// every durably committed record in strict order, exactly like
+// Writer.OnCommit. This is the replication feed's attachment point on
+// a store-backed market.
+func (s *Store) OnCommit(fn func(Event)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.downstream = fn
+}
+
+// Write appends one record (or one group-commit batch) to the active
+// segment, rotating first when the segment is full. p is whole
+// newline-terminated records by the Writer's contract, so counting
+// newlines counts records.
+func (s *Store) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return 0, s.err
+	}
+	if s.closed {
+		return 0, ErrClosed
+	}
+	cur := &s.segs[len(s.segs)-1]
+	if cur.records > 0 && (cur.bytes >= s.sc.SegmentBytes || cur.records >= s.sc.SegmentRecords) {
+		if err := s.rotateLocked(); err != nil {
+			s.err = err
+			return 0, err
+		}
+		cur = &s.segs[len(s.segs)-1]
+	}
+	n, err := s.active.Write(p)
+	if err != nil {
+		return n, err // the Writer poisons itself on this
+	}
+	cur.bytes += int64(n)
+	cur.records += int64(bytes.Count(p, []byte{'\n'}))
+	return n, nil
+}
+
+// Sync fsyncs the active segment (the Writer's WithFsync and Close
+// path).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if s.active == nil {
+		return nil
+	}
+	return s.active.Sync()
+}
+
+// rotateLocked seals the active segment (fsync + close) and opens the
+// next one. Called with mu held.
+func (s *Store) rotateLocked() error {
+	cur := s.segs[len(s.segs)-1]
+	if err := s.active.Sync(); err != nil {
+		return fmt.Errorf("journal: sealing %s: %w", segName(cur.index), err)
+	}
+	if err := s.active.Close(); err != nil {
+		return fmt.Errorf("journal: sealing %s: %w", segName(cur.index), err)
+	}
+	next := segMeta{index: cur.index + 1, base: cur.base + cur.records}
+	f, headLen, err := createSegment(s.dir, next.index, next.base, false)
+	if err != nil {
+		return err
+	}
+	next.bytes = headLen
+	s.active = f
+	s.segs = append(s.segs, next)
+	return nil
+}
+
+// createSegment creates dir/NNNNNNNN.seg, writes its seghead line, and
+// makes both the file content and the directory entry durable before
+// any record can land in it. truncate recreates an existing (broken)
+// file in place; otherwise creation is exclusive.
+func createSegment(dir string, index, base int64, truncate bool) (*os.File, int64, error) {
+	flags := os.O_WRONLY | os.O_CREATE | os.O_APPEND
+	if truncate {
+		flags |= os.O_TRUNC
+	} else {
+		flags |= os.O_EXCL
+	}
+	path := filepath.Join(dir, segName(index))
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: creating segment: %w", err)
+	}
+	head, err := json.Marshal(segHead{Op: opSegHead, V: FormatVersion, Base: base, Index: index})
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	head = append(head, '\n')
+	if _, err := f.Write(head); err == nil {
+		err = f.Sync()
+	}
+	if err == nil {
+		err = syncDir(dir)
+	}
+	if err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("journal: writing seghead of %s: %w", segName(index), err)
+	}
+	return f, int64(len(head)), nil
+}
+
+// commit is installed as the journal Writer's commit hook: it advances
+// the shadow market, triggers checkpoints, and forwards the record to
+// the chained observer (the replication feed). The Writer serializes
+// commit calls, so downstream ordering holds even though the call runs
+// outside mu.
+func (s *Store) commit(e Event) {
+	s.mu.Lock()
+	if s.replicaShadow {
+		s.appliedSeq = e.Seq
+	} else if err := s.advanceShadowLocked(e); err != nil && s.err == nil {
+		s.err = err
+	}
+	s.sinceCkpt++
+	var snap *market.Snapshot
+	var snapSeq int64
+	if s.shouldCheckpointLocked() {
+		sn := s.shadow.Snapshot()
+		snap, snapSeq = &sn, s.appliedSeq
+		s.ckptBusy = true
+		s.sinceCkpt = 0
+	}
+	fn := s.downstream
+	s.mu.Unlock()
+	if snap != nil {
+		s.wg.Add(1)
+		go s.checkpoint(*snap, snapSeq)
+	}
+	if fn != nil {
+		fn(e)
+	}
+}
+
+func (s *Store) advanceShadowLocked(e Event) error {
+	switch e.Op {
+	case OpGenesis, OpSnapshot:
+		m, err := marketFromHead(e)
+		if err != nil {
+			return fmt.Errorf("journal: shadow head: %w", err)
+		}
+		s.shadow = m
+	default:
+		if err := applyEvent(s.shadow, e); err != nil {
+			return fmt.Errorf("journal: shadow: %w", err)
+		}
+	}
+	s.appliedSeq = e.Seq
+	return nil
+}
+
+func (s *Store) shouldCheckpointLocked() bool {
+	return !s.ckptBusy && s.err == nil && !s.closed &&
+		s.sc.CheckpointEvery > 0 && s.sinceCkpt >= s.sc.CheckpointEvery &&
+		s.shadow != nil
+}
+
+// checkpoint writes one snapshot checkpoint on a background goroutine
+// and, on success, kicks compaction. Group commit keeps running: only
+// the snapshot extraction happened on the commit path.
+func (s *Store) checkpoint(snap market.Snapshot, seq int64) {
+	defer s.wg.Done()
+	err := writeCheckpointFile(s.dir, seq, snap)
+	s.mu.Lock()
+	s.ckptBusy = false
+	if err != nil {
+		if s.err == nil {
+			s.err = fmt.Errorf("journal: checkpoint at seq %d: %w", seq, err)
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.lastCkpt = seq
+	s.ckpts = append(s.ckpts, seq)
+	s.mu.Unlock()
+	s.compactOnce()
+}
+
+// writeCheckpointFile lands dir/<seq>.ckpt atomically: build in a
+// temporary sibling, fsync it, rename into place, fsync the directory.
+func writeCheckpointFile(dir string, seq int64, snap market.Snapshot) error {
+	data, err := json.Marshal(checkpointFile{V: FormatVersion, Seq: seq, Snapshot: snap})
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(dir, "ckpt-*"+tmpSuffix)
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, ckptName(seq))); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return syncDir(dir)
+}
+
+// compactOnce deletes sealed segments wholly covered by the newest
+// durable checkpoint (beyond RetainSegments spares) and checkpoint
+// files older than the newest two. File removal happens outside mu so
+// appends never wait on the filesystem.
+func (s *Store) compactOnce() {
+	s.mu.Lock()
+	if s.sc.RetainSegments < 0 || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	covered := 0
+	for i := 0; i < len(s.segs)-1; i++ {
+		if s.segs[i].maxSeq() <= s.lastCkpt {
+			covered++
+		} else {
+			break
+		}
+	}
+	var doomedSegs []int64
+	if drop := covered - s.sc.RetainSegments; drop > 0 {
+		for _, m := range s.segs[:drop] {
+			doomedSegs = append(doomedSegs, m.index)
+		}
+		s.segs = append([]segMeta(nil), s.segs[drop:]...)
+	}
+	var doomedCkpts []int64
+	if n := len(s.ckpts); n > 2 {
+		doomedCkpts = append(doomedCkpts, s.ckpts[:n-2]...)
+		s.ckpts = append([]int64(nil), s.ckpts[n-2:]...)
+	}
+	s.mu.Unlock()
+	removed := false
+	for _, idx := range doomedSegs {
+		if os.Remove(filepath.Join(s.dir, segName(idx))) == nil {
+			removed = true
+		}
+	}
+	for _, seq := range doomedCkpts {
+		os.Remove(filepath.Join(s.dir, ckptName(seq)))
+	}
+	if removed {
+		syncDir(s.dir)
+	}
+}
+
+// Close waits for in-flight checkpoints, then seals the active
+// segment. The journal Writer's Close has already synced through the
+// store's Sync by the time Market.Close calls this.
+func (s *Store) Close() error {
+	// A clean shutdown leaves a checkpoint at the final seq (when the
+	// cadence is enabled), so the next open replays no tail at all —
+	// without it, a burst that outran the background cadence could
+	// leave many multiples of CheckpointEvery unsnapshotted. Manual-
+	// checkpoint mode (CheckpointEvery < 0) is left alone.
+	if s.sc.CheckpointEvery > 0 {
+		_ = s.Checkpoint() // a sticky store error resurfaces below
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.err
+	active := s.active
+	s.active = nil
+	s.mu.Unlock()
+	s.wg.Wait()
+	if active != nil {
+		if serr := active.Sync(); err == nil && serr != nil {
+			err = serr
+		}
+		if cerr := active.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// errStopScan aborts a TailEvents scan once the requested upper bound
+// has been delivered.
+var errStopScan = errors.New("journal: stop scan")
+
+// TailEvents streams the records with afterSeq < seq <= uptoSeq from
+// the store's segments, in order — the replication feed's catch-up
+// read. It holds the store lock for the duration, so appends stall
+// while a subscriber catches up from disk; the records it reads are
+// bounded by the checkpoint cadence.
+func (s *Store) TailEvents(afterSeq, uptoSeq int64, fn func(Event) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if uptoSeq <= afterSeq {
+		return nil
+	}
+	for _, seg := range s.segs {
+		if seg.maxSeq() <= afterSeq {
+			continue
+		}
+		if seg.base > uptoSeq {
+			break
+		}
+		err := scanSegment(s.dir, seg, func(e Event) error {
+			if e.Seq <= afterSeq {
+				return nil
+			}
+			if e.Seq > uptoSeq {
+				return errStopScan
+			}
+			if err := fn(e); err != nil {
+				return err
+			}
+			if e.Seq == uptoSeq {
+				return errStopScan
+			}
+			return nil
+		})
+		if errors.Is(err, errStopScan) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CatchupSnapshot returns canonical snapshot bytes and the seq they
+// capture, for replication catch-up: the newest durable checkpoint
+// file when one exists (no live-state re-encoding, no commit-path
+// stall), the shadow market otherwise (a store younger than its first
+// checkpoint).
+func (s *Store) CatchupSnapshot() ([]byte, int64, error) {
+	s.mu.Lock()
+	seq := s.lastCkpt
+	s.mu.Unlock()
+	if seq > 0 {
+		ck, err := readCheckpointFile(s.dir, seq)
+		if err != nil {
+			return nil, 0, err
+		}
+		data, err := ck.Snapshot.Canonical()
+		if err != nil {
+			return nil, 0, err
+		}
+		return data, ck.Seq, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shadow == nil {
+		return nil, 0, errors.New("journal: store has no state to snapshot")
+	}
+	data, err := s.shadow.Snapshot().Canonical()
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, s.appliedSeq, nil
+}
+
+func readCheckpointFile(dir string, seq int64) (*checkpointFile, error) {
+	name := ckptName(seq)
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return nil, err
+	}
+	var ck checkpointFile
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("%w: checkpoint %s: %v", ErrStoreCorrupt, name, err)
+	}
+	if ck.V != FormatVersion {
+		return nil, fmt.Errorf("%w: checkpoint %s has version %d", ErrVersion, name, ck.V)
+	}
+	if ck.Seq != seq {
+		return nil, fmt.Errorf("%w: checkpoint %s records seq %d", ErrStoreCorrupt, name, ck.Seq)
+	}
+	return &ck, nil
+}
+
+// scanSegment streams one segment's records (seghead skipped) through
+// fn, enforcing seq continuity from the seghead's base. Sealed
+// segments are fsynced before the next one is created, so a torn tail
+// here is only legal in the store's final segment — callers decide.
+func scanSegment(dir string, seg segMeta, fn func(Event) error) error {
+	f, err := os.Open(filepath.Join(dir, segName(seg.index)))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	if _, err := br.ReadBytes('\n'); err != nil {
+		return fmt.Errorf("%w: segment %s seghead: %v", ErrStoreCorrupt, segName(seg.index), err)
+	}
+	_, _, err = Scan(br, seg.base, fn)
+	return err
+}

@@ -1,0 +1,670 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/datamarket/shield/internal/command"
+	"github.com/datamarket/shield/internal/faultfs"
+	"github.com/datamarket/shield/internal/market"
+	"github.com/datamarket/shield/internal/rng"
+)
+
+// driveWorkload applies the seeded mixed workload to an already-built
+// journaled market. Both the store under test and its flat-log
+// reference run this with the same seed, so their record streams are
+// identical byte for byte — the backbone of every equivalence check in
+// this file.
+func driveWorkload(t *testing.T, m *Market, seed uint64, ops int) {
+	t.Helper()
+	r := rng.New(seed)
+	var (
+		sellers             []market.SellerID
+		buyers              []market.BuyerID
+		datasets            []market.DatasetID
+		nUploads, nComposed int
+	)
+	addSeller := func() {
+		id := market.SellerID(fmt.Sprintf("s%d", len(sellers)))
+		if m.RegisterSeller(id) == nil {
+			sellers = append(sellers, id)
+		}
+	}
+	addBuyer := func() {
+		id := market.BuyerID(fmt.Sprintf("b%d", len(buyers)))
+		if m.RegisterBuyer(id) == nil {
+			buyers = append(buyers, id)
+		}
+	}
+	upload := func() {
+		if len(sellers) == 0 {
+			return
+		}
+		id := market.DatasetID(fmt.Sprintf("d%d", nUploads))
+		nUploads++
+		if m.UploadDataset(sellers[r.Intn(len(sellers))], id) == nil {
+			datasets = append(datasets, id)
+		}
+	}
+	addSeller()
+	addBuyer()
+	upload()
+	for op := 0; op < ops; op++ {
+		switch r.Intn(11) {
+		case 0:
+			addSeller()
+		case 1:
+			addBuyer()
+		case 2, 3:
+			upload()
+		case 4:
+			if len(datasets) >= 2 {
+				a := datasets[r.Intn(len(datasets))]
+				b := datasets[r.Intn(len(datasets))]
+				if a != b {
+					id := market.DatasetID(fmt.Sprintf("c%d", nComposed))
+					nComposed++
+					if m.ComposeDataset(id, a, b) == nil {
+						datasets = append(datasets, id)
+					}
+				}
+			}
+		case 5, 6, 7:
+			if len(buyers) > 0 && len(datasets) > 0 {
+				m.SubmitBid(buyers[r.Intn(len(buyers))],
+					datasets[r.Intn(len(datasets))], r.Uniform(1, 150))
+			}
+		case 8:
+			if len(buyers) > 0 && len(datasets) > 0 {
+				n := 2 + r.Intn(4)
+				reqs := make([]market.BidRequest, 0, n)
+				for i := 0; i < n; i++ {
+					reqs = append(reqs, market.BidRequest{
+						Buyer:   buyers[r.Intn(len(buyers))],
+						Dataset: datasets[r.Intn(len(datasets))],
+						Amount:  r.Uniform(1, 150),
+					})
+				}
+				m.SubmitBids(reqs)
+			}
+		case 9:
+			m.Tick()
+		case 10:
+			if len(datasets) > 0 && len(sellers) > 0 {
+				m.WithdrawDataset(sellers[r.Intn(len(sellers))],
+					datasets[r.Intn(len(datasets))])
+			}
+		}
+	}
+}
+
+// flatReference runs the same workload against a flat in-memory log
+// and returns the log bytes plus the parsed events.
+func flatReference(t *testing.T, cfg market.Config, seed uint64, ops int) ([]byte, []Event) {
+	t.Helper()
+	var buf bytes.Buffer
+	jm, err := NewMarket(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveWorkload(t, jm, seed, ops)
+	if err := jm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), events
+}
+
+// storeBody concatenates every segment's records (seghead lines
+// stripped), which must reproduce the flat log byte for byte when no
+// segment has been compacted away.
+func storeBody(t *testing.T, dir string) []byte {
+	t.Helper()
+	l, err := listStoreDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []byte
+	for _, idx := range l.segIdx {
+		data, err := os.ReadFile(filepath.Join(dir, segName(idx)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			out = append(out, data[i+1:]...)
+		}
+	}
+	return out
+}
+
+func smallStoreConfig() StoreConfig {
+	return StoreConfig{
+		SegmentRecords:  16,
+		SegmentBytes:    1 << 20,
+		CheckpointEvery: 40,
+		RetainSegments:  -1, // keep everything: byte-equivalence checks need the full chain
+	}
+}
+
+// TestStoreRoundTrip: a store-backed market journals the exact same
+// record stream as a flat log, rotates segments, writes checkpoints,
+// and reopens to identical state with a bounded tail replay.
+func TestStoreRoundTrip(t *testing.T) {
+	const seed, ops = 7, 400
+	cfg := testConfig()
+	dir := t.TempDir()
+	jm, replayed, err := OpenStore(cfg, dir, smallStoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 0 {
+		t.Fatalf("fresh store replayed %d", replayed)
+	}
+	driveWorkload(t, jm, seed, ops)
+	wantSnap := jm.Snapshot()
+	lastSeq := jm.LastSeq()
+	if err := jm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	flat, _ := flatReference(t, cfg, seed, ops)
+	if got := storeBody(t, dir); !bytes.Equal(got, flat) {
+		t.Fatalf("segment bodies (%d bytes) differ from flat log (%d bytes)", len(got), len(flat))
+	}
+
+	l, err := listStoreDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.segIdx) < 3 {
+		t.Fatalf("expected rotation, got %d segments", len(l.segIdx))
+	}
+	if len(l.ckptSeqs) == 0 {
+		t.Fatal("expected checkpoints")
+	}
+
+	jm2, replayed, err := OpenStore(cfg, dir, smallStoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jm2.Close()
+	if jm2.LastSeq() != lastSeq {
+		t.Fatalf("reopen LastSeq=%d, want %d", jm2.LastSeq(), lastSeq)
+	}
+	if d := jm2.Snapshot().Diff(wantSnap); d != "" {
+		t.Fatalf("reopen state: %s", d)
+	}
+	// Bounded tail: the replay may not exceed the records past the
+	// newest checkpoint (modulo the covered records inside the final
+	// scanned segments, bounded by segment size).
+	maxTail := int(smallStoreConfig().CheckpointEvery + 2*smallStoreConfig().SegmentRecords)
+	if replayed > maxTail {
+		t.Fatalf("reopen replayed %d records, bound is %d", replayed, maxTail)
+	}
+	// And appending must still work.
+	if err := jm2.RegisterBuyer("post-reopen"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreCompaction: with default retention, sealed segments wholly
+// covered by a checkpoint are deleted in the background while the
+// market keeps appending, and recovery still lands on the full state.
+func TestStoreCompaction(t *testing.T) {
+	const seed, ops = 11, 400
+	cfg := testConfig()
+	dir := t.TempDir()
+	sc := smallStoreConfig()
+	sc.RetainSegments = 0
+	jm, _, err := OpenStore(cfg, dir, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveWorkload(t, jm, seed, ops)
+	wantSnap := jm.Snapshot()
+	if err := jm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := listStoreDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.segIdx[0] == 0 {
+		t.Fatalf("no segment was compacted away (oldest still %s, %d segments)",
+			segName(l.segIdx[0]), len(l.segIdx))
+	}
+	if n := len(l.ckptSeqs); n > 2 {
+		t.Fatalf("%d checkpoint files retained, want <= 2", n)
+	}
+	m, _, _, err := RecoverDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := m.Snapshot().Diff(wantSnap); d != "" {
+		t.Fatalf("post-compaction recovery: %s", d)
+	}
+}
+
+// TestStoreGroupCommit: the store composes with group commit —
+// concurrent appends rotate and checkpoint safely, and the reopened
+// state matches.
+func TestStoreGroupCommit(t *testing.T) {
+	cfg := testConfig()
+	dir := t.TempDir()
+	sc := smallStoreConfig()
+	jm, _, err := OpenStore(cfg, dir, sc, WithGroupCommit(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jm.RegisterSeller("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := jm.UploadDataset("s", "d"); err != nil {
+		t.Fatal(err)
+	}
+	const workers, each = 8, 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				id := market.BuyerID(fmt.Sprintf("b%d-%d", w, i))
+				if err := jm.RegisterBuyer(id); err != nil {
+					t.Errorf("register %s: %v", id, err)
+					return
+				}
+				jm.SubmitBid(id, "d", 10+float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	wantSnap := jm.Snapshot()
+	lastSeq := jm.LastSeq()
+	if err := jm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, gotSeq, _, err := RecoverDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSeq != lastSeq {
+		t.Fatalf("recovered seq %d, want %d", gotSeq, lastSeq)
+	}
+	if d := m.Snapshot().Diff(wantSnap); d != "" {
+		t.Fatal(d)
+	}
+}
+
+// TestStoreMigrateFlat: a flat log (current format) absorbed as
+// segment 0 replays to the same state, and subsequent appends land in
+// the store.
+func TestStoreMigrateFlat(t *testing.T) {
+	const seed, ops = 3, 120
+	cfg := testConfig()
+	flatPath := filepath.Join(t.TempDir(), "flat.log")
+	jm, _, err := OpenFile(cfg, flatPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveWorkload(t, jm, seed, ops)
+	wantSnap := jm.Snapshot()
+	if err := jm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	flatBytes, err := os.ReadFile(flatPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	sc := smallStoreConfig()
+	sc.MigrateFlat = flatPath
+	sm, _, err := OpenStore(cfg, dir, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sm.Snapshot().Diff(wantSnap); d != "" {
+		t.Fatalf("migrated state: %s", d)
+	}
+	// Segment 0 holds the flat log verbatim.
+	if got := storeBody(t, dir); !bytes.Equal(got, flatBytes) {
+		t.Fatal("migrated segment 0 is not the flat log verbatim")
+	}
+	if err := sm.RegisterBuyer("migrated"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening with MigrateFlat still set must NOT re-migrate.
+	sm2, _, err := OpenStore(cfg, dir, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sm2.Close()
+	if _, err := sm2.BuyerSpend("migrated"); err != nil {
+		t.Fatalf("post-migration append lost on reopen: %v", err)
+	}
+}
+
+// TestStoreMigrateLegacyV0 absorbs the frozen pre-versioning fixture:
+// the v0 bytes ride into segment 0 untouched and replay through the
+// same upgrade path the flat reader uses.
+func TestStoreMigrateLegacyV0(t *testing.T) {
+	legacy, err := os.ReadFile(legacyLogPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Restore(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	sc := smallStoreConfig()
+	sc.MigrateFlat = legacyLogPath
+	sm, _, err := OpenStore(market.Config{}, dir, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sm.Close()
+	if d := sm.Snapshot().Diff(want.Snapshot()); d != "" {
+		t.Fatalf("legacy migration: %s", d)
+	}
+	if got := storeBody(t, dir); !bytes.Equal(got, legacy) {
+		t.Fatal("legacy bytes did not survive migration verbatim")
+	}
+}
+
+// TestOpenFileTornTailSyncFailure is the satellite regression for the
+// recovery-durability fix: OpenFile must fsync the truncated file and
+// its directory, and a failure in that sync path must fail the open —
+// silently resuming on a repair that might not be durable would risk
+// mid-log corruption after the next crash.
+func TestOpenFileTornTailSyncFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.log")
+	jm, _, err := OpenFile(testConfig(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jm.RegisterBuyer("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := jm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"op":"tick"`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	old := syncFileHook
+	syncFileHook = func(*os.File) error { return faultfs.ErrInjected }
+	_, _, err = OpenFile(testConfig(), path)
+	syncFileHook = old
+	if !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("open with failing tail-repair sync: err=%v, want ErrInjected", err)
+	}
+	// With the sync healthy again the same open succeeds and the torn
+	// bytes are gone for good.
+	jm2, replayed, err := OpenFile(testConfig(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jm2.Close()
+	if replayed != 1 {
+		t.Fatalf("replayed %d, want 1", replayed)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte(`"seq":3,"op":"tick"`)) {
+		t.Fatal("torn bytes survived repair")
+	}
+}
+
+// TestReplicaStoreRoundTrip: reset from a snapshot, append a tail,
+// reopen cold, resume from local seq.
+func TestReplicaStoreRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	leader, err := market.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.RegisterSeller("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.UploadDataset("s", "d"); err != nil {
+		t.Fatal(err)
+	}
+	snap := leader.Snapshot()
+
+	dir := t.TempDir()
+	sc := StoreConfig{SegmentRecords: 4, CheckpointEvery: 8, RetainSegments: -1}
+	rs, m0, applied, err := OpenReplicaStore(dir, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0 != nil || applied != 0 {
+		t.Fatalf("empty replica store returned market=%v applied=%d", m0, applied)
+	}
+	m, err := rs.Reset(snap, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply + persist a tail of records, crossing a rotation.
+	for i := 0; i < 10; i++ {
+		cmd := command.RegisterBuyer{Buyer: market.BuyerID(fmt.Sprintf("b%d", i))}
+		if _, err := m.Apply(cmd); err != nil {
+			t.Fatal(err)
+		}
+		e, err := EventFromCommand(cmd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Seq = 11 + int64(i)
+		if err := rs.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rs.AppliedSeq(); got != 20 {
+		t.Fatalf("applied seq %d, want 20", got)
+	}
+	wantSnap := m.Snapshot()
+	if err := rs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rs2, m2, applied, err := OpenReplicaStore(dir, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs2.Close()
+	if applied != 20 {
+		t.Fatalf("cold restart applied=%d, want 20", applied)
+	}
+	if d := m2.Snapshot().Diff(wantSnap); d != "" {
+		t.Fatalf("cold restart state: %s", d)
+	}
+	// A gap must be rejected, the next contiguous seq accepted.
+	e, _ := EventFromCommand(command.Tick{})
+	e.Seq = 25
+	if err := rs2.Append(e); !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("gap append: %v, want ErrSeqGap", err)
+	}
+	if _, err := m2.Apply(command.Tick{}); err != nil {
+		t.Fatal(err)
+	}
+	e.Seq = 21
+	if err := rs2.Append(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreInventory pins the inventory surfaces: the live Inventory
+// and the offline InspectDir agree on segments, checkpoints, coverage,
+// and seq bounds.
+func TestStoreInventory(t *testing.T) {
+	const seed, ops = 5, 300
+	cfg := testConfig()
+	dir := t.TempDir()
+	jm, _, err := OpenStore(cfg, dir, smallStoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveWorkload(t, jm, seed, ops)
+	lastSeq := jm.LastSeq()
+	if err := jm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close waited out in-flight checkpoints, so the live metadata and
+	// the on-disk truth have converged.
+	live := jm.Store().Inventory()
+	if live.LastSeq != lastSeq {
+		t.Fatalf("live inventory LastSeq=%d, want %d", live.LastSeq, lastSeq)
+	}
+	if live.FirstSeq != 1 || len(live.Segments) < 3 || live.LastCheckpoint == 0 {
+		t.Fatalf("implausible live inventory: %+v", live)
+	}
+	inv, err := InspectDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.LastSeq != lastSeq || inv.FirstSeq != live.FirstSeq || inv.LastCheckpoint != live.LastCheckpoint {
+		t.Fatalf("InspectDir disagrees with live inventory:\noffline %+v\nlive    %+v", inv, live)
+	}
+	if len(inv.Segments) != len(live.Segments) {
+		t.Fatalf("segment counts differ: offline %d, live %d", len(inv.Segments), len(live.Segments))
+	}
+	var sawCovered bool
+	for i, seg := range inv.Segments {
+		if seg.Records != live.Segments[i].Records || seg.Base != live.Segments[i].Base {
+			t.Fatalf("segment %s: offline %+v, live %+v", seg.Name, seg, live.Segments[i])
+		}
+		if seg.Covered {
+			sawCovered = true
+			if !seg.Sealed {
+				t.Fatalf("active segment %s reported covered", seg.Name)
+			}
+		}
+	}
+	if !sawCovered {
+		t.Fatal("no segment reported covered despite checkpoints")
+	}
+	if !strings.HasPrefix(inv.Segments[0].Name, "0000") {
+		t.Fatalf("unexpected segment name %q", inv.Segments[0].Name)
+	}
+}
+
+// TestStoreCheckpointOnly: with checkpointing disabled the store still
+// rotates and recovers (by replaying everything), proving the
+// checkpoint path is an optimization, not a correctness dependency.
+// TestStoreManualCheckpoint: Store.Checkpoint writes a synchronous
+// checkpoint at the current committed seq even with the background
+// cadence disabled, a second call with nothing new is a no-op, and a
+// reopened store replays zero tail records past it.
+func TestStoreManualCheckpoint(t *testing.T) {
+	const seed, ops = 17, 120
+	cfg := testConfig()
+	dir := t.TempDir()
+	sc := smallStoreConfig()
+	sc.CheckpointEvery = -1
+	jm, _, err := OpenStore(cfg, dir, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveWorkload(t, jm, seed, ops)
+	if err := jm.Store().Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := jm.LastSeq()
+	if got := jm.Store().LastCheckpoint(); got != want {
+		t.Fatalf("manual checkpoint landed at seq %d, committed seq %d", got, want)
+	}
+	inv := jm.Store().Inventory()
+	if len(inv.Checkpoints) != 1 {
+		t.Fatalf("%d checkpoint files after one manual checkpoint", len(inv.Checkpoints))
+	}
+	if err := jm.Store().Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if again := jm.Store().Inventory(); len(again.Checkpoints) != 1 {
+		t.Fatalf("no-op re-checkpoint wrote %d files", len(again.Checkpoints))
+	}
+	snap := jm.Snapshot()
+	if err := jm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, seq, replayed, err := RecoverDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != want || replayed != 0 {
+		t.Fatalf("recovery reached seq %d replaying %d records, want seq %d with 0", seq, replayed, want)
+	}
+	if d := m.Snapshot().Diff(snap); d != "" {
+		t.Fatal(d)
+	}
+
+	// A closed store refuses further checkpoints.
+	jm2, _, err := OpenStore(cfg, dir, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := jm2.Store()
+	if err := jm2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Checkpoint(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Checkpoint after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestStoreNoCheckpoints(t *testing.T) {
+	const seed, ops = 13, 200
+	cfg := testConfig()
+	dir := t.TempDir()
+	sc := smallStoreConfig()
+	sc.CheckpointEvery = -1
+	jm, _, err := OpenStore(cfg, dir, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveWorkload(t, jm, seed, ops)
+	want := jm.Snapshot()
+	if err := jm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := listStoreDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.ckptSeqs) != 0 {
+		t.Fatalf("checkpoints written while disabled: %v", l.ckptSeqs)
+	}
+	jm2, _, err := OpenStore(cfg, dir, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jm2.Close()
+	if d := jm2.Snapshot().Diff(want); d != "" {
+		t.Fatal(d)
+	}
+}

@@ -1,0 +1,169 @@
+// Replica-mode stores: the local segment directory a replication
+// follower persists through, so a cold restart resumes from its own
+// durable seq instead of re-snapshotting from the leader. The follower
+// applies each replicated command to its serving market first, then
+// appends the record here; the serving market doubles as the store's
+// checkpoint shadow (there is no journal Writer on a follower — the
+// replication stream is the writer).
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/datamarket/shield/internal/market"
+)
+
+// ReplicaStore is a follower's local segmented store. Append and Reset
+// are called from the follower's single apply loop; the read-side
+// accessors are safe to call concurrently with it.
+type ReplicaStore struct {
+	st *Store
+
+	mu   sync.Mutex
+	buf  bytes.Buffer
+	enc  *json.Encoder
+	next int64 // seq the next appended record must carry
+}
+
+// OpenReplicaStore opens (or creates) a follower's local store and
+// recovers whatever state it holds: the newest checkpoint plus the
+// segment tail, exactly like leader recovery. It returns the restored
+// serving market (nil when the store is empty — the follower's first
+// catch-up will Reset it) and the seq of the newest durable record.
+func OpenReplicaStore(dir string, sc StoreConfig) (*ReplicaStore, *market.Market, int64, error) {
+	sc.applyDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, 0, err
+	}
+	st, err := recoverStoreDir(dir, false)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	s := &Store{dir: dir, sc: sc, segs: st.segs, ckpts: st.ckpts, lastCkpt: st.lastCkpt, replicaShadow: true}
+	rs := &ReplicaStore{st: s}
+	rs.enc = json.NewEncoder(&rs.buf)
+	if st.m == nil {
+		// Empty (or unrecoverable-fresh) store: no active segment yet;
+		// Reset creates the chain once the first snapshot arrives.
+		return rs, nil, 0, nil
+	}
+	if err := s.attachTail(st); err != nil {
+		return nil, nil, 0, err
+	}
+	s.shadow = st.m
+	s.appliedSeq = st.lastSeq
+	s.sinceCkpt = st.lastSeq - st.lastCkpt
+	rs.next = st.lastSeq + 1
+	return rs, st.m, st.lastSeq, nil
+}
+
+// Reset wipes the store and reseeds it from a leader snapshot: every
+// segment and checkpoint is deleted, the snapshot lands synchronously
+// as the checkpoint at seq, and a fresh segment 0 opens at seq+1. It
+// returns the restored market, which becomes both the follower's
+// serving view and the store's checkpoint shadow.
+func (rs *ReplicaStore) Reset(snap market.Snapshot, seq int64) (*market.Market, error) {
+	m, err := market.RestoreSnapshot(snap)
+	if err != nil {
+		return nil, err
+	}
+	s := rs.st
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.active != nil {
+		s.active.Close()
+		s.active = nil
+	}
+	l, err := listStoreDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, idx := range l.segIdx {
+		os.Remove(filepath.Join(s.dir, segName(idx)))
+	}
+	for _, cs := range l.ckptSeqs {
+		os.Remove(filepath.Join(s.dir, ckptName(cs)))
+	}
+	for _, tmp := range l.tmps {
+		os.Remove(filepath.Join(s.dir, tmp))
+	}
+	if err := syncDir(s.dir); err != nil {
+		return nil, err
+	}
+	if err := writeCheckpointFile(s.dir, seq, snap); err != nil {
+		return nil, fmt.Errorf("journal: replica reset checkpoint: %w", err)
+	}
+	f, headLen, err := createSegment(s.dir, 0, seq+1, false)
+	if err != nil {
+		return nil, err
+	}
+	s.segs = []segMeta{{index: 0, base: seq + 1, bytes: headLen}}
+	s.active = f
+	s.ckpts = []int64{seq}
+	s.lastCkpt = seq
+	s.shadow = m
+	s.appliedSeq = seq
+	s.sinceCkpt = 0
+	s.err = nil
+	rs.mu.Lock()
+	rs.next = seq + 1
+	rs.mu.Unlock()
+	return m, nil
+}
+
+// Append persists one replicated record after the follower applied it
+// to the serving market. Rotation and checkpointing work exactly as on
+// the leader; the periodic checkpoint snapshots the serving market at
+// the just-applied seq. Append failures are sticky — the follower
+// keeps serving from memory, but the store stops accepting records and
+// reports the fault through Err.
+func (rs *ReplicaStore) Append(e Event) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.next == 0 {
+		return fmt.Errorf("journal: replica store has no chain yet (missing Reset)")
+	}
+	if e.Seq != rs.next {
+		return fmt.Errorf("%w: replica append seq %d, want %d", ErrSeqGap, e.Seq, rs.next)
+	}
+	rs.buf.Reset()
+	if err := rs.enc.Encode(e); err != nil {
+		return err
+	}
+	if _, err := rs.st.Write(rs.buf.Bytes()); err != nil {
+		rs.st.mu.Lock()
+		if rs.st.err == nil {
+			rs.st.err = err
+		}
+		rs.st.mu.Unlock()
+		return err
+	}
+	rs.next++
+	rs.st.commit(e)
+	return nil
+}
+
+// AppliedSeq returns the seq of the newest record the store accepted
+// (0 when empty).
+func (rs *ReplicaStore) AppliedSeq() int64 {
+	rs.st.mu.Lock()
+	defer rs.st.mu.Unlock()
+	return rs.st.appliedSeq
+}
+
+// Err surfaces the store's sticky failure; see Store.Err.
+func (rs *ReplicaStore) Err() error { return rs.st.Err() }
+
+// Store exposes the underlying store for inventory reporting.
+func (rs *ReplicaStore) Store() *Store { return rs.st }
+
+// Close seals the store.
+func (rs *ReplicaStore) Close() error { return rs.st.Close() }

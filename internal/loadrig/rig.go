@@ -45,6 +45,18 @@ type RigConfig struct {
 	// JournalPath is the journal file to create; empty means a
 	// temporary directory the rig owns and removes on Close.
 	JournalPath string
+	// Store backs the rig with a segmented journal store — a directory
+	// of rotated segment files with snapshot checkpoints and background
+	// compaction, the marketd -journal-dir configuration — instead of a
+	// flat journal file. JournalPath is ignored in store mode; the rig
+	// owns a temporary directory.
+	Store bool
+	// StoreConfig tunes the segmented store (zero values take the
+	// store's defaults). CheckpointEvery is the compaction cadence:
+	// every N committed records the store snapshots the market and
+	// deletes the segments the checkpoint covers. Only read when Store
+	// is set.
+	StoreConfig journal.StoreConfig
 	// WireBufferSize overrides the wire server's per-connection buffer
 	// (bytes). Rigs default to 4KiB so a thousand connections do not
 	// cost 128MiB of idle buffers.
@@ -81,8 +93,12 @@ type Rig struct {
 	Datasets []market.DatasetID
 	// Buyers is the registered buyer accounts.
 	Buyers []market.BuyerID
-	// JournalPath is the journal file backing Market.
+	// JournalPath is the journal file backing Market; empty in store
+	// mode, where JournalDir is the segmented store directory instead.
 	JournalPath string
+	// JournalDir is the segmented store directory backing Market,
+	// non-empty only when the rig runs in store mode (RigConfig.Store).
+	JournalDir string
 	// Feed is the leader's replication feed, non-nil when the rig runs
 	// followers.
 	Feed *replica.Feed
@@ -121,7 +137,15 @@ func StartRig(rc RigConfig) (*Rig, error) {
 	}
 
 	r := &Rig{JournalPath: rc.JournalPath}
-	if r.JournalPath == "" {
+	if rc.Store {
+		dir, err := os.MkdirTemp("", "shieldload-")
+		if err != nil {
+			return nil, fmt.Errorf("loadrig: store dir: %w", err)
+		}
+		r.tmpDir = dir
+		r.JournalPath = ""
+		r.JournalDir = filepath.Join(dir, "store")
+	} else if r.JournalPath == "" {
 		dir, err := os.MkdirTemp("", "shieldload-")
 		if err != nil {
 			return nil, fmt.Errorf("loadrig: journal dir: %w", err)
@@ -159,7 +183,13 @@ func StartRig(rc RigConfig) (*Rig, error) {
 	if rc.Fsync {
 		opts = append(opts, journal.WithFsync())
 	}
-	jm, _, err := journal.OpenFile(cfg, r.JournalPath, opts...)
+	var jm *journal.Market
+	var err error
+	if rc.Store {
+		jm, _, err = journal.OpenStore(cfg, r.JournalDir, rc.StoreConfig, opts...)
+	} else {
+		jm, _, err = journal.OpenFile(cfg, r.JournalPath, opts...)
+	}
 	if err != nil {
 		r.cleanupTmp()
 		return nil, fmt.Errorf("loadrig: opening journal: %w", err)
@@ -361,30 +391,54 @@ func (r *Rig) CheckInvariants() (string, error) {
 	}
 
 	// The journal's group-commit writer acknowledges only written
-	// records, so the file read back here covers every operation the
-	// clients saw succeed.
-	raw, err := os.ReadFile(r.JournalPath)
-	if err != nil {
-		return "", fmt.Errorf("loadrig: reading journal: %w", err)
-	}
-	restored, err := journal.Restore(bytes.NewReader(raw))
-	if err != nil {
-		return "", fmt.Errorf("loadrig: journal replay: %w", err)
-	}
+	// records, so the state read back here covers every operation the
+	// clients saw succeed. In store mode the replay is checkpoint +
+	// tail-segment recovery — the same bounded-tail path a restarted
+	// marketd -journal-dir takes.
 	liveBytes, err := r.Market.Snapshot().Canonical()
 	if err != nil {
 		return "", fmt.Errorf("loadrig: live snapshot: %w", err)
 	}
-	restoredBytes, err := restored.Snapshot().Canonical()
-	if err != nil {
-		return "", fmt.Errorf("loadrig: restored snapshot: %w", err)
-	}
-	if !bytes.Equal(liveBytes, restoredBytes) {
-		return "", errors.New("loadrig: journal replay does not rebuild live state")
+	var replaySummary string
+	if r.JournalDir != "" {
+		restored, rseq, _, err := journal.RecoverDir(r.JournalDir)
+		if err != nil {
+			return "", fmt.Errorf("loadrig: store recovery: %w", err)
+		}
+		if want := r.Market.LastSeq(); rseq != want {
+			return "", fmt.Errorf("loadrig: store recovery reached seq %d, live at %d", rseq, want)
+		}
+		restoredBytes, err := restored.Snapshot().Canonical()
+		if err != nil {
+			return "", fmt.Errorf("loadrig: restored snapshot: %w", err)
+		}
+		if !bytes.Equal(liveBytes, restoredBytes) {
+			return "", errors.New("loadrig: store recovery does not rebuild live state")
+		}
+		inv := r.Market.Store().Inventory()
+		replaySummary = fmt.Sprintf("checkpointed recovery rebuilds live state (%d segments, %d checkpoints, %d bytes on disk)",
+			len(inv.Segments), len(inv.Checkpoints), inv.TotalBytes)
+	} else {
+		raw, err := os.ReadFile(r.JournalPath)
+		if err != nil {
+			return "", fmt.Errorf("loadrig: reading journal: %w", err)
+		}
+		restored, err := journal.Restore(bytes.NewReader(raw))
+		if err != nil {
+			return "", fmt.Errorf("loadrig: journal replay: %w", err)
+		}
+		restoredBytes, err := restored.Snapshot().Canonical()
+		if err != nil {
+			return "", fmt.Errorf("loadrig: restored snapshot: %w", err)
+		}
+		if !bytes.Equal(liveBytes, restoredBytes) {
+			return "", errors.New("loadrig: journal replay does not rebuild live state")
+		}
+		replaySummary = fmt.Sprintf("journal replay rebuilds live state (%d bytes)", len(raw))
 	}
 
-	summary := fmt.Sprintf("money conserved (revenue=%v over %d transactions); journal replay rebuilds live state (%d bytes)",
-		revenue, len(txs), len(raw))
+	summary := fmt.Sprintf("money conserved (revenue=%v over %d transactions); %s",
+		revenue, len(txs), replaySummary)
 	if len(r.Followers) > 0 {
 		if err := r.checkReplicaConvergence(); err != nil {
 			return "", err

@@ -362,7 +362,7 @@ func (m *Market) BuyerSpend(id BuyerID) (Money, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownBuyer, id)
 	}
-	return cell.Load().spent, nil
+	return Money(cell.spent.Load()), nil
 }
 
 // Owns reports whether the buyer has acquired the dataset (lock-free).
@@ -371,7 +371,8 @@ func (m *Market) Owns(buyer BuyerID, dataset DatasetID) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("%w: %s", ErrUnknownBuyer, buyer)
 	}
-	return cell.Load().acquired[dataset], nil
+	_, owns := cell.acquired.Load(dataset)
+	return owns, nil
 }
 
 // WaitRemaining returns how many periods remain before the buyer may bid

@@ -43,10 +43,10 @@ type views struct {
 
 	// buyers maps each registered buyer to its view cell. The outer map
 	// is copy-on-write (cloned under the registry write lock on
-	// registration); cells are swapped under the buyer's account mutex,
-	// and only when the buyer wins — losing bids touch no buyer-visible
-	// read state.
-	buyers atomic.Pointer[map[BuyerID]*atomic.Pointer[buyerView]]
+	// registration); cells are updated in place under the buyer's
+	// account mutex, and only when the buyer wins — losing bids touch no
+	// buyer-visible read state.
+	buyers atomic.Pointer[map[BuyerID]*buyerCell]
 
 	// books is the money view. booksMu serializes publication (an
 	// atomic pointer swap alone would lose concurrent sales); readers
@@ -114,10 +114,25 @@ func (c *statsCell) load() DatasetStats {
 	}
 }
 
-// buyerView is one buyer's immutable read view.
-type buyerView struct {
-	acquired map[DatasetID]bool
-	spent    Money
+// buyerCell is one buyer's lock-free read state. The acquisition set is
+// add-only (a win is its only mutation, and withdrawals don't revoke
+// ownership), so it lives in a sync.Map grown in place for the buyer's
+// lifetime instead of an immutable map re-copied on every win: hot
+// buyers accumulate thousands of acquisitions, and an O(own
+// acquisitions) copy per sale made long storms quadratic in sales.
+// spent holds the absolute total, republished under the buyer's account
+// mutex. The two readers (Owns, BuyerSpend) are single-field lookups,
+// so no cross-field consistency is needed.
+type buyerCell struct {
+	acquired sync.Map     // DatasetID → true; add-only
+	spent    atomic.Int64 // Money
+}
+
+func (c *buyerCell) publish(acquired map[DatasetID]bool, spent Money) {
+	for k := range acquired {
+		c.acquired.Store(k, true)
+	}
+	c.spent.Store(int64(spent))
 }
 
 // booksView is the immutable money view: the three conservation sums
@@ -133,7 +148,7 @@ type booksView struct {
 
 func (m *Market) initViews() {
 	stats := make(map[DatasetID]*statsCell)
-	buyers := make(map[BuyerID]*atomic.Pointer[buyerView])
+	buyers := make(map[BuyerID]*buyerCell)
 	m.vw.stats.Store(&stats)
 	m.vw.buyers.Store(&buyers)
 	m.vw.books.Store(&booksView{})
@@ -156,12 +171,10 @@ func (m *Market) rebuildViews() {
 	m.vw.stats.Store(&stats)
 
 	buyerIDs := m.st.BuyerIDs()
-	buyers := make(map[BuyerID]*atomic.Pointer[buyerView], len(buyerIDs))
+	buyers := make(map[BuyerID]*buyerCell, len(buyerIDs))
 	for _, id := range buyerIDs {
-		cell := new(atomic.Pointer[buyerView])
-		m.st.InspectBuyer(id, func(acquired map[DatasetID]bool, spent Money) {
-			cell.Store(newBuyerView(acquired, spent))
-		})
+		cell := new(buyerCell)
+		m.st.InspectBuyer(id, cell.publish)
 		buyers[id] = cell
 	}
 	m.vw.buyers.Store(&buyers)
@@ -175,14 +188,6 @@ func (m *Market) rebuildViews() {
 	})
 }
 
-func newBuyerView(acquired map[DatasetID]bool, spent Money) *buyerView {
-	v := &buyerView{acquired: make(map[DatasetID]bool, len(acquired)), spent: spent}
-	for k, ok := range acquired {
-		v.acquired[k] = ok
-	}
-	return v
-}
-
 // publishStructural updates the views invalidated by a structural
 // command's events. Callers hold the registry write lock, so outer-map
 // clones race with nothing.
@@ -194,13 +199,11 @@ func (m *Market) publishStructural(evs []command.Event) {
 
 		case command.EvBuyerRegistered:
 			old := *m.vw.buyers.Load()
-			next := make(map[BuyerID]*atomic.Pointer[buyerView], len(old)+1)
+			next := make(map[BuyerID]*buyerCell, len(old)+1)
 			for k, v := range old {
 				next[k] = v
 			}
-			cell := new(atomic.Pointer[buyerView])
-			cell.Store(&buyerView{acquired: map[DatasetID]bool{}})
-			next[ev.Buyer] = cell
+			next[ev.Buyer] = new(buyerCell)
 			m.vw.buyers.Store(&next)
 
 		case command.EvDatasetAdded:
@@ -256,12 +259,16 @@ func (m *Market) publishBid(ev command.Event) {
 	})
 	m.vw.booksMu.Unlock()
 
-	// ...and the winner's view. Publication happens under the buyer's
-	// account mutex (inside InspectBuyer) so concurrent wins by the same
-	// buyer on other shards cannot overwrite this win with a stale view.
+	// ...and the winner's cell: the won dataset joins the add-only set
+	// and spent is republished as the absolute total — O(1) per sale,
+	// independent of how many datasets the buyer already owns.
+	// Publication happens under the buyer's account mutex (inside
+	// InspectBuyer) so concurrent wins by the same buyer on other shards
+	// cannot overwrite this win's spend with a stale total.
 	if cell, ok := (*m.vw.buyers.Load())[ev.Buyer]; ok {
-		m.st.InspectBuyer(ev.Buyer, func(acquired map[DatasetID]bool, spent Money) {
-			cell.Store(newBuyerView(acquired, spent))
+		m.st.InspectBuyer(ev.Buyer, func(_ map[DatasetID]bool, spent Money) {
+			cell.acquired.Store(ev.Dataset, true)
+			cell.spent.Store(int64(spent))
 		})
 	}
 }

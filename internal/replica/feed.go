@@ -39,24 +39,34 @@ const subSlack = 1024
 var ErrFollowerAhead = errors.New("replica: follower ahead of leader")
 
 // Feed is the leader-side replication source (wire.ReplicationSource).
-// It maintains a shadow market advanced only by the journal's commit
-// hook, so its (snapshot, seq) pairs are exactly aligned — the live
-// market applies commands before journaling them, so snapshotting the
-// live market directly could capture state ahead of the log.
+//
+// On a flat-file journal it maintains a shadow market advanced only by
+// the journal's commit hook, so its (snapshot, seq) pairs are exactly
+// aligned — the live market applies commands before journaling them,
+// so snapshotting the live market directly could capture state ahead
+// of the log. On a segmented store the shadow is dropped entirely: the
+// store already keeps a checkpoint-aligned shadow, snapshot catch-up
+// is served from the newest checkpoint file, and the records between
+// that checkpoint and the feed's head are preloaded from the segment
+// tail on disk.
 //
 // Attach a Feed with NewFeed after building the journaled market and
 // before serving traffic: records committed while no hook is installed
 // are not replayable to subscribers.
 type Feed struct {
 	mu      sync.Mutex
-	shadow  *market.Market
+	shadow  *market.Market // nil when store-backed
+	store   *journal.Store // nil on a flat-file journal
 	lastSeq int64
 
 	ring     []wire.RepRecord
 	ringBase int64 // seq of ring[0] when the ring is non-empty
 	ringMax  int
 
-	subs map[chan wire.RepRecord]struct{}
+	// subs maps each subscriber channel to its floor seq: records at or
+	// below the floor are not fanned out to that subscriber (they are
+	// already inside its catch-up snapshot or preloaded tail).
+	subs map[chan wire.RepRecord]int64
 	err  error // sticky feed failure (a record the shadow could not apply)
 }
 
@@ -67,16 +77,19 @@ func NewFeed(jm *journal.Market, ringMax int) (*Feed, error) {
 	if ringMax <= 0 {
 		ringMax = DefaultRingSize
 	}
-	shadow, err := market.RestoreSnapshot(jm.Snapshot())
-	if err != nil {
-		return nil, fmt.Errorf("replica: building shadow market: %w", err)
-	}
 	f := &Feed{
-		shadow:   shadow,
+		store:    jm.Store(),
 		lastSeq:  jm.LastSeq(),
 		ringMax:  ringMax,
-		subs:     make(map[chan wire.RepRecord]struct{}),
+		subs:     make(map[chan wire.RepRecord]int64),
 		ringBase: jm.LastSeq() + 1,
+	}
+	if f.store == nil {
+		shadow, err := market.RestoreSnapshot(jm.Snapshot())
+		if err != nil {
+			return nil, fmt.Errorf("replica: building shadow market: %w", err)
+		}
+		f.shadow = shadow
 	}
 	jm.OnCommit(f.commit)
 	return f, nil
@@ -102,10 +115,11 @@ func (f *Feed) commit(e journal.Event) {
 	if err == nil && e.Seq != f.lastSeq+1 {
 		err = fmt.Errorf("replica: commit hook saw seq %d, want %d", e.Seq, f.lastSeq+1)
 	}
-	if err == nil {
+	if err == nil && f.shadow != nil {
 		// The journal only records operations that succeeded on the live
 		// market, and Apply is deterministic, so this cannot fail unless
-		// the shadow has diverged — which poisons the feed.
+		// the shadow has diverged — which poisons the feed. Store-backed
+		// feeds skip this: the store keeps its own checkpoint shadow.
 		_, err = f.shadow.Apply(cmd)
 	}
 	if err != nil {
@@ -126,7 +140,10 @@ func (f *Feed) commit(e journal.Event) {
 		f.ring = f.ring[:n]
 		f.ringBase = f.ring[0].Seq
 	}
-	for ch := range f.subs {
+	for ch, floor := range f.subs {
+		if rec.Seq <= floor {
+			continue
+		}
 		select {
 		case ch <- rec:
 		default:
@@ -156,11 +173,42 @@ func (f *Feed) Subscribe(afterSeq int64) (wire.Subscription, error) {
 
 	var sub wire.Subscription
 	var pending []wire.RepRecord
+	floor := f.lastSeq
 	if afterSeq == f.lastSeq {
 		sub.StartSeq = afterSeq
 	} else if len(f.ring) > 0 && afterSeq+1 >= f.ringBase {
 		sub.StartSeq = afterSeq
 		pending = f.ring[afterSeq+1-f.ringBase:]
+	} else if f.store != nil {
+		// Segmented store: catch up from the newest durable checkpoint
+		// file, then preload the segment-tail records between the
+		// checkpoint and the feed's head. A background checkpoint can
+		// land ahead of the commit hook, so the per-subscriber floor
+		// (not the preload) keeps live fanout duplicate-free.
+		snap, snapSeq, err := f.store.CatchupSnapshot()
+		if err != nil {
+			return wire.Subscription{}, fmt.Errorf("replica: checkpoint catch-up: %w", err)
+		}
+		sub.Snapshot = snap
+		sub.StartSeq = snapSeq
+		if snapSeq > floor {
+			floor = snapSeq
+		}
+		err = f.store.TailEvents(snapSeq, f.lastSeq, func(e journal.Event) error {
+			cmd, err := journal.CommandFromEvent(e)
+			if err != nil {
+				return err
+			}
+			enc, err := command.EncodeBinary(cmd)
+			if err != nil {
+				return err
+			}
+			pending = append(pending, wire.RepRecord{Seq: e.Seq, Payload: wire.AppendRecordFrame(nil, e.Seq, enc)})
+			return nil
+		})
+		if err != nil {
+			return wire.Subscription{}, fmt.Errorf("replica: reading segment tail: %w", err)
+		}
 	} else {
 		// The gap predates the ring: snapshot catch-up. The shadow is at
 		// exactly lastSeq — that alignment is the reason it exists.
@@ -176,7 +224,7 @@ func (f *Feed) Subscribe(afterSeq int64) (wire.Subscription, error) {
 	for _, rec := range pending {
 		ch <- rec
 	}
-	f.subs[ch] = struct{}{}
+	f.subs[ch] = floor
 	sub.Records = ch
 	sub.Cancel = func() {
 		f.mu.Lock()

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/datamarket/shield/internal/journal"
 	"github.com/datamarket/shield/internal/market"
 	"github.com/datamarket/shield/internal/obs"
 	"github.com/datamarket/shield/internal/wire"
@@ -42,6 +43,15 @@ type Config struct {
 	BackoffMax time.Duration
 	// BufSize is the wire connection buffer size (0 = default).
 	BufSize int
+	// Dir, when set, gives the follower a local segmented store: every
+	// applied record is persisted there (snapshot catch-ups reseed it),
+	// so a cold restart recovers the market from local disk and rejoins
+	// the stream at its own durable seq instead of re-downloading a
+	// snapshot. Empty means in-memory only, the pre-store behaviour.
+	Dir string
+	// Store tunes the local store when Dir is set (zero values take the
+	// journal package defaults).
+	Store journal.StoreConfig
 	// Telemetry, when set, registers the shield_replica_* gauge
 	// families on its registry. Each follower needs its own registry
 	// (families refuse double registration by design).
@@ -66,6 +76,13 @@ type Follower struct {
 	nc          net.Conn // current transport, for Kill/Close interrupts
 	diverged    error    // sticky fatal apply failure
 	closed      bool
+
+	// rs is the local segmented store when Config.Dir is set. A
+	// persistence failure is sticky (persistErr): the follower keeps
+	// serving and replicating in memory, but stops appending — a
+	// half-written local chain must not masquerade as durable.
+	rs         *journal.ReplicaStore
+	persistErr error
 
 	// Test hooks (the mutation canaries): dropSeq makes the follower
 	// acknowledge one seq without applying it — the snapshot
@@ -99,6 +116,20 @@ func Start(cfg Config) (*Follower, error) {
 		lastAdvance: time.Now(),
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
+	}
+	if cfg.Dir != "" {
+		rs, m, lastSeq, err := journal.OpenReplicaStore(cfg.Dir, cfg.Store)
+		if err != nil {
+			return nil, fmt.Errorf("replica: opening local store %s: %w", cfg.Dir, err)
+		}
+		f.rs = rs
+		if m != nil {
+			// Cold restart: serve the locally recovered state right away
+			// and rejoin the stream from the local durable seq.
+			f.m = m
+			f.applied = lastSeq
+			f.leader = lastSeq
+		}
 	}
 	if cfg.Telemetry != nil {
 		f.register(cfg.Telemetry.Registry)
@@ -172,7 +203,7 @@ func (f *Follower) stream() error {
 		if err := json.Unmarshal(st.Snapshot, &snap); err != nil {
 			return fmt.Errorf("replica: decoding leader snapshot: %w", err)
 		}
-		m, err := market.RestoreSnapshot(snap)
+		m, err := f.reseed(snap, st.StartSeq)
 		if err != nil {
 			return fmt.Errorf("replica: restoring leader snapshot: %w", err)
 		}
@@ -216,6 +247,53 @@ func (f *Follower) stream() error {
 	}
 }
 
+// reseed builds the follower's market from a leader snapshot. With a
+// local store it runs through ReplicaStore.Reset, which wipes the old
+// chain and lands the snapshot as a durable checkpoint; a store
+// failure falls back to a purely in-memory restore with the sticky
+// persistErr recording why local durability is gone.
+func (f *Follower) reseed(snap market.Snapshot, seq int64) (*market.Market, error) {
+	f.mu.Lock()
+	rs := f.rs
+	broken := f.persistErr != nil
+	f.mu.Unlock()
+	if rs != nil && !broken {
+		m, err := rs.Reset(snap, seq)
+		if err == nil {
+			return m, nil
+		}
+		f.mu.Lock()
+		f.persistErr = fmt.Errorf("replica: local store reseed: %w", err)
+		f.mu.Unlock()
+	}
+	return market.RestoreSnapshot(snap)
+}
+
+// persist appends one applied record to the local store, if one is
+// attached and still healthy. Failures are sticky but non-fatal: the
+// follower keeps serving from memory.
+func (f *Follower) persist(fr wire.RepFrame) {
+	f.mu.Lock()
+	rs := f.rs
+	broken := f.persistErr != nil
+	f.mu.Unlock()
+	if rs == nil || broken {
+		return
+	}
+	e, err := journal.EventFromCommand(fr.Cmd)
+	if err == nil {
+		e.Seq = fr.Seq
+		err = rs.Append(e)
+	}
+	if err != nil {
+		f.mu.Lock()
+		if f.persistErr == nil {
+			f.persistErr = fmt.Errorf("replica: local store append seq %d: %w", fr.Seq, err)
+		}
+		f.mu.Unlock()
+	}
+}
+
 // applyRecord applies one replicated command. An apply failure is
 // divergence — sticky and fatal, surfaced through Ready.
 func (f *Follower) applyRecord(fr wire.RepFrame) error {
@@ -245,6 +323,10 @@ func (f *Follower) applyRecord(fr wire.RepFrame) error {
 			return err
 		}
 	}
+	// Persist even a canary-dropped record: the local chain mirrors the
+	// leader's log, not the (possibly sabotaged) serving state, and a
+	// skipped seq would break chain contiguity for every later append.
+	f.persist(fr)
 
 	f.mu.Lock()
 	f.applied = fr.Seq
@@ -322,6 +404,30 @@ func (f *Follower) Ready() error {
 	return nil
 }
 
+// PersistErr reports the sticky local-store failure, nil while local
+// persistence (if configured) is healthy. A failed store does not
+// unready the follower — it keeps serving from memory — but operators
+// see the fault here and through the store's own Err.
+func (f *Follower) PersistErr() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.persistErr != nil {
+		return f.persistErr
+	}
+	if f.rs != nil {
+		return f.rs.Err()
+	}
+	return nil
+}
+
+// LocalStore returns the follower's local segmented store (nil when
+// Config.Dir was empty), for inventory reporting.
+func (f *Follower) LocalStore() *journal.ReplicaStore {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rs
+}
+
 // Kill drops the follower's current connection, simulating a leader
 // restart or network fault; the run loop redials with backoff and
 // catches up from its applied seq (the torture harness's mid-stream
@@ -352,6 +458,9 @@ func (f *Follower) Close() {
 		nc.Close()
 	}
 	<-f.done
+	if f.rs != nil {
+		f.rs.Close()
+	}
 }
 
 func (f *Follower) isClosed() bool {

@@ -1,0 +1,165 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/datamarket/shield/internal/journal"
+	"github.com/datamarket/shield/internal/market"
+	"github.com/datamarket/shield/internal/wire"
+)
+
+// newStoreLeaderRig is newLeaderRig over a segmented store: aggressive
+// rotation and checkpointing so catch-up exercises the checkpoint file
+// and segment-tail paths rather than the in-memory ring.
+func newStoreLeaderRig(t *testing.T, ringMax int, opts ...journal.Option) *leaderRig {
+	t.Helper()
+	sc := journal.StoreConfig{SegmentRecords: 16, CheckpointEvery: 24}
+	jm, _, err := journal.OpenStore(testConfig(), t.TempDir(), sc, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { jm.Close() })
+	if err := jm.RegisterSeller("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := jm.UploadDataset("s1", "d1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := jm.RegisterBuyer("b0"); err != nil {
+		t.Fatal(err)
+	}
+	feed, err := NewFeed(jm, ringMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := wire.NewServer(jm).WithReplication(feed).WithHeartbeatInterval(10 * time.Millisecond)
+	return &leaderRig{jm: jm, feed: feed, ws: ws}
+}
+
+// appendChurn drives n guaranteed-append records (unique buyer
+// registrations) — churn's bids are mostly shield-rejected and never
+// reach the journal, which is no good for filling segments.
+func appendChurn(t *testing.T, r *leaderRig, tag string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := r.jm.RegisterBuyer(market.BuyerID(fmt.Sprintf("%s-%d", tag, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStoreLeaderCheckpointCatchUp: on a store-backed leader a fresh
+// follower's snapshot catch-up is served from the newest checkpoint
+// file plus the segment tail, and still converges byte-identically.
+func TestStoreLeaderCheckpointCatchUp(t *testing.T) {
+	r := newStoreLeaderRig(t, 8)
+	// Enough history for several rotations and checkpoints, and far more
+	// records than the tiny ring retains.
+	appendChurn(t, r, "cua", 80)
+	appendChurn(t, r, "pb", 40)
+	// Checkpoints land asynchronously; wait for one.
+	for deadline := time.Now().Add(5 * time.Second); r.jm.Store().LastCheckpoint() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("leader store produced no checkpoint")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	f, err := Start(Config{Dial: r.dial, BackoffMin: time.Millisecond, BackoffMax: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	waitConverged(t, f, r.feed, 5*time.Second)
+	mustMatchLeader(t, r, f)
+
+	// Live streaming after catch-up.
+	appendChurn(t, r, "cub", 30)
+	waitConverged(t, f, r.feed, 5*time.Second)
+	mustMatchLeader(t, r, f)
+}
+
+// TestFollowerPersistentColdRestart: a follower with a local store
+// directory persists every applied record; a cold restart recovers the
+// market and its position from local disk — no leader snapshot needed
+// — and rejoins the stream from its own durable seq.
+func TestFollowerPersistentColdRestart(t *testing.T) {
+	r := newStoreLeaderRig(t, 0)
+	dir := t.TempDir()
+	sc := journal.StoreConfig{SegmentRecords: 16, CheckpointEvery: 24}
+
+	f, err := Start(Config{
+		Dial: r.dial, Dir: dir, Store: sc,
+		BackoffMin: time.Millisecond, BackoffMax: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, f, r.feed, 5*time.Second)
+	appendChurn(t, r, "pa", 60)
+	r.churn(t, 20)
+	waitConverged(t, f, r.feed, 5*time.Second)
+	mustMatchLeader(t, r, f)
+	if err := f.PersistErr(); err != nil {
+		t.Fatalf("local persistence failed: %v", err)
+	}
+	appliedBefore := f.Applied()
+	f.Close()
+
+	inv, err := journal.InspectDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close checkpointed the final applied seq, and compaction then
+	// deleted every covered sealed segment — the local footprint is the
+	// checkpoint plus the active segment, not the full record history.
+	if inv.LastSeq != appliedBefore || inv.LastCheckpoint != appliedBefore {
+		t.Fatalf("local store inventory: last seq %d, last checkpoint %d, follower applied %d",
+			inv.LastSeq, inv.LastCheckpoint, appliedBefore)
+	}
+
+	// Leader moves on while the follower is down.
+	appendChurn(t, r, "pb", 40)
+
+	// Cold restart with the leader unreachable: state must come back
+	// from local disk alone.
+	gate := make(chan struct{})
+	gatedDial := func() (net.Conn, error) {
+		select {
+		case <-gate:
+			return r.dial()
+		default:
+			return nil, errors.New("leader unreachable")
+		}
+	}
+	f2, err := Start(Config{
+		Dial: gatedDial, Dir: dir, Store: sc,
+		BackoffMin: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if f2.Market() == nil {
+		t.Fatal("cold restart did not recover a market from the local store")
+	}
+	if got := f2.Applied(); got != appliedBefore {
+		t.Fatalf("cold restart recovered seq %d, want local durable seq %d", got, appliedBefore)
+	}
+	if err := f2.Ready(); err != nil {
+		t.Fatalf("locally recovered follower not ready: %v", err)
+	}
+
+	// Leader returns; the follower resumes from its local seq and
+	// converges on everything it missed.
+	close(gate)
+	waitConverged(t, f2, r.feed, 5*time.Second)
+	mustMatchLeader(t, r, f2)
+	if err := f2.PersistErr(); err != nil {
+		t.Fatalf("local persistence failed after restart: %v", err)
+	}
+}

@@ -57,6 +57,31 @@ type Config struct {
 	// Zero means the default of 2; negative disables chaos (the twin
 	// still runs and is still gated at every checkpoint).
 	FollowerKills int
+	// StoreDir, when non-empty, adds a segmented-store twin: a replica
+	// journaling into rotated segment files with snapshot checkpoints
+	// and background compaction under this directory. The twin is
+	// differentially gated like every other replica, its on-disk chain
+	// is crash-cut and recovered at seeded points (StoreCrashCuts), its
+	// recovered state must match its live state at the end of the run,
+	// and with compaction disabled (Store.RetainSegments < 0) its
+	// concatenated segment bodies must be byte-identical to the flat
+	// replicas' journal tails.
+	StoreDir string
+	// Store tunes the store twin (zero values take journal defaults).
+	// The harness shrinks nothing: pass small SegmentRecords /
+	// CheckpointEvery to force rotation and checkpoint traffic.
+	Store journal.StoreConfig
+	// StoreCrashCuts is how many times the store twin's directory is
+	// copied, torn at a seeded offset in its active segment, and
+	// recovered mid-run (default 2 when StoreDir is set; negative
+	// disables). Each event also recovers an uncut copy, which must
+	// rebuild the live state exactly.
+	StoreCrashCuts int
+	// StoreDiskCeilingBytes fails the run if the store twin's on-disk
+	// footprint (segments + checkpoints + temp files) ever exceeds this
+	// at a checkpoint — the bound compaction is supposed to hold. Zero
+	// disables the gate.
+	StoreDiskCeilingBytes int64
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 
@@ -117,6 +142,12 @@ func (c *Config) applyDefaults() {
 	if c.followerConverge == 0 {
 		c.followerConverge = 10 * time.Second
 	}
+	if c.StoreDir != "" && c.StoreCrashCuts == 0 {
+		c.StoreCrashCuts = 2
+	}
+	if c.StoreCrashCuts < 0 {
+		c.StoreCrashCuts = 0
+	}
 }
 
 // Report summarizes a passing run.
@@ -131,6 +162,14 @@ type Report struct {
 	// FollowerKills counts the chaos events injected into the
 	// replication follower twin (connection drops + cold restarts).
 	FollowerKills int
+	// Store twin accounting (zero when Config.StoreDir was empty):
+	// segments and checkpoints on disk at the end of the run, the peak
+	// on-disk footprint observed at any checkpoint, and how many
+	// crash-cut recoveries ran.
+	StoreSegments    int
+	StoreCheckpoints int
+	StoreDiskPeak    int64
+	StoreCrashCuts   int
 }
 
 // Failure is a torture-harness failure. Error() includes a one-line
@@ -165,7 +204,8 @@ type replica struct {
 	name   string
 	shards int
 	jm     *journal.Market
-	buf    *bytes.Buffer
+	buf    *bytes.Buffer // flat journal bytes; nil for the store twin
+	dir    string        // segmented-store directory; "" for flat replicas
 	conn   *wire.Conn
 	close  func()
 }
@@ -282,6 +322,12 @@ type harness struct {
 	twin   *followerTwin
 	killAt []int
 
+	// storeRep is the segmented-store twin (also in replicas); cutAt
+	// holds the seeded op indexes of its crash-cut recovery drills.
+	storeRep *replica
+	cutAt    []int
+	cutRNG   *rng.RNG
+
 	// maxWait bounds any legal Time-Shield wait, derived from the
 	// defaults-applied engine template.
 	maxWait int
@@ -357,6 +403,24 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	h.replicas = append(h.replicas, wt)
+	if cfg.StoreDir != "" {
+		// The segmented-store twin journals into rotated segments with
+		// checkpoints; its crash-cut drills run at seeded op indexes,
+		// spread over the middle half like the follower kills.
+		sr, err := newStoreReplica(cfg, cfg.Shards[0])
+		if err != nil {
+			return nil, err
+		}
+		h.storeRep = sr
+		h.replicas = append(h.replicas, sr)
+		if cfg.StoreCrashCuts > 0 && cfg.Ops >= 4 {
+			h.cutRNG = rng.New(cfg.Seed).Fork("store-cuts")
+			for k := 0; k < cfg.StoreCrashCuts; k++ {
+				h.cutAt = append(h.cutAt, cfg.Ops/4+h.cutRNG.Intn(cfg.Ops/2))
+			}
+			sort.Ints(h.cutAt)
+		}
+	}
 	defer func() {
 		for _, r := range h.replicas {
 			if r.close != nil {
@@ -399,6 +463,13 @@ func Run(cfg Config) (*Report, error) {
 			}
 			h.report.FollowerKills++
 		}
+		for len(h.cutAt) > 0 && h.cutAt[0] <= i {
+			h.cutAt = h.cutAt[1:]
+			if f := h.storeCrashCut(i); f != nil {
+				return nil, f
+			}
+			h.report.StoreCrashCuts++
+		}
 		op := gen.Next()
 		if f := h.step(i, op); f != nil {
 			return nil, f
@@ -419,6 +490,11 @@ func Run(cfg Config) (*Report, error) {
 	rev, _, _ := h.ref.totals()
 	h.report.Revenue = rev
 	h.report.Allocations = h.ref.st.TxCount()
+	if h.storeRep != nil {
+		inv := h.storeRep.jm.Store().Inventory()
+		h.report.StoreSegments = len(inv.Segments)
+		h.report.StoreCheckpoints = len(inv.Checkpoints)
+	}
 	return &h.report, nil
 }
 
@@ -605,6 +681,9 @@ func (h *harness) checkpoint(opIdx int) *Failure {
 				r.name, want.Diff(got))
 		}
 	}
+	if reason := h.checkConservationFull(); reason != "" {
+		return h.fail(opIdx, op, "%s", reason)
+	}
 	if reason := h.checkTotals(); reason != "" {
 		return h.fail(opIdx, op, "%s", reason)
 	}
@@ -612,6 +691,9 @@ func (h *harness) checkpoint(opIdx int) *Failure {
 		return h.fail(opIdx, op, "%s", reason)
 	}
 	if f := h.checkFollower(opIdx); f != nil {
+		return f
+	}
+	if f := h.checkStoreDisk(opIdx); f != nil {
 		return f
 	}
 	return nil
@@ -625,6 +707,11 @@ func (h *harness) finalChecks() *Failure {
 	op := Op{Kind: OpTick}
 	var tail []byte
 	for i, r := range h.replicas {
+		if r.buf == nil {
+			// The store twin's durable chain is checked against the flat
+			// tail (and recovered from disk) in storeFinalChecks below.
+			continue
+		}
 		b := r.buf.Bytes()
 		idx := bytes.IndexByte(b, '\n')
 		if idx < 0 {
@@ -652,6 +739,11 @@ func (h *harness) finalChecks() *Failure {
 		}
 		if !bytes.Equal(liveBytes, restoredBytes) {
 			return h.fail(h.cfg.Ops-1, op, "replica %s: journal replay does not rebuild live state", r.name)
+		}
+	}
+	if h.storeRep != nil {
+		if f := h.storeFinalChecks(tail); f != nil {
+			return f
 		}
 	}
 	return nil
